@@ -1,0 +1,71 @@
+"""Anomaly-detection quality and throughput (paper §IV / refs [22],[37]:
+"Anomaly detection to distinguish actual failures from normal variation").
+
+Quality: inject stragglers into a clean runtime distribution and measure
+recall/false-positive rate.  Throughput: the detector must keep up with
+the loader's event rate.
+"""
+import numpy as np
+import pytest
+
+from repro.core.anomaly import EwmaDetector, RobustRuntimeDetector
+
+
+def _stream(n=5_000, n_stragglers=25, seed=0):
+    rng = np.random.default_rng(seed)
+    runtimes = rng.normal(60.0, 4.0, n).clip(min=1.0)
+    straggler_idx = set(rng.choice(np.arange(100, n), n_stragglers,
+                                   replace=False).tolist())
+    for i in straggler_idx:
+        runtimes[i] *= rng.uniform(4.0, 10.0)
+    return runtimes, straggler_idx
+
+
+def test_robust_detector_quality(benchmark):
+    runtimes, stragglers = _stream()
+
+    def detect():
+        det = RobustRuntimeDetector(threshold=5.0)
+        for i, r in enumerate(runtimes):
+            det.observe("exec", float(r), job_id=str(i))
+        return det
+
+    det = benchmark(detect)
+    flagged = {int(a.job_id) for a in det.anomalies if a.kind == "slow"}
+    recall = len(flagged & stragglers) / len(stragglers)
+    false_pos = len(flagged - stragglers)
+    print(f"\nrecall {recall:.2f}, false positives {false_pos}/"
+          f"{len(runtimes) - len(stragglers)}")
+    assert recall > 0.9  # catches nearly every straggler
+    assert false_pos < len(runtimes) * 0.01  # <1% false-positive rate
+
+
+def test_ewma_detector_quality(benchmark):
+    runtimes, stragglers = _stream()
+
+    def detect():
+        det = EwmaDetector(alpha=0.05, threshold=5.0)
+        for i, r in enumerate(runtimes):
+            det.observe("exec", float(r), job_id=str(i))
+        return det
+
+    det = benchmark(detect)
+    flagged = {int(a.job_id) for a in det.anomalies if a.kind == "slow"}
+    recall = len(flagged & stragglers) / len(stragglers)
+    assert recall > 0.8
+
+
+def test_detector_throughput(benchmark):
+    """Observations/second — must exceed the loader's event rate."""
+    runtimes, _ = _stream(n=20_000, n_stragglers=0)
+
+    def run():
+        det = RobustRuntimeDetector()
+        for r in runtimes:
+            det.observe("exec", float(r))
+        return det
+
+    det = benchmark(run)
+    rate = len(runtimes) / benchmark.stats.stats.mean
+    print(f"\ndetector: {rate:,.0f} observations/s")
+    assert rate > 10_000

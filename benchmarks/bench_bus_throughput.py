@@ -1,0 +1,84 @@
+"""Message-bus performance (paper §IV-C).
+
+The paper chose AMQP topic queues for "good performance" while "keeping
+implementations simple"; these benches measure publish+consume throughput
+and the routing-specificity ablation: subscribing to `#` vs a prefix vs
+an exact event type.
+"""
+import pytest
+
+from repro.bus.broker import Broker
+from repro.bus.client import EventConsumer, EventPublisher
+from repro.netlogger.events import NLEvent
+
+N_EVENTS = 5_000
+
+
+def _events():
+    names = [
+        "stampede.job_inst.main.start",
+        "stampede.job_inst.main.end",
+        "stampede.inv.end",
+        "stampede.xwf.start",
+    ]
+    return [
+        NLEvent(names[i % len(names)], float(i), {"job.id": f"j{i}",
+                                                  "job_inst.id": 1})
+        for i in range(N_EVENTS)
+    ]
+
+
+def test_publish_consume_throughput(benchmark):
+    events = _events()
+
+    def pump():
+        broker = Broker()
+        consumer = EventConsumer(broker, "stampede.#", queue_name="all")
+        publisher = EventPublisher(broker)
+        publisher.publish_all(events)
+        return consumer.drain()
+
+    received = benchmark(pump)
+    assert len(received) == N_EVENTS
+    rate = N_EVENTS / benchmark.stats.stats.mean
+    print(f"\nbus: {rate:,.0f} events/s through one topic queue")
+
+
+@pytest.mark.parametrize(
+    "pattern,expected_fraction",
+    [
+        ("#", 1.0),
+        ("stampede.job_inst.#", 0.5),
+        ("stampede.inv.end", 0.25),
+    ],
+)
+def test_routing_specificity_ablation(benchmark, pattern, expected_fraction):
+    """Narrower subscriptions deliver fewer messages — the flexibility the
+    paper highlights for 'gluing together analysis components'."""
+    events = _events()
+
+    def pump():
+        broker = Broker()
+        consumer = EventConsumer(broker, pattern, queue_name="q")
+        EventPublisher(broker).publish_all(events)
+        return consumer.drain()
+
+    received = benchmark(pump)
+    assert len(received) == int(N_EVENTS * expected_fraction)
+
+
+def test_multi_consumer_fanout(benchmark):
+    """Many consumers of the same stream without blocking the producer."""
+    events = _events()
+
+    def pump():
+        broker = Broker()
+        consumers = [
+            EventConsumer(broker, "stampede.#", queue_name=f"c{i}")
+            for i in range(5)
+        ]
+        EventPublisher(broker).publish_all(events)
+        return [len(c.drain()) for c in consumers]
+
+    counts = benchmark(pump)
+    assert counts == [N_EVENTS] * 5

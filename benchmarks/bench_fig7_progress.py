@@ -1,0 +1,49 @@
+"""Fig. 7: progress to completion of the 20 DART bundles.
+
+Paper shape: 20 monotone cumulative-runtime curves starting shortly after
+t=0 (bundles dispatched together), climbing for the run's duration, and
+finishing staggered near the workflow wall time, with the small trailing
+bundle finishing far earlier.
+"""
+import numpy as np
+
+from repro.core.timeseries import bundle_progress
+
+
+def test_fig7_bundle_progress(benchmark, dart_archive):
+    archive, query, root, result = dart_archive
+
+    series = benchmark(bundle_progress, query, root.wf_id)
+
+    assert len(series) == 20
+    finishes = []
+    for s in series:
+        values = [p[1] for p in s.points]
+        assert values == sorted(values)  # cumulative curves are monotone
+        assert s.points[0][0] > 0  # nothing completes before the run starts
+        finishes.append(s.completion_time)
+    finishes.sort()
+
+    # every bundle completes within the workflow's wall time
+    assert finishes[-1] <= result.wall_time + 1.0
+    # the last finisher defines the makespan (within dispatch latency)
+    assert finishes[-1] >= result.wall_time - 10.0
+    # staggered completion: a substantial spread between first and last
+    assert finishes[-1] - finishes[0] > 30.0
+    # the 2-command trailing bundle finishes far earlier than the median
+    assert finishes[0] < np.median(finishes) * 0.7
+
+    # full bundles all accumulate roughly 16 execs' worth of runtime
+    full = sorted(s.final_cumulative_runtime for s in series)[1:]
+    assert max(full) / min(full) < 1.6
+
+    print("\n--- Fig. 7 (measured) ---")
+    print(f"bundles: {len(series)}")
+    print(f"first completion: {finishes[0]:.0f}s, last: {finishes[-1]:.0f}s")
+    print(f"workflow wall time: {result.wall_time:.0f}s (paper: 661s)")
+    for s in sorted(series, key=lambda s: s.label)[:5]:
+        print(
+            f"  {s.label}: {len(s.points)} completions, "
+            f"cumulative {s.final_cumulative_runtime:.0f}s, "
+            f"done at {s.completion_time:.0f}s"
+        )

@@ -1,0 +1,48 @@
+"""Real-time query latency (paper §IV: "Real-time queries of both
+detailed and summarized status", over datasets "too large to fit into
+memory").
+
+Queries against the loaded DART archive must answer fast enough for an
+interactive dashboard: summary statistics, job details, per-bundle
+drill-down and failure scans.
+"""
+from repro.core.analyzer import analyze
+from repro.core.statistics import workflow_statistics
+
+
+def test_summary_statistics_latency(benchmark, dart_archive):
+    archive, query, root, result = dart_archive
+    stats = benchmark(workflow_statistics, query, wf_id=root.wf_id)
+    assert stats.counts.tasks_total == 367
+    print(f"\nfull summary over 21 workflows: "
+          f"{benchmark.stats.stats.mean * 1000:.1f} ms")
+
+
+def test_job_details_latency(benchmark, dart_archive):
+    archive, query, root, result = dart_archive
+    sub = query.sub_workflows(root.wf_id)[0]
+    details = benchmark(query.job_details, sub.wf_id)
+    assert len(details) == 19
+
+
+def test_drilldown_latency(benchmark, dart_archive):
+    """The analyzer's full hierarchical drill-down across 20 bundles."""
+    archive, query, root, result = dart_archive
+    analysis = benchmark(
+        analyze, query, root.wf_id, None, True, True
+    )
+    assert analysis.ok
+    assert len(analysis.sub_analyses) == 20
+
+
+def test_workflow_status_poll_latency(benchmark, dart_archive):
+    """The dashboard's tightest loop: poll every workflow's status."""
+    archive, query, root, result = dart_archive
+
+    def poll():
+        return [query.workflow_status(w.wf_id) for w in query.workflows()]
+
+    statuses = benchmark(poll)
+    assert all(s == 0 for s in statuses)
+    print(f"\nstatus poll of {len(statuses)} workflows: "
+          f"{benchmark.stats.stats.mean * 1000:.2f} ms")

@@ -1,0 +1,49 @@
+"""Table I: summary output of stampede-statistics for the DART workflow.
+
+Paper values: Tasks 367/367 succeeded, Jobs 367/367, Sub WF 20/20, zero
+failures/retries; workflow wall time 661 s; cumulative job wall time
+40 224 s.  The counts reproduce exactly; the wall times land in the same
+band (the substrate is a simulator, not the Cardiff cloud).
+"""
+import pytest
+
+from repro.core.reports import render_summary
+from repro.core.statistics import workflow_statistics
+
+PAPER_WALL_TIME = 661.0
+PAPER_CUMULATIVE = 40224.0
+
+
+def test_table1_summary(benchmark, dart_archive):
+    archive, query, root, result = dart_archive
+
+    stats = benchmark(workflow_statistics, query, wf_id=root.wf_id)
+
+    counts = stats.counts
+    # exact structural reproduction of Table I
+    assert counts.tasks_total == 367
+    assert counts.tasks_succeeded == 367
+    assert counts.tasks_failed == 0
+    assert counts.tasks_incomplete == 0
+    assert counts.jobs_total == 367
+    assert counts.jobs_succeeded == 367
+    assert counts.subwf_total == 20
+    assert counts.subwf_succeeded == 20
+    assert counts.jobs_retries == 0
+
+    # wall-time shape: same order of magnitude, same concurrency ratio
+    assert stats.wall_time == pytest.approx(PAPER_WALL_TIME, rel=0.5)
+    assert stats.cumulative_job_wall_time == pytest.approx(
+        PAPER_CUMULATIVE, rel=0.25
+    )
+    ratio = stats.cumulative_job_wall_time / stats.wall_time
+    paper_ratio = PAPER_CUMULATIVE / PAPER_WALL_TIME  # ~60.9
+    assert ratio == pytest.approx(paper_ratio, rel=0.5)
+
+    print("\n--- Table I (measured) ---")
+    print(render_summary(stats))
+    print(f"\npaper: wall 661 s, cumulative 40224 s (ratio 60.9)")
+    print(
+        f"measured: wall {stats.wall_time:.0f} s, cumulative "
+        f"{stats.cumulative_job_wall_time:.0f} s (ratio {ratio:.1f})"
+    )

@@ -1,0 +1,43 @@
+"""Tables III & IV: the two jobs.txt sections for one sub-workflow.
+
+Paper shape: every job ran on one trianaworker node, try = 1, exit 0;
+invocation duration ≈ runtime; aux jobs ~1 s; queue times small for jobs
+that found a free slot immediately.
+"""
+from repro.core.reports import render_jobs, render_jobs_timing
+from repro.core.statistics import job_rows
+
+
+def test_table3_and_4_jobs(benchmark, dart_archive):
+    archive, query, root, result = dart_archive
+    sub = query.sub_workflows(root.wf_id)[0]
+
+    rows = benchmark(job_rows, query, sub.wf_id)
+
+    assert len(rows) == 19  # 16 execs + unit + zipper + Output_0
+    worker = rows[0].site
+    assert worker.startswith("trianaworker")
+    for row in rows:
+        # Table III shape
+        assert row.try_number == 1
+        assert row.site == worker  # whole bundle on one node
+        assert row.invocation_duration is not None
+        # Table IV shape
+        assert row.exitcode == 0
+        assert row.hostname == worker
+        assert row.queue_time is not None and row.queue_time >= 0
+        # engine-measured runtime ≈ invocation duration (no remote gap here)
+        assert abs(row.runtime - row.invocation_duration) < 1e-6
+
+    exec_rows = [r for r in rows if r.exec_job_id.startswith("exec")]
+    aux_rows = [r for r in rows if not r.exec_job_id.startswith("exec")]
+    assert all(r.runtime > 20 for r in exec_rows)
+    assert all(r.runtime < 2 for r in aux_rows)
+    # the unit task starts immediately: sub-second queue time (paper: 0.06)
+    unit_row = next(r for r in rows if r.exec_job_id.startswith("unit:"))
+    assert unit_row.queue_time < 1.0
+
+    print("\n--- Table III (measured) ---")
+    print(render_jobs(rows[:8]))
+    print("\n--- Table IV (measured) ---")
+    print(render_jobs_timing(rows[:8]))

@@ -1,0 +1,6 @@
+"""Legacy setup shim: lets `pip install -e . --no-use-pep517` work in offline
+environments where the `wheel` package (needed for PEP 660 editable builds)
+is unavailable.  All metadata lives in pyproject.toml."""
+from setuptools import setup
+
+setup()

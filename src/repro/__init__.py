@@ -1,0 +1,19 @@
+"""repro — reproduction of "A General Approach to Real-Time Workflow Monitoring".
+
+The package implements the Stampede monitoring infrastructure (SC 2012):
+
+* :mod:`repro.netlogger` — NetLogger Best Practices log format;
+* :mod:`repro.schema` — YANG-modelled event schema + validator;
+* :mod:`repro.bus` — AMQP-style topic message bus;
+* :mod:`repro.orm` / :mod:`repro.archive` — relational archive (Fig. 3 schema);
+* :mod:`repro.loader` — nl_load / stampede_loader;
+* :mod:`repro.query` — standard query interface;
+* :mod:`repro.core` — stampede_statistics, stampede_analyzer, anomaly
+  detection, dashboard;
+* :mod:`repro.pegasus` / :mod:`repro.triana` — the two workflow-engine
+  substrates the paper integrates;
+* :mod:`repro.dart` — the DART music-information-retrieval experiment;
+* :mod:`repro.workloads` — synthetic workflow generators.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,5 @@
+"""Relational archive: the Fig. 3 schema plus a typed store."""
+from repro.archive.ddl import ALL_TABLES, TABLES
+from repro.archive.store import EntityQuery, StampedeArchive
+
+__all__ = ["ALL_TABLES", "TABLES", "EntityQuery", "StampedeArchive"]

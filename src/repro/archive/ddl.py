@@ -1,0 +1,174 @@
+"""Relational schema of the Stampede archive (paper Fig. 3).
+
+Table and column names follow the published Stampede schema: each workflow
+run is a ``workflow`` row; the abstract workflow lives in ``task`` /
+``task_edge``; the executable workflow in ``job`` / ``job_edge``; execution
+attempts in ``job_instance`` with their time-stamped ``jobstate`` rows; and
+remote executions in ``invocation``, which link back to ``task``.
+"""
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.orm import Boolean, Column, Integer, Real, Table, Text
+
+__all__ = ["TABLES", "ALL_TABLES"]
+
+
+WORKFLOW = Table(
+    "workflow",
+    [
+        Column("wf_id", Integer(), primary_key=True),
+        Column("wf_uuid", Text(), nullable=False, index=True),
+        Column("dag_file_name", Text()),
+        Column("timestamp", Real()),
+        Column("submit_hostname", Text()),
+        Column("submit_dir", Text()),
+        Column("planner_version", Text()),
+        Column("user", Text()),
+        Column("grid_dn", Text()),
+        Column("planner_arguments", Text()),
+        Column("dax_label", Text()),
+        Column("dax_version", Text()),
+        Column("dax_file", Text()),
+        Column("parent_wf_id", Integer(), index=True),
+        Column("root_wf_id", Integer(), index=True),
+    ],
+)
+
+WORKFLOWSTATE = Table(
+    "workflowstate",
+    [
+        Column("wf_id", Integer(), nullable=False, index=True),
+        Column("state", Text(), nullable=False),
+        Column("timestamp", Real(), nullable=False),
+        Column("restart_count", Integer(), default=0),
+        Column("status", Integer()),
+    ],
+)
+
+TASK = Table(
+    "task",
+    [
+        Column("task_id", Integer(), primary_key=True),
+        Column("wf_id", Integer(), nullable=False, index=True),
+        Column("abs_task_id", Text(), nullable=False, index=True),
+        # Filled by stampede.wf.map.task_job: the EW job this task mapped to.
+        Column("job_id", Integer(), index=True),
+        Column("transformation", Text()),
+        Column("argv", Text()),
+        Column("type_desc", Text()),
+    ],
+)
+
+TASK_EDGE = Table(
+    "task_edge",
+    [
+        Column("wf_id", Integer(), nullable=False, index=True),
+        Column("parent_abs_task_id", Text(), nullable=False),
+        Column("child_abs_task_id", Text(), nullable=False),
+    ],
+)
+
+JOB = Table(
+    "job",
+    [
+        Column("job_id", Integer(), primary_key=True),
+        Column("wf_id", Integer(), nullable=False, index=True),
+        Column("exec_job_id", Text(), nullable=False, index=True),
+        Column("submit_file", Text()),
+        Column("type_desc", Text()),
+        Column("clustered", Boolean(), default=False),
+        Column("max_retries", Integer(), default=0),
+        Column("executable", Text()),
+        Column("argv", Text()),
+        Column("task_count", Integer(), default=0),
+    ],
+)
+
+JOB_EDGE = Table(
+    "job_edge",
+    [
+        Column("wf_id", Integer(), nullable=False, index=True),
+        Column("parent_exec_job_id", Text(), nullable=False),
+        Column("child_exec_job_id", Text(), nullable=False),
+    ],
+)
+
+JOB_INSTANCE = Table(
+    "job_instance",
+    [
+        Column("job_instance_id", Integer(), primary_key=True),
+        Column("job_id", Integer(), nullable=False, index=True),
+        Column("job_submit_seq", Integer(), nullable=False),
+        Column("host_id", Integer(), index=True),
+        Column("sched_id", Text()),
+        Column("site", Text()),
+        Column("user", Text()),
+        Column("work_dir", Text()),
+        Column("local_duration", Real()),
+        Column("subwf_id", Integer(), index=True),
+        Column("stdout_file", Text()),
+        Column("stdout_text", Text()),
+        Column("stderr_file", Text()),
+        Column("stderr_text", Text()),
+        Column("multiplier_factor", Integer(), default=1),
+        Column("exitcode", Integer()),
+    ],
+)
+
+JOBSTATE = Table(
+    "jobstate",
+    [
+        Column("job_instance_id", Integer(), nullable=False, index=True),
+        Column("state", Text(), nullable=False),
+        Column("timestamp", Real(), nullable=False),
+        Column("jobstate_submit_seq", Integer(), default=0),
+    ],
+)
+
+INVOCATION = Table(
+    "invocation",
+    [
+        Column("invocation_id", Integer(), primary_key=True),
+        Column("job_instance_id", Integer(), nullable=False, index=True),
+        Column("wf_id", Integer(), nullable=False, index=True),
+        Column("task_submit_seq", Integer(), nullable=False),
+        Column("start_time", Real()),
+        Column("remote_duration", Real()),
+        Column("remote_cpu_time", Real()),
+        Column("exitcode", Integer()),
+        Column("transformation", Text()),
+        Column("executable", Text()),
+        Column("argv", Text()),
+        Column("abs_task_id", Text(), index=True),
+    ],
+)
+
+HOST = Table(
+    "host",
+    [
+        Column("host_id", Integer(), primary_key=True),
+        Column("wf_id", Integer(), nullable=False, index=True),
+        Column("site", Text()),
+        Column("hostname", Text(), nullable=False),
+        Column("ip", Text()),
+        Column("uname", Text()),
+        Column("total_memory", Integer()),
+    ],
+)
+
+ALL_TABLES: List[Table] = [
+    WORKFLOW,
+    WORKFLOWSTATE,
+    TASK,
+    TASK_EDGE,
+    JOB,
+    JOB_EDGE,
+    JOB_INSTANCE,
+    JOBSTATE,
+    INVOCATION,
+    HOST,
+]
+
+TABLES: Dict[str, Table] = {t.name: t for t in ALL_TABLES}

@@ -1,0 +1,144 @@
+"""StampedeArchive: typed access to the relational archive.
+
+Wraps a :class:`~repro.orm.Database` with the Fig. 3 tables, surrogate-key
+sequences, and entity-typed insert/fetch helpers.  The loader performs the
+event-to-row normalization; the query interface reads through this class.
+"""
+from __future__ import annotations
+
+import itertools
+import threading
+from dataclasses import fields
+from typing import Any, Dict, Iterable, List, Optional, Type, TypeVar
+
+from repro.archive import ddl
+from repro.model.entities import (
+    HostRow,
+    InvocationRow,
+    JobEdgeRow,
+    JobInstanceRow,
+    JobRow,
+    JobStateRow,
+    TaskEdgeRow,
+    TaskRow,
+    WorkflowRow,
+    WorkflowStateRow,
+)
+from repro.orm import Database, Query, Table, connect
+
+__all__ = ["StampedeArchive"]
+
+T = TypeVar("T")
+
+_ENTITY_TABLE = {
+    WorkflowRow: ddl.WORKFLOW,
+    WorkflowStateRow: ddl.WORKFLOWSTATE,
+    TaskRow: ddl.TASK,
+    TaskEdgeRow: ddl.TASK_EDGE,
+    JobRow: ddl.JOB,
+    JobEdgeRow: ddl.JOB_EDGE,
+    JobInstanceRow: ddl.JOB_INSTANCE,
+    JobStateRow: ddl.JOBSTATE,
+    InvocationRow: ddl.INVOCATION,
+    HostRow: ddl.HOST,
+}
+
+
+class StampedeArchive:
+    """The relational archive: one Database plus schema + sequences."""
+
+    def __init__(self, database: Optional[Database] = None):
+        self.db = database if database is not None else connect("sqlite:///:memory:")
+        self.db.create_tables(ddl.ALL_TABLES)
+        self._sequences: Dict[str, itertools.count] = {}
+        self._seq_lock = threading.Lock()
+
+    @classmethod
+    def open(cls, conn_string: str) -> "StampedeArchive":
+        """Open from a SQLAlchemy-style connection string."""
+        return cls(connect(conn_string))
+
+    # -- key generation -----------------------------------------------------
+    def next_id(self, table_name: str) -> int:
+        """Allocate the next surrogate key for a table."""
+        with self._seq_lock:
+            if table_name not in self._sequences:
+                start = self.db.count(ddl.TABLES[table_name]) + 1
+                self._sequences[table_name] = itertools.count(start)
+            return next(self._sequences[table_name])
+
+    # -- generic entity I/O ----------------------------------------------------
+    def insert(self, entity: Any) -> None:
+        table = _table_for(type(entity))
+        self.db.insert(table, _to_row(entity))
+
+    def insert_many(self, entities: Iterable[Any]) -> int:
+        """Batch-insert homogeneous entities (one executemany per type)."""
+        by_type: Dict[type, List[Dict[str, Any]]] = {}
+        for entity in entities:
+            by_type.setdefault(type(entity), []).append(_to_row(entity))
+        total = 0
+        for etype, rows in by_type.items():
+            total += self.db.insert_many(_table_for(etype), rows)
+        return total
+
+    def query(self, entity_type: Type[T]) -> "EntityQuery[T]":
+        return EntityQuery(self, entity_type)
+
+    def count(self, entity_type: type) -> int:
+        return self.db.count(_table_for(entity_type))
+
+    def update(
+        self, entity_type: type, values: Dict[str, Any], where: Dict[str, Any]
+    ) -> int:
+        return self.db.update(_table_for(entity_type), values, where)
+
+    def close(self) -> None:
+        self.db.close()
+
+
+class EntityQuery:
+    """Fluent query that materializes entity dataclasses."""
+
+    def __init__(self, archive: StampedeArchive, entity_type: Type[T]):
+        self._archive = archive
+        self._entity_type = entity_type
+        self._query = Query(_table_for(entity_type))
+
+    def where(self, column: str, op: str, value: Any) -> "EntityQuery[T]":
+        self._query.where(column, op, value)
+        return self
+
+    def eq(self, column: str, value: Any) -> "EntityQuery[T]":
+        self._query.eq(column, value)
+        return self
+
+    def order_by(self, column: str, descending: bool = False) -> "EntityQuery[T]":
+        self._query.order_by(column, descending)
+        return self
+
+    def limit(self, count: int, offset: int = 0) -> "EntityQuery[T]":
+        self._query.limit(count, offset)
+        return self
+
+    def all(self) -> List[T]:
+        rows = self._archive.db.select(self._query)
+        return [self._entity_type(**row) for row in rows]
+
+    def first(self) -> Optional[T]:
+        results = self.limit(1).all()
+        return results[0] if results else None
+
+    def count(self) -> int:
+        return len(self.all())
+
+
+def _table_for(entity_type: type) -> Table:
+    try:
+        return _ENTITY_TABLE[entity_type]
+    except KeyError:
+        raise TypeError(f"not an archive entity type: {entity_type!r}") from None
+
+
+def _to_row(entity: Any) -> Dict[str, Any]:
+    return {f.name: getattr(entity, f.name) for f in fields(entity)}

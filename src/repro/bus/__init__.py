@@ -1,0 +1,33 @@
+"""In-process AMQP-style topic message bus (RabbitMQ substitute)."""
+from repro.bus.broker import DEFAULT_EXCHANGE, Binding, Broker, Consumer, Exchange
+from repro.bus.client import (
+    BusSink,
+    EventConsumer,
+    EventPublisher,
+    EventSink,
+    FileSink,
+    MultiSink,
+)
+from repro.bus.queues import Message, MessageQueue, QueueFullError, QueueStats
+from repro.bus.topic import compile_pattern, topic_matches, validate_pattern
+
+__all__ = [
+    "DEFAULT_EXCHANGE",
+    "Binding",
+    "Broker",
+    "Consumer",
+    "Exchange",
+    "BusSink",
+    "EventConsumer",
+    "EventPublisher",
+    "EventSink",
+    "FileSink",
+    "MultiSink",
+    "Message",
+    "MessageQueue",
+    "QueueFullError",
+    "QueueStats",
+    "compile_pattern",
+    "topic_matches",
+    "validate_pattern",
+]

@@ -1,0 +1,207 @@
+"""In-process topic-exchange message broker (RabbitMQ substitute).
+
+Implements the slice of AMQP the paper's architecture uses: named topic
+exchanges, queues bound with topic patterns, non-blocking publish that
+fans out to every matching queue, and consumer handles.  Thread-safe, so
+an engine thread can publish while a loader thread consumes — the
+decoupling Figure 1 of the paper shows.
+"""
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
+
+from repro.bus.queues import Message, MessageQueue
+from repro.bus.topic import topic_matches, validate_pattern
+
+__all__ = ["Binding", "Exchange", "Broker", "Consumer"]
+
+DEFAULT_EXCHANGE = "stampede"
+
+
+@dataclass(frozen=True)
+class Binding:
+    pattern: str
+    queue_name: str
+
+
+class Exchange:
+    """A topic exchange: routes by pattern-matching the routing key."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self._bindings: List[Binding] = []
+        self.published = 0
+        self.unroutable = 0
+
+    def bind(self, pattern: str, queue_name: str) -> None:
+        validate_pattern(pattern)
+        binding = Binding(pattern, queue_name)
+        if binding not in self._bindings:
+            self._bindings.append(binding)
+
+    def unbind(self, pattern: str, queue_name: str) -> None:
+        self._bindings = [
+            b for b in self._bindings
+            if not (b.pattern == pattern and b.queue_name == queue_name)
+        ]
+
+    def route(self, routing_key: str) -> List[str]:
+        """Queue names whose binding matches; duplicates collapsed."""
+        seen: Dict[str, None] = {}
+        for binding in self._bindings:
+            if binding.queue_name not in seen and topic_matches(
+                binding.pattern, routing_key
+            ):
+                seen[binding.queue_name] = None
+        return list(seen)
+
+    def bindings(self) -> List[Binding]:
+        return list(self._bindings)
+
+
+class Broker:
+    """The message bus: exchanges + queues + publish/subscribe."""
+
+    def __init__(self):
+        self._exchanges: Dict[str, Exchange] = {}
+        self._queues: Dict[str, MessageQueue] = {}
+        self._lock = threading.RLock()
+        self._anon_counter = 0
+
+    # -- topology ------------------------------------------------------------
+    def declare_exchange(self, name: str = DEFAULT_EXCHANGE) -> Exchange:
+        with self._lock:
+            if name not in self._exchanges:
+                self._exchanges[name] = Exchange(name)
+            return self._exchanges[name]
+
+    def declare_queue(
+        self,
+        name: Optional[str] = None,
+        durable: bool = False,
+        auto_delete: bool = False,
+        max_length: Optional[int] = None,
+    ) -> MessageQueue:
+        with self._lock:
+            if name is None:
+                self._anon_counter += 1
+                name = f"amq.gen-{self._anon_counter}"
+            if name in self._queues:
+                existing = self._queues[name]
+                if existing.durable != durable:
+                    raise ValueError(
+                        f"queue {name!r} redeclared with durable={durable}, "
+                        f"existing durable={existing.durable}"
+                    )
+                return existing
+            queue = MessageQueue(
+                name, durable=durable, auto_delete=auto_delete, max_length=max_length
+            )
+            self._queues[name] = queue
+            return queue
+
+    def bind_queue(
+        self, queue_name: str, pattern: str, exchange: str = DEFAULT_EXCHANGE
+    ) -> None:
+        with self._lock:
+            if queue_name not in self._queues:
+                raise KeyError(f"no such queue {queue_name!r}")
+            self.declare_exchange(exchange).bind(pattern, queue_name)
+
+    def delete_queue(self, queue_name: str) -> None:
+        with self._lock:
+            self._queues.pop(queue_name, None)
+            for exchange in self._exchanges.values():
+                for binding in exchange.bindings():
+                    if binding.queue_name == queue_name:
+                        exchange.unbind(binding.pattern, queue_name)
+
+    def queue(self, name: str) -> MessageQueue:
+        with self._lock:
+            return self._queues[name]
+
+    def queue_names(self) -> List[str]:
+        with self._lock:
+            return list(self._queues)
+
+    # -- messaging ------------------------------------------------------------
+    def publish(
+        self, routing_key: str, body: object, exchange: str = DEFAULT_EXCHANGE
+    ) -> int:
+        """Publish to every queue bound with a matching pattern.
+
+        Returns the number of queues that received the message.  Never
+        blocks the producer (the property §IV-C of the paper calls out).
+        """
+        with self._lock:
+            exch = self.declare_exchange(exchange)
+            exch.published += 1
+            targets = [self._queues[name] for name in exch.route(routing_key)
+                       if name in self._queues]
+            if not targets:
+                exch.unroutable += 1
+        for queue in targets:
+            queue.put(routing_key, body)
+        return len(targets)
+
+    def subscribe(
+        self,
+        pattern: str,
+        queue_name: Optional[str] = None,
+        exchange: str = DEFAULT_EXCHANGE,
+        durable: bool = False,
+        auto_delete: bool = True,
+    ) -> "Consumer":
+        """Declare+bind a queue in one step and return a consumer handle."""
+        with self._lock:
+            queue = self.declare_queue(
+                queue_name, durable=durable, auto_delete=auto_delete
+            )
+            self.bind_queue(queue.name, pattern, exchange)
+        return Consumer(self, queue)
+
+
+class Consumer:
+    """Pull-style consumer over one queue, with iterator sugar."""
+
+    def __init__(self, broker: Broker, queue: MessageQueue):
+        self._broker = broker
+        self._queue = queue
+        self.cancelled = False
+
+    @property
+    def queue_name(self) -> str:
+        return self._queue.name
+
+    def get(self, timeout: Optional[float] = 0.0, auto_ack: bool = True) -> Optional[Message]:
+        msg = self._queue.get(timeout=timeout)
+        if msg is not None and auto_ack:
+            self._queue.ack(msg.delivery_tag)
+        return msg
+
+    def ack(self, message: Message) -> None:
+        self._queue.ack(message.delivery_tag)
+
+    def nack(self, message: Message, requeue: bool = True) -> None:
+        self._queue.nack(message.delivery_tag, requeue=requeue)
+
+    def drain(self) -> List[Message]:
+        """Consume everything currently queued without blocking."""
+        return list(self._queue.drain())
+
+    def __iter__(self) -> Iterator[Message]:
+        """Iterate over currently-available messages (non-blocking)."""
+        while True:
+            msg = self.get()
+            if msg is None:
+                return
+            yield msg
+
+    def cancel(self) -> None:
+        """Stop consuming; requeue in-flight messages; honor auto-delete."""
+        self.cancelled = True
+        self._queue.requeue_unacked()
+        if self._queue.auto_delete:
+            self._broker.delete_queue(self._queue.name)

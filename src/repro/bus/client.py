@@ -1,0 +1,135 @@
+"""NetLogger-event publishers over the message bus.
+
+The engines publish :class:`~repro.netlogger.events.NLEvent` objects using
+the event name as the AMQP routing key; consumers (the loader, dashboards,
+anomaly detectors) subscribe with topic patterns.  This module provides the
+thin event-aware client layer plus a file-or-bus abstraction both engines'
+appenders share.
+"""
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Optional, Union
+
+from repro.bus.broker import DEFAULT_EXCHANGE, Broker, Consumer
+from repro.netlogger.events import NLEvent
+from repro.netlogger.stream import BPWriter
+
+__all__ = ["EventPublisher", "EventConsumer", "EventSink", "BusSink", "FileSink", "MultiSink"]
+
+
+class EventPublisher:
+    """Publishes NLEvents to a broker, keyed by their event name."""
+
+    def __init__(self, broker: Broker, exchange: str = DEFAULT_EXCHANGE):
+        self._broker = broker
+        self._exchange = exchange
+        self.events_published = 0
+
+    def publish(self, event: NLEvent) -> int:
+        self.events_published += 1
+        return self._broker.publish(event.event, event, exchange=self._exchange)
+
+    def publish_all(self, events: Iterable[NLEvent]) -> int:
+        count = 0
+        for event in events:
+            self.publish(event)
+            count += 1
+        return count
+
+
+class EventConsumer:
+    """Receives NLEvents from a topic subscription."""
+
+    def __init__(
+        self,
+        broker: Broker,
+        pattern: str = "stampede.#",
+        queue_name: Optional[str] = None,
+        exchange: str = DEFAULT_EXCHANGE,
+        durable: bool = False,
+    ):
+        self._consumer: Consumer = broker.subscribe(
+            pattern, queue_name=queue_name, exchange=exchange, durable=durable
+        )
+
+    @property
+    def queue_name(self) -> str:
+        return self._consumer.queue_name
+
+    def get(self, timeout: Optional[float] = 0.0) -> Optional[NLEvent]:
+        msg = self._consumer.get(timeout=timeout)
+        return None if msg is None else _as_event(msg.body)
+
+    def drain(self) -> List[NLEvent]:
+        return [_as_event(m.body) for m in self._consumer.drain()]
+
+    def __iter__(self) -> Iterator[NLEvent]:
+        for msg in self._consumer:
+            yield _as_event(msg.body)
+
+    def cancel(self) -> None:
+        self._consumer.cancel()
+
+
+def _as_event(body: object) -> NLEvent:
+    if isinstance(body, NLEvent):
+        return body
+    if isinstance(body, str):
+        return NLEvent.from_bp(body)
+    raise TypeError(f"cannot interpret message body as NLEvent: {type(body)!r}")
+
+
+class EventSink:
+    """Where an engine's appender writes events (file, bus, or both)."""
+
+    def emit(self, event: NLEvent) -> None:
+        raise NotImplementedError
+
+    def close(self) -> None:  # pragma: no cover - default no-op
+        pass
+
+
+class BusSink(EventSink):
+    """Sink that publishes events onto the message bus ("Rabbit Appender")."""
+
+    def __init__(self, broker: Broker, exchange: str = DEFAULT_EXCHANGE):
+        self._publisher = EventPublisher(broker, exchange)
+
+    def emit(self, event: NLEvent) -> None:
+        self._publisher.publish(event)
+
+    @property
+    def events_published(self) -> int:
+        return self._publisher.events_published
+
+
+class FileSink(EventSink):
+    """Sink that appends BP lines to a log file."""
+
+    def __init__(self, path, flush_every: int = 1):
+        self._writer = BPWriter(path, flush_every=flush_every)
+
+    def emit(self, event: NLEvent) -> None:
+        self._writer.write(event)
+
+    @property
+    def events_written(self) -> int:
+        return self._writer.events_written
+
+    def close(self) -> None:
+        self._writer.close()
+
+
+class MultiSink(EventSink):
+    """Fan-out to several sinks (e.g. file for post-mortem + bus for live)."""
+
+    def __init__(self, *sinks: EventSink):
+        self._sinks = list(sinks)
+
+    def emit(self, event: NLEvent) -> None:
+        for sink in self._sinks:
+            sink.emit(event)
+
+    def close(self) -> None:
+        for sink in self._sinks:
+            sink.close()

@@ -1,0 +1,155 @@
+"""Message queues for the in-process AMQP-style broker.
+
+Queues support the subset of AMQP semantics Stampede relies on:
+durability flags, auto-delete, unacknowledged-message redelivery, and
+bounded capacity with a configurable overflow policy.
+"""
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict, deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, Optional
+
+__all__ = ["Message", "QueueStats", "MessageQueue", "QueueFullError"]
+
+
+class QueueFullError(RuntimeError):
+    """Raised when a bounded queue with policy='raise' overflows."""
+
+
+@dataclass(frozen=True)
+class Message:
+    """One message: a routing key plus an opaque body."""
+
+    routing_key: str
+    body: object
+    delivery_tag: int = 0
+    redelivered: bool = False
+
+
+@dataclass
+class QueueStats:
+    published: int = 0
+    delivered: int = 0
+    acked: int = 0
+    requeued: int = 0
+    dropped: int = 0
+
+
+class MessageQueue:
+    """Thread-safe FIFO with ack/requeue, in the AMQP mold.
+
+    ``get`` marks the message unacknowledged; ``ack`` settles it; ``nack``
+    (or consumer cancellation via :meth:`requeue_unacked`) pushes it back to
+    the head, flagged redelivered.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        durable: bool = False,
+        auto_delete: bool = False,
+        max_length: Optional[int] = None,
+        overflow: str = "drop-oldest",  # or 'raise'
+    ):
+        if overflow not in ("drop-oldest", "raise"):
+            raise ValueError(f"unknown overflow policy {overflow!r}")
+        self.name = name
+        self.durable = durable
+        self.auto_delete = auto_delete
+        self._max_length = max_length
+        self._overflow = overflow
+        self._items: Deque[Message] = deque()
+        self._unacked: "OrderedDict[int, Message]" = OrderedDict()
+        self._tag = 0
+        self._lock = threading.Lock()
+        self._not_empty = threading.Condition(self._lock)
+        self.stats = QueueStats()
+
+    def put(self, routing_key: str, body: object) -> None:
+        with self._not_empty:
+            if self._max_length is not None and len(self._items) >= self._max_length:
+                if self._overflow == "raise":
+                    raise QueueFullError(
+                        f"queue {self.name!r} full ({self._max_length})"
+                    )
+                self._items.popleft()
+                self.stats.dropped += 1
+            self._tag += 1
+            self._items.append(Message(routing_key, body, delivery_tag=self._tag))
+            self.stats.published += 1
+            self._not_empty.notify()
+
+    def get(self, timeout: Optional[float] = 0.0) -> Optional[Message]:
+        """Pop the next message; None if empty after ``timeout`` seconds.
+
+        ``timeout=0`` polls; ``timeout=None`` blocks indefinitely.
+        """
+        with self._not_empty:
+            if timeout != 0.0:
+                deadline_wait = timeout
+                while not self._items:
+                    if not self._not_empty.wait(deadline_wait):
+                        return None
+                    if timeout is not None:
+                        break
+            if not self._items:
+                return None
+            msg = self._items.popleft()
+            self._unacked[msg.delivery_tag] = msg
+            self.stats.delivered += 1
+            return msg
+
+    def ack(self, delivery_tag: int) -> None:
+        with self._lock:
+            if delivery_tag not in self._unacked:
+                raise ValueError(f"unknown delivery tag {delivery_tag}")
+            del self._unacked[delivery_tag]
+            self.stats.acked += 1
+
+    def nack(self, delivery_tag: int, requeue: bool = True) -> None:
+        with self._not_empty:
+            msg = self._unacked.pop(delivery_tag, None)
+            if msg is None:
+                raise ValueError(f"unknown delivery tag {delivery_tag}")
+            if requeue:
+                self._items.appendleft(
+                    Message(msg.routing_key, msg.body, msg.delivery_tag, redelivered=True)
+                )
+                self.stats.requeued += 1
+                self._not_empty.notify()
+            else:
+                self.stats.dropped += 1
+
+    def requeue_unacked(self) -> int:
+        """Requeue everything in flight (consumer died); returns the count."""
+        with self._not_empty:
+            pending = list(self._unacked.values())
+            self._unacked.clear()
+            for msg in reversed(pending):
+                self._items.appendleft(
+                    Message(msg.routing_key, msg.body, msg.delivery_tag, redelivered=True)
+                )
+            self.stats.requeued += len(pending)
+            if pending:
+                self._not_empty.notify_all()
+            return len(pending)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._items)
+
+    @property
+    def unacked_count(self) -> int:
+        with self._lock:
+            return len(self._unacked)
+
+    def drain(self) -> Deque[Message]:
+        """Atomically remove and return all queued messages (no ack needed)."""
+        with self._lock:
+            items = self._items
+            self._items = deque()
+            self.stats.delivered += len(items)
+            self.stats.acked += len(items)
+            return items

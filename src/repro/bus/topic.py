@@ -1,0 +1,66 @@
+"""AMQP topic-pattern matching.
+
+Routing keys are dot-separated words (Stampede reuses the hierarchical
+NetLogger ``event`` field, e.g. ``stampede.job_inst.main.start``).  Binding
+patterns follow the AMQP topic-exchange rules:
+
+* ``*`` matches exactly one word;
+* ``#`` matches zero or more words;
+* anything else matches the literal word.
+
+So ``stampede.job_inst.#`` receives every job-instance event and
+``stampede.*.start`` receives ``stampede.xwf.start`` but not
+``stampede.job_inst.main.start``.
+"""
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import List, Tuple
+
+__all__ = ["topic_matches", "validate_pattern", "compile_pattern"]
+
+
+def validate_pattern(pattern: str) -> None:
+    """Reject malformed binding patterns (empty words, embedded wildcards)."""
+    if not pattern:
+        raise ValueError("empty binding pattern")
+    for word in pattern.split("."):
+        if not word:
+            raise ValueError(f"empty word in pattern {pattern!r}")
+        if ("*" in word or "#" in word) and word not in ("*", "#"):
+            raise ValueError(
+                f"wildcard must be a whole word in pattern {pattern!r}: {word!r}"
+            )
+
+
+@lru_cache(maxsize=4096)
+def compile_pattern(pattern: str) -> Tuple[str, ...]:
+    validate_pattern(pattern)
+    return tuple(pattern.split("."))
+
+
+def topic_matches(pattern: str, routing_key: str) -> bool:
+    """True if ``routing_key`` matches the AMQP topic ``pattern``."""
+    words = routing_key.split(".") if routing_key else []
+    return _match(compile_pattern(pattern), 0, words, 0)
+
+
+def _match(pat: Tuple[str, ...], pi: int, words: List[str], wi: int) -> bool:
+    # Iterative-with-backtracking over '#': standard greedy/backoff approach.
+    while pi < len(pat):
+        token = pat[pi]
+        if token == "#":
+            # '#' absorbs zero or more words; try every split point.
+            if pi + 1 == len(pat):
+                return True
+            for skip in range(len(words) - wi + 1):
+                if _match(pat, pi + 1, words, wi + skip):
+                    return True
+            return False
+        if wi >= len(words):
+            return False
+        if token != "*" and token != words[wi]:
+            return False
+        pi += 1
+        wi += 1
+    return wi == len(words)

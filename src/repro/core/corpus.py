@@ -1,0 +1,182 @@
+"""Cross-run corpus analysis (paper §VIII future work).
+
+"Stampede also provides analysis components that give insight into the
+workflow execution to enable performance prediction and fault diagnosis...
+In future, we plan to do similar analysis on larger corpus of workflow
+runs."  This module performs that analysis over everything in one
+archive: per-transformation runtime distributions across runs, per-site
+reliability, and simple cross-run runtime prediction for new workflows.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.pegasus.abstract import AbstractWorkflow
+from repro.query.api import StampedeQuery
+
+__all__ = [
+    "TransformationProfile",
+    "SiteProfile",
+    "CorpusReport",
+    "build_corpus_report",
+    "predict_workflow_runtime",
+]
+
+
+@dataclass
+class TransformationProfile:
+    """Runtime distribution of one transformation across all runs."""
+
+    transformation: str
+    invocations: int = 0
+    failures: int = 0
+    runtimes: List[float] = field(default_factory=list)
+
+    @property
+    def mean(self) -> float:
+        return float(np.mean(self.runtimes)) if self.runtimes else 0.0
+
+    @property
+    def median(self) -> float:
+        return float(np.median(self.runtimes)) if self.runtimes else 0.0
+
+    @property
+    def p95(self) -> float:
+        return float(np.percentile(self.runtimes, 95)) if self.runtimes else 0.0
+
+    @property
+    def std(self) -> float:
+        return float(np.std(self.runtimes)) if self.runtimes else 0.0
+
+    @property
+    def failure_rate(self) -> float:
+        return self.failures / self.invocations if self.invocations else 0.0
+
+
+@dataclass
+class SiteProfile:
+    """Reliability and queueing behaviour of one site across all runs."""
+
+    site: str
+    instances: int = 0
+    failures: int = 0
+    queue_times: List[float] = field(default_factory=list)
+
+    @property
+    def failure_rate(self) -> float:
+        return self.failures / self.instances if self.instances else 0.0
+
+    @property
+    def mean_queue_time(self) -> float:
+        return float(np.mean(self.queue_times)) if self.queue_times else 0.0
+
+
+@dataclass
+class CorpusReport:
+    """The corpus-wide mined statistics."""
+
+    workflows: int
+    total_invocations: int
+    transformations: Dict[str, TransformationProfile]
+    sites: Dict[str, SiteProfile]
+
+    def slowest_transformations(self, top: int = 5) -> List[TransformationProfile]:
+        ranked = sorted(
+            self.transformations.values(), key=lambda p: p.mean, reverse=True
+        )
+        return ranked[:top]
+
+    def least_reliable_sites(self, top: int = 5) -> List[SiteProfile]:
+        ranked = sorted(
+            self.sites.values(), key=lambda p: p.failure_rate, reverse=True
+        )
+        return ranked[:top]
+
+
+def build_corpus_report(query: StampedeQuery) -> CorpusReport:
+    """Mine every workflow in the archive."""
+    transformations: Dict[str, TransformationProfile] = {}
+    sites: Dict[str, SiteProfile] = {}
+    workflows = query.workflows()
+    total_invocations = 0
+    for wf in workflows:
+        for inv in query.invocations(wf.wf_id):
+            total_invocations += 1
+            profile = transformations.setdefault(
+                inv.transformation, TransformationProfile(inv.transformation)
+            )
+            profile.invocations += 1
+            profile.runtimes.append(inv.remote_duration)
+            if inv.exitcode != 0:
+                profile.failures += 1
+        for detail in query.job_details(wf.wf_id):
+            site_name = detail.site or "unknown"
+            site = sites.setdefault(site_name, SiteProfile(site_name))
+            site.instances += 1
+            if detail.exitcode not in (None, 0):
+                site.failures += 1
+            if detail.queue_time is not None:
+                site.queue_times.append(detail.queue_time)
+    return CorpusReport(
+        workflows=len(workflows),
+        total_invocations=total_invocations,
+        transformations=transformations,
+        sites=sites,
+    )
+
+
+def predict_workflow_runtime(
+    aw: AbstractWorkflow,
+    corpus: CorpusReport,
+    parallelism: float = 1.0,
+    default_runtime: Optional[float] = None,
+) -> Dict[str, float]:
+    """Predict a new workflow's runtime from corpus history.
+
+    The "baseline run + extrapolate" provisioning flow of §VII: per-task
+    estimates come from the corpus's per-transformation means; the serial
+    total divided by target parallelism bounds the wall time below by the
+    corpus-estimated critical path.
+    """
+    if parallelism <= 0:
+        raise ValueError("parallelism must be positive")
+    known = {t: p.mean for t, p in corpus.transformations.items() if p.runtimes}
+    fallback = (
+        default_runtime
+        if default_runtime is not None
+        else (float(np.mean(list(known.values()))) if known else 0.0)
+    )
+
+    def estimate(task_id: str) -> float:
+        task = aw.task(task_id)
+        return known.get(task.transformation, fallback)
+
+    serial = sum(estimate(t.task_id) for t in aw.tasks())
+    critical = aw.critical_path(estimate) if len(aw) else 0.0
+    # queue overhead: each DAG level waits in the remote queue once, at the
+    # corpus-observed mean (weighted by instances per site)
+    total_instances = sum(s.instances for s in corpus.sites.values())
+    mean_queue = (
+        sum(s.mean_queue_time * s.instances for s in corpus.sites.values())
+        / total_instances
+        if total_instances
+        else 0.0
+    )
+    n_levels = (max(aw.levels().values()) + 1) if len(aw) else 0
+    queue_overhead = n_levels * mean_queue
+    wall = max(critical, serial / parallelism) + queue_overhead
+    coverage = (
+        sum(1 for t in aw.tasks() if t.transformation in known) / len(aw)
+        if len(aw)
+        else 0.0
+    )
+    return {
+        "serial_seconds": serial,
+        "critical_path_seconds": critical,
+        "queue_overhead_seconds": queue_overhead,
+        "predicted_wall_seconds": wall,
+        "coverage": coverage,
+    }

@@ -1,0 +1,284 @@
+"""Lightweight performance dashboard (paper §IV-F).
+
+"A very lightweight performance dashboard that enables easy monitoring and
+online exploration of workflows based on an embedded web server written
+entirely in Python."  This module implements it over the stdlib
+``http.server``: JSON endpoints backed by the query interface plus a
+minimal HTML index.
+
+Endpoints:
+  GET /                      — HTML overview of all workflows
+  GET /api/workflows         — all workflow runs with status
+  GET /api/workflow/<id>     — summary statistics for one run
+  GET /api/workflow/<id>/jobs— jobs.txt rows as JSON
+"""
+from __future__ import annotations
+
+import json
+import re
+import threading
+from dataclasses import asdict
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional, Tuple
+
+from repro.archive.store import StampedeArchive
+from repro.core.statistics import workflow_statistics
+from repro.query.api import StampedeQuery
+from repro.schema.stampede import SUCCESS
+
+__all__ = ["DashboardData", "Dashboard"]
+
+
+class DashboardData:
+    """The dashboard's data layer — also usable without HTTP (tests, CLIs)."""
+
+    def __init__(self, archive: StampedeArchive):
+        self.query = StampedeQuery(archive)
+
+    def workflows_payload(self) -> dict:
+        rows = []
+        for wf in self.query.workflows():
+            status = self.query.workflow_status(wf.wf_id)
+            rows.append(
+                {
+                    "wf_id": wf.wf_id,
+                    "wf_uuid": wf.wf_uuid,
+                    "dag_file_name": wf.dag_file_name,
+                    "parent_wf_id": wf.parent_wf_id,
+                    "state": (
+                        "running"
+                        if status is None
+                        else ("success" if status == SUCCESS else "failed")
+                    ),
+                }
+            )
+        return {"workflows": rows}
+
+    def workflow_payload(self, wf_id: int) -> dict:
+        stats = workflow_statistics(self.query, wf_id=wf_id)
+        return {
+            "wf_id": stats.wf_id,
+            "wf_uuid": stats.wf_uuid,
+            "wall_time": stats.wall_time,
+            "cumulative_job_wall_time": stats.cumulative_job_wall_time,
+            "counts": asdict(stats.counts),
+            "breakdown": [
+                {
+                    "type": b.type_name,
+                    "count": b.count,
+                    "succeeded": b.succeeded,
+                    "failed": b.failed,
+                    "min": b.min_runtime,
+                    "max": b.max_runtime,
+                    "mean": b.mean_runtime,
+                    "total": b.total_runtime,
+                }
+                for b in stats.breakdown
+            ],
+        }
+
+    def jobs_payload(self, wf_id: int) -> dict:
+        return {"jobs": [asdict(j) for j in self.query.job_details(wf_id)]}
+
+    def progress_payload(self, wf_id: int) -> dict:
+        """Fig. 7 data: per-sub-workflow cumulative-runtime step series."""
+        from repro.core.timeseries import bundle_progress
+
+        series = bundle_progress(self.query, wf_id)
+        return {
+            "series": [
+                {
+                    "label": s.label,
+                    "wf_id": s.wf_id,
+                    "points": [[round(t, 3), round(v, 3)] for t, v in s.points],
+                }
+                for s in series
+            ]
+        }
+
+    def gantt_payload(self, wf_id: int) -> dict:
+        """Per-instance execution spans for a host Gantt view."""
+        from repro.core.timeseries import gantt
+
+        return {
+            "rows": [
+                {
+                    "job": r.exec_job_id,
+                    "try": r.try_number,
+                    "host": r.hostname,
+                    "submit": r.submit,
+                    "start": r.start,
+                    "end": r.end,
+                }
+                for r in gantt(self.query, wf_id)
+            ]
+        }
+
+    def anomalies_payload(self, wf_id: int) -> dict:
+        """Post-hoc anomaly scan of one workflow (and its descendants)."""
+        from repro.core.anomaly import scan_archive
+
+        detector = scan_archive(self.query, wf_id)
+        return {
+            "observations": detector.observations,
+            "anomalies": [
+                {
+                    "transformation": a.transformation,
+                    "kind": a.kind,
+                    "runtime": a.runtime,
+                    "score": a.score if a.score != float("inf") else None,
+                    "job": a.job_id,
+                    "timestamp": a.timestamp,
+                }
+                for a in detector.anomalies
+            ],
+        }
+
+    def index_html(self) -> str:
+        payload = self.workflows_payload()["workflows"]
+        rows = "\n".join(
+            f"<tr><td><a href='/api/workflow/{w['wf_id']}'>{w['wf_id']}</a></td>"
+            f"<td>{w['wf_uuid']}</td><td>{w['dag_file_name']}</td>"
+            f"<td>{w['state']}</td></tr>"
+            for w in payload
+        )
+        return (
+            "<!doctype html><html><head><title>Stampede Dashboard</title></head>"
+            "<body><h1>Stampede Dashboard</h1>"
+            "<table border='1'><tr><th>wf_id</th><th>uuid</th>"
+            f"<th>dag</th><th>state</th></tr>{rows}</table></body></html>"
+        )
+
+
+class _Handler(BaseHTTPRequestHandler):
+    data: DashboardData  # injected by Dashboard
+
+    def do_GET(self) -> None:  # noqa: N802 (stdlib naming)
+        try:
+            body, content_type = self._route(self.path)
+        except KeyError:
+            self.send_error(404)
+            return
+        except Exception as exc:  # pragma: no cover - defensive
+            self.send_error(500, str(exc))
+            return
+        encoded = body.encode()
+        self.send_response(200)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(encoded)))
+        self.end_headers()
+        self.wfile.write(encoded)
+
+    def _route(self, path: str) -> Tuple[str, str]:
+        if path == "/" or path == "/index.html":
+            return self.data.index_html(), "text/html"
+        if path == "/api/workflows":
+            return json.dumps(self.data.workflows_payload()), "application/json"
+        m = re.fullmatch(r"/api/workflow/(\d+)", path)
+        if m:
+            return (
+                json.dumps(self.data.workflow_payload(int(m.group(1)))),
+                "application/json",
+            )
+        m = re.fullmatch(r"/api/workflow/(\d+)/jobs", path)
+        if m:
+            return (
+                json.dumps(self.data.jobs_payload(int(m.group(1)))),
+                "application/json",
+            )
+        m = re.fullmatch(r"/api/workflow/(\d+)/progress", path)
+        if m:
+            return (
+                json.dumps(self.data.progress_payload(int(m.group(1)))),
+                "application/json",
+            )
+        m = re.fullmatch(r"/api/workflow/(\d+)/anomalies", path)
+        if m:
+            return (
+                json.dumps(self.data.anomalies_payload(int(m.group(1)))),
+                "application/json",
+            )
+        m = re.fullmatch(r"/api/workflow/(\d+)/gantt", path)
+        if m:
+            return (
+                json.dumps(self.data.gantt_payload(int(m.group(1)))),
+                "application/json",
+            )
+        raise KeyError(path)
+
+    def log_message(self, *args) -> None:  # silence request logging
+        pass
+
+
+class Dashboard:
+    """The embedded web server; serves a StampedeArchive on localhost."""
+
+    def __init__(self, archive: StampedeArchive, host: str = "127.0.0.1", port: int = 0):
+        self.data = DashboardData(archive)
+        handler = type("BoundHandler", (_Handler,), {"data": self.data})
+        self._server = ThreadingHTTPServer((host, port), handler)
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        return self._server.server_address[:2]
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    def start(self) -> "Dashboard":
+        self._thread = threading.Thread(target=self._server.serve_forever, daemon=True)
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._server.shutdown()
+        self._server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+
+    def __enter__(self) -> "Dashboard":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+
+def main(argv=None) -> int:
+    """stampede-dashboard: serve an archive file over HTTP.
+
+    Example::
+
+        stampede-dashboard sqlite:///run.db --port 8080
+    """
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="stampede-dashboard",
+        description="Serve the Stampede performance dashboard for an archive.",
+    )
+    parser.add_argument("connString", help="e.g. sqlite:///run.db")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=0,
+                        help="port to bind (default: ephemeral)")
+    parser.add_argument(
+        "--once", action="store_true",
+        help="print the URL and exit immediately (for scripting/tests)",
+    )
+    args = parser.parse_args(argv)
+    archive = StampedeArchive.open(args.connString)
+    dashboard = Dashboard(archive, host=args.host, port=args.port).start()
+    print(f"stampede dashboard at {dashboard.url}")
+    if args.once:
+        dashboard.stop()
+        return 0
+    try:  # pragma: no cover - interactive loop
+        import time
+
+        while True:
+            time.sleep(3600)
+    except KeyboardInterrupt:  # pragma: no cover
+        dashboard.stop()
+    return 0

@@ -1,0 +1,237 @@
+"""stampede_statistics: performance metrics for workflow runs (paper §VII).
+
+Provides the workflow-level and job-level statistics the paper lists:
+
+* workflow wall time;
+* workflow cumulative job wall time;
+* breakdown of jobs by count and by runtime per job type (breakdown.txt,
+  Table II);
+* per-job rows with try / site / invocation duration / queue time /
+  runtime / exit code / host (jobs.txt, Tables III & IV);
+* breakdown of tasks and jobs over time on hosts.
+
+All numbers derive from the archive through the standard query interface.
+"""
+from __future__ import annotations
+
+import argparse
+import sys
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.archive.store import StampedeArchive
+from repro.query.api import JobInstanceDetail, StampedeQuery, WorkflowSummaryCounts
+
+__all__ = [
+    "TypeBreakdown",
+    "HostUsage",
+    "WorkflowStatistics",
+    "job_type_breakdown",
+    "job_rows",
+    "host_breakdown",
+    "workflow_statistics",
+    "main",
+]
+
+
+@dataclass
+class TypeBreakdown:
+    """Aggregate runtimes of one job type (one row of breakdown.txt)."""
+
+    type_name: str
+    count: int = 0
+    succeeded: int = 0
+    failed: int = 0
+    min_runtime: float = float("inf")
+    max_runtime: float = 0.0
+    total_runtime: float = 0.0
+
+    @property
+    def mean_runtime(self) -> float:
+        return self.total_runtime / self.count if self.count else 0.0
+
+    def add(self, runtime: float, success: bool) -> None:
+        self.count += 1
+        if success:
+            self.succeeded += 1
+        else:
+            self.failed += 1
+        self.min_runtime = min(self.min_runtime, runtime)
+        self.max_runtime = max(self.max_runtime, runtime)
+        self.total_runtime += runtime
+
+
+@dataclass
+class HostUsage:
+    """Jobs and runtime executed by one host (optionally per time bin)."""
+
+    hostname: str
+    jobs: int = 0
+    total_runtime: float = 0.0
+    bins: Dict[int, float] = field(default_factory=dict)  # bin index -> runtime
+
+
+@dataclass
+class WorkflowStatistics:
+    """Everything stampede_statistics reports for one workflow."""
+
+    wf_id: int
+    wf_uuid: str
+    wall_time: Optional[float]
+    cumulative_job_wall_time: float
+    counts: WorkflowSummaryCounts
+    breakdown: List[TypeBreakdown]
+    jobs: List[JobInstanceDetail]
+    hosts: List[HostUsage]
+
+
+def job_type_breakdown(
+    query: StampedeQuery, wf_id: int, include_descendants: bool = False
+) -> List[TypeBreakdown]:
+    """Per-type count/success/fail/min/max/mean/total over invocations.
+
+    Types follow the paper's Table II: the transformation name of each
+    invocation (``exec0``, ``file.Output_0`` …).
+    """
+    wf_ids = [wf_id] + (
+        [w.wf_id for w in query.descendant_workflows(wf_id)]
+        if include_descendants
+        else []
+    )
+    table: Dict[str, TypeBreakdown] = {}
+    for current in wf_ids:
+        for inv in query.invocations(current):
+            row = table.setdefault(inv.transformation, TypeBreakdown(inv.transformation))
+            row.add(inv.remote_duration, inv.exitcode == 0)
+    return sorted(table.values(), key=lambda r: r.type_name)
+
+
+def job_rows(query: StampedeQuery, wf_id: int) -> List[JobInstanceDetail]:
+    """The jobs.txt rows (Tables III and IV) for one workflow."""
+    return query.job_details(wf_id)
+
+
+def host_breakdown(
+    query: StampedeQuery,
+    wf_id: int,
+    include_descendants: bool = True,
+    bin_seconds: float = 60.0,
+) -> List[HostUsage]:
+    """Breakdown of jobs and runtime over hosts (and time bins)."""
+    wf_ids = [wf_id] + (
+        [w.wf_id for w in query.descendant_workflows(wf_id)]
+        if include_descendants
+        else []
+    )
+    usage: Dict[str, HostUsage] = {}
+    origin: Optional[float] = None
+    for current in wf_ids:
+        start = None
+        states = query.workflow_states(current)
+        if states:
+            start = states[0].timestamp
+        if origin is None or (start is not None and start < origin):
+            origin = start
+    origin = origin or 0.0
+    for current in wf_ids:
+        hosts_by_id = {h.host_id: h for h in query.hosts(current)}
+        jobs_by_id = {j.job_id: j for j in query.jobs(current)}
+        for inst in query.job_instances(current):
+            if inst.job_id not in jobs_by_id:
+                continue
+            host = hosts_by_id.get(inst.host_id) if inst.host_id else None
+            hostname = host.hostname if host else "unknown"
+            entry = usage.setdefault(hostname, HostUsage(hostname))
+            entry.jobs += 1
+            runtime = inst.local_duration or 0.0
+            entry.total_runtime += runtime
+            for inv in query.invocations_for_instance(inst.job_instance_id):
+                bin_index = int((inv.start_time - origin) // bin_seconds)
+                entry.bins[bin_index] = entry.bins.get(bin_index, 0.0) + inv.remote_duration
+    return sorted(usage.values(), key=lambda u: u.hostname)
+
+
+def workflow_statistics(
+    archive_or_query,
+    wf_id: Optional[int] = None,
+    wf_uuid: Optional[str] = None,
+    include_descendants: bool = True,
+) -> WorkflowStatistics:
+    """Compute the full statistics bundle for one workflow run."""
+    query = (
+        archive_or_query
+        if isinstance(archive_or_query, StampedeQuery)
+        else StampedeQuery(archive_or_query)
+    )
+    if wf_id is None:
+        if wf_uuid is not None:
+            wf = query.workflow_by_uuid(wf_uuid)
+            if wf is None:
+                raise ValueError(f"no workflow with uuid {wf_uuid!r}")
+        else:
+            roots = query.root_workflows()
+            if len(roots) != 1:
+                raise ValueError(
+                    f"archive holds {len(roots)} root workflows; specify wf_id"
+                )
+            wf = roots[0]
+        wf_id = wf.wf_id
+    else:
+        wf = query.workflow(wf_id)
+        if wf is None:
+            raise ValueError(f"no workflow with wf_id {wf_id}")
+    return WorkflowStatistics(
+        wf_id=wf_id,
+        wf_uuid=wf.wf_uuid,
+        wall_time=query.workflow_wall_time(wf_id),
+        cumulative_job_wall_time=query.cumulative_job_wall_time(
+            wf_id, include_descendants
+        ),
+        counts=query.summary_counts(wf_id, include_descendants),
+        breakdown=job_type_breakdown(query, wf_id, include_descendants),
+        jobs=job_rows(query, wf_id),
+        hosts=host_breakdown(query, wf_id, include_descendants),
+    )
+
+
+def main(argv: Optional[list] = None) -> int:
+    """Command line: print the Table I / II / III-IV reports for a run."""
+    from repro.core.reports import render_breakdown, render_jobs, render_summary
+
+    parser = argparse.ArgumentParser(
+        prog="stampede-statistics",
+        description="Workflow and job statistics from a Stampede archive.",
+    )
+    parser.add_argument("connString", help="e.g. sqlite:///run.db")
+    parser.add_argument("--wf-uuid", help="workflow to report (defaults to the root)")
+    parser.add_argument(
+        "--no-descendants",
+        action="store_true",
+        help="exclude sub-workflows from aggregates",
+    )
+    parser.add_argument(
+        "-o", "--output-dir",
+        help="also write summary.txt / breakdown.txt / jobs.txt / hosts.txt here",
+    )
+    args = parser.parse_args(argv)
+    archive = StampedeArchive.open(args.connString)
+    stats = workflow_statistics(
+        archive,
+        wf_uuid=args.wf_uuid,
+        include_descendants=not args.no_descendants,
+    )
+    print(render_summary(stats))
+    print()
+    print(render_breakdown(stats.breakdown))
+    print()
+    print(render_jobs(stats.jobs))
+    if args.output_dir:
+        from repro.core.reports import write_report_files
+
+        for path in write_report_files(stats, args.output_dir):
+            print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,171 @@
+"""Time-series views of workflow progress (paper Fig. 7).
+
+``bundle_progress`` reconstructs the paper's "progress to completion"
+figure: for each sub-workflow bundle, the cumulative runtime of its
+completed invocations as a function of wall-clock time.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.query.api import StampedeQuery
+
+__all__ = ["ProgressSeries", "GanttRow", "bundle_progress", "gantt",
+           "throughput_series"]
+
+
+@dataclass
+class ProgressSeries:
+    """One line of Fig. 7: cumulative completed runtime over wall clock."""
+
+    label: str
+    wf_id: int
+    # (wall-clock offset from origin, cumulative runtime) step points
+    points: List[Tuple[float, float]] = field(default_factory=list)
+
+    @property
+    def final_cumulative_runtime(self) -> float:
+        return self.points[-1][1] if self.points else 0.0
+
+    @property
+    def completion_time(self) -> float:
+        return self.points[-1][0] if self.points else 0.0
+
+    def sample(self, times: np.ndarray) -> np.ndarray:
+        """Cumulative runtime at each requested wall-clock offset."""
+        if not self.points:
+            return np.zeros_like(times, dtype=float)
+        xs = np.array([p[0] for p in self.points])
+        ys = np.array([p[1] for p in self.points])
+        idx = np.searchsorted(xs, times, side="right") - 1
+        out = np.where(idx >= 0, ys[np.clip(idx, 0, len(ys) - 1)], 0.0)
+        return out.astype(float)
+
+
+def bundle_progress(
+    query: StampedeQuery,
+    root_wf_id: int,
+    origin: Optional[float] = None,
+) -> List[ProgressSeries]:
+    """Fig. 7 data: one ProgressSeries per sub-workflow of the root.
+
+    Each invocation completion adds its remote duration to its bundle's
+    running total at the wall-clock instant it finished.
+    """
+    subs = query.sub_workflows(root_wf_id)
+    if origin is None:
+        states = query.workflow_states(root_wf_id)
+        origin = states[0].timestamp if states else 0.0
+    series: List[ProgressSeries] = []
+    for index, sub in enumerate(subs):
+        completions: List[Tuple[float, float]] = []
+        for inv in query.invocations(sub.wf_id):
+            finish = inv.start_time + inv.remote_duration
+            completions.append((finish - origin, inv.remote_duration))
+        completions.sort()
+        cumulative = 0.0
+        points: List[Tuple[float, float]] = []
+        for offset, duration in completions:
+            cumulative += duration
+            points.append((offset, cumulative))
+        series.append(
+            ProgressSeries(
+                label=sub.dag_file_name or f"bundle-{index}",
+                wf_id=sub.wf_id,
+                points=points,
+            )
+        )
+    return series
+
+
+@dataclass
+class GanttRow:
+    """One job instance's execution span, for Gantt-style host views."""
+
+    exec_job_id: str
+    try_number: int
+    hostname: str
+    submit: Optional[float]  # offsets from the workflow start
+    start: Optional[float]
+    end: Optional[float]
+
+    @property
+    def queue_span(self) -> Optional[Tuple[float, float]]:
+        if self.submit is None or self.start is None:
+            return None
+        return (self.submit, self.start)
+
+    @property
+    def run_span(self) -> Optional[Tuple[float, float]]:
+        if self.start is None or self.end is None:
+            return None
+        return (self.start, self.end)
+
+
+def gantt(
+    query: StampedeQuery, wf_id: int, origin: Optional[float] = None
+) -> List[GanttRow]:
+    """Per-job-instance execution spans (submit/start/end), host-labelled.
+
+    The data behind a host-utilization Gantt chart; offsets are relative
+    to the workflow's first recorded state (or ``origin``).
+    """
+    if origin is None:
+        states = query.workflow_states(wf_id)
+        origin = states[0].timestamp if states else 0.0
+    hosts = {h.host_id: h.hostname for h in query.hosts(wf_id)}
+    jobs = {j.job_id: j.exec_job_id for j in query.jobs(wf_id)}
+    rows: List[GanttRow] = []
+    for inst in query.job_instances(wf_id):
+        if inst.job_id not in jobs:
+            continue
+        times = {
+            s.state: s.timestamp
+            for s in query.job_states(inst.job_instance_id)
+        }
+        submit = times.get("SUBMIT")
+        start = times.get("EXECUTE")
+        end = times.get("JOB_SUCCESS", times.get("JOB_FAILURE"))
+        rows.append(
+            GanttRow(
+                exec_job_id=jobs[inst.job_id],
+                try_number=inst.job_submit_seq,
+                hostname=hosts.get(inst.host_id, "unknown"),
+                submit=None if submit is None else submit - origin,
+                start=None if start is None else start - origin,
+                end=None if end is None else end - origin,
+            )
+        )
+    rows.sort(key=lambda r: (r.start if r.start is not None else float("inf"),
+                             r.exec_job_id))
+    return rows
+
+
+def throughput_series(
+    query: StampedeQuery,
+    wf_id: int,
+    bin_seconds: float = 30.0,
+    include_descendants: bool = True,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Invocation completions per time bin — the run's throughput curve."""
+    wf_ids = [wf_id] + (
+        [w.wf_id for w in query.descendant_workflows(wf_id)]
+        if include_descendants
+        else []
+    )
+    finishes: List[float] = []
+    for current in wf_ids:
+        for inv in query.invocations(current):
+            finishes.append(inv.start_time + inv.remote_duration)
+    if not finishes:
+        return np.array([]), np.array([])
+    arr = np.array(finishes)
+    origin = arr.min()
+    bins = ((arr - origin) // bin_seconds).astype(int)
+    n_bins = int(bins.max()) + 1
+    counts = np.bincount(bins, minlength=n_bins)
+    times = origin + np.arange(n_bins) * bin_seconds
+    return times, counts

@@ -1,0 +1,65 @@
+"""The DART music-information-retrieval experiment (paper §VI)."""
+from repro.dart.audio import ToneSpec, add_noise, synth_missing_fundamental, synth_tone
+from repro.dart.shs import SHSParams, SHSResult, evaluate_params, shs_pitch, shs_track
+from repro.dart.sweep import (
+    N_COMMANDS,
+    SweepCommand,
+    command_duration,
+    generate_commands,
+    parse_command,
+    sweep_grid,
+)
+from repro.dart.pegasus_variant import (
+    DARTPegasusResult,
+    build_bundle_aw,
+    build_parent_aw,
+    run_dart_pegasus,
+)
+from repro.dart.streaming import (
+    ContourTrackerUnit,
+    PitchAnalysisUnit,
+    StreamingDARTResult,
+    melody_frames,
+    run_streaming_dart,
+)
+from repro.dart.workflow import (
+    DARTRunResult,
+    DartExecUnit,
+    DARTSubmitterUnit,
+    build_sub_workflow,
+    chunk_commands,
+    run_dart_experiment,
+)
+
+__all__ = [
+    "ToneSpec",
+    "add_noise",
+    "synth_missing_fundamental",
+    "synth_tone",
+    "SHSParams",
+    "SHSResult",
+    "evaluate_params",
+    "shs_pitch",
+    "shs_track",
+    "N_COMMANDS",
+    "SweepCommand",
+    "command_duration",
+    "generate_commands",
+    "parse_command",
+    "sweep_grid",
+    "DARTPegasusResult",
+    "build_bundle_aw",
+    "build_parent_aw",
+    "run_dart_pegasus",
+    "ContourTrackerUnit",
+    "PitchAnalysisUnit",
+    "StreamingDARTResult",
+    "melody_frames",
+    "run_streaming_dart",
+    "DARTRunResult",
+    "DartExecUnit",
+    "DARTSubmitterUnit",
+    "build_sub_workflow",
+    "chunk_commands",
+    "run_dart_experiment",
+]

@@ -1,0 +1,85 @@
+"""Synthetic audio for the DART experiment.
+
+The real DART experiment distributes audio files with the JAR; offline we
+synthesize equivalent test signals: harmonic tones with controllable
+fundamental, partial rolloff, inharmonicity and noise — the signal class
+SHS pitch detection is designed for.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["ToneSpec", "synth_tone", "synth_missing_fundamental", "add_noise"]
+
+DEFAULT_SR = 8000.0
+
+
+@dataclass(frozen=True)
+class ToneSpec:
+    """Parameters of one synthetic harmonic tone."""
+
+    f0: float
+    duration: float = 0.5
+    sample_rate: float = DEFAULT_SR
+    n_partials: int = 8
+    rolloff: float = 0.8  # amplitude ratio between successive partials
+    inharmonicity: float = 0.0  # stretch factor per partial index
+    noise_level: float = 0.0
+    seed: int = 0
+
+
+def synth_tone(spec: ToneSpec) -> np.ndarray:
+    """Render a harmonic tone as float64 samples in [-1, 1]."""
+    if spec.f0 <= 0:
+        raise ValueError(f"f0 must be positive, got {spec.f0}")
+    if spec.f0 * spec.n_partials >= spec.sample_rate / 2:
+        # quietly drop partials above Nyquist rather than aliasing
+        n_partials = max(1, int(spec.sample_rate / 2 / spec.f0) - 1)
+    else:
+        n_partials = spec.n_partials
+    t = np.arange(int(spec.duration * spec.sample_rate)) / spec.sample_rate
+    signal = np.zeros_like(t)
+    for k in range(1, n_partials + 1):
+        freq = spec.f0 * k * (1.0 + spec.inharmonicity * k * k)
+        amp = spec.rolloff ** (k - 1)
+        signal += amp * np.sin(2 * np.pi * freq * t)
+    peak = np.abs(signal).max()
+    if peak > 0:
+        signal /= peak
+    if spec.noise_level > 0:
+        signal = add_noise(signal, spec.noise_level, spec.seed)
+    return signal
+
+
+def synth_missing_fundamental(spec: ToneSpec) -> np.ndarray:
+    """Tone whose fundamental partial is removed.
+
+    The classic test case for SHS: spectrum-peak pickers report the second
+    partial, sub-harmonic summation still finds f0.
+    """
+    if spec.n_partials < 2:
+        raise ValueError("missing-fundamental tone needs at least 2 partials")
+    t = np.arange(int(spec.duration * spec.sample_rate)) / spec.sample_rate
+    signal = np.zeros_like(t)
+    max_partial = min(
+        spec.n_partials, max(2, int(spec.sample_rate / 2 / spec.f0) - 1)
+    )
+    for k in range(2, max_partial + 1):  # start at the 2nd partial
+        freq = spec.f0 * k * (1.0 + spec.inharmonicity * k * k)
+        amp = spec.rolloff ** (k - 1)
+        signal += amp * np.sin(2 * np.pi * freq * t)
+    peak = np.abs(signal).max()
+    if peak > 0:
+        signal /= peak
+    if spec.noise_level > 0:
+        signal = add_noise(signal, spec.noise_level, spec.seed)
+    return signal
+
+
+def add_noise(signal: np.ndarray, level: float, seed: int = 0) -> np.ndarray:
+    """Mix in white noise at ``level`` (std relative to unit amplitude)."""
+    rng = np.random.Generator(np.random.PCG64(seed))
+    return signal + level * rng.standard_normal(signal.shape)

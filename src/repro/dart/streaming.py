@@ -1,0 +1,156 @@
+"""The continuous-mode DART experiment (paper §VIII future work).
+
+"In the future, we plan to devise a workflow experiment that executes a
+data driven workflow employing the continuous mode of operation of
+Triana."  This module implements that experiment: a streaming pitch
+tracker —
+
+* a source unit streams audio frames (synthetic melody);
+* an SHS analysis unit estimates the pitch of every frame (one
+  *invocation per frame* under a single job instance — the multi-
+  invocation jobs the Stampede model was extended for);
+* a tracker unit accumulates the pitch contour and releases the workflow
+  once it has collected enough voiced frames (the "local condition").
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.bus.client import EventSink
+from repro.dart.audio import ToneSpec, synth_tone
+from repro.dart.shs import SHSParams, shs_pitch
+from repro.triana.scheduler import Scheduler, SchedulerReport
+from repro.triana.stampede_log import StampedeLog
+from repro.triana.taskgraph import TaskGraph
+from repro.triana.unit import StreamSourceUnit, Unit
+from repro.util.uuidgen import UUIDFactory
+
+__all__ = ["PitchAnalysisUnit", "ContourTrackerUnit", "melody_frames",
+           "StreamingDARTResult", "run_streaming_dart"]
+
+_SR = 8000.0
+
+
+def melody_frames(
+    notes: Sequence[float],
+    frames_per_note: int = 4,
+    frame_size: int = 1024,
+    noise_level: float = 0.05,
+    seed: int = 0,
+) -> List[np.ndarray]:
+    """Synthesize a melody as a list of audio frames."""
+    frames: List[np.ndarray] = []
+    for i, f0 in enumerate(notes):
+        tone = synth_tone(
+            ToneSpec(
+                f0=f0,
+                duration=frames_per_note * frame_size / _SR,
+                sample_rate=_SR,
+                noise_level=noise_level,
+                seed=seed + i,
+            )
+        )
+        for k in range(frames_per_note):
+            frames.append(tone[k * frame_size : (k + 1) * frame_size])
+    return frames
+
+
+class PitchAnalysisUnit(Unit):
+    """Per-frame SHS pitch estimation (the DART algorithm, streaming)."""
+
+    type_desc = "processing"
+
+    def __init__(self, name: str, params: Optional[SHSParams] = None,
+                 seconds: float = 0.5):
+        super().__init__(name)
+        self.params = params or SHSParams(window_size=1024, f_max=900.0)
+        self._seconds = seconds
+        self.frames_analyzed = 0
+
+    def process(self, inputs) -> dict:
+        (frame,) = inputs
+        result = shs_pitch(np.asarray(frame), _SR, self.params)
+        self.frames_analyzed += 1
+        return {"f0": result.f0, "salience": result.salience}
+
+    def duration(self, inputs, rng) -> float:
+        return self._seconds
+
+
+class ContourTrackerUnit(Unit):
+    """Accumulates the pitch contour; releases after enough voiced frames.
+
+    A frame counts as voiced when its salience clears ``salience_floor``.
+    """
+
+    type_desc = "sink"
+
+    def __init__(self, name: str, target_voiced_frames: int,
+                 salience_floor: float = 1.0, seconds: float = 0.2):
+        super().__init__(name)
+        self.target = target_voiced_frames
+        self.salience_floor = salience_floor
+        self.contour: List[float] = []
+        self.satisfied = False
+        self._seconds = seconds
+
+    def process(self, inputs) -> List[float]:
+        (estimate,) = inputs
+        if estimate["salience"] >= self.salience_floor:
+            self.contour.append(estimate["f0"])
+        if len(self.contour) >= self.target:
+            self.satisfied = True
+        return list(self.contour)
+
+    def duration(self, inputs, rng) -> float:
+        return self._seconds
+
+
+@dataclass
+class StreamingDARTResult:
+    xwf_id: str
+    report: SchedulerReport
+    contour: List[float] = field(default_factory=list)
+    frames_streamed: int = 0
+    invocations: int = 0
+
+
+def run_streaming_dart(
+    sink: EventSink,
+    notes: Optional[Sequence[float]] = None,
+    frames_per_note: int = 4,
+    target_voiced_frames: int = 12,
+    seed: int = 0,
+) -> StreamingDARTResult:
+    """Execute the continuous-mode pitch-tracking workflow."""
+    notes = list(notes) if notes is not None else [220.0, 261.6, 329.6, 392.0]
+    frames = melody_frames(notes, frames_per_note=frames_per_note, seed=seed)
+
+    graph = TaskGraph("dart-streaming")
+    source = graph.add(StreamSourceUnit("audio-stream", frames, seconds=0.25))
+    analysis = graph.add(PitchAnalysisUnit("shs-analysis"))
+    tracker = graph.add(
+        ContourTrackerUnit("contour-tracker", target_voiced_frames)
+    )
+    graph.connect(source, analysis)
+    graph.connect(analysis, tracker)
+
+    scheduler = Scheduler(graph, seed=seed, mode="continuous")
+    xwf_id = UUIDFactory(seed ^ 0x57E4).new()
+    StampedeLog(scheduler, sink, xwf_id=xwf_id, site="desktop",
+                hostname="dart-desktop")
+    report = scheduler.run()
+
+    # the tracker's threshold is Triana's "local condition" release; since
+    # ThresholdSinkUnit-style early release only triggers for that class,
+    # the run completes when the stream drains or the tracker satisfies.
+    return StreamingDARTResult(
+        xwf_id=xwf_id,
+        report=report,
+        contour=list(tracker.unit.contour),
+        frames_streamed=len(frames),
+        invocations=report.invocations,
+    )

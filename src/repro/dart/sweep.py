@@ -1,0 +1,118 @@
+"""The DART parameter sweep (paper §VI).
+
+"The parent workflow ... uses a single file as its input.  This file was
+created using a separate Python script, and defines a list of 306 strings,
+separated by the newline character.  These strings are executable via a
+terminal's command line."
+
+The grid: 17 harmonic counts × 6 compression factors × 3 window sizes =
+306 combinations, each rendered as one command line for the (simulated)
+DART JAR.  Execution durations scale with the work each combination does
+(more harmonics and larger windows cost more), calibrated so the full
+sweep's cumulative wall time lands at the paper's ~40 000 seconds.
+"""
+from __future__ import annotations
+
+import shlex
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.dart.shs import SHSParams
+
+__all__ = [
+    "SweepCommand",
+    "sweep_grid",
+    "generate_commands",
+    "parse_command",
+    "command_duration",
+    "N_COMMANDS",
+]
+
+HARMONICS = list(range(4, 21))  # 17 values
+COMPRESSIONS = [0.70, 0.75, 0.80, 0.85, 0.90, 0.95]  # 6 values
+WINDOWS = [1024, 2048, 4096]  # 3 values
+N_COMMANDS = len(HARMONICS) * len(COMPRESSIONS) * len(WINDOWS)  # 306
+
+# Duration model: t = _DUR_BASE + _DUR_SCALE * H * sqrt(W / 1024) seconds.
+# _DUR_SCALE is calibrated so the mean over the grid is ~129 s, which puts
+# the 306-task sweep's cumulative wall time at the paper's ~40 224 s.
+_DUR_BASE = 5.0
+_DUR_SCALE = 7.03
+
+
+@dataclass(frozen=True)
+class SweepCommand:
+    """One line of the sweep input file."""
+
+    index: int
+    harmonics: int
+    compression: float
+    window: int
+
+    @property
+    def line(self) -> str:
+        return (
+            f"java -jar dart.jar --algorithm shs "
+            f"--harmonics {self.harmonics} "
+            f"--compression {self.compression:.2f} "
+            f"--window {self.window} "
+            f"--input audio/corpus --output results/run_{self.index:03d}.out"
+        )
+
+    @property
+    def params(self) -> SHSParams:
+        return SHSParams(
+            n_harmonics=self.harmonics,
+            compression=self.compression,
+            window_size=self.window,
+        )
+
+
+def sweep_grid() -> List[SweepCommand]:
+    """All 306 sweep points, in input-file order."""
+    commands: List[SweepCommand] = []
+    index = 0
+    for h in HARMONICS:
+        for c in COMPRESSIONS:
+            for w in WINDOWS:
+                commands.append(SweepCommand(index, h, c, w))
+                index += 1
+    return commands
+
+
+def generate_commands() -> List[str]:
+    """The 306 command strings (the content of the sweep input file)."""
+    return [cmd.line for cmd in sweep_grid()]
+
+
+def parse_command(line: str) -> SweepCommand:
+    """Recover the sweep point from one command line."""
+    tokens = shlex.split(line)
+    values = {}
+    for flag in ("--harmonics", "--compression", "--window", "--output"):
+        try:
+            values[flag] = tokens[tokens.index(flag) + 1]
+        except (ValueError, IndexError):
+            raise ValueError(f"malformed DART command (missing {flag}): {line!r}")
+    index = int(values["--output"].rsplit("_", 1)[1].split(".")[0])
+    return SweepCommand(
+        index=index,
+        harmonics=int(values["--harmonics"]),
+        compression=float(values["--compression"]),
+        window=int(values["--window"]),
+    )
+
+
+def command_duration(cmd: SweepCommand) -> float:
+    """Deterministic base duration (seconds) of one sweep execution."""
+    return _DUR_BASE + _DUR_SCALE * cmd.harmonics * float(
+        np.sqrt(cmd.window / 1024.0)
+    )
+
+
+def mean_duration() -> float:
+    """Grid-mean of the duration model (calibration check)."""
+    grid = sweep_grid()
+    return float(np.mean([command_duration(c) for c in grid]))

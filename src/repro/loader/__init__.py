@@ -1,0 +1,24 @@
+"""High-performance log loading: nl_load front-end, stampede_loader module,
+and the monitord real-time file follower."""
+from repro.loader.monitord import Monitord, follow_file
+from repro.loader.nl_load import (
+    load_events,
+    load_file,
+    load_from_bus,
+    main,
+    make_loader,
+)
+from repro.loader.stampede_loader import LoaderError, LoaderStats, StampedeLoader
+
+__all__ = [
+    "Monitord",
+    "follow_file",
+    "load_events",
+    "load_file",
+    "load_from_bus",
+    "main",
+    "make_loader",
+    "LoaderError",
+    "LoaderStats",
+    "StampedeLoader",
+]

@@ -1,0 +1,128 @@
+"""monitord: follow a growing BP log file into the archive in real time.
+
+The real Pegasus deployment runs ``pegasus-monitord`` next to DAGMan,
+tailing the workflow's log files and feeding the Stampede loader while
+the workflow executes.  This module reproduces that component for any
+engine that appends BP lines to a file (the Triana FileSink/
+LogFileAppender does exactly that).
+
+Two operating styles:
+
+* :func:`follow_file` — synchronous generator-driven loop with a caller
+  supplied ``poll`` (used by tests and single-threaded drivers);
+* :class:`Monitord` — a background thread following the file until the
+  workflow's terminal event (or an explicit stop), with progress counters.
+"""
+from __future__ import annotations
+
+import os
+import threading
+import time
+from typing import Callable, Optional, Union
+
+from repro.loader.stampede_loader import StampedeLoader
+from repro.model.entities import WorkflowStateRow
+from repro.model.states import WorkflowState
+from repro.netlogger.stream import tail_events
+
+__all__ = ["follow_file", "Monitord"]
+
+PathLike = Union[str, os.PathLike]
+
+
+def follow_file(
+    path: PathLike,
+    loader: StampedeLoader,
+    poll: Callable[[], bool],
+    flush_every: int = 100,
+) -> int:
+    """Tail a BP file into the loader until ``poll()`` returns False.
+
+    Returns the number of events loaded.  Flushes the loader's batch
+    buffer every ``flush_every`` events so queries see fresh data.
+    """
+    loaded = 0
+    for event in tail_events(path, poll):
+        loader.process(event)
+        loaded += 1
+        if loaded % flush_every == 0:
+            loader.flush()
+    loader.flush()
+    return loaded
+
+
+class Monitord:
+    """Background follower: tail one workflow's log file into an archive.
+
+    Stops automatically when the root workflow's WORKFLOW_TERMINATED state
+    appears in the archive and the file has been drained, or when
+    :meth:`stop` is called.
+    """
+
+    def __init__(
+        self,
+        path: PathLike,
+        loader: StampedeLoader,
+        poll_interval: float = 0.02,
+        expected_terminations: int = 1,
+    ):
+        self.path = path
+        self.loader = loader
+        self.poll_interval = poll_interval
+        self.expected_terminations = expected_terminations
+        self.events_loaded = 0
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    # -- lifecycle ----------------------------------------------------------
+    def start(self) -> "Monitord":
+        if self._thread is not None:
+            raise RuntimeError("monitord already started")
+        self._thread = threading.Thread(target=self._run, daemon=True)
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._stop.set()
+
+    def join(self, timeout: Optional[float] = None) -> None:
+        if self._thread is not None:
+            self._thread.join(timeout)
+
+    @property
+    def running(self) -> bool:
+        return self._thread is not None and self._thread.is_alive()
+
+    def __enter__(self) -> "Monitord":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+        self.join(timeout=10)
+
+    # -- internals -------------------------------------------------------------
+    def _terminated_count(self) -> int:
+        return (
+            self.loader.archive.query(WorkflowStateRow)
+            .eq("state", WorkflowState.WORKFLOW_TERMINATED.value)
+            .count()
+        )
+
+    def _poll(self) -> bool:
+        """Keep tailing while not stopped and terminations are pending."""
+        if self._stop.is_set():
+            return False
+        # at EOF: push buffered rows out so the termination check sees them
+        self.loader.flush()
+        if self._terminated_count() >= self.expected_terminations:
+            return False
+        time.sleep(self.poll_interval)
+        return True
+
+    def _run(self) -> None:
+        # wait for the file to exist (the engine may not have started yet)
+        while not os.path.exists(self.path):
+            if self._stop.is_set():
+                return
+            time.sleep(self.poll_interval)
+        self.events_loaded = follow_file(self.path, self.loader, self._poll)

@@ -1,0 +1,571 @@
+"""stampede_loader: normalize Stampede events into the relational archive.
+
+This is the module ``nl_load`` dispatches to (paper §IV-E).  It consumes
+:class:`~repro.netlogger.events.NLEvent` objects, resolves identifiers
+against per-run caches, batches inserts ("implemented to improve the
+performance of Pegasus workflows logging by batching similar inserts
+together", §V-D), and writes rows of the Fig. 3 schema.
+
+Event-ordering contract (the documented limitation from §V-D): all static
+events — ``stampede.task.info``, ``stampede.job.info``, the edges and the
+task→job mapping — must be seen for a workflow before execution events
+referencing them.  In ``strict`` mode a violation raises
+:class:`LoaderError`; in tolerant mode a placeholder row is synthesized.
+"""
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from repro.archive.store import StampedeArchive
+from repro.model.entities import (
+    HostRow,
+    InvocationRow,
+    JobEdgeRow,
+    JobInstanceRow,
+    JobRow,
+    JobStateRow,
+    TaskEdgeRow,
+    TaskRow,
+    WorkflowRow,
+    WorkflowStateRow,
+)
+from repro.model.states import JobState, WorkflowState
+from repro.netlogger.events import NLEvent
+from repro.schema.stampede import STAMPEDE_SCHEMA, Events, SUCCESS
+from repro.util.timeutil import parse_ts
+from repro.schema.validator import EventValidator
+
+__all__ = ["LoaderError", "LoaderStats", "StampedeLoader"]
+
+
+class LoaderError(ValueError):
+    """An event could not be normalized into the archive."""
+
+
+@dataclass
+class LoaderStats:
+    events_processed: int = 0
+    events_by_type: Dict[str, int] = field(default_factory=dict)
+    rows_inserted: int = 0
+    rows_updated: int = 0
+    flushes: int = 0
+    validation_failures: int = 0
+    wall_seconds: float = 0.0
+
+    @property
+    def events_per_second(self) -> float:
+        return self.events_processed / self.wall_seconds if self.wall_seconds else 0.0
+
+
+class _WorkflowCache:
+    """Identifier caches for one workflow run (one xwf.id)."""
+
+    __slots__ = (
+        "wf_id",
+        "task_ids",
+        "job_ids",
+        "job_instances",
+        "host_ids",
+        "jobstate_seq",
+        "static_done",
+    )
+
+    def __init__(self, wf_id: int):
+        self.wf_id = wf_id
+        self.task_ids: Dict[str, int] = {}  # abs_task_id -> task_id
+        self.job_ids: Dict[str, int] = {}  # exec_job_id -> job_id
+        # (exec_job_id, submit_seq) -> job_instance_id
+        self.job_instances: Dict[Tuple[str, int], int] = {}
+        self.host_ids: Dict[Tuple[str, str], int] = {}  # (site, hostname) -> host_id
+        self.jobstate_seq: Dict[int, int] = {}  # job_instance_id -> next seq
+        self.static_done = False
+
+
+class StampedeLoader:
+    """The event-to-archive normalizer, with batched inserts."""
+
+    def __init__(
+        self,
+        archive: StampedeArchive,
+        batch_size: int = 500,
+        strict: bool = True,
+        validate: bool = False,
+    ):
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        self.archive = archive
+        self.batch_size = batch_size
+        self.strict = strict
+        self.stats = LoaderStats()
+        self._validator = (
+            EventValidator(STAMPEDE_SCHEMA, allow_unknown_attrs=True)
+            if validate
+            else None
+        )
+        self._workflows: Dict[str, _WorkflowCache] = {}  # xwf.id -> cache
+        self._pending: List[Any] = []  # batched entity rows
+        # subwf maps that arrived before their job_instance existed
+        self._deferred_subwf: List[Tuple[str, str, int, int]] = []
+        self._handlers = {
+            Events.WF_PLAN: self._on_wf_plan,
+            Events.STATIC_START: self._on_static_start,
+            Events.STATIC_END: self._on_static_end,
+            Events.XWF_START: self._on_xwf_start,
+            Events.XWF_END: self._on_xwf_end,
+            Events.TASK_INFO: self._on_task_info,
+            Events.TASK_EDGE: self._on_task_edge,
+            Events.JOB_INFO: self._on_job_info,
+            Events.JOB_EDGE: self._on_job_edge,
+            Events.MAP_TASK_JOB: self._on_map_task_job,
+            Events.MAP_SUBWF_JOB: self._on_map_subwf_job,
+            Events.JOB_INST_PRE_START: self._jobstate(JobState.PRE_SCRIPT_STARTED),
+            Events.JOB_INST_PRE_TERM: self._jobstate(JobState.PRE_SCRIPT_TERMINATED),
+            Events.JOB_INST_PRE_END: self._on_pre_end,
+            Events.JOB_INST_SUBMIT_START: self._on_submit_start,
+            Events.JOB_INST_SUBMIT_END: self._on_submit_end,
+            Events.JOB_INST_HELD_START: self._jobstate(JobState.JOB_HELD),
+            Events.JOB_INST_HELD_END: self._jobstate(JobState.JOB_RELEASED),
+            Events.JOB_INST_MAIN_START: self._jobstate(JobState.EXECUTE),
+            Events.JOB_INST_MAIN_TERM: self._jobstate(JobState.JOB_TERMINATED),
+            Events.JOB_INST_MAIN_END: self._on_main_end,
+            Events.JOB_INST_POST_START: self._jobstate(JobState.POST_SCRIPT_STARTED),
+            Events.JOB_INST_POST_TERM: self._jobstate(JobState.POST_SCRIPT_TERMINATED),
+            Events.JOB_INST_POST_END: self._on_post_end,
+            Events.JOB_INST_HOST_INFO: self._on_host_info,
+            Events.JOB_INST_IMAGE_INFO: self._on_noop,
+            Events.JOB_INST_ABORT_INFO: self._jobstate(JobState.JOB_ABORTED),
+            Events.INV_START: self._on_noop,
+            Events.INV_END: self._on_inv_end,
+        }
+
+    # ------------------------------------------------------------------ api --
+    def process(self, event: NLEvent) -> None:
+        """Normalize one event into (batched) archive rows."""
+        if self._validator is not None:
+            violations = self._validator.validate_event(event)
+            if violations:
+                self.stats.validation_failures += len(violations)
+                if self.strict:
+                    raise LoaderError(f"invalid event: {violations[0]}")
+        handler = self._handlers.get(event.event)
+        if handler is None:
+            if self.strict:
+                raise LoaderError(f"unknown event type {event.event!r}")
+            return
+        handler(event)
+        self.stats.events_processed += 1
+        self.stats.events_by_type[event.event] = (
+            self.stats.events_by_type.get(event.event, 0) + 1
+        )
+        if len(self._pending) >= self.batch_size:
+            self.flush()
+
+    def process_all(self, events: Iterable[NLEvent]) -> LoaderStats:
+        """Load a stream of events, flush, and return timing statistics."""
+        start = time.perf_counter()
+        for event in events:
+            self.process(event)
+        self.flush()
+        self.stats.wall_seconds += time.perf_counter() - start
+        return self.stats
+
+    def flush(self) -> None:
+        """Write out all batched rows."""
+        if not self._pending:
+            return
+        self.stats.rows_inserted += self.archive.insert_many(self._pending)
+        self._pending.clear()
+        self.stats.flushes += 1
+        self._apply_deferred_subwf()
+
+    # ------------------------------------------------------------- helpers --
+    def _buffer(self, entity: Any) -> None:
+        self._pending.append(entity)
+
+    def _wf(self, event: NLEvent) -> _WorkflowCache:
+        uuid = str(event.get("xwf.id", ""))
+        cache = self._workflows.get(uuid)
+        if cache is None:
+            if self.strict:
+                raise LoaderError(
+                    f"event {event.event} references unknown workflow {uuid!r} "
+                    "(no stampede.wf.plan seen)"
+                )
+            wf_id = self.archive.next_id("workflow")
+            self.archive.insert(
+                WorkflowRow(wf_id=wf_id, wf_uuid=uuid, timestamp=event.ts)
+            )
+            cache = _WorkflowCache(wf_id)
+            self._workflows[uuid] = cache
+        return cache
+
+    def _job_id(self, cache: _WorkflowCache, event: NLEvent) -> int:
+        exec_job_id = str(event["job.id"])
+        job_id = cache.job_ids.get(exec_job_id)
+        if job_id is None:
+            if self.strict:
+                raise LoaderError(
+                    f"event {event.event} references unknown job {exec_job_id!r} "
+                    "(static events must precede execution events)"
+                )
+            job_id = self.archive.next_id("job")
+            cache.job_ids[exec_job_id] = job_id
+            self._buffer(
+                JobRow(job_id=job_id, wf_id=cache.wf_id, exec_job_id=exec_job_id)
+            )
+        return job_id
+
+    def _job_instance_id(
+        self, cache: _WorkflowCache, event: NLEvent, create: bool = False
+    ) -> int:
+        exec_job_id = str(event["job.id"])
+        submit_seq = int(event["job_inst.id"])
+        key = (exec_job_id, submit_seq)
+        ji_id = cache.job_instances.get(key)
+        if ji_id is None:
+            if not create and self.strict:
+                raise LoaderError(
+                    f"event {event.event} references unknown job instance {key!r}"
+                )
+            job_id = self._job_id(cache, event)
+            ji_id = self.archive.next_id("job_instance")
+            cache.job_instances[key] = ji_id
+            self._buffer(
+                JobInstanceRow(
+                    job_instance_id=ji_id,
+                    job_id=job_id,
+                    job_submit_seq=submit_seq,
+                    sched_id=_opt_str(event.get("sched.id")),
+                )
+            )
+        return ji_id
+
+    def _add_jobstate(
+        self, cache: _WorkflowCache, ji_id: int, state: JobState, ts: float
+    ) -> None:
+        seq = cache.jobstate_seq.get(ji_id, 0)
+        cache.jobstate_seq[ji_id] = seq + 1
+        self._buffer(
+            JobStateRow(
+                job_instance_id=ji_id,
+                state=state.value,
+                timestamp=ts,
+                jobstate_submit_seq=seq,
+            )
+        )
+
+    # ------------------------------------------------------------- handlers --
+    def _on_wf_plan(self, event: NLEvent) -> None:
+        uuid = str(event.get("xwf.id", ""))
+        if not uuid:
+            raise LoaderError("stampede.wf.plan without xwf.id")
+        if uuid in self._workflows:
+            # Restarted run of a known workflow: keep the original row.
+            return
+        wf_id = self.archive.next_id("workflow")
+        parent_uuid = _opt_str(event.get("parent.xwf.id"))
+        root_uuid = _opt_str(event.get("root.xwf.id"))
+        parent_wf = self._workflows.get(parent_uuid) if parent_uuid else None
+        if root_uuid == uuid:
+            root_wf_id: Optional[int] = wf_id
+        else:
+            root_cache = self._workflows.get(root_uuid) if root_uuid else None
+            root_wf_id = root_cache.wf_id if root_cache else None
+        self.archive.insert(
+            WorkflowRow(
+                wf_id=wf_id,
+                wf_uuid=uuid,
+                dag_file_name=str(event.get("dag.file.name", "")),
+                timestamp=event.ts,
+                submit_hostname=str(event.get("submit.hostname", "")),
+                submit_dir=str(event.get("submit_dir", "")),
+                planner_version=str(event.get("planner.version", "")),
+                user=_opt_str(event.get("user")),
+                grid_dn=_opt_str(event.get("grid_dn")),
+                planner_arguments=_opt_str(event.get("argv")),
+                dax_label=_opt_str(event.get("dax.label")),
+                dax_version=_opt_str(event.get("dax.version")),
+                dax_file=_opt_str(event.get("dax.file")),
+                parent_wf_id=parent_wf.wf_id if parent_wf else None,
+                root_wf_id=root_wf_id,
+            )
+        )
+        self._workflows[uuid] = _WorkflowCache(wf_id)
+        self._apply_deferred_subwf()
+
+    def _on_static_start(self, event: NLEvent) -> None:
+        self._wf(event)
+
+    def _on_static_end(self, event: NLEvent) -> None:
+        self._wf(event).static_done = True
+
+    def _on_xwf_start(self, event: NLEvent) -> None:
+        cache = self._wf(event)
+        self._buffer(
+            WorkflowStateRow(
+                wf_id=cache.wf_id,
+                state=WorkflowState.WORKFLOW_STARTED.value,
+                timestamp=event.ts,
+                restart_count=int(event.get("restart_count", 0)),
+            )
+        )
+
+    def _on_xwf_end(self, event: NLEvent) -> None:
+        cache = self._wf(event)
+        self._buffer(
+            WorkflowStateRow(
+                wf_id=cache.wf_id,
+                state=WorkflowState.WORKFLOW_TERMINATED.value,
+                timestamp=event.ts,
+                restart_count=int(event.get("restart_count", 0)),
+                status=int(event.get("status", SUCCESS)),
+            )
+        )
+
+    def _on_task_info(self, event: NLEvent) -> None:
+        cache = self._wf(event)
+        abs_task_id = str(event["task.id"])
+        if abs_task_id in cache.task_ids:
+            if self.strict:
+                raise LoaderError(f"duplicate task.info for {abs_task_id!r}")
+            return  # placeholder or restart: keep the existing row
+        task_id = self.archive.next_id("task")
+        cache.task_ids[abs_task_id] = task_id
+        self._buffer(
+            TaskRow(
+                task_id=task_id,
+                wf_id=cache.wf_id,
+                abs_task_id=abs_task_id,
+                transformation=str(event.get("transformation", "")),
+                argv=_opt_str(event.get("argv")),
+                type_desc=str(event.get("type_desc", "")),
+            )
+        )
+
+    def _on_task_edge(self, event: NLEvent) -> None:
+        cache = self._wf(event)
+        self._buffer(
+            TaskEdgeRow(
+                wf_id=cache.wf_id,
+                parent_abs_task_id=str(event["parent.task.id"]),
+                child_abs_task_id=str(event["child.task.id"]),
+            )
+        )
+
+    def _on_job_info(self, event: NLEvent) -> None:
+        cache = self._wf(event)
+        exec_job_id = str(event["job.id"])
+        if exec_job_id in cache.job_ids:
+            if self.strict:
+                raise LoaderError(f"duplicate job.info for {exec_job_id!r}")
+            return  # placeholder or restart: keep the existing row
+        job_id = self.archive.next_id("job")
+        cache.job_ids[exec_job_id] = job_id
+        self._buffer(
+            JobRow(
+                job_id=job_id,
+                wf_id=cache.wf_id,
+                exec_job_id=exec_job_id,
+                type_desc=str(event.get("type_desc", "")),
+                clustered=str(event.get("clustered", "0")) in ("1", "true", "True"),
+                max_retries=int(event.get("max_retries", 0)),
+                executable=str(event.get("executable", "")),
+                argv=_opt_str(event.get("argv")),
+                task_count=int(event.get("task_count", 0)),
+            )
+        )
+
+    def _on_job_edge(self, event: NLEvent) -> None:
+        cache = self._wf(event)
+        self._buffer(
+            JobEdgeRow(
+                wf_id=cache.wf_id,
+                parent_exec_job_id=str(event["parent.job.id"]),
+                child_exec_job_id=str(event["child.job.id"]),
+            )
+        )
+
+    def _on_map_task_job(self, event: NLEvent) -> None:
+        cache = self._wf(event)
+        abs_task_id = str(event["task.id"])
+        exec_job_id = str(event["job.id"])
+        if abs_task_id not in cache.task_ids:
+            raise LoaderError(f"map.task_job references unknown task {abs_task_id!r}")
+        if exec_job_id not in cache.job_ids:
+            raise LoaderError(f"map.task_job references unknown job {exec_job_id!r}")
+        # The mapping lands as task.job_id, so flush pending task rows first.
+        self.flush()
+        self.stats.rows_updated += self.archive.update(
+            TaskRow,
+            {"job_id": cache.job_ids[exec_job_id]},
+            {"task_id": cache.task_ids[abs_task_id]},
+        )
+
+    def _on_map_subwf_job(self, event: NLEvent) -> None:
+        cache = self._wf(event)
+        subwf_uuid = str(event["subwf.id"])
+        exec_job_id = str(event["job.id"])
+        submit_seq = int(event["job_inst.id"])
+        self._deferred_subwf.append(
+            (subwf_uuid, exec_job_id, submit_seq, cache.wf_id)
+        )
+        self.flush()
+
+    def _apply_deferred_subwf(self) -> None:
+        """Resolve subwf→job-instance maps once both sides exist."""
+        still_pending = []
+        for subwf_uuid, exec_job_id, submit_seq, parent_wf_id in self._deferred_subwf:
+            sub = self._workflows.get(subwf_uuid)
+            parent = next(
+                (c for c in self._workflows.values() if c.wf_id == parent_wf_id), None
+            )
+            ji_id = (
+                parent.job_instances.get((exec_job_id, submit_seq))
+                if parent
+                else None
+            )
+            if sub is None or ji_id is None:
+                still_pending.append(
+                    (subwf_uuid, exec_job_id, submit_seq, parent_wf_id)
+                )
+                continue
+            self.stats.rows_updated += self.archive.update(
+                JobInstanceRow,
+                {"subwf_id": sub.wf_id},
+                {"job_instance_id": ji_id},
+            )
+        self._deferred_subwf = still_pending
+
+    def _on_submit_start(self, event: NLEvent) -> None:
+        cache = self._wf(event)
+        key = (str(event["job.id"]), int(event["job_inst.id"]))
+        if key in cache.job_instances:
+            if self.strict:
+                raise LoaderError(
+                    f"duplicate submit.start for job instance {key!r}"
+                )
+            return  # placeholder instance already synthesized
+        ji_id = self._job_instance_id(cache, event, create=True)
+        self._add_jobstate(cache, ji_id, JobState.SUBMIT, event.ts)
+
+    def _on_submit_end(self, event: NLEvent) -> None:
+        cache = self._wf(event)
+        self._job_instance_id(cache, event)  # presence check only
+
+    def _on_pre_end(self, event: NLEvent) -> None:
+        cache = self._wf(event)
+        ji_id = self._job_instance_id(cache, event)
+        ok = int(event.get("status", SUCCESS)) == SUCCESS
+        state = JobState.PRE_SCRIPT_SUCCESS if ok else JobState.PRE_SCRIPT_FAILURE
+        self._add_jobstate(cache, ji_id, state, event.ts)
+
+    def _on_post_end(self, event: NLEvent) -> None:
+        cache = self._wf(event)
+        ji_id = self._job_instance_id(cache, event)
+        ok = int(event.get("status", SUCCESS)) == SUCCESS
+        state = JobState.POST_SCRIPT_SUCCESS if ok else JobState.POST_SCRIPT_FAILURE
+        self._add_jobstate(cache, ji_id, state, event.ts)
+
+    def _jobstate(self, state: JobState):
+        def handler(event: NLEvent) -> None:
+            cache = self._wf(event)
+            ji_id = self._job_instance_id(cache, event)
+            self._add_jobstate(cache, ji_id, state, event.ts)
+
+        return handler
+
+    def _on_main_end(self, event: NLEvent) -> None:
+        cache = self._wf(event)
+        ji_id = self._job_instance_id(cache, event)
+        status = int(event.get("status", SUCCESS))
+        state = JobState.JOB_SUCCESS if status == SUCCESS else JobState.JOB_FAILURE
+        self._add_jobstate(cache, ji_id, state, event.ts)
+        self.flush()  # the instance row may still be in the batch buffer
+        self.stats.rows_updated += self.archive.update(
+            JobInstanceRow,
+            {
+                "local_duration": float(event["local.dur"]),
+                "exitcode": int(event["exitcode"]),
+                "site": _opt_str(event.get("site")),
+                "user": _opt_str(event.get("user")),
+                "stdout_file": _opt_str(event.get("stdout.file")),
+                "stdout_text": _opt_str(event.get("stdout.text")),
+                "stderr_file": _opt_str(event.get("stderr.file")),
+                "stderr_text": _opt_str(event.get("stderr.text")),
+                "multiplier_factor": int(event.get("multiplier_factor", 1)),
+            },
+            {"job_instance_id": ji_id},
+        )
+
+    def _on_host_info(self, event: NLEvent) -> None:
+        cache = self._wf(event)
+        ji_id = self._job_instance_id(cache, event)
+        site = str(event.get("site", ""))
+        hostname = str(event["hostname"])
+        host_key = (site, hostname)
+        host_id = cache.host_ids.get(host_key)
+        if host_id is None:
+            host_id = self.archive.next_id("host")
+            cache.host_ids[host_key] = host_id
+            self._buffer(
+                HostRow(
+                    host_id=host_id,
+                    wf_id=cache.wf_id,
+                    site=site,
+                    hostname=hostname,
+                    ip=_opt_str(event.get("ip")),
+                    uname=_opt_str(event.get("uname")),
+                    total_memory=_opt_int(event.get("total_memory")),
+                )
+            )
+        self.flush()
+        self.stats.rows_updated += self.archive.update(
+            JobInstanceRow, {"host_id": host_id}, {"job_instance_id": ji_id}
+        )
+
+    def _on_inv_end(self, event: NLEvent) -> None:
+        cache = self._wf(event)
+        ji_id = self._job_instance_id(cache, event)
+        abs_task_id = _opt_str(event.get("task.id"))
+        if (
+            self.strict
+            and abs_task_id is not None
+            and abs_task_id not in cache.task_ids
+        ):
+            raise LoaderError(
+                f"inv.end references unknown task {abs_task_id!r} "
+                f"in workflow wf_id={cache.wf_id}"
+            )
+        self._buffer(
+            InvocationRow(
+                invocation_id=self.archive.next_id("invocation"),
+                job_instance_id=ji_id,
+                wf_id=cache.wf_id,
+                task_submit_seq=int(event["inv.id"]),
+                start_time=parse_ts(event["start_time"]),
+                remote_duration=float(event["dur"]),
+                remote_cpu_time=_opt_float(event.get("remote_cpu_time")),
+                exitcode=int(event["exitcode"]),
+                transformation=str(event.get("transformation", "")),
+                executable=str(event.get("executable", "")),
+                argv=_opt_str(event.get("argv")),
+                abs_task_id=abs_task_id,
+            )
+        )
+
+    def _on_noop(self, event: NLEvent) -> None:
+        self._wf(event)
+
+
+def _opt_str(value: object) -> Optional[str]:
+    return None if value is None else str(value)
+
+
+def _opt_int(value: object) -> Optional[int]:
+    return None if value is None else int(value)
+
+
+def _opt_float(value: object) -> Optional[float]:
+    return None if value is None else float(value)

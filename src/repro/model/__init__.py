@@ -1,0 +1,30 @@
+"""Stampede data-model entities and state vocabularies."""
+from repro.model.entities import (
+    HostRow,
+    InvocationRow,
+    JobEdgeRow,
+    JobInstanceRow,
+    JobRow,
+    JobStateRow,
+    TaskEdgeRow,
+    TaskRow,
+    WorkflowRow,
+    WorkflowStateRow,
+)
+from repro.model.states import TERMINAL_JOB_STATES, JobState, WorkflowState
+
+__all__ = [
+    "HostRow",
+    "InvocationRow",
+    "JobEdgeRow",
+    "JobInstanceRow",
+    "JobRow",
+    "JobStateRow",
+    "TaskEdgeRow",
+    "TaskRow",
+    "WorkflowRow",
+    "WorkflowStateRow",
+    "TERMINAL_JOB_STATES",
+    "JobState",
+    "WorkflowState",
+]

@@ -1,0 +1,154 @@
+"""Typed entity records for the Stampede data model (paper Fig. 2 / Fig. 3).
+
+These dataclasses mirror the rows of the relational archive; the query
+interface returns them so analysis tools never touch raw dicts.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+__all__ = [
+    "WorkflowRow",
+    "WorkflowStateRow",
+    "TaskRow",
+    "TaskEdgeRow",
+    "JobRow",
+    "JobEdgeRow",
+    "JobInstanceRow",
+    "JobStateRow",
+    "InvocationRow",
+    "HostRow",
+]
+
+
+@dataclass
+class WorkflowRow:
+    """One run of a workflow (a row of the ``workflow`` table)."""
+
+    wf_id: int
+    wf_uuid: str
+    dag_file_name: str = ""
+    timestamp: float = 0.0
+    submit_hostname: str = ""
+    submit_dir: str = ""
+    planner_version: str = ""
+    user: Optional[str] = None
+    grid_dn: Optional[str] = None
+    planner_arguments: Optional[str] = None
+    dax_label: Optional[str] = None
+    dax_version: Optional[str] = None
+    dax_file: Optional[str] = None
+    parent_wf_id: Optional[int] = None
+    root_wf_id: Optional[int] = None
+
+
+@dataclass
+class WorkflowStateRow:
+    wf_id: int
+    state: str
+    timestamp: float
+    restart_count: int = 0
+    status: Optional[int] = None
+
+
+@dataclass
+class TaskRow:
+    """One task of the abstract workflow."""
+
+    task_id: int
+    wf_id: int
+    abs_task_id: str
+    job_id: Optional[int] = None
+    transformation: str = ""
+    argv: Optional[str] = None
+    type_desc: str = ""
+
+
+@dataclass
+class TaskEdgeRow:
+    wf_id: int
+    parent_abs_task_id: str
+    child_abs_task_id: str
+
+
+@dataclass
+class JobRow:
+    """One job (node) of the executable workflow."""
+
+    job_id: int
+    wf_id: int
+    exec_job_id: str
+    submit_file: Optional[str] = None
+    type_desc: str = ""
+    clustered: bool = False
+    max_retries: int = 0
+    executable: str = ""
+    argv: Optional[str] = None
+    task_count: int = 0
+
+
+@dataclass
+class JobEdgeRow:
+    wf_id: int
+    parent_exec_job_id: str
+    child_exec_job_id: str
+
+
+@dataclass
+class JobInstanceRow:
+    """One scheduling attempt of a job (retries create new instances)."""
+
+    job_instance_id: int
+    job_id: int
+    job_submit_seq: int
+    host_id: Optional[int] = None
+    sched_id: Optional[str] = None
+    site: Optional[str] = None
+    user: Optional[str] = None
+    work_dir: Optional[str] = None
+    local_duration: Optional[float] = None
+    subwf_id: Optional[int] = None
+    stdout_file: Optional[str] = None
+    stdout_text: Optional[str] = None
+    stderr_file: Optional[str] = None
+    stderr_text: Optional[str] = None
+    multiplier_factor: int = 1
+    exitcode: Optional[int] = None
+
+
+@dataclass
+class JobStateRow:
+    job_instance_id: int
+    state: str
+    timestamp: float
+    jobstate_submit_seq: int = 0
+
+
+@dataclass
+class InvocationRow:
+    """One invocation of an executable on a remote node."""
+
+    invocation_id: int
+    job_instance_id: int
+    wf_id: int
+    task_submit_seq: int
+    start_time: float = 0.0
+    remote_duration: float = 0.0
+    remote_cpu_time: Optional[float] = None
+    exitcode: int = 0
+    transformation: str = ""
+    executable: str = ""
+    argv: Optional[str] = None
+    abs_task_id: Optional[str] = None
+
+
+@dataclass
+class HostRow:
+    host_id: int
+    wf_id: int
+    site: str
+    hostname: str
+    ip: Optional[str] = None
+    uname: Optional[str] = None
+    total_memory: Optional[int] = None

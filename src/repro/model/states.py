@@ -1,0 +1,49 @@
+"""State vocabularies for workflows and jobs (Stampede data model).
+
+Workflows and jobs are "associated with any number of time-stamped and
+named states" (paper §IV-D); these enums are the canonical names recorded
+in the ``workflowstate`` and ``jobstate`` tables.
+"""
+from __future__ import annotations
+
+import enum
+
+__all__ = ["WorkflowState", "JobState", "TERMINAL_JOB_STATES"]
+
+
+class WorkflowState(enum.Enum):
+    WORKFLOW_STARTED = "WORKFLOW_STARTED"
+    WORKFLOW_TERMINATED = "WORKFLOW_TERMINATED"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+class JobState(enum.Enum):
+    """Job-instance lifecycle states, in DAGMan/Condor terminology."""
+
+    PRE_SCRIPT_STARTED = "PRE_SCRIPT_STARTED"
+    PRE_SCRIPT_TERMINATED = "PRE_SCRIPT_TERMINATED"
+    PRE_SCRIPT_SUCCESS = "PRE_SCRIPT_SUCCESS"
+    PRE_SCRIPT_FAILURE = "PRE_SCRIPT_FAILURE"
+    SUBMIT = "SUBMIT"
+    EXECUTE = "EXECUTE"
+    JOB_HELD = "JOB_HELD"
+    JOB_RELEASED = "JOB_RELEASED"
+    JOB_EVICTED = "JOB_EVICTED"
+    JOB_TERMINATED = "JOB_TERMINATED"
+    JOB_SUCCESS = "JOB_SUCCESS"
+    JOB_FAILURE = "JOB_FAILURE"
+    JOB_ABORTED = "JOB_ABORTED"
+    POST_SCRIPT_STARTED = "POST_SCRIPT_STARTED"
+    POST_SCRIPT_TERMINATED = "POST_SCRIPT_TERMINATED"
+    POST_SCRIPT_SUCCESS = "POST_SCRIPT_SUCCESS"
+    POST_SCRIPT_FAILURE = "POST_SCRIPT_FAILURE"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+TERMINAL_JOB_STATES = frozenset(
+    {JobState.JOB_SUCCESS, JobState.JOB_FAILURE, JobState.JOB_ABORTED}
+)

@@ -1,0 +1,134 @@
+"""NetLogger Best Practices (BP) log format.
+
+A BP log message is a single line of ``name=value`` pairs, e.g.::
+
+    ts=2012-03-13T12:35:38.000000Z event=stampede.xwf.start level=Info \
+    xwf.id=ea17e8ac-02ac-4909-b5e3-16e367392556 restart_count=0
+
+Rules implemented here (per the Grid Logging Best Practices guide the
+paper references):
+
+* ``ts`` and ``event`` are required; ``level`` is conventional.
+* Names are dotted identifiers (``xwf.id``, ``job_inst.main.start``).
+* Values containing whitespace, ``=`` or quotes are double-quoted, with
+  ``\\`` escapes for embedded quotes and backslashes.
+* Pair order is preserved round-trip (``ts`` and ``event`` first on output).
+"""
+from __future__ import annotations
+
+import re
+from typing import Dict, Iterator, List, Tuple
+
+__all__ = ["BPParseError", "parse_bp_line", "format_bp_line", "quote_value"]
+
+_NAME_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_.\-]*")
+
+# Characters that force a value to be quoted on output.
+_NEEDS_QUOTE_RE = re.compile(r'[\s="\\]|^$')
+
+
+class BPParseError(ValueError):
+    """Raised on a malformed BP line; carries the offending column."""
+
+    def __init__(self, message: str, line: str, pos: int):
+        self.line = line
+        self.pos = pos
+        super().__init__(f"{message} at column {pos}: {line!r}")
+
+
+def quote_value(value: str) -> str:
+    """Quote a value if the BP grammar requires it."""
+    if _NEEDS_QUOTE_RE.search(value):
+        escaped = value.replace("\\", "\\\\").replace('"', '\\"')
+        return f'"{escaped}"'
+    return value
+
+
+def format_bp_line(attrs: Dict[str, object]) -> str:
+    """Serialize an attribute mapping to one BP line.
+
+    ``ts`` and ``event`` are emitted first (in that order) regardless of the
+    mapping's iteration order; remaining keys keep their order.
+    """
+    if "ts" not in attrs or "event" not in attrs:
+        raise ValueError(f"BP message requires ts and event: {attrs!r}")
+    parts: List[str] = []
+    for key in ("ts", "event"):
+        parts.append(f"{key}={quote_value(_stringify(attrs[key]))}")
+    for key, value in attrs.items():
+        if key in ("ts", "event"):
+            continue
+        if not _NAME_RE.fullmatch(key):
+            raise ValueError(f"invalid BP attribute name: {key!r}")
+        parts.append(f"{key}={quote_value(_stringify(value))}")
+    return " ".join(parts)
+
+
+def parse_bp_line(line: str) -> Dict[str, str]:
+    """Parse one BP line into an ordered dict of string attributes."""
+    attrs: Dict[str, str] = {}
+    for key, value in _scan_pairs(line):
+        attrs[key] = value
+    if "ts" not in attrs:
+        raise BPParseError("missing required attribute 'ts'", line, 0)
+    if "event" not in attrs:
+        raise BPParseError("missing required attribute 'event'", line, 0)
+    return attrs
+
+
+def _scan_pairs(line: str) -> Iterator[Tuple[str, str]]:
+    text = line.rstrip("\n")
+    pos = 0
+    length = len(text)
+    while pos < length:
+        # skip whitespace between pairs
+        while pos < length and text[pos].isspace():
+            pos += 1
+        if pos >= length:
+            break
+        m = _NAME_RE.match(text, pos)
+        if m is None:
+            raise BPParseError("expected attribute name", text, pos)
+        name = m.group(0)
+        pos = m.end()
+        if pos >= length or text[pos] != "=":
+            raise BPParseError(f"expected '=' after {name!r}", text, pos)
+        pos += 1
+        if pos < length and text[pos] == '"':
+            value, pos = _scan_quoted(text, pos)
+        else:
+            end = pos
+            while end < length and not text[end].isspace():
+                end += 1
+            value = text[pos:end]
+            pos = end
+        yield name, value
+
+
+def _scan_quoted(text: str, pos: int) -> Tuple[str, int]:
+    """Scan a double-quoted value starting at the opening quote."""
+    assert text[pos] == '"'
+    pos += 1
+    out: List[str] = []
+    while pos < len(text):
+        ch = text[pos]
+        if ch == "\\":
+            if pos + 1 >= len(text):
+                raise BPParseError("dangling escape", text, pos)
+            out.append(text[pos + 1])
+            pos += 2
+        elif ch == '"':
+            return "".join(out), pos + 1
+        else:
+            out.append(ch)
+            pos += 1
+    raise BPParseError("unterminated quoted value", text, pos)
+
+
+def _stringify(value: object) -> str:
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, float):
+        # Keep float rendering stable and compact for round-trips.
+        return repr(value)
+    return str(value)

@@ -1,0 +1,113 @@
+"""Typed NetLogger event objects layered over raw BP attribute maps."""
+from __future__ import annotations
+
+import enum
+from typing import Dict, Mapping, Optional
+
+from repro.netlogger.bp import format_bp_line, parse_bp_line
+from repro.util.timeutil import format_iso, parse_ts
+
+__all__ = ["Level", "NLEvent"]
+
+
+class Level(enum.Enum):
+    """Syslog-style severity levels used by NetLogger."""
+
+    FATAL = "Fatal"
+    ERROR = "Error"
+    WARN = "Warn"
+    INFO = "Info"
+    DEBUG = "Debug"
+    TRACE = "Trace"
+
+    @classmethod
+    def parse(cls, text: str) -> "Level":
+        for member in cls:
+            if member.value.lower() == text.lower():
+                return member
+        raise ValueError(f"unknown NetLogger level: {text!r}")
+
+
+class NLEvent:
+    """One NetLogger event: a timestamp, an event name, and attributes.
+
+    The ``event`` field is hierarchical (dot-separated) and doubles as the
+    AMQP routing key when events are published to the message bus.
+    """
+
+    __slots__ = ("ts", "event", "level", "attrs")
+
+    def __init__(
+        self,
+        event: str,
+        ts: float,
+        attrs: Optional[Mapping[str, object]] = None,
+        level: Level = Level.INFO,
+    ):
+        if not event:
+            raise ValueError("event name must be non-empty")
+        self.event = event
+        self.ts = float(ts)
+        self.level = level
+        self.attrs: Dict[str, object] = dict(attrs or {})
+
+    # -- accessors -----------------------------------------------------------
+    def get(self, key: str, default: object = None) -> object:
+        return self.attrs.get(key, default)
+
+    def __getitem__(self, key: str) -> object:
+        return self.attrs[key]
+
+    def __contains__(self, key: str) -> bool:
+        return key in self.attrs
+
+    @property
+    def prefix(self) -> str:
+        """First component of the event name (e.g. ``stampede``)."""
+        return self.event.split(".", 1)[0]
+
+    def matches_prefix(self, prefix: str) -> bool:
+        """True if the event name equals or is nested under ``prefix``."""
+        return self.event == prefix or self.event.startswith(prefix + ".")
+
+    # -- conversion ----------------------------------------------------------
+    def to_bp(self) -> str:
+        """Serialize to one BP log line."""
+        out: Dict[str, object] = {
+            "ts": format_iso(self.ts),
+            "event": self.event,
+            "level": self.level.value,
+        }
+        for key, value in self.attrs.items():
+            if key in ("ts", "event", "level"):
+                continue
+            out[key] = value
+        return format_bp_line(out)
+
+    @classmethod
+    def from_bp(cls, line: str) -> "NLEvent":
+        """Parse one BP log line into a typed event."""
+        raw = parse_bp_line(line)
+        ts = parse_ts(raw.pop("ts"))
+        event = raw.pop("event")
+        level = Level.parse(raw.pop("level", "Info"))
+        return cls(event=event, ts=ts, attrs=raw, level=level)
+
+    def copy(self) -> "NLEvent":
+        return NLEvent(self.event, self.ts, dict(self.attrs), self.level)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, NLEvent)
+            and self.event == other.event
+            and self.ts == other.ts
+            and self.level == other.level
+            and {k: str(v) for k, v in self.attrs.items()}
+            == {k: str(v) for k, v in other.attrs.items()}
+        )
+
+    def __hash__(self):
+        return hash((self.event, self.ts))
+
+    def __repr__(self) -> str:
+        return f"NLEvent({self.event!r}, ts={self.ts}, attrs={self.attrs!r})"

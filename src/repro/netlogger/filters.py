@@ -1,0 +1,88 @@
+"""Event-stream utilities: filtering, windowing, sampling, splitting.
+
+Composable generators over NLEvent iterables — the glue the paper's
+"flexibility in gluing together analysis components" relies on when a
+consumer wants a refined view of the stream (a time window, one
+workflow's events, a sampled sub-stream for cheap statistics).
+"""
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, Iterator, List, Optional
+
+import numpy as np
+
+from repro.bus.topic import topic_matches
+from repro.netlogger.events import NLEvent
+
+__all__ = [
+    "by_pattern",
+    "by_workflow",
+    "by_time_window",
+    "sample",
+    "split_by_workflow",
+    "event_counts",
+]
+
+
+def by_pattern(events: Iterable[NLEvent], pattern: str) -> Iterator[NLEvent]:
+    """Keep events whose name matches an AMQP topic pattern."""
+    for event in events:
+        if topic_matches(pattern, event.event):
+            yield event
+
+
+def by_workflow(events: Iterable[NLEvent], xwf_id: str) -> Iterator[NLEvent]:
+    """Keep one workflow's events (matching the ``xwf.id`` attribute)."""
+    for event in events:
+        if str(event.get("xwf.id", "")) == xwf_id:
+            yield event
+
+
+def by_time_window(
+    events: Iterable[NLEvent],
+    start: Optional[float] = None,
+    end: Optional[float] = None,
+) -> Iterator[NLEvent]:
+    """Keep events with ``start <= ts < end`` (either bound optional)."""
+    for event in events:
+        if start is not None and event.ts < start:
+            continue
+        if end is not None and event.ts >= end:
+            continue
+        yield event
+
+
+def sample(
+    events: Iterable[NLEvent],
+    fraction: float,
+    seed: int = 0,
+    always_keep: str = "stampede.xwf.#",
+) -> Iterator[NLEvent]:
+    """Randomly keep ~``fraction`` of the stream (deterministic per seed).
+
+    Workflow-lifecycle events matching ``always_keep`` are never dropped,
+    so sampled streams still delimit runs correctly.
+    """
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError(f"fraction must be in [0, 1], got {fraction}")
+    rng = np.random.Generator(np.random.PCG64(seed))
+    for event in events:
+        if topic_matches(always_keep, event.event) or rng.random() < fraction:
+            yield event
+
+
+def split_by_workflow(events: Iterable[NLEvent]) -> Dict[str, List[NLEvent]]:
+    """Partition a mixed stream into per-workflow lists (keyed by xwf.id)."""
+    streams: Dict[str, List[NLEvent]] = {}
+    for event in events:
+        key = str(event.get("xwf.id", ""))
+        streams.setdefault(key, []).append(event)
+    return streams
+
+
+def event_counts(events: Iterable[NLEvent]) -> Dict[str, int]:
+    """Histogram of event types in a stream."""
+    counts: Dict[str, int] = {}
+    for event in events:
+        counts[event.event] = counts.get(event.event, 0) + 1
+    return counts

@@ -1,0 +1,148 @@
+"""Streaming readers and writers for BP log files.
+
+``nl_load`` reads its input either from a file or from an AMQP queue; this
+module supplies the file side: line-oriented readers that tolerate blank
+lines and comments, an error-collecting mode for partially corrupt logs,
+and an appending writer that flushes per record (the "real-time" property
+the paper leans on).
+"""
+from __future__ import annotations
+
+import io
+import os
+from typing import Callable, Iterable, Iterator, List, Optional, TextIO, Tuple, Union
+
+from repro.netlogger.bp import BPParseError
+from repro.netlogger.events import NLEvent
+
+__all__ = ["BPReader", "BPWriter", "read_events", "write_events", "tail_events"]
+
+PathOrFile = Union[str, os.PathLike, TextIO]
+
+
+class BPReader:
+    """Iterate NLEvents from a BP log stream.
+
+    ``on_error`` controls handling of malformed lines:
+      * ``'raise'``  — propagate BPParseError (default);
+      * ``'skip'``   — drop the line, recording it in :attr:`errors`;
+      * callable     — invoked with (line_number, line, exception).
+    """
+
+    def __init__(
+        self,
+        source: PathOrFile,
+        on_error: Union[str, Callable[[int, str, Exception], None]] = "raise",
+    ):
+        self._source = source
+        self._on_error = on_error
+        self.errors: List[Tuple[int, str, Exception]] = []
+        self.lines_read = 0
+
+    def __iter__(self) -> Iterator[NLEvent]:
+        close = False
+        if isinstance(self._source, (str, os.PathLike)):
+            fh: TextIO = open(self._source, "r", encoding="utf-8")
+            close = True
+        else:
+            fh = self._source
+        try:
+            for lineno, line in enumerate(fh, start=1):
+                stripped = line.strip()
+                if not stripped or stripped.startswith("#"):
+                    continue
+                self.lines_read += 1
+                try:
+                    yield NLEvent.from_bp(stripped)
+                except (BPParseError, ValueError) as exc:
+                    if self._on_error == "raise":
+                        raise
+                    self.errors.append((lineno, stripped, exc))
+                    if callable(self._on_error):
+                        self._on_error(lineno, stripped, exc)
+        finally:
+            if close:
+                fh.close()
+
+
+class BPWriter:
+    """Append NLEvents to a BP log file, flushing per event."""
+
+    def __init__(self, target: PathOrFile, flush_every: int = 1):
+        if isinstance(target, (str, os.PathLike)):
+            self._fh: TextIO = open(target, "a", encoding="utf-8")
+            self._owns = True
+        else:
+            self._fh = target
+            self._owns = False
+        self._flush_every = max(1, flush_every)
+        self._pending = 0
+        self.events_written = 0
+
+    def write(self, event: NLEvent) -> None:
+        self._fh.write(event.to_bp() + "\n")
+        self.events_written += 1
+        self._pending += 1
+        if self._pending >= self._flush_every:
+            self._fh.flush()
+            self._pending = 0
+
+    def write_all(self, events: Iterable[NLEvent]) -> int:
+        count = 0
+        for event in events:
+            self.write(event)
+            count += 1
+        return count
+
+    def close(self) -> None:
+        self._fh.flush()
+        if self._owns:
+            self._fh.close()
+
+    def __enter__(self) -> "BPWriter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def read_events(source: PathOrFile, on_error: str = "raise") -> List[NLEvent]:
+    """Read an entire BP log into memory."""
+    return list(BPReader(source, on_error=on_error))
+
+
+def write_events(target: PathOrFile, events: Iterable[NLEvent]) -> int:
+    """Write events to a BP log; returns the count written."""
+    with BPWriter(target, flush_every=1000) as writer:
+        return writer.write_all(events)
+
+
+def tail_events(
+    path: Union[str, os.PathLike],
+    poll: Callable[[], bool],
+    start_at_end: bool = False,
+) -> Iterator[NLEvent]:
+    """Follow a growing BP log file, ``tail -f`` style.
+
+    ``poll()`` is consulted whenever the reader reaches EOF: returning False
+    ends the iteration (e.g. when the producing workflow has finished).
+    Partial last lines are retained until their newline arrives.
+    """
+    with open(path, "r", encoding="utf-8") as fh:
+        if start_at_end:
+            fh.seek(0, io.SEEK_END)
+        buffer = ""
+        while True:
+            chunk = fh.readline()
+            if chunk:
+                buffer += chunk
+                if buffer.endswith("\n"):
+                    stripped = buffer.strip()
+                    buffer = ""
+                    if stripped and not stripped.startswith("#"):
+                        yield NLEvent.from_bp(stripped)
+                continue
+            if not poll():
+                if buffer.strip():
+                    yield NLEvent.from_bp(buffer.strip())
+                return

@@ -1,0 +1,21 @@
+"""Mini object-relational layer (SQLAlchemy substitute): sqlite + memory."""
+from repro.orm.columns import Boolean, Column, ColumnType, Integer, Real, Text
+from repro.orm.database import Database, MemoryDatabase, SqliteDatabase, connect
+from repro.orm.query import Predicate, Query
+from repro.orm.table import Table
+
+__all__ = [
+    "Boolean",
+    "Column",
+    "ColumnType",
+    "Integer",
+    "Real",
+    "Text",
+    "Database",
+    "MemoryDatabase",
+    "SqliteDatabase",
+    "connect",
+    "Predicate",
+    "Query",
+    "Table",
+]

@@ -1,0 +1,205 @@
+"""Database backends for the mini-ORM: sqlite3 and pure-memory.
+
+Connection strings follow the SQLAlchemy convention the paper's loader
+used on its command line::
+
+    sqlite:///test.db      -> sqlite file
+    sqlite:///:memory:     -> sqlite in memory
+    memory://              -> pure-Python dict backend
+"""
+from __future__ import annotations
+
+import sqlite3
+import threading
+from typing import Any, Dict, Iterable, List, Optional, Sequence
+
+from repro.orm.query import Query
+from repro.orm.table import Table
+
+__all__ = ["Database", "SqliteDatabase", "MemoryDatabase", "connect"]
+
+
+class Database:
+    """Abstract backend: DDL, inserts (single + executemany), query, count."""
+
+    def create_tables(self, tables: Sequence[Table]) -> None:
+        raise NotImplementedError
+
+    def insert(self, table: Table, row: Dict[str, Any]) -> None:
+        raise NotImplementedError
+
+    def insert_many(self, table: Table, rows: Iterable[Dict[str, Any]]) -> int:
+        raise NotImplementedError
+
+    def select(self, query: Query) -> List[Dict[str, Any]]:
+        raise NotImplementedError
+
+    def update(
+        self,
+        table: Table,
+        values: Dict[str, Any],
+        where: Dict[str, Any],
+    ) -> int:
+        raise NotImplementedError
+
+    def count(self, table: Table) -> int:
+        raise NotImplementedError
+
+    def close(self) -> None:  # pragma: no cover - default no-op
+        pass
+
+
+class SqliteDatabase(Database):
+    """sqlite3-backed storage; thread-safe via a connection lock."""
+
+    def __init__(self, path: str = ":memory:"):
+        self.path = path
+        self._conn = sqlite3.connect(path, check_same_thread=False)
+        self._lock = threading.Lock()
+
+    def create_tables(self, tables: Sequence[Table]) -> None:
+        with self._lock:
+            cur = self._conn.cursor()
+            for table in tables:
+                cur.execute(table.create_sql())
+                for stmt in table.index_sql():
+                    cur.execute(stmt)
+            self._conn.commit()
+
+    def insert(self, table: Table, row: Dict[str, Any]) -> None:
+        coerced = table.coerce_row(row)
+        names = list(coerced)
+        sql = (
+            f"INSERT INTO {table.name} ({', '.join(names)}) "
+            f"VALUES ({', '.join('?' for _ in names)})"
+        )
+        with self._lock:
+            self._conn.execute(sql, [coerced[n] for n in names])
+            self._conn.commit()
+
+    def insert_many(self, table: Table, rows: Iterable[Dict[str, Any]]) -> int:
+        coerced = [table.coerce_row(r) for r in rows]
+        if not coerced:
+            return 0
+        names = table.column_names()
+        sql = (
+            f"INSERT INTO {table.name} ({', '.join(names)}) "
+            f"VALUES ({', '.join('?' for _ in names)})"
+        )
+        params = [[row.get(n) for n in names] for row in coerced]
+        with self._lock:
+            self._conn.executemany(sql, params)
+            self._conn.commit()
+        return len(coerced)
+
+    def select(self, query: Query) -> List[Dict[str, Any]]:
+        sql, params = query.to_sql()
+        with self._lock:
+            rows = self._conn.execute(sql, params).fetchall()
+        return [query.table.from_storage(r) for r in rows]
+
+    def update(
+        self, table: Table, values: Dict[str, Any], where: Dict[str, Any]
+    ) -> int:
+        if not values:
+            return 0
+        set_names = list(values)
+        where_names = list(where)
+        sql = (
+            f"UPDATE {table.name} SET "
+            + ", ".join(f"{n} = ?" for n in set_names)
+            + (
+                " WHERE " + " AND ".join(f"{n} = ?" for n in where_names)
+                if where_names
+                else ""
+            )
+        )
+        params = [
+            table.by_name[n].type.to_storage(values[n]) for n in set_names
+        ] + [table.by_name[n].type.to_storage(where[n]) for n in where_names]
+        with self._lock:
+            cur = self._conn.execute(sql, params)
+            self._conn.commit()
+            return cur.rowcount
+
+    def count(self, table: Table) -> int:
+        with self._lock:
+            (n,) = self._conn.execute(f"SELECT COUNT(*) FROM {table.name}").fetchone()
+        return int(n)
+
+    def close(self) -> None:
+        with self._lock:
+            self._conn.close()
+
+
+class MemoryDatabase(Database):
+    """Pure-Python backend: rows are dicts in per-table lists."""
+
+    def __init__(self):
+        self._tables: Dict[str, List[Dict[str, Any]]] = {}
+        self._meta: Dict[str, Table] = {}
+        self._lock = threading.Lock()
+
+    def create_tables(self, tables: Sequence[Table]) -> None:
+        with self._lock:
+            for table in tables:
+                self._tables.setdefault(table.name, [])
+                self._meta[table.name] = table
+
+    def _require(self, table: Table) -> List[Dict[str, Any]]:
+        if table.name not in self._tables:
+            raise KeyError(f"table {table.name!r} does not exist (create_tables first)")
+        return self._tables[table.name]
+
+    def insert(self, table: Table, row: Dict[str, Any]) -> None:
+        coerced = table.coerce_row(row)
+        with self._lock:
+            self._require(table).append(coerced)
+
+    def insert_many(self, table: Table, rows: Iterable[Dict[str, Any]]) -> int:
+        coerced = [table.coerce_row(r) for r in rows]
+        with self._lock:
+            self._require(table).extend(coerced)
+        return len(coerced)
+
+    def select(self, query: Query) -> List[Dict[str, Any]]:
+        with self._lock:
+            rows = list(self._require(query.table))
+        stored = query.apply(rows)
+        cols = query.table.columns
+        return [
+            {c.name: c.type.from_storage(r.get(c.name)) for c in cols} for r in stored
+        ]
+
+    def update(
+        self, table: Table, values: Dict[str, Any], where: Dict[str, Any]
+    ) -> int:
+        stored_values = {
+            n: table.by_name[n].type.to_storage(v) for n, v in values.items()
+        }
+        stored_where = {
+            n: table.by_name[n].type.to_storage(v) for n, v in where.items()
+        }
+        changed = 0
+        with self._lock:
+            for row in self._require(table):
+                if all(row.get(n) == v for n, v in stored_where.items()):
+                    row.update(stored_values)
+                    changed += 1
+        return changed
+
+    def count(self, table: Table) -> int:
+        with self._lock:
+            return len(self._require(table))
+
+
+def connect(conn_string: str) -> Database:
+    """Open a backend from a SQLAlchemy-style connection string."""
+    if conn_string.startswith("sqlite:///"):
+        return SqliteDatabase(conn_string[len("sqlite:///") :] or ":memory:")
+    if conn_string in ("memory://", "memory"):
+        return MemoryDatabase()
+    raise ValueError(
+        f"unsupported connection string {conn_string!r}; "
+        "use 'sqlite:///PATH' or 'memory://'"
+    )

@@ -1,0 +1,130 @@
+"""Backend-neutral query builder.
+
+A :class:`Query` is a declarative description — table, predicates, ordering,
+limit — that each backend executes its own way: the sqlite backend compiles
+it to parameterized SQL, the memory backend evaluates predicates in Python.
+Only the operators the Stampede tools need are implemented.
+"""
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.orm.table import Table
+
+__all__ = ["Query", "Predicate"]
+
+_OPS: Dict[str, Callable[[Any, Any], bool]] = {
+    "=": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a is not None and a < b,
+    "<=": lambda a, b: a is not None and a <= b,
+    ">": lambda a, b: a is not None and a > b,
+    ">=": lambda a, b: a is not None and a >= b,
+    "like": lambda a, b: a is not None and _like(a, b),
+    "in": lambda a, b: a in b,
+}
+
+
+def _like(value: str, pattern: str) -> bool:
+    """SQL LIKE with % and _ wildcards (case-insensitive, as sqlite defaults)."""
+    import re
+
+    regex = re.escape(pattern).replace("%", ".*").replace("_", ".")
+    return re.fullmatch(regex, str(value), re.IGNORECASE | re.DOTALL) is not None
+
+
+class Predicate:
+    __slots__ = ("column", "op", "value")
+
+    def __init__(self, column: str, op: str, value: Any):
+        if op not in _OPS:
+            raise ValueError(f"unsupported operator {op!r}; use one of {sorted(_OPS)}")
+        self.column = column
+        self.op = op
+        self.value = value
+
+    def evaluate(self, row: Dict[str, Any]) -> bool:
+        return _OPS[self.op](row.get(self.column), self.value)
+
+    def to_sql(self) -> Tuple[str, List[Any]]:
+        if self.op == "in":
+            values = list(self.value)
+            if not values:
+                return "1 = 0", []
+            marks = ", ".join("?" for _ in values)
+            return f"{self.column} IN ({marks})", values
+        op = "LIKE" if self.op == "like" else self.op
+        return f"{self.column} {op} ?", [self.value]
+
+
+class Query:
+    """Immutable-ish fluent query over one table."""
+
+    def __init__(self, table: Table):
+        self.table = table
+        self.predicates: List[Predicate] = []
+        self.order: List[Tuple[str, bool]] = []  # (column, descending)
+        self.limit_count: Optional[int] = None
+        self.offset_count: int = 0
+
+    def where(self, column: str, op: str, value: Any) -> "Query":
+        if column not in self.table.by_name:
+            raise ValueError(f"no column {column!r} in table {self.table.name!r}")
+        stored = self.table.by_name[column].type.to_storage
+        coerced = [stored(v) for v in value] if op == "in" else stored(value)
+        self.predicates.append(Predicate(column, op, coerced))
+        return self
+
+    def eq(self, column: str, value: Any) -> "Query":
+        return self.where(column, "=", value)
+
+    def order_by(self, column: str, descending: bool = False) -> "Query":
+        if column not in self.table.by_name:
+            raise ValueError(f"no column {column!r} in table {self.table.name!r}")
+        self.order.append((column, descending))
+        return self
+
+    def limit(self, count: int, offset: int = 0) -> "Query":
+        self.limit_count = count
+        self.offset_count = offset
+        return self
+
+    # -- sqlite compilation -----------------------------------------------------
+    def to_sql(self) -> Tuple[str, List[Any]]:
+        sql = f"SELECT {', '.join(self.table.column_names())} FROM {self.table.name}"
+        params: List[Any] = []
+        if self.predicates:
+            clauses = []
+            for pred in self.predicates:
+                clause, vals = pred.to_sql()
+                clauses.append(clause)
+                params.extend(vals)
+            sql += " WHERE " + " AND ".join(clauses)
+        if self.order:
+            terms = [f"{c} {'DESC' if d else 'ASC'}" for c, d in self.order]
+            sql += " ORDER BY " + ", ".join(terms)
+        if self.limit_count is not None:
+            sql += " LIMIT ? OFFSET ?"
+            params.extend([self.limit_count, self.offset_count])
+        return sql, params
+
+    # -- memory evaluation ---------------------------------------------------------
+    def apply(self, rows: Sequence[Dict[str, Any]]) -> List[Dict[str, Any]]:
+        out = [r for r in rows if all(p.evaluate(r) for p in self.predicates)]
+        # Stable multi-key sort: apply keys in reverse significance order.
+        for column, descending in reversed(self.order):
+            out.sort(key=lambda r: _sort_key(r.get(column)), reverse=descending)
+        if self.limit_count is not None:
+            out = out[self.offset_count : self.offset_count + self.limit_count]
+        elif self.offset_count:
+            out = out[self.offset_count :]
+        return out
+
+
+def _sort_key(value: Any) -> Tuple[int, Any]:
+    """None sorts first, then type-grouped values (mirrors sqlite NULL order)."""
+    if value is None:
+        return (0, 0)
+    if isinstance(value, (int, float)):
+        return (1, value)
+    return (2, str(value))

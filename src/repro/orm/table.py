@@ -1,0 +1,76 @@
+"""Table metadata: ordered columns, row coercion, DDL generation."""
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.orm.columns import Column
+
+__all__ = ["Table"]
+
+
+class Table:
+    """Schema metadata for one table."""
+
+    def __init__(self, name: str, columns: Sequence[Column]):
+        if not name.isidentifier():
+            raise ValueError(f"invalid table name {name!r}")
+        if not columns:
+            raise ValueError(f"table {name!r} requires at least one column")
+        names = [c.name for c in columns]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate column names in table {name!r}: {names}")
+        pks = [c for c in columns if c.primary_key]
+        if len(pks) > 1:
+            raise ValueError(f"table {name!r} declares multiple primary keys")
+        self.name = name
+        self.columns: List[Column] = list(columns)
+        self.by_name: Dict[str, Column] = {c.name: c for c in columns}
+        self.primary_key: Optional[Column] = pks[0] if pks else None
+
+    # -- DDL -------------------------------------------------------------------
+    def create_sql(self) -> str:
+        cols = ", ".join(c.ddl() for c in self.columns)
+        return f"CREATE TABLE IF NOT EXISTS {self.name} ({cols})"
+
+    def index_sql(self) -> List[str]:
+        return [
+            f"CREATE INDEX IF NOT EXISTS ix_{self.name}_{c.name} "
+            f"ON {self.name} ({c.name})"
+            for c in self.columns
+            if c.index and not c.primary_key
+        ]
+
+    # -- row handling ------------------------------------------------------------
+    def coerce_row(self, row: Dict[str, Any]) -> Dict[str, Any]:
+        """Validate and convert a row dict to storage representation."""
+        unknown = set(row) - set(self.by_name)
+        if unknown:
+            raise ValueError(f"unknown column(s) for {self.name!r}: {sorted(unknown)}")
+        out: Dict[str, Any] = {}
+        for col in self.columns:
+            if col.name in row:
+                value = row[col.name]
+            elif callable(col.default):
+                value = col.default()
+            else:
+                value = col.default
+            stored = col.type.to_storage(value)
+            if stored is None and not col.nullable and not col.primary_key:
+                raise ValueError(
+                    f"column {self.name}.{col.name} is NOT NULL but got None"
+                )
+            out[col.name] = stored
+        return out
+
+    def from_storage(self, values: Sequence[Any]) -> Dict[str, Any]:
+        """Convert a storage tuple (in column order) back to a row dict."""
+        return {
+            col.name: col.type.from_storage(value)
+            for col, value in zip(self.columns, values)
+        }
+
+    def column_names(self) -> List[str]:
+        return [c.name for c in self.columns]
+
+    def __repr__(self) -> str:
+        return f"Table({self.name!r}, {len(self.columns)} columns)"

@@ -1,0 +1,68 @@
+"""Pegasus-style workflow engine: abstract workflows, planner (clustering +
+auxiliary jobs), site catalog, and a DAGMan/Condor-style executor."""
+from repro.pegasus.abstract import AbstractTask, AbstractWorkflow
+from repro.pegasus.dagman import DAGManReport, DAGManRun, run_pegasus_workflow
+from repro.pegasus.dax import (
+    dag_to_string,
+    dax_to_string,
+    parse_dax,
+    write_dag,
+    write_dax,
+)
+from repro.pegasus.events import PegasusEventEmitter
+from repro.pegasus.hierarchy import (
+    HierarchicalRun,
+    SubDaxJob,
+    run_hierarchical_workflow,
+    run_with_restarts,
+)
+from repro.pegasus.executable import ExecutableJob, ExecutableWorkflow, JobType
+from repro.pegasus.condor_log import (
+    JobstateEntry,
+    JobstateLogWriter,
+    KickstartRecord,
+    KickstartWriter,
+    parse_jobstate_log,
+    parse_kickstart_records,
+)
+from repro.pegasus.normalizer import (
+    PegasusLogNormalizer,
+    RawLogRecorder,
+    normalize_run,
+)
+from repro.pegasus.planner import Planner, PlannerConfig
+from repro.pegasus.sites import Site, SiteCatalog
+
+__all__ = [
+    "AbstractTask",
+    "AbstractWorkflow",
+    "DAGManReport",
+    "DAGManRun",
+    "run_pegasus_workflow",
+    "PegasusEventEmitter",
+    "HierarchicalRun",
+    "SubDaxJob",
+    "run_hierarchical_workflow",
+    "run_with_restarts",
+    "ExecutableJob",
+    "ExecutableWorkflow",
+    "JobType",
+    "Planner",
+    "PlannerConfig",
+    "JobstateEntry",
+    "JobstateLogWriter",
+    "KickstartRecord",
+    "KickstartWriter",
+    "parse_jobstate_log",
+    "parse_kickstart_records",
+    "PegasusLogNormalizer",
+    "RawLogRecorder",
+    "normalize_run",
+    "dag_to_string",
+    "dax_to_string",
+    "parse_dax",
+    "write_dag",
+    "write_dax",
+    "Site",
+    "SiteCatalog",
+]

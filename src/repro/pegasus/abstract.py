@@ -1,0 +1,100 @@
+"""Abstract workflows (the Pegasus DAX): tasks + dependencies.
+
+The AW is "the input graph of tasks and dependencies, independent of a
+given run on specific resources" (paper §IV-A) and must be a DAG.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.util.graph import CycleError, DiGraph
+
+__all__ = ["AbstractTask", "AbstractWorkflow"]
+
+
+@dataclass
+class AbstractTask:
+    """One computation in the abstract workflow."""
+
+    task_id: str
+    transformation: str
+    argv: str = ""
+    runtime_estimate: float = 10.0  # seconds on a reference core
+    inputs: List[str] = field(default_factory=list)  # logical file names
+    outputs: List[str] = field(default_factory=list)
+
+
+class AbstractWorkflow:
+    """A DAX: named DAG of abstract tasks."""
+
+    def __init__(self, label: str, version: str = "3.4"):
+        self.label = label
+        self.version = version
+        self._tasks: Dict[str, AbstractTask] = {}
+        self._graph = DiGraph()
+
+    # -- construction -----------------------------------------------------
+    def add_task(self, task: AbstractTask) -> AbstractTask:
+        if task.task_id in self._tasks:
+            raise ValueError(f"duplicate task id {task.task_id!r}")
+        self._tasks[task.task_id] = task
+        self._graph.add_node(task.task_id)
+        return task
+
+    def add_dependency(self, parent_id: str, child_id: str) -> None:
+        for tid in (parent_id, child_id):
+            if tid not in self._tasks:
+                raise KeyError(f"unknown task {tid!r}")
+        self._graph.add_edge(parent_id, child_id)
+        if not self._graph.is_dag():
+            raise CycleError(self._graph.find_cycle())
+
+    # -- queries -----------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._tasks)
+
+    def __contains__(self, task_id: str) -> bool:
+        return task_id in self._tasks
+
+    def task(self, task_id: str) -> AbstractTask:
+        return self._tasks[task_id]
+
+    def tasks(self) -> List[AbstractTask]:
+        return list(self._tasks.values())
+
+    def edges(self) -> List[Tuple[str, str]]:
+        return self._graph.edges()
+
+    def parents(self, task_id: str) -> List[str]:
+        return self._graph.predecessors(task_id)
+
+    def children(self, task_id: str) -> List[str]:
+        return self._graph.successors(task_id)
+
+    def roots(self) -> List[str]:
+        return self._graph.roots()
+
+    def leaves(self) -> List[str]:
+        return self._graph.leaves()
+
+    def levels(self) -> Dict[str, int]:
+        return self._graph.levels()
+
+    def topological_order(self) -> List[str]:
+        return self._graph.topological_order()
+
+    def critical_path_seconds(self) -> float:
+        return self._graph.critical_path_length(
+            lambda tid: self._tasks[tid].runtime_estimate
+        )
+
+    def critical_path(self, weight) -> float:
+        """Critical-path length under a caller-supplied task-id weight."""
+        return self._graph.critical_path_length(weight)
+
+    def __repr__(self) -> str:
+        return (
+            f"<AbstractWorkflow {self.label!r}: {len(self)} tasks, "
+            f"{len(self.edges())} edges>"
+        )

@@ -1,0 +1,246 @@
+"""Raw Pegasus/Condor log formats: jobstate.log and kickstart records.
+
+Before Stampede, "the workflow and job logs were converted to NetLogger BP
+format and uploaded ... after the workflows completed" (paper §III-A).
+Those *raw* logs are what the workflow-system-specific normalizer consumes
+(Fig. 1's "workflow logs" box).  This module implements the two formats
+the Pegasus toolchain actually produces:
+
+* **jobstate.log** — one line per job-state transition, written by
+  pegasus-monitord next to the DAGMan logs::
+
+      1331642138.50 create_dir_0 SUBMIT 42.0 pool - 1
+      1331642140.10 create_dir_0 EXECUTE 42.0 pool - 1
+      ...
+
+  Fields: timestamp, exec job id, state, Condor sched id, site, an unused
+  placeholder, and the job submit sequence.
+
+* **kickstart records** — one per invocation, emitted by the remote
+  wrapper; a small XML document carrying the measured duration, exit code
+  and identity of each executable run.
+"""
+from __future__ import annotations
+
+import io
+import os
+import re
+import xml.etree.ElementTree as ET
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, TextIO, Union
+
+__all__ = [
+    "JobstateEntry",
+    "JobstateLogWriter",
+    "parse_jobstate_log",
+    "KickstartRecord",
+    "KickstartWriter",
+    "parse_kickstart_records",
+]
+
+PathOrFile = Union[str, os.PathLike, TextIO]
+
+_JOBSTATE_RE = re.compile(
+    r"^(?P<ts>\d+(?:\.\d+)?)\s+(?P<job>\S+)\s+(?P<state>[A-Z_]+)\s+"
+    r"(?P<sched>\S+)\s+(?P<site>\S+)\s+(?P<unused>\S+)\s+(?P<seq>\d+)\s*$"
+)
+
+
+@dataclass(frozen=True)
+class JobstateEntry:
+    """One jobstate.log line."""
+
+    ts: float
+    exec_job_id: str
+    state: str
+    sched_id: str
+    site: str
+    job_submit_seq: int
+
+    def to_line(self) -> str:
+        return (
+            f"{self.ts:.3f} {self.exec_job_id} {self.state} "
+            f"{self.sched_id} {self.site} - {self.job_submit_seq}"
+        )
+
+    @classmethod
+    def from_line(cls, line: str) -> "JobstateEntry":
+        m = _JOBSTATE_RE.match(line)
+        if m is None:
+            raise ValueError(f"malformed jobstate.log line: {line!r}")
+        return cls(
+            ts=float(m.group("ts")),
+            exec_job_id=m.group("job"),
+            state=m.group("state"),
+            sched_id=m.group("sched"),
+            site=m.group("site"),
+            job_submit_seq=int(m.group("seq")),
+        )
+
+
+class JobstateLogWriter:
+    """Appends jobstate entries to a file (or file-like)."""
+
+    def __init__(self, target: PathOrFile):
+        if isinstance(target, (str, os.PathLike)):
+            self._fh: TextIO = open(target, "a", encoding="utf-8")
+            self._owns = True
+        else:
+            self._fh = target
+            self._owns = False
+        self.entries_written = 0
+
+    def write(self, entry: JobstateEntry) -> None:
+        self._fh.write(entry.to_line() + "\n")
+        self._fh.flush()
+        self.entries_written += 1
+
+    def close(self) -> None:
+        if self._owns:
+            self._fh.close()
+
+    def __enter__(self) -> "JobstateLogWriter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def parse_jobstate_log(source: PathOrFile) -> Iterator[JobstateEntry]:
+    """Iterate the entries of a jobstate.log."""
+    close = False
+    if isinstance(source, (str, os.PathLike)):
+        fh: TextIO = open(source, "r", encoding="utf-8")
+        close = True
+    else:
+        fh = source
+    try:
+        for line in fh:
+            stripped = line.strip()
+            if not stripped or stripped.startswith("#"):
+                continue
+            yield JobstateEntry.from_line(stripped)
+    finally:
+        if close:
+            fh.close()
+
+
+@dataclass
+class KickstartRecord:
+    """One invocation record, as the remote kickstart wrapper reports it."""
+
+    exec_job_id: str
+    job_submit_seq: int
+    inv_seq: int
+    transformation: str
+    executable: str
+    start: float
+    duration: float
+    exitcode: int
+    site: str
+    hostname: str
+    argv: str = ""
+    task_id: Optional[str] = None
+    cpu_time: Optional[float] = None
+
+    def to_xml(self) -> str:
+        inv = ET.Element(
+            "invocation",
+            {
+                "job": self.exec_job_id,
+                "seq": str(self.job_submit_seq),
+                "inv": str(self.inv_seq),
+                "transformation": self.transformation,
+                "start": f"{self.start:.6f}",
+                "duration": f"{self.duration:.6f}",
+                "resource": self.site,
+                "hostname": self.hostname,
+            },
+        )
+        if self.task_id is not None:
+            inv.set("derivation", self.task_id)
+        main = ET.SubElement(inv, "mainjob")
+        ET.SubElement(main, "status", {"raw": str(self.exitcode)})
+        stat = ET.SubElement(main, "statcall")
+        ET.SubElement(stat, "file", {"name": self.executable})
+        if self.argv:
+            args = ET.SubElement(main, "arguments")
+            args.text = self.argv
+        if self.cpu_time is not None:
+            usage = ET.SubElement(main, "usage")
+            usage.set("utime", f"{self.cpu_time:.6f}")
+        return ET.tostring(inv, encoding="unicode")
+
+    @classmethod
+    def from_xml(cls, text: str) -> "KickstartRecord":
+        root = ET.fromstring(text)
+        if root.tag != "invocation":
+            raise ValueError(f"not a kickstart record: root tag {root.tag!r}")
+        main = root.find("mainjob")
+        if main is None:
+            raise ValueError("kickstart record missing <mainjob>")
+        status = main.find("status")
+        statfile = main.find("statcall/file")
+        args = main.find("arguments")
+        usage = main.find("usage")
+        return cls(
+            exec_job_id=root.attrib["job"],
+            job_submit_seq=int(root.attrib["seq"]),
+            inv_seq=int(root.attrib["inv"]),
+            transformation=root.attrib["transformation"],
+            executable=statfile.attrib["name"] if statfile is not None else "",
+            start=float(root.attrib["start"]),
+            duration=float(root.attrib["duration"]),
+            exitcode=int(status.attrib["raw"]) if status is not None else 0,
+            site=root.attrib.get("resource", ""),
+            hostname=root.attrib.get("hostname", ""),
+            argv=(args.text or "") if args is not None else "",
+            task_id=root.attrib.get("derivation"),
+            cpu_time=float(usage.attrib["utime"]) if usage is not None else None,
+        )
+
+
+class KickstartWriter:
+    """Appends kickstart records, one XML document per line."""
+
+    def __init__(self, target: PathOrFile):
+        if isinstance(target, (str, os.PathLike)):
+            self._fh: TextIO = open(target, "a", encoding="utf-8")
+            self._owns = True
+        else:
+            self._fh = target
+            self._owns = False
+        self.records_written = 0
+
+    def write(self, record: KickstartRecord) -> None:
+        self._fh.write(record.to_xml() + "\n")
+        self._fh.flush()
+        self.records_written += 1
+
+    def close(self) -> None:
+        if self._owns:
+            self._fh.close()
+
+    def __enter__(self) -> "KickstartWriter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def parse_kickstart_records(source: PathOrFile) -> Iterator[KickstartRecord]:
+    """Iterate kickstart records from a one-record-per-line file."""
+    close = False
+    if isinstance(source, (str, os.PathLike)):
+        fh: TextIO = open(source, "r", encoding="utf-8")
+        close = True
+    else:
+        fh = source
+    try:
+        for line in fh:
+            stripped = line.strip()
+            if stripped:
+                yield KickstartRecord.from_xml(stripped)
+    finally:
+        if close:
+            fh.close()

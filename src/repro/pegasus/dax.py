@@ -1,0 +1,145 @@
+"""Workflow interchange formats: DAX XML and Condor DAGMan .dag files.
+
+The abstract workflow enters Pegasus as a DAX document ("dax.file" in the
+``stampede.wf.plan`` event) and the planner's output is a DAGMan .dag
+file ("dag.file.name").  This module implements both:
+
+* :func:`write_dax` / :func:`parse_dax` — a DAX 3.4-style XML subset:
+  ``<adag>`` with ``<job>`` (id, namespace::name transformation,
+  ``<argument>``, runtime profile) and ``<child><parent/></child>``
+  dependencies;
+* :func:`write_dag` — the Condor DAGMan description of an executable
+  workflow (JOB / RETRY / PARENT..CHILD lines).
+"""
+from __future__ import annotations
+
+import os
+import xml.etree.ElementTree as ET
+from typing import List, Union
+
+from repro.pegasus.abstract import AbstractTask, AbstractWorkflow
+from repro.pegasus.executable import ExecutableWorkflow
+
+__all__ = ["write_dax", "parse_dax", "dax_to_string", "write_dag",
+           "dag_to_string"]
+
+_DAX_NS = "http://pegasus.isi.edu/schema/DAX"
+
+
+def dax_to_string(aw: AbstractWorkflow) -> str:
+    """Serialize an abstract workflow as DAX XML."""
+    adag = ET.Element(
+        "adag",
+        {
+            "xmlns": _DAX_NS,
+            "version": aw.version,
+            "name": aw.label,
+            "jobCount": str(len(aw)),
+            "childCount": str(len({c for _p, c in aw.edges()})),
+        },
+    )
+    for task in aw.tasks():
+        namespace, _, name = task.transformation.rpartition("::")
+        job = ET.SubElement(
+            adag,
+            "job",
+            {"id": task.task_id, "name": name or task.transformation},
+        )
+        if namespace:
+            job.set("namespace", namespace)
+        if task.argv:
+            arg = ET.SubElement(job, "argument")
+            arg.text = task.argv
+        profile = ET.SubElement(
+            job, "profile", {"namespace": "pegasus", "key": "runtime"}
+        )
+        profile.text = f"{task.runtime_estimate:.6f}"
+        for lfn in task.inputs:
+            ET.SubElement(job, "uses", {"name": lfn, "link": "input"})
+        for lfn in task.outputs:
+            ET.SubElement(job, "uses", {"name": lfn, "link": "output"})
+    # dependencies grouped per child, as real DAX does
+    children: dict = {}
+    for parent, child in aw.edges():
+        children.setdefault(child, []).append(parent)
+    for child, parents in children.items():
+        node = ET.SubElement(adag, "child", {"ref": child})
+        for parent in parents:
+            ET.SubElement(node, "parent", {"ref": parent})
+    ET.indent(adag)
+    return ET.tostring(adag, encoding="unicode")
+
+
+def write_dax(aw: AbstractWorkflow, path: Union[str, os.PathLike]) -> str:
+    """Write the DAX file; returns the path as str."""
+    text = '<?xml version="1.0" encoding="UTF-8"?>\n' + dax_to_string(aw)
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(text + "\n")
+    return str(path)
+
+
+def parse_dax(source: Union[str, os.PathLike]) -> AbstractWorkflow:
+    """Parse a DAX document (path or XML string) into an AbstractWorkflow."""
+    text = source
+    if isinstance(source, (str, os.PathLike)) and os.path.exists(str(source)):
+        with open(source, "r", encoding="utf-8") as fh:
+            text = fh.read()
+    root = ET.fromstring(str(text))
+    tag = root.tag.split("}")[-1]
+    if tag != "adag":
+        raise ValueError(f"not a DAX document: root element {root.tag!r}")
+    ns = root.tag[: -len(tag)] if root.tag.startswith("{") else ""
+    aw = AbstractWorkflow(
+        root.attrib.get("name", "unnamed"),
+        version=root.attrib.get("version", "3.4"),
+    )
+    for job in root.findall(f"{ns}job"):
+        namespace = job.attrib.get("namespace", "")
+        name = job.attrib["name"]
+        transformation = f"{namespace}::{name}" if namespace else name
+        arg = job.find(f"{ns}argument")
+        runtime = 10.0
+        for profile in job.findall(f"{ns}profile"):
+            if (
+                profile.attrib.get("namespace") == "pegasus"
+                and profile.attrib.get("key") == "runtime"
+                and profile.text
+            ):
+                runtime = float(profile.text)
+        inputs, outputs = [], []
+        for uses in job.findall(f"{ns}uses"):
+            target = inputs if uses.attrib.get("link") == "input" else outputs
+            target.append(uses.attrib["name"])
+        aw.add_task(
+            AbstractTask(
+                job.attrib["id"],
+                transformation=transformation,
+                argv=(arg.text or "").strip() if arg is not None else "",
+                runtime_estimate=runtime,
+                inputs=inputs,
+                outputs=outputs,
+            )
+        )
+    for child in root.findall(f"{ns}child"):
+        child_id = child.attrib["ref"]
+        for parent in child.findall(f"{ns}parent"):
+            aw.add_dependency(parent.attrib["ref"], child_id)
+    return aw
+
+
+def dag_to_string(ew: ExecutableWorkflow) -> str:
+    """Render an executable workflow as a Condor DAGMan .dag description."""
+    lines: List[str] = [f"# {ew.dag_name} — generated by repro.pegasus"]
+    for job in ew.jobs():
+        lines.append(f"JOB {job.exec_job_id} {job.exec_job_id}.sub")
+        if job.max_retries:
+            lines.append(f"RETRY {job.exec_job_id} {job.max_retries}")
+    for parent, child in ew.edges():
+        lines.append(f"PARENT {parent} CHILD {child}")
+    return "\n".join(lines)
+
+
+def write_dag(ew: ExecutableWorkflow, path: Union[str, os.PathLike]) -> str:
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(dag_to_string(ew) + "\n")
+    return str(path)

@@ -1,0 +1,146 @@
+"""Executable workflows: the result of planning an AW onto resources.
+
+"A node in the EW can be associated with one or more tasks in the AW.  It
+may also represent jobs added by the workflow system to manage the
+workflow that were not present in the AW, for example jobs added to
+stage-in data" (paper §IV-A).
+"""
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.pegasus.abstract import AbstractTask
+from repro.util.graph import DiGraph
+
+__all__ = ["JobType", "ExecutableJob", "ExecutableWorkflow"]
+
+
+class JobType(enum.Enum):
+    """type_desc vocabulary for EW jobs."""
+
+    COMPUTE = "compute"
+    STAGE_IN = "stage-in-tx"
+    STAGE_OUT = "stage-out-tx"
+    REGISTRATION = "registration"
+    CREATE_DIR = "create-dir"
+    CLEANUP = "cleanup"
+    DAX = "dax"  # sub-workflow job
+
+    def __str__(self) -> str:
+        return self.value
+
+
+#: Auxiliary job types have no corresponding AW task.
+AUXILIARY_TYPES = frozenset(
+    {JobType.STAGE_IN, JobType.STAGE_OUT, JobType.REGISTRATION,
+     JobType.CREATE_DIR, JobType.CLEANUP}
+)
+
+
+@dataclass
+class ExecutableJob:
+    """One node of the EW: one or more AW tasks, or an auxiliary action."""
+
+    exec_job_id: str
+    job_type: JobType
+    tasks: List[AbstractTask] = field(default_factory=list)
+    site: Optional[str] = None  # pinned site, or None = scheduler's choice
+    max_retries: int = 3
+    executable: str = ""
+    argv: str = ""
+    runtime_seconds: float = 0.0  # auxiliary jobs: fixed cost
+
+    @property
+    def clustered(self) -> bool:
+        return len(self.tasks) > 1
+
+    @property
+    def task_count(self) -> int:
+        return len(self.tasks)
+
+    @property
+    def is_compute(self) -> bool:
+        return self.job_type is JobType.COMPUTE
+
+    def total_task_runtime(self) -> float:
+        """Serial runtime of the contained tasks (reference core)."""
+        if self.tasks:
+            return sum(t.runtime_estimate for t in self.tasks)
+        return self.runtime_seconds
+
+    def __repr__(self) -> str:
+        return (
+            f"<ExecutableJob {self.exec_job_id!r} {self.job_type} "
+            f"tasks={self.task_count}>"
+        )
+
+
+class ExecutableWorkflow:
+    """The planned DAG of executable jobs."""
+
+    def __init__(self, dag_name: str):
+        self.dag_name = dag_name
+        self._jobs: Dict[str, ExecutableJob] = {}
+        self._graph = DiGraph()
+
+    def add_job(self, job: ExecutableJob) -> ExecutableJob:
+        if job.exec_job_id in self._jobs:
+            raise ValueError(f"duplicate job id {job.exec_job_id!r}")
+        self._jobs[job.exec_job_id] = job
+        self._graph.add_node(job.exec_job_id)
+        return job
+
+    def add_dependency(self, parent_id: str, child_id: str) -> None:
+        for jid in (parent_id, child_id):
+            if jid not in self._jobs:
+                raise KeyError(f"unknown job {jid!r}")
+        self._graph.add_edge(parent_id, child_id)
+
+    def __len__(self) -> int:
+        return len(self._jobs)
+
+    def __contains__(self, job_id: str) -> bool:
+        return job_id in self._jobs
+
+    def job(self, job_id: str) -> ExecutableJob:
+        return self._jobs[job_id]
+
+    def jobs(self) -> List[ExecutableJob]:
+        return list(self._jobs.values())
+
+    def compute_jobs(self) -> List[ExecutableJob]:
+        return [j for j in self._jobs.values() if j.is_compute]
+
+    def edges(self) -> List[Tuple[str, str]]:
+        return self._graph.edges()
+
+    def parents(self, job_id: str) -> List[str]:
+        return self._graph.predecessors(job_id)
+
+    def children(self, job_id: str) -> List[str]:
+        return self._graph.successors(job_id)
+
+    def roots(self) -> List[str]:
+        return self._graph.roots()
+
+    def topological_order(self) -> List[str]:
+        return self._graph.topological_order()
+
+    def is_dag(self) -> bool:
+        return self._graph.is_dag()
+
+    def task_to_job_map(self) -> Dict[str, str]:
+        """abs task id -> exec job id (the wf.map.task_job events)."""
+        mapping: Dict[str, str] = {}
+        for job in self._jobs.values():
+            for task in job.tasks:
+                mapping[task.task_id] = job.exec_job_id
+        return mapping
+
+    def __repr__(self) -> str:
+        return (
+            f"<ExecutableWorkflow {self.dag_name!r}: {len(self)} jobs, "
+            f"{len(self.edges())} edges>"
+        )

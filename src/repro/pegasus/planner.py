@@ -1,0 +1,173 @@
+"""The Pegasus planner: maps an abstract workflow onto resources.
+
+Implements the planning behaviours the paper contrasts with Triana:
+
+* **horizontal clustering** — tasks at the same DAG level sharing a
+  transformation are merged into clustered jobs ("multiple tasks may be
+  clustered into a larger executable job during the planning stage"),
+  making the AW-task → EW-job mapping many-to-one;
+* **auxiliary jobs** — create-dir, stage-in, stage-out, registration and
+  cleanup jobs that exist only in the EW ("jobs added by the workflow
+  system to manage the workflow that were not present in the AW").
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.pegasus.abstract import AbstractWorkflow
+from repro.pegasus.executable import ExecutableJob, ExecutableWorkflow, JobType
+from repro.pegasus.sites import SiteCatalog
+
+__all__ = ["PlannerConfig", "Planner"]
+
+
+@dataclass
+class PlannerConfig:
+    """Planning knobs."""
+
+    cluster_size: int = 1  # 1 = no clustering
+    max_retries: int = 3
+    add_create_dir: bool = True
+    add_stage_in: bool = True
+    add_stage_out: bool = True
+    add_registration: bool = False
+    add_cleanup: bool = False
+    stage_in_seconds: float = 4.0
+    stage_out_seconds: float = 4.0
+    create_dir_seconds: float = 1.0
+    registration_seconds: float = 2.0
+    cleanup_seconds: float = 1.0
+
+    def __post_init__(self):
+        if self.cluster_size < 1:
+            raise ValueError("cluster_size must be >= 1")
+
+
+class Planner:
+    """AW + site catalog → EW."""
+
+    def __init__(self, catalog: Optional[SiteCatalog] = None,
+                 config: Optional[PlannerConfig] = None):
+        self.catalog = catalog or SiteCatalog.default()
+        self.config = config or PlannerConfig()
+
+    def plan(self, aw: AbstractWorkflow) -> ExecutableWorkflow:
+        """Produce the executable workflow for one abstract workflow."""
+        config = self.config
+        ew = ExecutableWorkflow(f"{aw.label}-0.dag")
+
+        # 1. cluster compute tasks: group by (level, transformation)
+        levels = aw.levels()
+        groups: Dict[tuple, List[str]] = {}
+        for task_id in aw.topological_order():
+            task = aw.task(task_id)
+            groups.setdefault((levels[task_id], task.transformation), []).append(
+                task_id
+            )
+        task_to_job: Dict[str, str] = {}
+        cluster_index = 0
+        for (level, transformation), task_ids in groups.items():
+            for start in range(0, len(task_ids), config.cluster_size):
+                chunk = task_ids[start : start + config.cluster_size]
+                if len(chunk) == 1:
+                    job_id = chunk[0]
+                else:
+                    job_id = f"merge_{transformation}_{cluster_index}"
+                    cluster_index += 1
+                job = ExecutableJob(
+                    exec_job_id=job_id,
+                    job_type=JobType.COMPUTE,
+                    tasks=[aw.task(t) for t in chunk],
+                    max_retries=config.max_retries,
+                    executable=transformation,
+                    argv=" ; ".join(aw.task(t).argv for t in chunk).strip(" ;"),
+                )
+                ew.add_job(job)
+                for t in chunk:
+                    task_to_job[t] = job_id
+
+        # 2. compute-job dependencies induced by task edges
+        for parent_task, child_task in aw.edges():
+            pj, cj = task_to_job[parent_task], task_to_job[child_task]
+            if pj != cj:
+                ew.add_dependency(pj, cj)
+
+        compute_roots = [j for j in ew.roots() if ew.job(j).is_compute]
+        compute_leaves = [
+            j.exec_job_id
+            for j in ew.compute_jobs()
+            if not any(ew.job(c).is_compute for c in ew.children(j.exec_job_id))
+        ]
+
+        # 3. auxiliary scaffolding
+        first_aux: Optional[str] = None
+        if config.add_create_dir:
+            create = ew.add_job(
+                ExecutableJob(
+                    "create_dir_0",
+                    JobType.CREATE_DIR,
+                    executable="pegasus-create-dir",
+                    runtime_seconds=config.create_dir_seconds,
+                    max_retries=config.max_retries,
+                )
+            )
+            first_aux = create.exec_job_id
+        if config.add_stage_in:
+            stage_in = ew.add_job(
+                ExecutableJob(
+                    "stage_in_0",
+                    JobType.STAGE_IN,
+                    executable="pegasus-transfer",
+                    runtime_seconds=config.stage_in_seconds,
+                    max_retries=config.max_retries,
+                )
+            )
+            if first_aux:
+                ew.add_dependency(first_aux, stage_in.exec_job_id)
+            for root in compute_roots:
+                ew.add_dependency(stage_in.exec_job_id, root)
+        elif first_aux:
+            for root in compute_roots:
+                ew.add_dependency(first_aux, root)
+
+        tail: Optional[str] = None
+        if config.add_stage_out:
+            stage_out = ew.add_job(
+                ExecutableJob(
+                    "stage_out_0",
+                    JobType.STAGE_OUT,
+                    executable="pegasus-transfer",
+                    runtime_seconds=config.stage_out_seconds,
+                    max_retries=config.max_retries,
+                )
+            )
+            for leaf in compute_leaves:
+                ew.add_dependency(leaf, stage_out.exec_job_id)
+            tail = stage_out.exec_job_id
+        if config.add_registration:
+            register = ew.add_job(
+                ExecutableJob(
+                    "register_0",
+                    JobType.REGISTRATION,
+                    executable="pegasus-rc-client",
+                    runtime_seconds=config.registration_seconds,
+                    max_retries=config.max_retries,
+                )
+            )
+            ew.add_dependency(tail or compute_leaves[0], register.exec_job_id)
+            tail = register.exec_job_id
+        if config.add_cleanup:
+            cleanup = ew.add_job(
+                ExecutableJob(
+                    "cleanup_0",
+                    JobType.CLEANUP,
+                    executable="pegasus-cleanup",
+                    runtime_seconds=config.cleanup_seconds,
+                    max_retries=config.max_retries,
+                )
+            )
+            ew.add_dependency(tail or compute_leaves[0], cleanup.exec_job_id)
+
+        assert ew.is_dag(), "planner produced a cyclic executable workflow"
+        return ew

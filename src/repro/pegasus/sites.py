@@ -1,0 +1,122 @@
+"""Execution sites: the Condor-pool model behind the DAGMan executor.
+
+Each site is a cluster with a bounded number of slots, a queue-delay
+distribution (the "remote queue" delays §VII discusses), a relative speed,
+and an optional transient-failure probability for fault injection.
+"""
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Dict, List, Optional
+
+import numpy as np
+
+__all__ = ["Site", "SiteCatalog"]
+
+
+@dataclass
+class Site:
+    """One execution site of the catalog.
+
+    The site owns its slot-wait queue so that several concurrently
+    executing runs (e.g. sub-DAX children sharing the catalog) wake each
+    other's queued jobs when slots free up.
+    """
+
+    name: str
+    slots: int = 8
+    hosts_per_site: int = 4
+    speed_factor: float = 1.0  # runtime multiplier (>1 = slower)
+    mean_queue_delay: float = 5.0  # exponential queue-wait mean, seconds
+    failure_rate: float = 0.0  # per-attempt transient failure probability
+    busy: int = 0
+    waiting: Deque[Callable[[], None]] = field(default_factory=deque,
+                                               repr=False, compare=False)
+
+    def __post_init__(self):
+        if self.slots < 1:
+            raise ValueError(f"site {self.name!r} needs at least one slot")
+        if not 0.0 <= self.failure_rate < 1.0:
+            raise ValueError("failure_rate must be in [0, 1)")
+
+    @property
+    def free_slots(self) -> int:
+        return self.slots - self.busy
+
+    def enqueue(self, start: Callable[[], None]) -> None:
+        """Park a job start until a slot frees."""
+        self.waiting.append(start)
+
+    def release(self) -> None:
+        """Wake queued starts while slots are free (each start occupies
+        its slot synchronously, so this pops at most free_slots entries)."""
+        while self.waiting and self.free_slots > 0:
+            self.waiting.popleft()()
+
+    @property
+    def backlog(self) -> int:
+        return len(self.waiting)
+
+    def queue_delay(self, rng: np.random.Generator) -> float:
+        """Sample the remote-queue wait for one submission."""
+        if self.mean_queue_delay <= 0:
+            return 0.0
+        return float(rng.exponential(self.mean_queue_delay))
+
+    def pick_host(self, rng: np.random.Generator) -> str:
+        index = int(rng.integers(0, self.hosts_per_site))
+        return f"{self.name}-node{index}"
+
+    def attempt_fails(self, rng: np.random.Generator) -> bool:
+        return self.failure_rate > 0 and rng.random() < self.failure_rate
+
+
+class SiteCatalog:
+    """The set of sites a run may execute on."""
+
+    def __init__(self, sites: Optional[List[Site]] = None):
+        self._sites: Dict[str, Site] = {}
+        for site in sites or []:
+            self.add(site)
+
+    @classmethod
+    def default(cls) -> "SiteCatalog":
+        """A small two-site grid, the shape of the paper's test setups."""
+        return cls(
+            [
+                Site("local", slots=4, mean_queue_delay=0.1, hosts_per_site=1),
+                Site("condor_pool", slots=32, mean_queue_delay=8.0,
+                     hosts_per_site=8),
+            ]
+        )
+
+    def add(self, site: Site) -> None:
+        if site.name in self._sites:
+            raise ValueError(f"duplicate site {site.name!r}")
+        self._sites[site.name] = site
+
+    def __getitem__(self, name: str) -> Site:
+        return self._sites[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._sites
+
+    def __len__(self) -> int:
+        return len(self._sites)
+
+    def sites(self) -> List[Site]:
+        return list(self._sites.values())
+
+    def names(self) -> List[str]:
+        return list(self._sites)
+
+    def total_slots(self) -> int:
+        return sum(s.slots for s in self._sites.values())
+
+    def best_free_site(self) -> Optional[Site]:
+        """Site with the most free slots (simple matchmaking)."""
+        candidates = [s for s in self._sites.values() if s.free_slots > 0]
+        if not candidates:
+            return None
+        return max(candidates, key=lambda s: (s.free_slots, -s.speed_factor))

@@ -1,0 +1,4 @@
+"""Standard query interface over the Stampede archive."""
+from repro.query.api import JobInstanceDetail, StampedeQuery, WorkflowSummaryCounts
+
+__all__ = ["JobInstanceDetail", "StampedeQuery", "WorkflowSummaryCounts"]

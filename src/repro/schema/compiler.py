@@ -1,0 +1,149 @@
+"""Compile a parsed YANG module into an event-schema registry.
+
+The Stampede schema models each event type as a ``container`` whose
+``leaf`` statements are the event's attributes; ``grouping``/``uses``
+provide shared attribute sets (the ``base-event``).  The compiler resolves
+groupings and typedefs and produces flat :class:`EventSchema` objects the
+validator and the loader consume.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.schema.yang.ast import YangStatement
+from repro.schema.yang.parser import parse_module
+from repro.schema.yang.types import TypeRegistry, YangType
+
+__all__ = ["LeafSpec", "EventSchema", "SchemaRegistry", "compile_module"]
+
+
+@dataclass(frozen=True)
+class LeafSpec:
+    """One attribute of an event: name, resolved type, mandatoriness."""
+
+    name: str
+    yang_type: YangType
+    mandatory: bool = False
+    description: str = ""
+    type_name: str = ""
+
+
+@dataclass
+class EventSchema:
+    """Flattened schema for one event type (one YANG container)."""
+
+    name: str
+    description: str = ""
+    leaves: Dict[str, LeafSpec] = field(default_factory=dict)
+
+    @property
+    def mandatory_leaves(self) -> List[str]:
+        return [n for n, leaf in self.leaves.items() if leaf.mandatory]
+
+    def __contains__(self, attr: str) -> bool:
+        return attr in self.leaves
+
+
+class SchemaRegistry:
+    """All event schemas from one YANG module, addressable by event name."""
+
+    def __init__(self, module_name: str):
+        self.module_name = module_name
+        self._events: Dict[str, EventSchema] = {}
+
+    def add(self, schema: EventSchema) -> None:
+        if schema.name in self._events:
+            raise ValueError(f"duplicate event schema {schema.name!r}")
+        self._events[schema.name] = schema
+
+    def get(self, event_name: str) -> Optional[EventSchema]:
+        return self._events.get(event_name)
+
+    def __contains__(self, event_name: str) -> bool:
+        return event_name in self._events
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def event_names(self) -> List[str]:
+        return list(self._events)
+
+
+def compile_module(text: str) -> SchemaRegistry:
+    """Parse YANG text and compile it into a SchemaRegistry."""
+    module = parse_module(text)
+    if module.arg is None:
+        raise ValueError("module statement requires a name")
+    types = TypeRegistry()
+    groupings: Dict[str, YangStatement] = {}
+
+    for stmt in module.children:
+        if stmt.keyword == "typedef":
+            types.register_typedef(stmt)
+        elif stmt.keyword == "grouping":
+            if stmt.arg is None:
+                raise ValueError("grouping requires a name")
+            if stmt.arg in groupings:
+                raise ValueError(f"duplicate grouping {stmt.arg!r}")
+            groupings[stmt.arg] = stmt
+
+    registry = SchemaRegistry(module.arg)
+    for stmt in module.children:
+        if stmt.keyword != "container":
+            continue
+        if stmt.arg is None:
+            raise ValueError("container requires a name")
+        schema = EventSchema(
+            name=stmt.arg,
+            description=_clean(stmt.arg_of("description", "")),
+        )
+        _collect_leaves(stmt, schema, groupings, types, seen_groupings=set())
+        registry.add(schema)
+    return registry
+
+
+def _collect_leaves(
+    node: YangStatement,
+    schema: EventSchema,
+    groupings: Dict[str, YangStatement],
+    types: TypeRegistry,
+    seen_groupings: set,
+) -> None:
+    for child in node.children:
+        if child.keyword == "uses":
+            name = child.arg
+            if name not in groupings:
+                raise ValueError(f"uses of unknown grouping {name!r} in {schema.name}")
+            if name in seen_groupings:
+                raise ValueError(f"circular grouping use: {name!r}")
+            _collect_leaves(
+                groupings[name], schema, groupings, types, seen_groupings | {name}
+            )
+        elif child.keyword == "leaf":
+            leaf = _compile_leaf(child, types, schema.name)
+            # A leaf re-declared in the container overrides the grouping's
+            # copy (used nowhere in the stock schema, but well-defined).
+            schema.leaves[leaf.name] = leaf
+
+
+def _compile_leaf(stmt: YangStatement, types: TypeRegistry, owner: str) -> LeafSpec:
+    if stmt.arg is None:
+        raise ValueError(f"leaf in {owner} requires a name")
+    type_stmt = stmt.find_one("type")
+    if type_stmt is None:
+        raise ValueError(f"leaf {stmt.arg!r} in {owner} missing a type")
+    mandatory_arg = stmt.arg_of("mandatory", "false") or "false"
+    return LeafSpec(
+        name=stmt.arg,
+        yang_type=types.resolve(type_stmt),
+        mandatory=mandatory_arg.strip().lower() == "true",
+        description=_clean(stmt.arg_of("description", "")),
+        type_name=type_stmt.arg or "",
+    )
+
+
+def _clean(text: Optional[str]) -> str:
+    if not text:
+        return ""
+    return " ".join(text.split())

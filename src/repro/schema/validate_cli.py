@@ -1,0 +1,85 @@
+"""stampede-validate: check BP logs against the YANG schema (pyang stand-in).
+
+The paper validates log messages with pyang against the published YANG
+module; this CLI does the same for our compiled schema::
+
+    stampede-validate run.bp                 # validate a log file
+    stampede-validate --dump-schema          # print the YANG module
+    stampede-validate --list-events          # enumerate event types
+"""
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional
+
+from repro.netlogger.stream import BPReader
+from repro.schema.stampede import STAMPEDE_SCHEMA
+from repro.schema.validator import EventValidator
+from repro.schema.yang_source import STAMPEDE_YANG
+
+__all__ = ["main"]
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="stampede-validate",
+        description="Validate NetLogger BP logs against the Stampede schema.",
+    )
+    parser.add_argument("input", nargs="?", help="BP log file ('-' for stdin)")
+    parser.add_argument(
+        "--dump-schema", action="store_true", help="print the YANG module and exit"
+    )
+    parser.add_argument(
+        "--list-events", action="store_true",
+        help="list event types with their mandatory attributes and exit",
+    )
+    parser.add_argument(
+        "--allow-unknown-events", action="store_true",
+        help="tolerate event types outside the schema",
+    )
+    parser.add_argument(
+        "--allow-unknown-attrs", action="store_true",
+        help="tolerate attributes not declared for their event",
+    )
+    parser.add_argument(
+        "--max-violations", type=int, default=20,
+        help="print at most this many violations (default 20)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.dump_schema:
+        print(STAMPEDE_YANG.strip())
+        return 0
+    if args.list_events:
+        for name in sorted(STAMPEDE_SCHEMA.event_names()):
+            schema = STAMPEDE_SCHEMA.get(name)
+            mandatory = ", ".join(
+                n for n in schema.mandatory_leaves if n != "ts"
+            )
+            print(f"{name}  [{mandatory}]" if mandatory else name)
+        return 0
+    if args.input is None:
+        parser.error("an input file is required (or --dump-schema/--list-events)")
+
+    validator = EventValidator(
+        STAMPEDE_SCHEMA,
+        allow_unknown_events=args.allow_unknown_events,
+        allow_unknown_attrs=args.allow_unknown_attrs,
+    )
+    source = sys.stdin if args.input == "-" else args.input
+    reader = BPReader(source, on_error="skip")
+    report = validator.validate(reader)
+    for lineno, line, exc in reader.errors[: args.max_violations]:
+        print(f"line {lineno}: unparseable BP: {exc}", file=sys.stderr)
+    for violation in report.violations[: args.max_violations]:
+        print(str(violation), file=sys.stderr)
+    hidden = len(report.violations) - args.max_violations
+    if hidden > 0:
+        print(f"... and {hidden} more violation(s)", file=sys.stderr)
+    print(report.summary())
+    return 0 if report.ok and not reader.errors else 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

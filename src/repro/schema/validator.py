@@ -1,0 +1,119 @@
+"""Validate NetLogger events against the Stampede schema (pyang substitute).
+
+Validation checks, per event:
+  * the event type exists in the schema;
+  * every mandatory attribute is present;
+  * every present attribute is declared (unknown attributes are reported —
+    configurable, since BP permits engine-specific extras);
+  * every value satisfies its YANG type.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional
+
+from repro.netlogger.events import NLEvent
+from repro.schema.compiler import SchemaRegistry
+from repro.schema.yang.types import YangTypeError
+
+__all__ = ["Violation", "ValidationReport", "EventValidator"]
+
+# Attributes handled by the BP envelope itself rather than per-event leaves.
+_ENVELOPE = ("ts", "event", "level")
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One schema violation found in one event."""
+
+    event_name: str
+    kind: str  # 'unknown-event' | 'missing' | 'unknown-attr' | 'bad-type'
+    attribute: str = ""
+    message: str = ""
+
+    def __str__(self) -> str:
+        loc = f"{self.event_name}.{self.attribute}" if self.attribute else self.event_name
+        return f"[{self.kind}] {loc}: {self.message}"
+
+
+@dataclass
+class ValidationReport:
+    """Aggregate result of validating a stream of events."""
+
+    events_checked: int = 0
+    violations: List[Violation] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def summary(self) -> str:
+        status = "OK" if self.ok else f"{len(self.violations)} violation(s)"
+        return f"validated {self.events_checked} event(s): {status}"
+
+
+class EventValidator:
+    """Checks events against a compiled SchemaRegistry."""
+
+    def __init__(
+        self,
+        registry: SchemaRegistry,
+        allow_unknown_events: bool = False,
+        allow_unknown_attrs: bool = False,
+    ):
+        self._registry = registry
+        self._allow_unknown_events = allow_unknown_events
+        self._allow_unknown_attrs = allow_unknown_attrs
+
+    def validate_event(self, event: NLEvent) -> List[Violation]:
+        """Return the violations for one event (empty list when valid)."""
+        schema = self._registry.get(event.event)
+        if schema is None:
+            if self._allow_unknown_events:
+                return []
+            return [
+                Violation(
+                    event.event,
+                    "unknown-event",
+                    message=f"event type not in schema module {self._registry.module_name!r}",
+                )
+            ]
+        violations: List[Violation] = []
+        for name in schema.mandatory_leaves:
+            if name in _ENVELOPE:
+                continue  # carried by the NLEvent envelope, always present
+            if name not in event.attrs:
+                violations.append(
+                    Violation(
+                        event.event, "missing", name, "mandatory attribute absent"
+                    )
+                )
+        for name, value in event.attrs.items():
+            leaf = schema.leaves.get(name)
+            if leaf is None:
+                if not self._allow_unknown_attrs:
+                    violations.append(
+                        Violation(
+                            event.event, "unknown-attr", name, "attribute not in schema"
+                        )
+                    )
+                continue
+            try:
+                leaf.yang_type.check(str(value))
+            except YangTypeError as exc:
+                violations.append(Violation(event.event, "bad-type", name, str(exc)))
+        return violations
+
+    def validate(self, events: Iterable[NLEvent]) -> ValidationReport:
+        """Validate a stream of events, returning an aggregate report."""
+        report = ValidationReport()
+        for event in events:
+            report.events_checked += 1
+            report.violations.extend(self.validate_event(event))
+        return report
+
+    def check(self, event: NLEvent) -> None:
+        """Raise ValueError on the first violation (strict mode)."""
+        violations = self.validate_event(event)
+        if violations:
+            raise ValueError(str(violations[0]))

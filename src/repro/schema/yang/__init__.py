@@ -1,0 +1,25 @@
+"""YANG-subset toolchain (RFC 6020): lexer, parser, AST, type system."""
+from repro.schema.yang.ast import YangStatement
+from repro.schema.yang.lexer import Token, TokenKind, YangLexError, tokenize
+from repro.schema.yang.parser import YangParseError, parse_module, parse_yang
+from repro.schema.yang.types import (
+    BUILTIN_TYPES,
+    TypeRegistry,
+    YangType,
+    YangTypeError,
+)
+
+__all__ = [
+    "YangStatement",
+    "Token",
+    "TokenKind",
+    "YangLexError",
+    "tokenize",
+    "YangParseError",
+    "parse_module",
+    "parse_yang",
+    "BUILTIN_TYPES",
+    "TypeRegistry",
+    "YangType",
+    "YangTypeError",
+]

@@ -1,0 +1,82 @@
+"""AST for the YANG subset: every construct is a (keyword, argument, children) statement."""
+from __future__ import annotations
+
+from typing import Iterator, List, Optional
+
+__all__ = ["YangStatement"]
+
+
+class YangStatement:
+    """One YANG statement, e.g. ``leaf restart_count { ... }``.
+
+    The uniform statement shape (RFC 6020 §6.3) means the parser needs no
+    per-keyword grammar; semantic interpretation happens in the compiler.
+    """
+
+    __slots__ = ("keyword", "arg", "children", "line")
+
+    def __init__(
+        self,
+        keyword: str,
+        arg: Optional[str] = None,
+        children: Optional[List["YangStatement"]] = None,
+        line: int = 0,
+    ):
+        self.keyword = keyword
+        self.arg = arg
+        self.children: List[YangStatement] = children or []
+        self.line = line
+
+    # -- navigation ----------------------------------------------------------
+    def find_all(self, keyword: str) -> List["YangStatement"]:
+        return [c for c in self.children if c.keyword == keyword]
+
+    def find_one(self, keyword: str) -> Optional["YangStatement"]:
+        for c in self.children:
+            if c.keyword == keyword:
+                return c
+        return None
+
+    def arg_of(self, keyword: str, default: Optional[str] = None) -> Optional[str]:
+        stmt = self.find_one(keyword)
+        return stmt.arg if stmt is not None else default
+
+    def walk(self) -> Iterator["YangStatement"]:
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    # -- serialization ---------------------------------------------------------
+    def to_yang(self, indent: int = 0) -> str:
+        pad = "    " * indent
+        head = self.keyword
+        if self.arg is not None:
+            head += f" {_format_arg(self.arg)}"
+        if not self.children:
+            return f"{pad}{head};"
+        lines = [f"{pad}{head} {{"]
+        for child in self.children:
+            lines.append(child.to_yang(indent + 1))
+        lines.append(f"{pad}}}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return f"YangStatement({self.keyword!r}, {self.arg!r}, {len(self.children)} children)"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, YangStatement)
+            and self.keyword == other.keyword
+            and self.arg == other.arg
+            and self.children == other.children
+        )
+
+    def __hash__(self):
+        return hash((self.keyword, self.arg, tuple(self.children)))
+
+
+def _format_arg(arg: str) -> str:
+    if arg == "" or any(c in arg for c in " \t\n{};\"'+/"):
+        escaped = arg.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+        return f'"{escaped}"'
+    return arg

@@ -1,0 +1,126 @@
+"""Tokenizer for the YANG subset used by the Stampede event schema.
+
+Implements the pieces of RFC 6020 lexical structure the schema needs:
+unquoted arguments, single- and double-quoted strings with escapes,
+string concatenation with ``+``, statement terminators ``;``, blocks
+``{ }``, and both comment styles (``//`` and ``/* */``).
+"""
+from __future__ import annotations
+
+import enum
+from typing import Iterator, List, NamedTuple
+
+__all__ = ["TokenKind", "Token", "YangLexError", "tokenize"]
+
+
+class YangLexError(ValueError):
+    def __init__(self, message: str, line: int, col: int):
+        self.line = line
+        self.col = col
+        super().__init__(f"{message} (line {line}, column {col})")
+
+
+class TokenKind(enum.Enum):
+    STRING = "string"  # quoted or unquoted argument/keyword text
+    LBRACE = "{"
+    RBRACE = "}"
+    SEMI = ";"
+    PLUS = "+"
+
+
+class Token(NamedTuple):
+    kind: TokenKind
+    value: str
+    line: int
+    col: int
+    quoted: bool = False
+
+
+_DELIMS = set("{};")
+_WS = set(" \t\r\n")
+
+
+def tokenize(text: str) -> List[Token]:
+    return list(_scan(text))
+
+
+def _scan(text: str) -> Iterator[Token]:
+    pos = 0
+    line = 1
+    col = 1
+    n = len(text)
+
+    def advance(count: int = 1) -> None:
+        nonlocal pos, line, col
+        for _ in range(count):
+            if pos < n and text[pos] == "\n":
+                line += 1
+                col = 1
+            else:
+                col += 1
+            pos += 1
+
+    while pos < n:
+        ch = text[pos]
+        if ch in _WS:
+            advance()
+            continue
+        if ch == "/" and pos + 1 < n and text[pos + 1] == "/":
+            while pos < n and text[pos] != "\n":
+                advance()
+            continue
+        if ch == "/" and pos + 1 < n and text[pos + 1] == "*":
+            start_line, start_col = line, col
+            advance(2)
+            while pos + 1 < n and not (text[pos] == "*" and text[pos + 1] == "/"):
+                advance()
+            if pos + 1 >= n:
+                raise YangLexError("unterminated block comment", start_line, start_col)
+            advance(2)
+            continue
+        if ch == "{":
+            yield Token(TokenKind.LBRACE, "{", line, col)
+            advance()
+            continue
+        if ch == "}":
+            yield Token(TokenKind.RBRACE, "}", line, col)
+            advance()
+            continue
+        if ch == ";":
+            yield Token(TokenKind.SEMI, ";", line, col)
+            advance()
+            continue
+        if ch == "+":
+            yield Token(TokenKind.PLUS, "+", line, col)
+            advance()
+            continue
+        if ch in "\"'":
+            start_line, start_col = line, col
+            quote = ch
+            advance()
+            out: List[str] = []
+            while pos < n and text[pos] != quote:
+                if quote == '"' and text[pos] == "\\":
+                    if pos + 1 >= n:
+                        raise YangLexError("dangling escape", line, col)
+                    esc = text[pos + 1]
+                    # Known escapes are translated; anything else keeps the
+                    # backslash so XSD regex classes like \d survive.
+                    out.append(
+                        {"n": "\n", "t": "\t", '"': '"', "\\": "\\"}.get(esc, "\\" + esc)
+                    )
+                    advance(2)
+                else:
+                    out.append(text[pos])
+                    advance()
+            if pos >= n:
+                raise YangLexError("unterminated string", start_line, start_col)
+            advance()  # closing quote
+            yield Token(TokenKind.STRING, "".join(out), start_line, start_col, quoted=True)
+            continue
+        # unquoted token: run until whitespace or delimiter
+        start_line, start_col = line, col
+        start = pos
+        while pos < n and text[pos] not in _WS and text[pos] not in _DELIMS:
+            advance()
+        yield Token(TokenKind.STRING, text[start:pos], start_line, start_col)

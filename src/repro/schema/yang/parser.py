@@ -1,0 +1,113 @@
+"""Recursive-descent parser for the YANG subset (RFC 6020 statement grammar).
+
+Grammar::
+
+    statement  = keyword [argument] (";" / "{" *statement "}")
+    argument   = string *( "+" string )        ; quoted concatenation
+               / unquoted-token
+"""
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.schema.yang.ast import YangStatement
+from repro.schema.yang.lexer import Token, TokenKind, YangLexError, tokenize
+
+__all__ = ["YangParseError", "parse_yang", "parse_module"]
+
+
+class YangParseError(ValueError):
+    def __init__(self, message: str, token: Optional[Token] = None):
+        if token is not None:
+            message = f"{message} (line {token.line}, column {token.col})"
+        super().__init__(message)
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token]):
+        self._tokens = tokens
+        self._pos = 0
+
+    def _peek(self) -> Optional[Token]:
+        return self._tokens[self._pos] if self._pos < len(self._tokens) else None
+
+    def _next(self) -> Token:
+        tok = self._peek()
+        if tok is None:
+            raise YangParseError("unexpected end of input")
+        self._pos += 1
+        return tok
+
+    def parse_statements(self) -> List[YangStatement]:
+        statements: List[YangStatement] = []
+        while True:
+            tok = self._peek()
+            if tok is None or tok.kind is TokenKind.RBRACE:
+                return statements
+            statements.append(self.parse_statement())
+
+    def parse_statement(self) -> YangStatement:
+        keyword_tok = self._next()
+        if keyword_tok.kind is not TokenKind.STRING or keyword_tok.quoted:
+            raise YangParseError(
+                f"expected statement keyword, got {keyword_tok.value!r}", keyword_tok
+            )
+        keyword = keyword_tok.value
+        arg: Optional[str] = None
+
+        tok = self._peek()
+        if tok is not None and tok.kind is TokenKind.STRING:
+            arg = self._parse_argument()
+            tok = self._peek()
+
+        if tok is None:
+            raise YangParseError(f"statement {keyword!r} not terminated", keyword_tok)
+        if tok.kind is TokenKind.SEMI:
+            self._next()
+            return YangStatement(keyword, arg, line=keyword_tok.line)
+        if tok.kind is TokenKind.LBRACE:
+            self._next()
+            children = self.parse_statements()
+            closing = self._peek()
+            if closing is None or closing.kind is not TokenKind.RBRACE:
+                raise YangParseError(f"unclosed block for {keyword!r}", keyword_tok)
+            self._next()
+            return YangStatement(keyword, arg, children, line=keyword_tok.line)
+        raise YangParseError(
+            f"expected ';' or '{{' after {keyword!r}, got {tok.value!r}", tok
+        )
+
+    def _parse_argument(self) -> str:
+        first = self._next()
+        parts = [first.value]
+        # Quoted strings may be concatenated with '+' (RFC 6020 §6.1.3).
+        while True:
+            tok = self._peek()
+            if tok is None or tok.kind is not TokenKind.PLUS:
+                break
+            if not first.quoted:
+                raise YangParseError("'+' concatenation requires quoted strings", tok)
+            self._next()
+            nxt = self._next()
+            if nxt.kind is not TokenKind.STRING or not nxt.quoted:
+                raise YangParseError("expected quoted string after '+'", nxt)
+            parts.append(nxt.value)
+        return "".join(parts)
+
+
+def parse_yang(text: str) -> List[YangStatement]:
+    """Parse YANG text into a list of top-level statements."""
+    parser = _Parser(tokenize(text))
+    statements = parser.parse_statements()
+    trailing = parser._peek()
+    if trailing is not None:
+        raise YangParseError(f"unexpected {trailing.value!r}", trailing)
+    return statements
+
+
+def parse_module(text: str) -> YangStatement:
+    """Parse YANG text that must consist of exactly one module statement."""
+    statements = parse_yang(text)
+    if len(statements) != 1 or statements[0].keyword != "module":
+        raise YangParseError("expected a single top-level 'module' statement")
+    return statements[0]

@@ -1,0 +1,203 @@
+"""YANG type system subset: built-in types, restrictions, typedefs, unions.
+
+Covers what the Stampede schema uses: integer types with ranges, string
+with pattern, decimal64, boolean, enumeration, union, and derived typedefs
+(``nl_ts`` for timestamps, ``uuid``, ``nl_level``).
+"""
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Sequence
+
+from repro.schema.yang.ast import YangStatement
+
+__all__ = ["YangTypeError", "YangType", "TypeRegistry", "BUILTIN_TYPES"]
+
+
+class YangTypeError(ValueError):
+    """A value failed type validation."""
+
+
+class YangType:
+    """Base class: a type checks string values (BP attributes are strings)."""
+
+    name = "type"
+
+    def check(self, value: str) -> None:
+        raise NotImplementedError
+
+    def is_valid(self, value: str) -> bool:
+        try:
+            self.check(value)
+            return True
+        except YangTypeError:
+            return False
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name}>"
+
+
+class StringType(YangType):
+    name = "string"
+
+    def __init__(self, pattern: Optional[str] = None, length: Optional[str] = None):
+        self._pattern = re.compile(pattern) if pattern else None
+        self._min_len, self._max_len = _parse_length(length)
+
+    def check(self, value: str) -> None:
+        if self._pattern is not None and self._pattern.fullmatch(value) is None:
+            raise YangTypeError(
+                f"value {value!r} does not match pattern {self._pattern.pattern!r}"
+            )
+        if self._min_len is not None and len(value) < self._min_len:
+            raise YangTypeError(f"value {value!r} shorter than {self._min_len}")
+        if self._max_len is not None and len(value) > self._max_len:
+            raise YangTypeError(f"value {value!r} longer than {self._max_len}")
+
+
+class IntType(YangType):
+    def __init__(self, name: str, lo: int, hi: int, range_spec: Optional[str] = None):
+        self.name = name
+        self._lo, self._hi = lo, hi
+        if range_spec:
+            self._lo, self._hi = _parse_range(range_spec, lo, hi)
+
+    def check(self, value: str) -> None:
+        try:
+            num = int(str(value), 0)
+        except ValueError:
+            raise YangTypeError(f"value {value!r} is not an integer") from None
+        if not (self._lo <= num <= self._hi):
+            raise YangTypeError(
+                f"value {num} outside range [{self._lo}, {self._hi}] for {self.name}"
+            )
+
+
+class Decimal64Type(YangType):
+    name = "decimal64"
+
+    def check(self, value: str) -> None:
+        try:
+            float(str(value))
+        except ValueError:
+            raise YangTypeError(f"value {value!r} is not a decimal") from None
+
+
+class BooleanType(YangType):
+    name = "boolean"
+
+    def check(self, value: str) -> None:
+        if str(value).lower() not in ("true", "false", "0", "1"):
+            raise YangTypeError(f"value {value!r} is not a boolean")
+
+
+class EnumerationType(YangType):
+    name = "enumeration"
+
+    def __init__(self, values: Sequence[str]):
+        if not values:
+            raise ValueError("enumeration requires at least one enum")
+        self.values = list(values)
+
+    def check(self, value: str) -> None:
+        if value not in self.values:
+            raise YangTypeError(f"value {value!r} not in enumeration {self.values}")
+
+
+class UnionType(YangType):
+    name = "union"
+
+    def __init__(self, members: Sequence[YangType]):
+        if not members:
+            raise ValueError("union requires at least one member type")
+        self.members = list(members)
+
+    def check(self, value: str) -> None:
+        errors: List[str] = []
+        for member in self.members:
+            try:
+                member.check(value)
+                return
+            except YangTypeError as exc:
+                errors.append(str(exc))
+        raise YangTypeError(f"value {value!r} matches no union member: {errors}")
+
+
+BUILTIN_TYPES = {
+    "string": lambda stmt: StringType(
+        pattern=stmt.arg_of("pattern") if stmt else None,
+        length=stmt.arg_of("length") if stmt else None,
+    ),
+    "uint8": lambda stmt: IntType("uint8", 0, 2**8 - 1, stmt.arg_of("range") if stmt else None),
+    "uint16": lambda stmt: IntType("uint16", 0, 2**16 - 1, stmt.arg_of("range") if stmt else None),
+    "uint32": lambda stmt: IntType("uint32", 0, 2**32 - 1, stmt.arg_of("range") if stmt else None),
+    "uint64": lambda stmt: IntType("uint64", 0, 2**64 - 1, stmt.arg_of("range") if stmt else None),
+    "int8": lambda stmt: IntType("int8", -(2**7), 2**7 - 1, stmt.arg_of("range") if stmt else None),
+    "int16": lambda stmt: IntType("int16", -(2**15), 2**15 - 1, stmt.arg_of("range") if stmt else None),
+    "int32": lambda stmt: IntType("int32", -(2**31), 2**31 - 1, stmt.arg_of("range") if stmt else None),
+    "int64": lambda stmt: IntType("int64", -(2**63), 2**63 - 1, stmt.arg_of("range") if stmt else None),
+    "decimal64": lambda stmt: Decimal64Type(),
+    "boolean": lambda stmt: BooleanType(),
+}
+
+
+class TypeRegistry:
+    """Resolves type statements (including typedefs and unions) to YangType."""
+
+    def __init__(self):
+        self._typedefs: Dict[str, YangStatement] = {}
+        self._cache: Dict[str, YangType] = {}
+
+    def register_typedef(self, stmt: YangStatement) -> None:
+        if stmt.arg is None:
+            raise ValueError("typedef requires a name argument")
+        if stmt.arg in self._typedefs or stmt.arg in BUILTIN_TYPES:
+            raise ValueError(f"duplicate typedef {stmt.arg!r}")
+        self._typedefs[stmt.arg] = stmt
+
+    def resolve(self, type_stmt: YangStatement) -> YangType:
+        """Resolve a ``type NAME { ... }`` statement to a checker."""
+        name = type_stmt.arg
+        if name is None:
+            raise ValueError("type statement requires an argument")
+        if name == "enumeration":
+            enums = [e.arg for e in type_stmt.find_all("enum") if e.arg is not None]
+            return EnumerationType(enums)
+        if name == "union":
+            members = [self.resolve(m) for m in type_stmt.find_all("type")]
+            return UnionType(members)
+        if name in BUILTIN_TYPES:
+            return BUILTIN_TYPES[name](type_stmt)
+        if name in self._typedefs:
+            if name not in self._cache:
+                inner = self._typedefs[name].find_one("type")
+                if inner is None:
+                    raise ValueError(f"typedef {name!r} missing a type statement")
+                self._cache[name] = self.resolve(inner)
+            return self._cache[name]
+        raise ValueError(f"unknown type {name!r}")
+
+
+def _parse_range(spec: str, lo: int, hi: int):
+    """Parse a simple 'MIN..MAX' range restriction."""
+    parts = spec.split("..")
+    if len(parts) != 2:
+        raise ValueError(f"unsupported range spec {spec!r}")
+    min_s, max_s = (p.strip() for p in parts)
+    new_lo = lo if min_s == "min" else int(min_s)
+    new_hi = hi if max_s == "max" else int(max_s)
+    return new_lo, new_hi
+
+
+def _parse_length(spec: Optional[str]):
+    if spec is None:
+        return None, None
+    parts = spec.split("..")
+    if len(parts) == 1:
+        n = int(parts[0])
+        return n, n
+    min_s, max_s = (p.strip() for p in parts)
+    return (
+        None if min_s == "min" else int(min_s),
+        None if max_s == "max" else int(max_s),
+    )

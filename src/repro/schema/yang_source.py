@@ -1,0 +1,462 @@
+"""The Stampede event schema, in YANG.
+
+This is the authoritative definition of every ``stampede.*`` event the
+monitoring infrastructure understands (the reproduction of the schema the
+paper cites at acs.lbl.gov/projects/stampede).  The module text is parsed
+and compiled at import time by :mod:`repro.schema.stampede`, so the YANG
+parser is exercised on every run — exactly how the paper used pyang.
+"""
+
+STAMPEDE_YANG = r"""
+module stampede {
+    namespace "http://repro.example/stampede";
+    prefix stmp;
+
+    organization "Stampede reproduction";
+    description
+        "Events describing the execution of distributed scientific
+         workflows: the common data model shared by the Pegasus- and
+         Triana-style engines.";
+
+    // ---- derived types ---------------------------------------------------
+
+    typedef nl_ts {
+        description "Timestamp, ISO8601 or seconds since 1/1/1970";
+        type union {
+            type string {
+                pattern
+                    "\d{4}-\d{2}-\d{2}[Tt ]\d{2}:\d{2}:\d{2}(\.\d+)?([Zz]|[+-]\d{2}:?\d{2})?";
+            }
+            type decimal64;
+        }
+    }
+
+    typedef uuid {
+        description "RFC 4122 universally unique identifier";
+        type string {
+            pattern
+                "[0-9a-fA-F]{8}-[0-9a-fA-F]{4}-[0-9a-fA-F]{4}-[0-9a-fA-F]{4}-[0-9a-fA-F]{12}";
+        }
+    }
+
+    typedef nl_level {
+        description "NetLogger severity level";
+        type enumeration {
+            enum Fatal;
+            enum Error;
+            enum Warn;
+            enum Info;
+            enum Debug;
+            enum Trace;
+        }
+    }
+
+    typedef intbool {
+        description "Boolean encoded as 0/1";
+        type uint8 {
+            range "0..1";
+        }
+    }
+
+    typedef status_code {
+        description "Termination status: 0 success, -1 failure, -2 incomplete";
+        type int32;
+    }
+
+    // ---- groupings ---------------------------------------------------------
+
+    grouping base-event {
+        description "Common components in all events";
+        leaf ts {
+            type nl_ts;
+            mandatory "true";
+            description "Timestamp, ISO8601 or seconds since 1/1/1970";
+        }
+        leaf level {
+            type nl_level;
+            description "Severity level of the event";
+        }
+        leaf xwf.id {
+            type uuid;
+            description "Executable workflow id";
+        }
+    }
+
+    grouping base-job-inst-event {
+        description "Common components of job-instance events";
+        uses base-event;
+        leaf job.id {
+            type string;
+            mandatory "true";
+            description "Identifier of the job in the executable workflow";
+        }
+        leaf job_inst.id {
+            type int32;
+            mandatory "true";
+            description "Job instance (submission attempt) sequence number";
+        }
+        leaf js.id {
+            type int32;
+            description "Jobstate sequence id within the job instance";
+        }
+    }
+
+    // ---- workflow lifecycle ------------------------------------------------
+
+    container stampede.wf.plan {
+        description
+            "Workflow planned (or parsed, for engines without a planning
+             stage); carries the static description of the run.";
+        uses base-event;
+        leaf submit.hostname {
+            type string;
+            mandatory "true";
+            description "Host from which the workflow was submitted";
+        }
+        leaf dax.label { type string; description "Label of the abstract workflow"; }
+        leaf dax.index { type string; description "Index of the abstract workflow"; }
+        leaf dax.version { type string; description "Version of the abstract workflow format"; }
+        leaf dax.file { type string; description "Path of the abstract workflow file"; }
+        leaf dag.file.name {
+            type string;
+            mandatory "true";
+            description "Name of the executable workflow (DAG) file";
+        }
+        leaf planner.version {
+            type string;
+            mandatory "true";
+            description "Version of the planner / engine";
+        }
+        leaf grid_dn { type string; description "Grid certificate distinguished name"; }
+        leaf user { type string; description "User who submitted the workflow"; }
+        leaf submit_dir {
+            type string;
+            mandatory "true";
+            description "Directory from which the workflow was submitted";
+        }
+        leaf argv { type string; description "Command-line arguments of the submission"; }
+        leaf parent.xwf.id {
+            type uuid;
+            description "Executable workflow id of the parent, for sub-workflows";
+        }
+        leaf root.xwf.id {
+            type uuid;
+            mandatory "true";
+            description "Executable workflow id of the root of the hierarchy";
+        }
+    }
+
+    container stampede.static.start {
+        description "Start of the static (task/job description) event section";
+        uses base-event;
+    }
+
+    container stampede.static.end {
+        description "End of the static event section: all AW/EW mapping
+                     events have been emitted and execution may proceed";
+        uses base-event;
+    }
+
+    container stampede.xwf.start {
+        description "Start of one run of the executable workflow";
+        uses base-event;
+        leaf restart_count {
+            type uint32;
+            mandatory "true";
+            description "Number of times workflow was restarted (due to failures)";
+        }
+    }
+
+    container stampede.xwf.end {
+        description "End of one run of the executable workflow";
+        uses base-event;
+        leaf restart_count {
+            type uint32;
+            mandatory "true";
+            description "Number of times workflow was restarted (due to failures)";
+        }
+        leaf status {
+            type status_code;
+            mandatory "true";
+            description "Termination status of the run";
+        }
+    }
+
+    // ---- static description: abstract workflow --------------------------------
+
+    container stampede.task.info {
+        description "One task (computation) in the abstract workflow";
+        uses base-event;
+        leaf task.id {
+            type string;
+            mandatory "true";
+            description "Identifier of the task in the abstract workflow";
+        }
+        leaf task.class {
+            type int32;
+            description "Numeric class of the task (compute, transfer, ...)";
+        }
+        leaf type_desc {
+            type string;
+            mandatory "true";
+            description "Human-readable type of the task";
+        }
+        leaf transformation {
+            type string;
+            mandatory "true";
+            description "Logical name of the executable / unit";
+        }
+        leaf argv { type string; description "Arguments of the task"; }
+    }
+
+    container stampede.task.edge {
+        description "Dependency between two tasks in the abstract workflow";
+        uses base-event;
+        leaf parent.task.id { type string; mandatory "true"; }
+        leaf child.task.id { type string; mandatory "true"; }
+    }
+
+    // ---- static description: executable workflow --------------------------------
+
+    container stampede.job.info {
+        description "One job (node) in the executable workflow";
+        uses base-event;
+        leaf job.id {
+            type string;
+            mandatory "true";
+            description "Identifier of the job in the executable workflow";
+        }
+        leaf type_desc {
+            type string;
+            mandatory "true";
+            description "Type of the job (compute, stage-in, ...)";
+        }
+        leaf clustered {
+            type intbool;
+            mandatory "true";
+            description "Whether multiple tasks were clustered into this job";
+        }
+        leaf max_retries {
+            type uint32;
+            mandatory "true";
+            description "Maximum number of retries for this job";
+        }
+        leaf executable {
+            type string;
+            mandatory "true";
+            description "Path or name of the executable";
+        }
+        leaf argv { type string; description "Arguments of the job"; }
+        leaf task_count {
+            type uint32;
+            mandatory "true";
+            description "Number of abstract-workflow tasks in the job";
+        }
+    }
+
+    container stampede.job.edge {
+        description "Dependency between two jobs in the executable workflow";
+        uses base-event;
+        leaf parent.job.id { type string; mandatory "true"; }
+        leaf child.job.id { type string; mandatory "true"; }
+    }
+
+    container stampede.wf.map.task_job {
+        description "Mapping of an abstract-workflow task onto an
+                     executable-workflow job (many-to-many)";
+        uses base-event;
+        leaf task.id { type string; mandatory "true"; }
+        leaf job.id { type string; mandatory "true"; }
+    }
+
+    container stampede.xwf.map.subwf_job {
+        description "Mapping of a sub-workflow onto the job that runs it";
+        uses base-event;
+        leaf subwf.id {
+            type uuid;
+            mandatory "true";
+            description "Executable workflow id of the sub-workflow";
+        }
+        leaf job.id { type string; mandatory "true"; }
+        leaf job_inst.id { type int32; mandatory "true"; }
+    }
+
+    // ---- job-instance lifecycle ----------------------------------------------
+
+    container stampede.job_inst.pre.start {
+        description "Pre-script of a job instance started";
+        uses base-job-inst-event;
+    }
+
+    container stampede.job_inst.pre.term {
+        description "Pre-script of a job instance terminated";
+        uses base-job-inst-event;
+        leaf status { type status_code; mandatory "true"; }
+    }
+
+    container stampede.job_inst.pre.end {
+        description "Pre-script of a job instance ended";
+        uses base-job-inst-event;
+        leaf status { type status_code; mandatory "true"; }
+        leaf exitcode { type int32; mandatory "true"; }
+    }
+
+    container stampede.job_inst.submit.start {
+        description "Job instance submitted to the scheduling substrate";
+        uses base-job-inst-event;
+        leaf sched.id {
+            type string;
+            description "Identifier assigned by the scheduler (e.g. Condor id)";
+        }
+    }
+
+    container stampede.job_inst.submit.end {
+        description "Submission of the job instance acknowledged";
+        uses base-job-inst-event;
+        leaf status { type status_code; mandatory "true"; }
+    }
+
+    container stampede.job_inst.held.start {
+        description "Job instance held (e.g. paused in Triana, held in Condor)";
+        uses base-job-inst-event;
+        leaf reason { type string; description "Why the job was held"; }
+    }
+
+    container stampede.job_inst.held.end {
+        description "Job instance released from the held state";
+        uses base-job-inst-event;
+        leaf status { type status_code; }
+    }
+
+    container stampede.job_inst.main.start {
+        description "Main part of the job instance started executing";
+        uses base-job-inst-event;
+        leaf stdout.file { type string; }
+        leaf stderr.file { type string; }
+        leaf sched.id { type string; }
+    }
+
+    container stampede.job_inst.main.term {
+        description "Main part of the job instance terminated";
+        uses base-job-inst-event;
+        leaf status { type status_code; mandatory "true"; }
+    }
+
+    container stampede.job_inst.main.end {
+        description "Main part of the job instance ended; carries the
+                     engine-measured duration and captured output";
+        uses base-job-inst-event;
+        leaf stdout.file { type string; }
+        leaf stdout.text { type string; }
+        leaf stderr.file { type string; }
+        leaf stderr.text { type string; }
+        leaf user { type string; }
+        leaf site {
+            type string;
+            mandatory "true";
+            description "Execution site the job instance ran on";
+        }
+        leaf multiplier_factor {
+            type uint32;
+            description "Core-count multiplier applied to the duration";
+        }
+        leaf status { type status_code; mandatory "true"; }
+        leaf exitcode { type int32; mandatory "true"; }
+        leaf local.dur {
+            type decimal64;
+            mandatory "true";
+            description "Duration of the job instance as seen by the engine";
+        }
+    }
+
+    container stampede.job_inst.post.start {
+        description "Post-script of a job instance started";
+        uses base-job-inst-event;
+    }
+
+    container stampede.job_inst.post.term {
+        description "Post-script of a job instance terminated";
+        uses base-job-inst-event;
+        leaf status { type status_code; mandatory "true"; }
+    }
+
+    container stampede.job_inst.post.end {
+        description "Post-script of a job instance ended";
+        uses base-job-inst-event;
+        leaf status { type status_code; mandatory "true"; }
+        leaf exitcode { type int32; mandatory "true"; }
+    }
+
+    container stampede.job_inst.host.info {
+        description "Host the job instance was matched to";
+        uses base-job-inst-event;
+        leaf site { type string; mandatory "true"; }
+        leaf hostname { type string; mandatory "true"; }
+        leaf ip { type string; }
+        leaf total_memory { type uint64; description "Memory of the host in bytes"; }
+        leaf uname { type string; description "Operating system identification"; }
+    }
+
+    container stampede.job_inst.image.info {
+        description "Memory image size of the running job instance";
+        uses base-job-inst-event;
+        leaf size { type uint64; description "Image size in bytes"; }
+    }
+
+    container stampede.job_inst.abort.info {
+        description "Job instance was aborted (e.g. user pressed stop)";
+        uses base-job-inst-event;
+        leaf reason { type string; }
+    }
+
+    // ---- invocations -----------------------------------------------------------
+
+    container stampede.inv.start {
+        description "Invocation of an executable on a remote node started";
+        uses base-event;
+        leaf job.id { type string; mandatory "true"; }
+        leaf job_inst.id { type int32; mandatory "true"; }
+        leaf inv.id {
+            type int32;
+            mandatory "true";
+            description "Invocation sequence number within the job instance";
+        }
+        leaf task.id {
+            type string;
+            description "Abstract task this invocation instantiates; absent
+                         for jobs the engine added that are not in the AW";
+        }
+    }
+
+    container stampede.inv.end {
+        description "Invocation of an executable on a remote node ended";
+        uses base-event;
+        leaf job.id { type string; mandatory "true"; }
+        leaf job_inst.id { type int32; mandatory "true"; }
+        leaf inv.id { type int32; mandatory "true"; }
+        leaf task.id { type string; }
+        leaf start_time {
+            type nl_ts;
+            mandatory "true";
+            description "Start timestamp of the invocation on the remote node";
+        }
+        leaf dur {
+            type decimal64;
+            mandatory "true";
+            description "Duration of the invocation on the remote node";
+        }
+        leaf remote_cpu_time {
+            type decimal64;
+            description "CPU time consumed on the remote node";
+        }
+        leaf exitcode { type int32; mandatory "true"; }
+        leaf transformation { type string; mandatory "true"; }
+        leaf executable { type string; mandatory "true"; }
+        leaf argv { type string; }
+        leaf task.class { type int32; }
+        leaf status { type status_code; mandatory "true"; }
+        leaf site { type string; description "Execution site"; }
+        leaf hostname { type string; description "Host the invocation ran on"; }
+    }
+}
+"""

@@ -1,0 +1,94 @@
+"""Triana-style workflow engine: units, task graphs, scheduler, Stampede
+logging, SHIWA bundles and the TrianaCloud distributed substrate."""
+from repro.triana.appender import (
+    AppenderRegistry,
+    LogFileAppender,
+    MemoryAppender,
+    RabbitAppender,
+    default_registry,
+)
+from repro.triana.bundles import BundleError, WorkflowBundle, register_unit_codec
+from repro.triana.cloud import (
+    BundleRun,
+    CloudJoinUnit,
+    CloudNode,
+    SubmitBundleUnit,
+    TrianaCloudBroker,
+)
+from repro.triana.execution import (
+    EventEmitter,
+    ExecutionEvent,
+    ExecutionState,
+)
+from repro.triana.scheduler import (
+    InvocationRecord,
+    RunnableInstance,
+    Scheduler,
+    SchedulerReport,
+)
+from repro.triana.stampede_log import StampedeLog
+from repro.triana.subworkflow import SubWorkflowUnit, attach_subworkflows
+from repro.triana.taskgraph import Cable, Task, TaskGraph
+from repro.triana.taskgraph_xml import (
+    parse_taskgraph_xml,
+    read_taskgraph,
+    taskgraph_to_xml,
+    write_taskgraph,
+)
+from repro.triana.unit import (
+    CallableUnit,
+    ConstantUnit,
+    ExecUnit,
+    FailingUnit,
+    GatherUnit,
+    SplitterUnit,
+    StreamSourceUnit,
+    ThresholdSinkUnit,
+    Unit,
+    UnitError,
+    ZipperUnit,
+)
+
+__all__ = [
+    "AppenderRegistry",
+    "LogFileAppender",
+    "MemoryAppender",
+    "RabbitAppender",
+    "default_registry",
+    "BundleError",
+    "WorkflowBundle",
+    "register_unit_codec",
+    "BundleRun",
+    "CloudJoinUnit",
+    "CloudNode",
+    "SubmitBundleUnit",
+    "TrianaCloudBroker",
+    "EventEmitter",
+    "ExecutionEvent",
+    "ExecutionState",
+    "InvocationRecord",
+    "RunnableInstance",
+    "Scheduler",
+    "SchedulerReport",
+    "StampedeLog",
+    "SubWorkflowUnit",
+    "attach_subworkflows",
+    "Cable",
+    "Task",
+    "TaskGraph",
+    "parse_taskgraph_xml",
+    "read_taskgraph",
+    "taskgraph_to_xml",
+    "write_taskgraph",
+    "CallableUnit",
+    "ConstantUnit",
+    "ExecUnit",
+    "FailingUnit",
+    "GatherUnit",
+    "SplitterUnit",
+    "StreamSourceUnit",
+    "ThresholdSinkUnit",
+    "Unit",
+    "UnitError",
+    "ZipperUnit",
+]

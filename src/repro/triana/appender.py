@@ -1,0 +1,83 @@
+"""Log appenders (the LOG4J integration of paper §V-C).
+
+Triana logs through standard appenders; the Stampede integration added a
+RabbitMQ appender so events reach the AMQP queue in real time, alongside
+the conventional log-file appender used for later evaluation.  Appenders
+are EventSinks discovered by name through a small registry, mirroring the
+"discovered using the standard LOG4J system" mechanism.
+"""
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.bus.broker import DEFAULT_EXCHANGE, Broker
+from repro.bus.client import BusSink, EventSink, FileSink, MultiSink
+from repro.netlogger.events import NLEvent
+
+__all__ = [
+    "RabbitAppender",
+    "LogFileAppender",
+    "MemoryAppender",
+    "AppenderRegistry",
+    "default_registry",
+]
+
+
+class RabbitAppender(BusSink):
+    """Publishes each Stampede event onto the AMQP bus as it is produced."""
+
+    def __init__(self, broker: Broker, exchange: str = DEFAULT_EXCHANGE):
+        super().__init__(broker, exchange)
+
+
+class LogFileAppender(FileSink):
+    """Appends BP lines to a plain-text log file (post-mortem evaluation)."""
+
+
+class MemoryAppender(EventSink):
+    """Buffers events in memory — used by tests and the dashboard demo."""
+
+    def __init__(self):
+        self.events: List[NLEvent] = []
+
+    def emit(self, event: NLEvent) -> None:
+        self.events.append(event)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+
+class AppenderRegistry:
+    """Name-to-factory registry (the LOG4J discovery stand-in)."""
+
+    def __init__(self):
+        self._factories: Dict[str, Callable[..., EventSink]] = {}
+
+    def register(self, name: str, factory: Callable[..., EventSink]) -> None:
+        if name in self._factories:
+            raise ValueError(f"appender {name!r} already registered")
+        self._factories[name] = factory
+
+    def create(self, name: str, **kwargs) -> EventSink:
+        if name not in self._factories:
+            raise KeyError(
+                f"no appender {name!r}; known: {sorted(self._factories)}"
+            )
+        return self._factories[name](**kwargs)
+
+    def names(self) -> List[str]:
+        return sorted(self._factories)
+
+
+def default_registry() -> AppenderRegistry:
+    registry = AppenderRegistry()
+    registry.register("rabbit", RabbitAppender)
+    registry.register("file", LogFileAppender)
+    registry.register("memory", MemoryAppender)
+    registry.register(
+        "multi", lambda sinks: MultiSink(*sinks)
+    )
+    return registry

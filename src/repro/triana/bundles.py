@@ -1,0 +1,175 @@
+"""SHIWA-style workflow bundles (paper §V-D, §VI).
+
+A bundle is a self-contained, serializable description of a sub-workflow
+plus its concretized input parameters — "input variables or command line
+arguments can be defined in advance of distribution".  Bundles are what
+the root workflow POSTs to the TrianaCloud broker; because they cross a
+(simulated) network boundary they serialize to plain JSON-compatible
+dicts, via a registry of serializable unit types.
+"""
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.triana.taskgraph import TaskGraph
+from repro.triana.unit import (
+    ConstantUnit,
+    ExecUnit,
+    GatherUnit,
+    SplitterUnit,
+    Unit,
+    ZipperUnit,
+)
+
+__all__ = ["BundleError", "WorkflowBundle", "UNIT_CODECS", "register_unit_codec"]
+
+
+class BundleError(ValueError):
+    """A graph cannot be (de)serialized as a bundle."""
+
+
+# unit type name -> (serialize(unit) -> kwargs, deserialize(name, kwargs) -> Unit)
+UNIT_CODECS: Dict[str, Tuple[Callable[[Unit], dict], Callable[[str, dict], Unit]]] = {}
+
+
+def register_unit_codec(
+    type_name: str,
+    unit_cls: type,
+    serialize: Callable[[Unit], dict],
+    deserialize: Callable[[str, dict], Unit],
+) -> None:
+    UNIT_CODECS[type_name] = (serialize, deserialize)
+    _CLS_TO_NAME[unit_cls] = type_name
+
+
+_CLS_TO_NAME: Dict[type, str] = {}
+
+register_unit_codec(
+    "constant",
+    ConstantUnit,
+    lambda u: {"value": u.value},
+    lambda name, kw: ConstantUnit(name, kw["value"]),
+)
+register_unit_codec(
+    "splitter",
+    SplitterUnit,
+    lambda u: {"chunk_size": u.chunk_size},
+    lambda name, kw: SplitterUnit(name, kw["chunk_size"]),
+)
+register_unit_codec(
+    "gather",
+    GatherUnit,
+    lambda u: {},
+    lambda name, kw: GatherUnit(name),
+)
+register_unit_codec(
+    "zipper",
+    ZipperUnit,
+    lambda u: {},
+    lambda name, kw: ZipperUnit(name),
+)
+register_unit_codec(
+    "exec",
+    ExecUnit,
+    lambda u: {
+        "argv": u.argv,
+        "base_seconds": u.base_seconds,
+        "noise_sigma": u.noise_sigma,
+    },
+    lambda name, kw: ExecUnit(
+        name,
+        kw["argv"],
+        base_seconds=kw.get("base_seconds", 60.0),
+        noise_sigma=kw.get("noise_sigma", 0.12),
+    ),
+)
+
+
+@dataclass
+class WorkflowBundle:
+    """One executable bundle: a serialized sub-workflow + metadata."""
+
+    name: str
+    graph_spec: dict
+    parent_xwf_id: Optional[str] = None
+    root_xwf_id: Optional[str] = None
+    params: Dict[str, Any] = field(default_factory=dict)
+
+    @classmethod
+    def from_graph(
+        cls,
+        graph: TaskGraph,
+        parent_xwf_id: Optional[str] = None,
+        root_xwf_id: Optional[str] = None,
+        params: Optional[Dict[str, Any]] = None,
+    ) -> "WorkflowBundle":
+        """Serialize a task graph into a bundle (graph must use codec'd units)."""
+        tasks = []
+        for task in graph.tasks():
+            type_name = _CLS_TO_NAME.get(type(task.unit))
+            if type_name is None:
+                raise BundleError(
+                    f"unit {task.unit!r} of type {type(task.unit).__name__} "
+                    "has no registered codec; cannot bundle"
+                )
+            serialize, _ = UNIT_CODECS[type_name]
+            tasks.append(
+                {"name": task.name, "type": type_name, "kwargs": serialize(task.unit)}
+            )
+        spec = {
+            "name": graph.name,
+            "tasks": tasks,
+            "edges": [[p, c] for p, c in graph.edges()],
+        }
+        return cls(
+            name=graph.name,
+            graph_spec=spec,
+            parent_xwf_id=parent_xwf_id,
+            root_xwf_id=root_xwf_id,
+            params=dict(params or {}),
+        )
+
+    def to_graph(self) -> TaskGraph:
+        """Reconstruct the executable task graph on the receiving node."""
+        spec = self.graph_spec
+        graph = TaskGraph(spec["name"])
+        tasks = {}
+        for tspec in spec["tasks"]:
+            type_name = tspec["type"]
+            if type_name not in UNIT_CODECS:
+                raise BundleError(f"unknown unit type {type_name!r} in bundle")
+            _, deserialize = UNIT_CODECS[type_name]
+            unit = deserialize(tspec["name"], tspec["kwargs"])
+            tasks[tspec["name"]] = graph.add(unit)
+        for parent, child in spec["edges"]:
+            graph.connect(tasks[parent], tasks[child])
+        return graph
+
+    # -- wire format ---------------------------------------------------------
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "name": self.name,
+                "graph_spec": self.graph_spec,
+                "parent_xwf_id": self.parent_xwf_id,
+                "root_xwf_id": self.root_xwf_id,
+                "params": self.params,
+            }
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "WorkflowBundle":
+        data = json.loads(text)
+        return cls(
+            name=data["name"],
+            graph_spec=data["graph_spec"],
+            parent_xwf_id=data.get("parent_xwf_id"),
+            root_xwf_id=data.get("root_xwf_id"),
+            params=data.get("params", {}),
+        )
+
+    @property
+    def task_count(self) -> int:
+        return len(self.graph_spec["tasks"])

@@ -1,0 +1,275 @@
+"""TrianaCloud: the distributed-execution substrate (paper §V-D, §VI).
+
+The root workflow POSTs workflow bundles to the *TrianaCloud Broker*; the
+broker assigns each bundle to a cloud node, where a Triana engine executes
+the sub-workflow.  In the DART experiment there are 8 nodes, each running
+the bundle's 16 executable tasks 4 at a time.
+
+The simulation runs every node on one shared :class:`SimClock`, so the
+root workflow, the broker and all node engines produce one coherent
+timeline — and the Stampede events from all of them interleave on the bus
+exactly as they did on the real deployment.
+"""
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Deque, Dict, List, Optional
+
+import numpy as np
+
+from repro.bus.client import EventSink
+from repro.triana.bundles import WorkflowBundle
+from repro.triana.execution import ExecutionState
+from repro.triana.scheduler import Scheduler, SchedulerReport
+from repro.triana.stampede_log import StampedeLog
+from repro.triana.unit import Unit
+from repro.util.simclock import SimClock
+from repro.util.uuidgen import derive_uuid
+
+__all__ = ["CloudNode", "BundleRun", "TrianaCloudBroker", "SubmitBundleUnit",
+           "CloudJoinUnit"]
+
+
+@dataclass
+class BundleRun:
+    """Book-keeping for one bundle execution."""
+
+    bundle: WorkflowBundle
+    xwf_id: str
+    node: Optional["CloudNode"] = None
+    submitted_at: float = 0.0
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    report: Optional[SchedulerReport] = None
+    results: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def done(self) -> bool:
+        return self.finished_at is not None
+
+
+class CloudNode:
+    """One cloud worker.
+
+    Runs up to ``bundles_per_node`` bundles concurrently (the real
+    deployment oversubscribed its single-core nodes with several bundle
+    engines), each bundle executing ``slots_per_bundle`` tasks at a time —
+    "run 4 at a time on the compute node".
+    """
+
+    def __init__(self, name: str, slots_per_bundle: int = 4,
+                 bundles_per_node: int = 1):
+        self.name = name
+        self.slots_per_bundle = slots_per_bundle
+        self.bundles_per_node = bundles_per_node
+        self.active_bundles = 0
+        self.bundles_executed = 0
+
+    @property
+    def busy(self) -> bool:
+        return self.active_bundles >= self.bundles_per_node
+
+
+class TrianaCloudBroker:
+    """Receives bundles (the HTTP POST of Fig. 6) and runs them on nodes."""
+
+    def __init__(
+        self,
+        clock: SimClock,
+        sink: EventSink,
+        n_nodes: int = 8,
+        slots_per_bundle: int = 4,
+        bundles_per_node: int = 1,
+        seed: int = 0,
+        node_name_prefix: str = "trianaworker",
+        dispatch_latency: float = 0.5,
+    ):
+        self.clock = clock
+        self.sink = sink
+        self.nodes = [
+            CloudNode(f"{node_name_prefix}{i}", slots_per_bundle, bundles_per_node)
+            for i in range(n_nodes)
+        ]
+        self.rng = np.random.Generator(np.random.PCG64(seed ^ 0xC10D))
+        self.dispatch_latency = dispatch_latency
+        self.runs: List[BundleRun] = []
+        self._queue: Deque[BundleRun] = deque()
+        self._on_all_done: List[Callable[[], None]] = []
+        self._parent_log: Optional[StampedeLog] = None
+
+    # -- wiring -------------------------------------------------------------
+    def attach_parent(self, parent_log: StampedeLog) -> None:
+        """Parent workflow whose jobs the sub-workflows map onto."""
+        self._parent_log = parent_log
+
+    def on_all_done(self, callback: Callable[[], None]) -> None:
+        self._on_all_done.append(callback)
+
+    # -- submission (the HTTP POST) -----------------------------------------------
+    def submit(self, bundle_json: str, submitting_job: Optional[str] = None) -> BundleRun:
+        """Accept a serialized bundle; returns its run handle."""
+        bundle = WorkflowBundle.from_json(bundle_json)
+        parent = bundle.parent_xwf_id or (
+            self._parent_log.xwf_id if self._parent_log else None
+        )
+        xwf_id = derive_uuid(parent or "trianacloud", bundle.name)
+        run = BundleRun(bundle=bundle, xwf_id=xwf_id, submitted_at=self.clock.now)
+        self.runs.append(run)
+        if self._parent_log is not None and submitting_job is not None:
+            self._parent_log.emit_subwf_map(xwf_id, submitting_job, self.clock.now)
+        self._queue.append(run)
+        self.clock.schedule(self.dispatch_latency, self._dispatch)
+        return run
+
+    # -- scheduling -----------------------------------------------------------------
+    def _dispatch(self) -> None:
+        while self._queue:
+            free = [n for n in self.nodes if not n.busy]
+            if not free:
+                return
+            # least-loaded node first: spreads bundles across the pool
+            node = min(free, key=lambda n: n.active_bundles)
+            run = self._queue.popleft()
+            self._start_run(run, node)
+
+    def _start_run(self, run: BundleRun, node: CloudNode) -> None:
+        node.active_bundles += 1
+        run.node = node
+        run.started_at = self.clock.now
+        graph = run.bundle.to_graph()
+        scheduler = Scheduler(
+            graph,
+            clock=self.clock,
+            rng=np.random.Generator(
+                np.random.PCG64(int(self.rng.integers(0, 2**63)))
+            ),
+            max_concurrent=node.slots_per_bundle,
+        )
+        parent_xwf = run.bundle.parent_xwf_id or (
+            self._parent_log.xwf_id if self._parent_log else None
+        )
+        root_xwf = run.bundle.root_xwf_id or parent_xwf or run.xwf_id
+        StampedeLog(
+            scheduler,
+            self.sink,
+            xwf_id=run.xwf_id,
+            parent_xwf_id=parent_xwf,
+            root_xwf_id=root_xwf,
+            site=node.name,
+            hostname=node.name,
+        )
+
+        def watch(event):
+            if not event.is_graph:
+                return
+            if event.new_state in (
+                ExecutionState.COMPLETE,
+                ExecutionState.ERROR,
+                ExecutionState.SUSPENDED,
+            ):
+                self._finish_run(run, node, scheduler)
+
+        scheduler.add_execution_listener(watch)
+        scheduler.start()
+
+    def _finish_run(self, run: BundleRun, node: CloudNode, scheduler: Scheduler) -> None:
+        run.finished_at = self.clock.now
+        run.results = dict(scheduler.results)
+        run.report = scheduler.report
+        run.report.final_state = scheduler.graph_emitter.state
+        node.active_bundles -= 1
+        node.bundles_executed += 1
+        self._dispatch()
+        if all(r.done for r in self.runs) and not self._queue:
+            for callback in self._on_all_done:
+                callback()
+
+    # -- status ------------------------------------------------------------------
+    @property
+    def all_done(self) -> bool:
+        return bool(self.runs) and all(r.done for r in self.runs) and not self._queue
+
+    def pending_count(self) -> int:
+        return len(self._queue) + sum(
+            1 for r in self.runs if r.started_at is not None and not r.done
+        )
+
+
+class SubmitBundleUnit(Unit):
+    """Root-workflow unit that POSTs one bundle to the broker."""
+
+    type_desc = "unit"
+
+    def __init__(
+        self,
+        name: str,
+        broker: TrianaCloudBroker,
+        bundle: WorkflowBundle,
+        seconds: float = 1.0,
+    ):
+        super().__init__(name)
+        self.broker = broker
+        self.bundle = bundle
+        self._seconds = seconds
+
+    def process(self, inputs) -> Any:
+        run = self.broker.submit(self.bundle.to_json(), submitting_job=self.name)
+        return {"bundle": self.bundle.name, "xwf_id": run.xwf_id}
+
+    def duration(self, inputs, rng) -> float:
+        return self._seconds
+
+
+class CloudJoinUnit(Unit):
+    """Root-workflow monitor task: completes when all bundles have finished.
+
+    Marked ``external`` so the scheduler leaves its invocation open until
+    the broker's all-done callback fires.
+    """
+
+    type_desc = "unit"
+
+    def __init__(self, name: str, broker: TrianaCloudBroker):
+        super().__init__(name)
+        self.broker = broker
+        self._scheduler: Optional[Scheduler] = None
+
+    @property
+    def external(self) -> bool:
+        # Only wait externally while bundles are still in flight.
+        return not self.broker.all_done
+
+    def bind(self, scheduler: Scheduler) -> None:
+        """Register the broker callback that releases this unit."""
+        self._scheduler = scheduler
+        self.broker.on_all_done(self._release)
+
+    def _release(self) -> None:
+        if (
+            self._scheduler is not None
+            and self.name in self._scheduler._external_pending
+        ):
+            failed = sum(
+                1
+                for r in self.broker.runs
+                if r.report is not None and not r.report.ok
+            )
+            self._scheduler.complete_external(
+                self.name,
+                result={"bundles": len(self.broker.runs), "failed": failed},
+                exitcode=0 if failed == 0 else 1,
+                error_text=f"{failed} bundle(s) failed" if failed else "",
+            )
+
+    def process(self, inputs) -> Any:
+        if self.broker.all_done:
+            # everything already finished before the monitor started
+            failed = sum(
+                1 for r in self.broker.runs if r.report is not None and not r.report.ok
+            )
+            return {"bundles": len(self.broker.runs), "failed": failed}
+        return None
+
+    def duration(self, inputs, rng) -> float:  # pragma: no cover - external
+        return 0.0

@@ -1,0 +1,109 @@
+"""Triana execution states and events (paper §V-B).
+
+The states are exactly the set the paper lists as "natively recognised
+within Triana by the workflow and tasks listener interfaces"; transitions
+are delivered to listeners as :class:`ExecutionEvent` objects that carry
+both the new and the previous state, "giving some context as to the flow
+of the workflow".
+"""
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+__all__ = ["ExecutionState", "ExecutionEvent", "ExecutionListener", "EventEmitter"]
+
+
+class ExecutionState(enum.Enum):
+    NOT_INITIALIZED = "NOT_INITIALIZED"
+    NOT_EXECUTABLE = "NOT_EXECUTABLE"
+    SCHEDULED = "SCHEDULED"
+    RUNNING = "RUNNING"
+    PAUSED = "PAUSED"
+    COMPLETE = "COMPLETE"
+    RESETTING = "RESETTING"
+    RESET = "RESET"
+    ERROR = "ERROR"
+    SUSPENDED = "SUSPENDED"
+    UNKNOWN = "UNKNOWN"
+    LOCK = "LOCK"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+#: Transitions allowed from each state.  The lifecycle follows the paper's
+#: "execution requested" -> "execution starting" -> "execution finished" ->
+#: "execution reset" phases.
+_ALLOWED = {
+    ExecutionState.NOT_INITIALIZED: {ExecutionState.SCHEDULED,
+                                     ExecutionState.NOT_EXECUTABLE},
+    ExecutionState.SCHEDULED: {ExecutionState.RUNNING, ExecutionState.PAUSED,
+                               ExecutionState.ERROR, ExecutionState.SUSPENDED,
+                               # released by a local condition before running
+                               ExecutionState.COMPLETE},
+    ExecutionState.RUNNING: {ExecutionState.COMPLETE, ExecutionState.ERROR,
+                             ExecutionState.PAUSED, ExecutionState.SUSPENDED,
+                             ExecutionState.RUNNING, ExecutionState.UNKNOWN},
+    ExecutionState.PAUSED: {ExecutionState.RUNNING, ExecutionState.SUSPENDED,
+                            ExecutionState.ERROR, ExecutionState.SCHEDULED},
+    ExecutionState.COMPLETE: {ExecutionState.RESETTING, ExecutionState.SCHEDULED,
+                              ExecutionState.RUNNING},
+    ExecutionState.ERROR: {ExecutionState.RESETTING},
+    ExecutionState.SUSPENDED: {ExecutionState.RESETTING},
+    ExecutionState.RESETTING: {ExecutionState.RESET},
+    ExecutionState.RESET: {ExecutionState.SCHEDULED},
+    ExecutionState.NOT_EXECUTABLE: set(),
+    ExecutionState.UNKNOWN: {ExecutionState.RESETTING},
+    ExecutionState.LOCK: set(),
+}
+
+
+@dataclass(frozen=True)
+class ExecutionEvent:
+    """A state transition of one task (or of the whole task graph)."""
+
+    task_name: str
+    old_state: ExecutionState
+    new_state: ExecutionState
+    time: float
+    detail: str = ""
+    is_graph: bool = False  # True when the whole task graph transitioned
+
+    def __str__(self) -> str:
+        return (
+            f"{self.task_name}: {self.old_state} -> {self.new_state} "
+            f"@ {self.time:.3f}{' (' + self.detail + ')' if self.detail else ''}"
+        )
+
+
+ExecutionListener = Callable[[ExecutionEvent], None]
+
+
+class EventEmitter:
+    """State holder + listener fan-out for one task or graph."""
+
+    def __init__(self, name: str, is_graph: bool = False):
+        self.name = name
+        self.is_graph = is_graph
+        self.state = ExecutionState.NOT_INITIALIZED
+        self._listeners: List[ExecutionListener] = []
+
+    def add_listener(self, listener: ExecutionListener) -> None:
+        self._listeners.append(listener)
+
+    def transition(
+        self, new_state: ExecutionState, time: float, detail: str = ""
+    ) -> ExecutionEvent:
+        if new_state not in _ALLOWED[self.state]:
+            raise ValueError(
+                f"illegal transition {self.state} -> {new_state} for {self.name!r}"
+            )
+        event = ExecutionEvent(
+            self.name, self.state, new_state, time, detail, is_graph=self.is_graph
+        )
+        self.state = new_state
+        for listener in self._listeners:
+            listener(event)
+        return event

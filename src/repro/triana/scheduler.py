@@ -1,0 +1,429 @@
+"""The Triana scheduler: runs task graphs on the virtual clock.
+
+Responsibilities (paper Fig. 5): *Runnable Instances* control the running
+of a task unit while the Scheduler controls the start/stop/reset events of
+a task-graph lifecycle.  Listeners (the StampedeLog among them) receive
+:class:`~repro.triana.execution.ExecutionEvent` transitions plus
+:class:`InvocationRecord` completions.
+
+Two execution modes (paper §V-A):
+
+* **single-step** — each component is scheduled to be executed once, like
+  a DAG; the graph must be acyclic.
+* **continuous** — components wait for data repeatedly until released by a
+  local condition (source exhaustion or an explicit stop), so a job can
+  accumulate multiple invocations.
+
+Timing model: when a task's inputs become available it is *submitted*
+(``SCHEDULED`` + submit event).  It starts executing once a concurrency
+slot is free, after a small scheduling overhead; the gap is the job's
+queue time.  ``max_concurrent`` models the per-node task limit ("run 4 at
+a time on the compute node").
+"""
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Deque, Dict, List, Optional
+
+import numpy as np
+
+from repro.triana.execution import EventEmitter, ExecutionEvent, ExecutionState
+from repro.triana.taskgraph import Task, TaskGraph
+from repro.triana.unit import StreamSourceUnit, UnitError
+from repro.util.simclock import SimClock
+
+__all__ = ["InvocationRecord", "RunnableInstance", "Scheduler", "SchedulerReport"]
+
+
+@dataclass(frozen=True)
+class InvocationRecord:
+    """One completed process() call of a unit."""
+
+    task_name: str
+    transformation: str
+    inv_seq: int  # 1-based invocation number within the task's instance
+    start_time: float
+    duration: float
+    exitcode: int
+    error_text: str = ""
+    argv: str = ""
+
+
+@dataclass
+class SchedulerReport:
+    """Outcome of one graph run."""
+
+    completed: int = 0
+    errored: int = 0
+    aborted: int = 0
+    invocations: int = 0
+    wall_time: float = 0.0
+    final_state: ExecutionState = ExecutionState.NOT_INITIALIZED
+
+    @property
+    def ok(self) -> bool:
+        return self.errored == 0 and self.aborted == 0
+
+
+class RunnableInstance:
+    """Controls the running of one task unit (one Stampede job instance)."""
+
+    def __init__(self, task: Task):
+        self.task = task
+        self.emitter = EventEmitter(task.name)
+        self.invocations = 0
+        self.submitted = False
+        self.running_invocation = False
+        self.finished_inputs = False  # continuous: upstream exhausted
+        self.last_result: Any = None
+
+    @property
+    def state(self) -> ExecutionState:
+        return self.emitter.state
+
+
+class Scheduler:
+    """Executes a TaskGraph on a SimClock, emitting execution events."""
+
+    SCHEDULING_OVERHEAD = 0.05  # seconds between submit and start, unloaded
+
+    def __init__(
+        self,
+        graph: TaskGraph,
+        clock: Optional[SimClock] = None,
+        rng: Optional[np.random.Generator] = None,
+        seed: int = 0,
+        mode: str = "single-step",
+        max_concurrent: Optional[int] = None,
+    ):
+        if mode not in ("single-step", "continuous"):
+            raise ValueError(f"unknown mode {mode!r}")
+        if mode == "single-step" and not graph.is_dag():
+            raise ValueError(
+                f"graph {graph.name!r} contains a loop; single-step requires a DAG"
+            )
+        self.graph = graph
+        self.clock = clock if clock is not None else SimClock()
+        self.rng = rng if rng is not None else np.random.Generator(np.random.PCG64(seed))
+        self.mode = mode
+        self.max_concurrent = max_concurrent
+        self.graph_emitter = EventEmitter(graph.name, is_graph=True)
+        self.instances: Dict[str, RunnableInstance] = {
+            t.name: RunnableInstance(t) for t in graph.tasks()
+        }
+        self.results: Dict[str, Any] = {}
+        self._running = 0
+        self._ready_queue: Deque[RunnableInstance] = deque()
+        self._external_pending: Dict[str, Any] = {}
+        self._stopped = False
+        self._paused = False
+        self._released = False  # a local condition ended the streaming run
+        self._exec_listeners: List[Callable[[ExecutionEvent], None]] = []
+        self._inv_listeners: List[Callable[[InvocationRecord], None]] = []
+        self.report = SchedulerReport()
+
+    # -- listener plumbing -----------------------------------------------------
+    def add_execution_listener(self, listener: Callable[[ExecutionEvent], None]) -> None:
+        self._exec_listeners.append(listener)
+        self.graph_emitter.add_listener(listener)
+        for instance in self.instances.values():
+            instance.emitter.add_listener(listener)
+
+    def add_invocation_listener(
+        self, listener: Callable[[InvocationRecord], None]
+    ) -> None:
+        self._inv_listeners.append(listener)
+
+    def _emit_invocation(self, record: InvocationRecord) -> None:
+        self.report.invocations += 1
+        for listener in self._inv_listeners:
+            listener(record)
+
+    # -- lifecycle ---------------------------------------------------------------
+    def start(self) -> None:
+        """Begin the run: wake the graph and submit source tasks."""
+        start_time = self.clock.now
+        self.graph_emitter.transition(ExecutionState.SCHEDULED, self.clock.now)
+        self.graph_emitter.transition(ExecutionState.RUNNING, self.clock.now)
+        self.report.wall_time = -start_time  # finalized at completion
+        for instance in self.instances.values():
+            instance.emitter.transition(ExecutionState.SCHEDULED, self.clock.now)
+        self._pump()
+
+    def run(self) -> SchedulerReport:
+        """Run to completion (or stop/error) and return the report."""
+        self.start()
+        self.clock.run()
+        return self.finalize()
+
+    def finalize(self) -> SchedulerReport:
+        """Close out the run after the clock has drained (used directly by
+        drivers that share one clock across several schedulers)."""
+        self._finalize()
+        return self.report
+
+    def pause(self) -> None:
+        """The GUI pause: eligible-but-not-running tasks go PAUSED."""
+        self._paused = True
+        for instance in self.instances.values():
+            if instance.state is ExecutionState.SCHEDULED:
+                instance.emitter.transition(ExecutionState.PAUSED, self.clock.now)
+
+    def resume(self) -> None:
+        self._paused = False
+        for instance in self.instances.values():
+            if instance.state is ExecutionState.PAUSED:
+                instance.emitter.transition(
+                    ExecutionState.RUNNING, self.clock.now, detail="resumed"
+                )
+                # resumed tasks are eligible again; re-queue if inputs ready
+                instance.emitter.state = ExecutionState.SCHEDULED
+        self._pump()
+
+    def stop(self) -> None:
+        """The GUI stop button: abort every unfinished task."""
+        self._stopped = True
+        for instance in self.instances.values():
+            if instance.state in (
+                ExecutionState.SCHEDULED,
+                ExecutionState.RUNNING,
+                ExecutionState.PAUSED,
+            ):
+                instance.emitter.transition(
+                    ExecutionState.SUSPENDED, self.clock.now, detail="user stop"
+                )
+                self.report.aborted += 1
+        if self.graph_emitter.state is ExecutionState.RUNNING:
+            self.graph_emitter.transition(
+                ExecutionState.SUSPENDED, self.clock.now, detail="user stop"
+            )
+
+    # -- engine --------------------------------------------------------------------
+    def _pump(self) -> None:
+        """Submit newly-eligible tasks and start queued ones while slots free."""
+        if self._stopped or self._paused or self._released:
+            return
+        for instance in self.instances.values():
+            if instance.state is not ExecutionState.SCHEDULED:
+                continue
+            if instance.running_invocation or instance.submitted:
+                continue
+            task = instance.task
+            if task.is_source:
+                eligible = instance.invocations == 0 or self.mode == "continuous"
+            else:
+                eligible = task.inputs_ready()
+            if eligible and not self._source_exhausted(instance):
+                instance.submitted = True
+                self._ready_queue.append(instance)
+        while self._ready_queue and (
+            self.max_concurrent is None or self._running < self.max_concurrent
+        ):
+            instance = self._ready_queue.popleft()
+            self._start_invocation(instance)
+
+    def _source_exhausted(self, instance: RunnableInstance) -> bool:
+        unit = instance.task.unit
+        if isinstance(unit, StreamSourceUnit):
+            return unit.exhausted
+        # ordinary sources fire once
+        return instance.task.is_source and instance.invocations > 0
+
+    def _start_invocation(self, instance: RunnableInstance) -> None:
+        task = instance.task
+        self._running += 1
+        overhead = self.SCHEDULING_OVERHEAD * (0.5 + self.rng.random())
+        self.clock.schedule(overhead, lambda: self._execute(instance))
+
+    def _execute(self, instance: RunnableInstance) -> None:
+        if self._stopped or instance.state not in (
+            ExecutionState.SCHEDULED,
+            ExecutionState.RUNNING,
+        ):
+            self._running -= 1
+            return
+        task = instance.task
+        if instance.state is ExecutionState.SCHEDULED:
+            instance.emitter.transition(ExecutionState.RUNNING, self.clock.now)
+        instance.running_invocation = True
+        instance.invocations += 1
+        inputs = task.take_inputs() if not task.is_source else []
+        start = self.clock.now
+        error_text = ""
+        exitcode = 0
+        result: Any = None
+        try:
+            result = task.unit.process(inputs)
+        except UnitError as exc:
+            exitcode = 1
+            error_text = str(exc)
+        except Exception as exc:  # unit bug: also an ERROR state in Triana
+            exitcode = 1
+            error_text = f"{type(exc).__name__}: {exc}"
+        if getattr(task.unit, "external", False) and exitcode == 0:
+            # Externally-completed unit (e.g. waiting on the TrianaCloud
+            # broker): someone must call complete_external() later.
+            self._external_pending[task.name] = (instance, result, start)
+            return
+        duration = float(task.unit.duration(inputs, self.rng))
+        self.clock.schedule(
+            duration,
+            lambda: self._complete(instance, result, exitcode, error_text, start, duration),
+        )
+
+    def complete_external(
+        self, task_name: str, result: Any = None, exitcode: int = 0,
+        error_text: str = "",
+    ) -> None:
+        """Finish an external unit's in-flight invocation at the current time."""
+        instance, started_result, start = self._external_pending.pop(task_name)
+        final = result if result is not None else started_result
+        self._complete(
+            instance, final, exitcode, error_text, start, self.clock.now - start
+        )
+
+    def _complete(
+        self,
+        instance: RunnableInstance,
+        result: Any,
+        exitcode: int,
+        error_text: str,
+        start: float,
+        duration: float,
+    ) -> None:
+        task = instance.task
+        instance.running_invocation = False
+        instance.submitted = False
+        self._running -= 1
+        argv = " ".join(getattr(task.unit, "argv", []) or [])
+        self._emit_invocation(
+            InvocationRecord(
+                task_name=task.name,
+                transformation=task.unit.transformation,
+                inv_seq=instance.invocations,
+                start_time=start,
+                duration=duration,
+                exitcode=exitcode,
+                error_text=error_text,
+                argv=argv,
+            )
+        )
+        if exitcode != 0:
+            instance.emitter.transition(
+                ExecutionState.ERROR, self.clock.now, detail=error_text
+            )
+            self.report.errored += 1
+            self._maybe_finish_graph()
+            self._pump()
+            return
+        stop_sentinel = (
+            isinstance(task.unit, StreamSourceUnit) and result is StreamSourceUnit.STOP
+        )
+        if not stop_sentinel:
+            instance.last_result = result
+            self.results[task.name] = result
+            task.broadcast(result)
+        done = self._task_done(instance) or self._released
+        if done:
+            instance.emitter.transition(ExecutionState.COMPLETE, self.clock.now)
+            self.report.completed += 1
+        else:
+            # continuous mode: stays RUNNING, but is re-eligible; flip back
+            # to SCHEDULED silently so _pump resubmits it on next data.
+            instance.emitter.state = ExecutionState.SCHEDULED
+        # any unit exposing a truthy `satisfied` attribute releases the
+        # workflow in continuous mode (Triana's "local condition")
+        if getattr(task.unit, "satisfied", False) and self.mode == "continuous":
+            self._release_all()
+        self._maybe_finish_graph()
+        self._pump()
+
+    def _task_done(self, instance: RunnableInstance) -> bool:
+        if self.mode == "single-step":
+            return True
+        task = instance.task
+        unit = task.unit
+        if isinstance(unit, StreamSourceUnit):
+            return unit.exhausted
+        if task.is_source:
+            return True
+        # a continuous task is done when upstream tasks are finished and no
+        # buffered data remains on its input cables
+        upstream_done = all(
+            self.instances[c.source.name].state
+            in (ExecutionState.COMPLETE, ExecutionState.ERROR, ExecutionState.SUSPENDED)
+            for c in task.in_cables
+        )
+        return upstream_done and not task.inputs_ready()
+
+    def _release_all(self) -> None:
+        """A local condition released the workflow (threshold reached).
+
+        No new invocations start; in-flight ones finish and their tasks
+        complete immediately after.
+        """
+        self._released = True
+        for instance in self.instances.values():
+            if instance.state in (ExecutionState.SCHEDULED, ExecutionState.RUNNING):
+                if not instance.running_invocation:
+                    instance.emitter.transition(
+                        ExecutionState.COMPLETE, self.clock.now, detail="released"
+                    )
+                    self.report.completed += 1
+
+    def _maybe_finish_graph(self) -> None:
+        if self.graph_emitter.state is not ExecutionState.RUNNING:
+            return
+        states = [i.state for i in self.instances.values()]
+        pending = [
+            s
+            for s in states
+            if s in (ExecutionState.SCHEDULED, ExecutionState.RUNNING,
+                     ExecutionState.PAUSED)
+        ]
+        if pending:
+            # unfinished tasks may still be waiting on data that will never
+            # arrive (an upstream error): treat those as unreachable
+            if not self._progress_possible():
+                self.graph_emitter.transition(
+                    ExecutionState.ERROR, self.clock.now, detail="deadlocked by failure"
+                )
+            return
+        if any(s is ExecutionState.ERROR for s in states):
+            self.graph_emitter.transition(ExecutionState.ERROR, self.clock.now)
+        elif any(s is ExecutionState.SUSPENDED for s in states):
+            self.graph_emitter.transition(ExecutionState.SUSPENDED, self.clock.now)
+        else:
+            self.graph_emitter.transition(ExecutionState.COMPLETE, self.clock.now)
+
+    def _progress_possible(self) -> bool:
+        """Can any pending task still run (now or after running ones finish)?"""
+        for instance in self.instances.values():
+            if instance.running_invocation or instance.submitted:
+                return True
+            if instance.state is ExecutionState.SCHEDULED:
+                task = instance.task
+                if task.is_source and not self._source_exhausted(instance):
+                    return True
+                if task.inputs_ready():
+                    return True
+                # inputs could still arrive from live upstream tasks
+                for cable in task.in_cables:
+                    upstream = self.instances[cable.source.name]
+                    if upstream.state in (
+                        ExecutionState.SCHEDULED,
+                        ExecutionState.RUNNING,
+                        ExecutionState.PAUSED,
+                    ):
+                        return True
+        return False
+
+    def _finalize(self) -> None:
+        self.report.wall_time += self.clock.now
+        if self.graph_emitter.state is ExecutionState.RUNNING:
+            # clock drained with tasks pending: deadlock (e.g. failed parent)
+            self.graph_emitter.transition(
+                ExecutionState.ERROR, self.clock.now, detail="no progress possible"
+            )
+        self.report.final_state = self.graph_emitter.state

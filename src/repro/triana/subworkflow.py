@@ -1,0 +1,135 @@
+"""Inline sub-workflows: a task whose body is another task graph.
+
+Paper Fig. 4: "A task graph contains tasks, which may be another task
+graph (i.e. a sub-workflow, which can contain a sub-workflow, and so
+on)."  :class:`SubWorkflowUnit` realizes that nesting for local (non-
+cloud) execution: when the parent task starts, a child Scheduler runs the
+inner graph on the same clock, with its own StampedeLog keyed by a
+derived xwf.id whose ``parent.xwf.id`` points at the parent run — and the
+parent emits the ``stampede.xwf.map.subwf_job`` linkage.
+
+The child graph is self-contained (like a SHIWA bundle, its inputs are
+concretized at construction); the child's sink results (by task name)
+form the parent task's output dict.
+"""
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.bus.client import EventSink
+from repro.triana.scheduler import Scheduler
+from repro.triana.stampede_log import StampedeLog
+from repro.triana.taskgraph import TaskGraph
+from repro.triana.unit import Unit
+from repro.util.uuidgen import derive_uuid
+
+__all__ = ["SubWorkflowUnit", "attach_subworkflows"]
+
+
+class SubWorkflowUnit(Unit):
+    """A unit that executes a nested task graph as a sub-workflow run."""
+
+    type_desc = "dax"
+
+    def __init__(
+        self,
+        name: str,
+        graph: TaskGraph,
+        max_concurrent: Optional[int] = None,
+    ):
+        super().__init__(name)
+        self.graph = graph
+        self.max_concurrent = max_concurrent
+        self._parent_scheduler: Optional[Scheduler] = None
+        self._parent_log: Optional[StampedeLog] = None
+        self.child_scheduler: Optional[Scheduler] = None
+        self.child_xwf_id: Optional[str] = None
+
+    @property
+    def external(self) -> bool:
+        return True
+
+    def bind(self, scheduler: Scheduler, log: Optional[StampedeLog]) -> None:
+        """Attach to the parent's scheduler (and its StampedeLog, if any)."""
+        self._parent_scheduler = scheduler
+        self._parent_log = log
+
+    def process(self, inputs: Sequence[Any]) -> None:
+        parent = self._parent_scheduler
+        if parent is None:
+            raise RuntimeError(
+                f"SubWorkflowUnit {self.name!r} was never bound to a scheduler"
+            )
+        clock = parent.clock
+        child = Scheduler(
+            self.graph,
+            clock=clock,
+            rng=np.random.Generator(
+                np.random.PCG64(int(parent.rng.integers(0, 2**63)))
+            ),
+            max_concurrent=self.max_concurrent,
+        )
+        self.child_scheduler = child
+        child_log: Optional[StampedeLog] = None
+        if self._parent_log is not None:
+            self.child_xwf_id = derive_uuid(self._parent_log.xwf_id, self.name)
+            child_log = StampedeLog(
+                child,
+                self._parent_log.sink,
+                xwf_id=self.child_xwf_id,
+                parent_xwf_id=self._parent_log.xwf_id,
+                root_xwf_id=self._parent_log.root_xwf_id,
+                site=self._parent_log.site,
+                hostname=self._parent_log.hostname,
+            )
+            self._parent_log.emit_subwf_map(
+                self.child_xwf_id, self.name, clock.now
+            )
+        # sub-workflows may nest "and so on" (Fig. 4): bind any
+        # SubWorkflowUnit inside the child to the child's run
+        attach_subworkflows(child, child_log)
+        def watch(event):
+            if not event.is_graph:
+                return
+            from repro.triana.execution import ExecutionState
+
+            if event.new_state in (
+                ExecutionState.COMPLETE,
+                ExecutionState.ERROR,
+                ExecutionState.SUSPENDED,
+            ):
+                ok = event.new_state is ExecutionState.COMPLETE
+                results: Dict[str, Any] = {
+                    t.name: child.results.get(t.name)
+                    for t in self.graph.sinks()
+                }
+                parent.complete_external(
+                    self.name,
+                    result=results,
+                    exitcode=0 if ok else 1,
+                    error_text="" if ok else f"sub-workflow {event.new_state}",
+                )
+
+        child.add_execution_listener(watch)
+        child.start()
+        return None
+
+    def duration(self, inputs, rng) -> float:  # pragma: no cover - external
+        return 0.0
+
+
+def attach_subworkflows(scheduler: Scheduler,
+                        log: Optional[StampedeLog] = None) -> int:
+    """Bind every SubWorkflowUnit in a graph to its parent run.
+
+    Call after constructing the parent Scheduler (and StampedeLog).
+    Returns the number of sub-workflow units bound.
+    """
+    bound = 0
+    for task in scheduler.graph.tasks():
+        if isinstance(task.unit, SubWorkflowUnit):
+            task.unit.bind(scheduler, log)
+            bound += 1
+    return bound

@@ -1,0 +1,157 @@
+"""Triana task graphs: tasks wrapping units, connected by cables.
+
+A task graph contains tasks, which may themselves be task graphs (the
+sub-workflow nesting of paper Fig. 4).  Cables are FIFO queues between an
+output port of one task and an input port of another; Triana graphs may
+contain loops (used only in continuous mode — single-step requires a DAG).
+"""
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Dict, Iterator, List, Optional, Tuple
+
+from repro.triana.unit import Unit
+from repro.util.graph import DiGraph
+
+__all__ = ["Cable", "Task", "TaskGraph"]
+
+
+class Cable:
+    """A data connection: FIFO from a source task to a sink task input."""
+
+    def __init__(self, source: "Task", sink: "Task", sink_port: int):
+        self.source = source
+        self.sink = sink
+        self.sink_port = sink_port
+        self._queue: Deque[Any] = deque()
+
+    def send(self, data: Any) -> None:
+        self._queue.append(data)
+
+    def has_data(self) -> bool:
+        return bool(self._queue)
+
+    def receive(self) -> Any:
+        return self._queue.popleft()
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    def __repr__(self) -> str:
+        return f"<Cable {self.source.name} -> {self.sink.name}[{self.sink_port}]>"
+
+
+class Task:
+    """A node of the task graph: one unit plus its cables."""
+
+    def __init__(self, unit: Unit, name: Optional[str] = None):
+        self.unit = unit
+        self.name = name or unit.name
+        self.in_cables: List[Cable] = []
+        self.out_cables: List[Cable] = []
+        self.graph: Optional["TaskGraph"] = None
+
+    @property
+    def is_source(self) -> bool:
+        return not self.in_cables
+
+    @property
+    def is_sink(self) -> bool:
+        return not self.out_cables
+
+    def inputs_ready(self) -> bool:
+        """True when every input cable holds at least one datum."""
+        return all(c.has_data() for c in self.in_cables)
+
+    def take_inputs(self) -> List[Any]:
+        return [c.receive() for c in self.in_cables]
+
+    def broadcast(self, data: Any) -> None:
+        for cable in self.out_cables:
+            cable.send(data)
+
+    def __repr__(self) -> str:
+        return f"<Task {self.name!r}>"
+
+
+class TaskGraph:
+    """A workflow: tasks + cables, possibly nested sub-graphs."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self._tasks: Dict[str, Task] = {}
+        self.subgraphs: List["TaskGraph"] = []
+        self.parent: Optional["TaskGraph"] = None
+
+    # -- construction ------------------------------------------------------------
+    def add(self, unit_or_task) -> Task:
+        """Add a unit (auto-wrapped) or a prepared Task; returns the Task."""
+        task = unit_or_task if isinstance(unit_or_task, Task) else Task(unit_or_task)
+        if task.name in self._tasks:
+            raise ValueError(f"duplicate task name {task.name!r} in {self.name!r}")
+        task.graph = self
+        self._tasks[task.name] = task
+        return task
+
+    def connect(self, source: Task, sink: Task, sink_port: Optional[int] = None) -> Cable:
+        """Wire source's output to the next (or given) input port of sink."""
+        for task in (source, sink):
+            if task.graph is not self:
+                raise ValueError(f"task {task.name!r} is not in graph {self.name!r}")
+        port = sink_port if sink_port is not None else len(sink.in_cables)
+        cable = Cable(source, sink, port)
+        source.out_cables.append(cable)
+        sink.in_cables.append(cable)
+        return cable
+
+    def add_subgraph(self, graph: "TaskGraph") -> None:
+        graph.parent = self
+        self.subgraphs.append(graph)
+
+    # -- queries -----------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._tasks)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._tasks
+
+    def __getitem__(self, name: str) -> Task:
+        return self._tasks[name]
+
+    def tasks(self) -> List[Task]:
+        return list(self._tasks.values())
+
+    def cables(self) -> List[Cable]:
+        seen: List[Cable] = []
+        for task in self._tasks.values():
+            seen.extend(task.out_cables)
+        return seen
+
+    def edges(self) -> List[Tuple[str, str]]:
+        return [(c.source.name, c.sink.name) for c in self.cables()]
+
+    def sources(self) -> List[Task]:
+        return [t for t in self._tasks.values() if t.is_source]
+
+    def sinks(self) -> List[Task]:
+        return [t for t in self._tasks.values() if t.is_sink]
+
+    def as_digraph(self) -> DiGraph:
+        g = DiGraph()
+        for name in self._tasks:
+            g.add_node(name)
+        for parent, child in self.edges():
+            g.add_edge(parent, child)
+        return g
+
+    def is_dag(self) -> bool:
+        return self.as_digraph().is_dag()
+
+    def walk(self) -> Iterator["TaskGraph"]:
+        """This graph and all nested sub-graphs, depth-first."""
+        yield self
+        for sub in self.subgraphs:
+            yield from sub.walk()
+
+    def __repr__(self) -> str:
+        return f"<TaskGraph {self.name!r}: {len(self)} tasks, {len(self.cables())} cables>"

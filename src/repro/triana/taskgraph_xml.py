@@ -1,0 +1,106 @@
+"""Triana task-graph XML serialization.
+
+Triana persists workflows as XML documents; the SHIWA bundles of §V-D
+carry such files ("This set of workflow files is added to an existing
+bundle file").  This module writes/parses a task-graph XML format built
+on the same unit-codec registry the JSON bundles use, so any bundleable
+graph is also XML-serializable::
+
+    <taskgraph name="...">
+      <tasks>
+        <task name="exec0" type="dart_exec"> <param .../> </task>
+      </tasks>
+      <cables> <cable from="a" to="b"/> </cables>
+      <subgraphs> ... nested taskgraph elements ... </subgraphs>
+    </taskgraph>
+"""
+from __future__ import annotations
+
+import json
+import os
+import xml.etree.ElementTree as ET
+from typing import Union
+
+from repro.triana.bundles import _CLS_TO_NAME, UNIT_CODECS, BundleError
+from repro.triana.taskgraph import TaskGraph
+
+__all__ = ["taskgraph_to_xml", "parse_taskgraph_xml", "write_taskgraph",
+           "read_taskgraph"]
+
+
+def _graph_element(graph: TaskGraph) -> ET.Element:
+    root = ET.Element("taskgraph", {"name": graph.name})
+    tasks = ET.SubElement(root, "tasks")
+    for task in graph.tasks():
+        type_name = _CLS_TO_NAME.get(type(task.unit))
+        if type_name is None:
+            raise BundleError(
+                f"unit {task.unit!r} has no registered codec; "
+                "cannot serialize to XML"
+            )
+        serialize, _ = UNIT_CODECS[type_name]
+        node = ET.SubElement(tasks, "task",
+                             {"name": task.name, "type": type_name})
+        for key, value in serialize(task.unit).items():
+            param = ET.SubElement(node, "param", {"name": key})
+            # JSON-encode values so lists/numbers survive untouched
+            param.text = json.dumps(value)
+    cables = ET.SubElement(root, "cables")
+    for parent, child in graph.edges():
+        ET.SubElement(cables, "cable", {"from": parent, "to": child})
+    if graph.subgraphs:
+        subs = ET.SubElement(root, "subgraphs")
+        for sub in graph.subgraphs:
+            subs.append(_graph_element(sub))
+    return root
+
+
+def taskgraph_to_xml(graph: TaskGraph) -> str:
+    """Serialize a task graph (and nested sub-graphs) to XML text."""
+    root = _graph_element(graph)
+    ET.indent(root)
+    return ET.tostring(root, encoding="unicode")
+
+
+def _parse_element(root: ET.Element) -> TaskGraph:
+    if root.tag != "taskgraph":
+        raise BundleError(f"not a taskgraph document: root {root.tag!r}")
+    graph = TaskGraph(root.attrib["name"])
+    tasks = {}
+    tasks_el = root.find("tasks")
+    for node in (tasks_el.findall("task") if tasks_el is not None else []):
+        type_name = node.attrib["type"]
+        if type_name not in UNIT_CODECS:
+            raise BundleError(f"unknown unit type {type_name!r} in XML")
+        _, deserialize = UNIT_CODECS[type_name]
+        kwargs = {
+            p.attrib["name"]: json.loads(p.text or "null")
+            for p in node.findall("param")
+        }
+        tasks[node.attrib["name"]] = graph.add(
+            deserialize(node.attrib["name"], kwargs)
+        )
+    cables_el = root.find("cables")
+    for cable in (cables_el.findall("cable") if cables_el is not None else []):
+        graph.connect(tasks[cable.attrib["from"]], tasks[cable.attrib["to"]])
+    subs_el = root.find("subgraphs")
+    for sub in (subs_el.findall("taskgraph") if subs_el is not None else []):
+        graph.add_subgraph(_parse_element(sub))
+    return graph
+
+
+def parse_taskgraph_xml(text: str) -> TaskGraph:
+    """Parse task-graph XML back into an executable TaskGraph."""
+    return _parse_element(ET.fromstring(text))
+
+
+def write_taskgraph(graph: TaskGraph, path: Union[str, os.PathLike]) -> str:
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write('<?xml version="1.0" encoding="UTF-8"?>\n')
+        fh.write(taskgraph_to_xml(graph) + "\n")
+    return str(path)
+
+
+def read_taskgraph(path: Union[str, os.PathLike]) -> TaskGraph:
+    with open(path, "r", encoding="utf-8") as fh:
+        return parse_taskgraph_xml(fh.read())

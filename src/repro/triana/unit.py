@@ -1,0 +1,267 @@
+"""Triana units: the Java "Unit" class of the paper, in Python.
+
+Each workflow component is a unit with a ``process()`` method containing
+the code to run.  Units also expose a *simulated duration* so the engines
+can execute on a virtual clock: ``process()`` does the real data work
+(e.g. SHS pitch detection), while ``duration()`` supplies the seconds the
+run occupies on the simulated testbed.
+"""
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+__all__ = [
+    "UnitError",
+    "Unit",
+    "CallableUnit",
+    "ConstantUnit",
+    "SplitterUnit",
+    "GatherUnit",
+    "ZipperUnit",
+    "ExecUnit",
+    "FailingUnit",
+    "StreamSourceUnit",
+    "ThresholdSinkUnit",
+]
+
+
+class UnitError(RuntimeError):
+    """Raised by a unit's process(); maps to Triana's ERROR state."""
+
+
+class Unit:
+    """Base component.  Subclasses override :meth:`process`.
+
+    ``in_count``/``out_count`` are informational; the task graph wires
+    cables explicitly.
+    """
+
+    #: logical type used in stampede.task.info type_desc
+    type_desc: str = "unit"
+
+    def __init__(self, name: str):
+        if not name:
+            raise ValueError("unit name must be non-empty")
+        self.name = name
+
+    def process(self, inputs: Sequence[Any]) -> Any:
+        """Transform input data into output data (the real work)."""
+        raise NotImplementedError
+
+    def duration(self, inputs: Sequence[Any], rng: np.random.Generator) -> float:
+        """Seconds this unit occupies on the simulated testbed."""
+        return 1.0
+
+    @property
+    def transformation(self) -> str:
+        """Logical transformation name recorded in the Stampede logs."""
+        return self.name
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+class CallableUnit(Unit):
+    """Wrap an arbitrary function as a unit."""
+
+    type_desc = "processing"
+
+    def __init__(
+        self,
+        name: str,
+        fn: Callable[[Sequence[Any]], Any],
+        seconds: float = 1.0,
+        jitter: float = 0.0,
+    ):
+        super().__init__(name)
+        self._fn = fn
+        self._seconds = seconds
+        self._jitter = jitter
+
+    def process(self, inputs: Sequence[Any]) -> Any:
+        return self._fn(inputs)
+
+    def duration(self, inputs: Sequence[Any], rng: np.random.Generator) -> float:
+        if self._jitter <= 0:
+            return self._seconds
+        return max(0.01, rng.normal(self._seconds, self._jitter))
+
+
+class ConstantUnit(Unit):
+    """Source unit emitting a fixed value (e.g. the sweep input file)."""
+
+    type_desc = "file"
+
+    def __init__(self, name: str, value: Any, seconds: float = 1.0):
+        super().__init__(name)
+        self.value = value
+        self._seconds = seconds
+
+    def process(self, inputs: Sequence[Any]) -> Any:
+        return self.value
+
+    def duration(self, inputs, rng) -> float:
+        return self._seconds
+
+
+class SplitterUnit(Unit):
+    """Split a list input into a list-of-chunks of ``chunk_size``."""
+
+    type_desc = "processing"
+
+    def __init__(self, name: str, chunk_size: int, seconds: float = 1.0):
+        super().__init__(name)
+        if chunk_size < 1:
+            raise ValueError("chunk_size must be >= 1")
+        self.chunk_size = chunk_size
+        self._seconds = seconds
+
+    def process(self, inputs: Sequence[Any]) -> List[list]:
+        (items,) = inputs
+        return [
+            list(items[i : i + self.chunk_size])
+            for i in range(0, len(items), self.chunk_size)
+        ]
+
+    def duration(self, inputs, rng) -> float:
+        return self._seconds
+
+
+class GatherUnit(Unit):
+    """Collect all inputs into one list (fan-in)."""
+
+    type_desc = "processing"
+
+    def __init__(self, name: str, seconds: float = 1.0):
+        super().__init__(name)
+        self._seconds = seconds
+
+    def process(self, inputs: Sequence[Any]) -> list:
+        return list(inputs)
+
+    def duration(self, inputs, rng) -> float:
+        return self._seconds
+
+
+class ZipperUnit(GatherUnit):
+    """The DART 'Zipper': collates all outputs into a results archive."""
+
+    type_desc = "file"
+
+    def process(self, inputs: Sequence[Any]) -> Dict[str, Any]:
+        return {"archive": list(inputs), "count": len(inputs)}
+
+
+class ExecUnit(Unit):
+    """Run a command-line style task (the DART JAR executions).
+
+    ``runner`` maps the argv list to a result; the simulated duration is
+    ``base_seconds`` plus lognormal load noise, matching the 36–75 s spread
+    of the paper's Table II exec entries.
+    """
+
+    type_desc = "processing"
+
+    def __init__(
+        self,
+        name: str,
+        argv: Sequence[str],
+        runner: Optional[Callable[[Sequence[str]], Any]] = None,
+        base_seconds: float = 60.0,
+        noise_sigma: float = 0.12,
+    ):
+        super().__init__(name)
+        self.argv = list(argv)
+        self._runner = runner
+        self.base_seconds = base_seconds
+        self.noise_sigma = noise_sigma
+
+    def process(self, inputs: Sequence[Any]) -> Any:
+        if self._runner is None:
+            return {"argv": self.argv, "status": 0}
+        return self._runner(self.argv)
+
+    def duration(self, inputs, rng: np.random.Generator) -> float:
+        return float(self.base_seconds * rng.lognormal(0.0, self.noise_sigma))
+
+
+class FailingUnit(Unit):
+    """Deterministically failing unit, for fault-injection tests."""
+
+    type_desc = "processing"
+
+    def __init__(self, name: str, message: str = "injected failure",
+                 seconds: float = 1.0, fail_on_call: int = 1):
+        super().__init__(name)
+        self.message = message
+        self._seconds = seconds
+        self._fail_on_call = fail_on_call
+        self._calls = 0
+
+    def process(self, inputs: Sequence[Any]) -> Any:
+        self._calls += 1
+        if self._calls >= self._fail_on_call:
+            raise UnitError(self.message)
+        return None
+
+    def duration(self, inputs, rng) -> float:
+        return self._seconds
+
+
+class StreamSourceUnit(Unit):
+    """Continuous-mode source: emits one chunk per invocation, then stops.
+
+    When the chunks are exhausted the unit raises StopIteration-like
+    sentinel handled by the scheduler (it returns :data:`STOP`).
+    """
+
+    type_desc = "source"
+    STOP = object()
+
+    def __init__(self, name: str, chunks: Sequence[Any], seconds: float = 1.0):
+        super().__init__(name)
+        self._chunks = list(chunks)
+        self._index = 0
+        self._seconds = seconds
+
+    @property
+    def exhausted(self) -> bool:
+        return self._index >= len(self._chunks)
+
+    def process(self, inputs: Sequence[Any]) -> Any:
+        if self.exhausted:
+            return self.STOP
+        chunk = self._chunks[self._index]
+        self._index += 1
+        return chunk
+
+    def duration(self, inputs, rng) -> float:
+        return self._seconds
+
+
+class ThresholdSinkUnit(Unit):
+    """Continuous-mode sink: accumulates values until a threshold is hit.
+
+    Models the paper's "data can be analyzed until a certain threshold
+    value is reached, within an iterative algorithm".
+    """
+
+    type_desc = "sink"
+
+    def __init__(self, name: str, threshold: float, seconds: float = 1.0):
+        super().__init__(name)
+        self.threshold = threshold
+        self.total = 0.0
+        self.satisfied = False
+        self._seconds = seconds
+
+    def process(self, inputs: Sequence[Any]) -> float:
+        self.total += float(sum(float(x) for x in inputs))
+        if self.total >= self.threshold:
+            self.satisfied = True
+        return self.total
+
+    def duration(self, inputs, rng) -> float:
+        return self._seconds

@@ -1,0 +1,30 @@
+"""Shared utilities: time formats, deterministic UUIDs, virtual clock, graphs."""
+from repro.util.graph import CycleError, DiGraph, has_cycle, topological_sort
+from repro.util.simclock import SimClock, SimEvent
+from repro.util.text import indent, render_table
+from repro.util.timeutil import (
+    format_duration,
+    format_hms,
+    format_iso,
+    parse_iso,
+    parse_ts,
+)
+from repro.util.uuidgen import UUIDFactory, derive_uuid
+
+__all__ = [
+    "CycleError",
+    "DiGraph",
+    "has_cycle",
+    "topological_sort",
+    "SimClock",
+    "SimEvent",
+    "indent",
+    "render_table",
+    "format_duration",
+    "format_hms",
+    "format_iso",
+    "parse_iso",
+    "parse_ts",
+    "UUIDFactory",
+    "derive_uuid",
+]

@@ -1,0 +1,231 @@
+"""Directed-graph utilities shared by both workflow engines.
+
+The Stampede data model assumes the abstract workflow (AW) is a DAG; Triana
+task graphs may additionally contain loops in continuous mode.  This module
+provides the small set of graph operations both engines and the analysis
+tools need: cycle detection, topological ordering, level assignment,
+ancestor/descendant closure and critical-path length.
+"""
+from __future__ import annotations
+
+from collections import defaultdict, deque
+from typing import (
+    Callable,
+    Dict,
+    Hashable,
+    Iterable,
+    List,
+    Mapping,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+__all__ = [
+    "CycleError",
+    "DiGraph",
+    "topological_sort",
+    "has_cycle",
+]
+
+
+class CycleError(ValueError):
+    """Raised when a DAG-only operation meets a cycle."""
+
+    def __init__(self, cycle: Sequence[Hashable]):
+        self.cycle = list(cycle)
+        super().__init__(f"graph contains a cycle: {' -> '.join(map(str, self.cycle))}")
+
+
+class DiGraph:
+    """Minimal adjacency-list directed graph with deterministic ordering.
+
+    Nodes keep insertion order; edge lists keep insertion order.  That
+    determinism matters: engine traces and report rows derive their order
+    from graph traversals.
+    """
+
+    def __init__(self):
+        self._succ: Dict[Hashable, List[Hashable]] = {}
+        self._pred: Dict[Hashable, List[Hashable]] = {}
+
+    # -- construction ------------------------------------------------------
+    def add_node(self, node: Hashable) -> None:
+        if node not in self._succ:
+            self._succ[node] = []
+            self._pred[node] = []
+
+    def add_edge(self, parent: Hashable, child: Hashable) -> None:
+        self.add_node(parent)
+        self.add_node(child)
+        if child not in self._succ[parent]:
+            self._succ[parent].append(child)
+            self._pred[child].append(parent)
+
+    def remove_node(self, node: Hashable) -> None:
+        for child in self._succ.pop(node, []):
+            self._pred[child].remove(node)
+        for parent in self._pred.pop(node, []):
+            self._succ[parent].remove(node)
+
+    # -- queries -----------------------------------------------------------
+    def __contains__(self, node: Hashable) -> bool:
+        return node in self._succ
+
+    def __len__(self) -> int:
+        return len(self._succ)
+
+    def nodes(self) -> List[Hashable]:
+        return list(self._succ)
+
+    def edges(self) -> List[Tuple[Hashable, Hashable]]:
+        return [(p, c) for p, kids in self._succ.items() for c in kids]
+
+    def successors(self, node: Hashable) -> List[Hashable]:
+        return list(self._succ[node])
+
+    def predecessors(self, node: Hashable) -> List[Hashable]:
+        return list(self._pred[node])
+
+    def in_degree(self, node: Hashable) -> int:
+        return len(self._pred[node])
+
+    def out_degree(self, node: Hashable) -> int:
+        return len(self._succ[node])
+
+    def roots(self) -> List[Hashable]:
+        return [n for n in self._succ if not self._pred[n]]
+
+    def leaves(self) -> List[Hashable]:
+        return [n for n in self._succ if not self._succ[n]]
+
+    # -- algorithms ----------------------------------------------------------
+    def topological_order(self) -> List[Hashable]:
+        """Kahn's algorithm; raises CycleError on cycles."""
+        indeg = {n: len(self._pred[n]) for n in self._succ}
+        ready = deque(n for n in self._succ if indeg[n] == 0)
+        order: List[Hashable] = []
+        while ready:
+            node = ready.popleft()
+            order.append(node)
+            for child in self._succ[node]:
+                indeg[child] -= 1
+                if indeg[child] == 0:
+                    ready.append(child)
+        if len(order) != len(self._succ):
+            raise CycleError(self.find_cycle())
+        return order
+
+    def find_cycle(self) -> List[Hashable]:
+        """Return one cycle as a node list, or [] if acyclic."""
+        WHITE, GRAY, BLACK = 0, 1, 2
+        color = {n: WHITE for n in self._succ}
+        parent: Dict[Hashable, Hashable] = {}
+        for start in self._succ:
+            if color[start] != WHITE:
+                continue
+            stack = [(start, iter(self._succ[start]))]
+            color[start] = GRAY
+            while stack:
+                node, it = stack[-1]
+                advanced = False
+                for child in it:
+                    if color[child] == WHITE:
+                        color[child] = GRAY
+                        parent[child] = node
+                        stack.append((child, iter(self._succ[child])))
+                        advanced = True
+                        break
+                    if color[child] == GRAY:
+                        # back-edge: reconstruct the cycle
+                        cycle = [child, node]
+                        cur = node
+                        while cur != child:
+                            cur = parent[cur]
+                            cycle.append(cur)
+                        cycle.reverse()
+                        return cycle
+                if not advanced:
+                    color[node] = BLACK
+                    stack.pop()
+        return []
+
+    def is_dag(self) -> bool:
+        return not self.find_cycle()
+
+    def levels(self) -> Dict[Hashable, int]:
+        """Longest-path depth of each node from any root (root level = 0)."""
+        level = {n: 0 for n in self._succ}
+        for node in self.topological_order():
+            for child in self._succ[node]:
+                level[child] = max(level[child], level[node] + 1)
+        return level
+
+    def ancestors(self, node: Hashable) -> Set[Hashable]:
+        seen: Set[Hashable] = set()
+        stack = list(self._pred[node])
+        while stack:
+            cur = stack.pop()
+            if cur not in seen:
+                seen.add(cur)
+                stack.extend(self._pred[cur])
+        return seen
+
+    def descendants(self, node: Hashable) -> Set[Hashable]:
+        seen: Set[Hashable] = set()
+        stack = list(self._succ[node])
+        while stack:
+            cur = stack.pop()
+            if cur not in seen:
+                seen.add(cur)
+                stack.extend(self._succ[cur])
+        return seen
+
+    def critical_path_length(
+        self, weight: Callable[[Hashable], float] = lambda _n: 1.0
+    ) -> float:
+        """Length of the heaviest root-to-leaf path under node weights."""
+        best = 0.0
+        dist: Dict[Hashable, float] = {}
+        for node in self.topological_order():
+            incoming = [dist[p] for p in self._pred[node]] or [0.0]
+            dist[node] = max(incoming) + weight(node)
+            best = max(best, dist[node])
+        return best
+
+    def subgraph(self, keep: Iterable[Hashable]) -> "DiGraph":
+        keep_set = set(keep)
+        g = DiGraph()
+        for node in self._succ:
+            if node in keep_set:
+                g.add_node(node)
+        for parent, child in self.edges():
+            if parent in keep_set and child in keep_set:
+                g.add_edge(parent, child)
+        return g
+
+    def copy(self) -> "DiGraph":
+        return self.subgraph(self._succ)
+
+
+def topological_sort(
+    nodes: Iterable[Hashable], edges: Iterable[Tuple[Hashable, Hashable]]
+) -> List[Hashable]:
+    """Convenience: topological order of (nodes, edges) lists."""
+    g = DiGraph()
+    for n in nodes:
+        g.add_node(n)
+    for p, c in edges:
+        g.add_edge(p, c)
+    return g.topological_order()
+
+
+def has_cycle(
+    nodes: Iterable[Hashable], edges: Iterable[Tuple[Hashable, Hashable]]
+) -> bool:
+    g = DiGraph()
+    for n in nodes:
+        g.add_node(n)
+    for p, c in edges:
+        g.add_edge(p, c)
+    return not g.is_dag()

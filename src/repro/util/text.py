@@ -1,0 +1,63 @@
+"""Plain-text table rendering for the stampede-statistics style reports."""
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+__all__ = ["render_table", "indent"]
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    aligns: Optional[Sequence[str]] = None,
+    sep: str = "  ",
+) -> str:
+    """Render an aligned monospace table.
+
+    ``aligns`` is a per-column sequence of ``'l'`` or ``'r'``; numeric-looking
+    columns default to right alignment when omitted.
+    """
+    str_rows: List[List[str]] = [[_cell(v) for v in row] for row in rows]
+    ncols = len(headers)
+    for r in str_rows:
+        if len(r) != ncols:
+            raise ValueError(f"row width {len(r)} != header width {ncols}: {r!r}")
+    if aligns is None:
+        aligns = []
+        for col in range(ncols):
+            values = [r[col] for r in str_rows]
+            numeric = values and all(_is_numeric(v) for v in values)
+            aligns.append("r" if numeric else "l")
+    widths = [len(h) for h in headers]
+    for r in str_rows:
+        for i, v in enumerate(r):
+            widths[i] = max(widths[i], len(v))
+    lines = [
+        sep.join(h.ljust(widths[i]) for i, h in enumerate(headers)).rstrip(),
+        sep.join("-" * widths[i] for i in range(ncols)),
+    ]
+    for r in str_rows:
+        cells = [
+            v.rjust(widths[i]) if aligns[i] == "r" else v.ljust(widths[i])
+            for i, v in enumerate(r)
+        ]
+        lines.append(sep.join(cells).rstrip())
+    return "\n".join(lines)
+
+
+def indent(text: str, prefix: str = "    ") -> str:
+    return "\n".join(prefix + line if line else line for line in text.splitlines())
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}".rstrip("0").rstrip(".") if value != int(value) else f"{value:.1f}"
+    return str(value)
+
+
+def _is_numeric(text: str) -> bool:
+    try:
+        float(text)
+        return True
+    except ValueError:
+        return False

@@ -1,0 +1,130 @@
+"""Timestamp handling for NetLogger BP messages and Stampede reports.
+
+NetLogger Best Practices allows timestamps either as ISO8601 strings
+(``2012-03-13T12:35:38.000000Z``) or as floating-point seconds since the
+Unix epoch.  Everything inside the reproduction works in float epoch
+seconds; these helpers convert at the edges.
+"""
+from __future__ import annotations
+
+import math
+import re
+from datetime import datetime, timedelta, timezone
+
+__all__ = [
+    "format_iso",
+    "parse_iso",
+    "parse_ts",
+    "format_duration",
+    "format_hms",
+]
+
+_ISO_RE = re.compile(
+    r"^(?P<year>\d{4})-(?P<month>\d{2})-(?P<day>\d{2})"
+    r"[Tt ](?P<hour>\d{2}):(?P<minute>\d{2}):(?P<second>\d{2})"
+    r"(?:\.(?P<frac>\d{1,9}))?"
+    r"(?P<tz>[Zz]|[+-]\d{2}:?\d{2})?$"
+)
+
+_EPOCH = datetime(1970, 1, 1, tzinfo=timezone.utc)
+
+
+def format_iso(ts: float, precision: int = 6) -> str:
+    """Format epoch seconds as an ISO8601 UTC timestamp.
+
+    >>> format_iso(0.0)
+    '1970-01-01T00:00:00.000000Z'
+    """
+    if not math.isfinite(ts):
+        raise ValueError(f"non-finite timestamp: {ts!r}")
+    if precision <= 0:
+        dt = _EPOCH + timedelta(seconds=round(ts))
+        return dt.strftime("%Y-%m-%dT%H:%M:%S") + "Z"
+    # Integer arithmetic so the fractional part carries into the seconds
+    # correctly (1.9999995 must round to 2.000000, not 1.000000).
+    scale = 10 ** precision
+    total = round(ts * scale)
+    whole, frac_int = divmod(total, scale)
+    dt = _EPOCH + timedelta(seconds=whole)
+    base = dt.strftime("%Y-%m-%dT%H:%M:%S")
+    return f"{base}.{frac_int:0{precision}d}Z"
+
+
+def parse_iso(text: str) -> float:
+    """Parse an ISO8601 timestamp into epoch seconds (UTC assumed if naive)."""
+    m = _ISO_RE.match(text.strip())
+    if m is None:
+        raise ValueError(f"invalid ISO8601 timestamp: {text!r}")
+    frac = m.group("frac") or "0"
+    micro = int(frac.ljust(9, "0")[:6])
+    # Sub-microsecond digits are kept by adding them back as a float.
+    extra = 0.0
+    if len(frac) > 6:
+        extra = int(frac[6:9].ljust(3, "0")) * 1e-9
+    dt = datetime(
+        int(m.group("year")),
+        int(m.group("month")),
+        int(m.group("day")),
+        int(m.group("hour")),
+        int(m.group("minute")),
+        int(m.group("second")),
+        micro,
+        tzinfo=timezone.utc,
+    )
+    tz = m.group("tz")
+    offset = 0.0
+    if tz and tz not in ("Z", "z"):
+        sign = 1 if tz[0] == "+" else -1
+        hh = int(tz[1:3])
+        mm = int(tz[-2:])
+        offset = sign * (hh * 3600 + mm * 60)
+    return (dt - _EPOCH).total_seconds() - offset + extra
+
+
+def parse_ts(value) -> float:
+    """Parse a BP ``ts`` attribute: ISO8601 string or epoch seconds."""
+    if isinstance(value, (int, float)):
+        return float(value)
+    text = str(value).strip()
+    try:
+        return float(text)
+    except ValueError:
+        return parse_iso(text)
+
+
+def format_duration(seconds: float) -> str:
+    """Human-readable duration in the stampede-statistics style.
+
+    >>> format_duration(661)
+    '11 mins, 1 sec'
+    >>> format_duration(40224)
+    '11 hrs, 10 mins'
+    """
+    if seconds < 0:
+        raise ValueError(f"negative duration: {seconds!r}")
+    total = int(round(seconds))
+    if total < 60:
+        return f"{total} sec{'s' if total != 1 else ''}"
+    parts = []
+    days, rem = divmod(total, 86400)
+    hrs, rem = divmod(rem, 3600)
+    mins, secs = divmod(rem, 60)
+    if days:
+        parts.append(f"{days} day{'s' if days != 1 else ''}")
+    if hrs:
+        parts.append(f"{hrs} hr{'s' if hrs != 1 else ''}")
+    if mins:
+        parts.append(f"{mins} min{'s' if mins != 1 else ''}")
+    # Drop the seconds component for hour-plus durations, as the paper's
+    # Table I does ("11 hrs, 10 mins").
+    if secs and not (days or hrs):
+        parts.append(f"{secs} sec{'s' if secs != 1 else ''}")
+    return ", ".join(parts[:2]) if len(parts) > 2 else ", ".join(parts)
+
+
+def format_hms(seconds: float) -> str:
+    """Fixed ``H:MM:SS`` rendering used in jobs.txt style reports."""
+    total = int(round(seconds))
+    hrs, rem = divmod(total, 3600)
+    mins, secs = divmod(rem, 60)
+    return f"{hrs}:{mins:02d}:{secs:02d}"

@@ -1,0 +1,18 @@
+"""Synthetic workflow generators: generic shapes, CyberShake, Montage,
+Epigenomics, LIGO Inspiral."""
+from repro.workloads.cybershake import cybershake
+from repro.workloads.epigenomics import epigenomics
+from repro.workloads.generators import chain, diamond, fan, random_layered_dag
+from repro.workloads.ligo import ligo_inspiral
+from repro.workloads.montage import montage
+
+__all__ = [
+    "cybershake",
+    "epigenomics",
+    "chain",
+    "diamond",
+    "fan",
+    "random_layered_dag",
+    "ligo_inspiral",
+    "montage",
+]

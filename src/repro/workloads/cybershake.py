@@ -1,0 +1,71 @@
+"""CyberShake-shaped workflows (paper refs [13], [28]).
+
+CyberShake is the paper's canonical "large complex workflow": per site of
+interest, two huge Strain Green Tensor (SGT) computations fan out into
+tens of thousands of seismogram-synthesis tasks, each followed by a peak
+ground acceleration extraction, aggregated by a final hazard-curve task.
+This generator reproduces that shape at configurable scale (the real runs
+hit O(10^6) tasks; the loader-scaling bench sweeps n_ruptures).
+"""
+from __future__ import annotations
+
+from repro.pegasus.abstract import AbstractTask, AbstractWorkflow
+
+__all__ = ["cybershake"]
+
+
+def cybershake(
+    n_ruptures: int = 100,
+    variations_per_rupture: int = 2,
+    label: str = "cybershake",
+    sgt_runtime: float = 600.0,
+    synth_runtime: float = 30.0,
+    peak_runtime: float = 2.0,
+) -> AbstractWorkflow:
+    """One CyberShake site workflow.
+
+    Task count = 2 (SGT) + 2 * n_ruptures * variations_per_rupture + 1.
+    """
+    if n_ruptures < 1 or variations_per_rupture < 1:
+        raise ValueError("need at least one rupture and one variation")
+    aw = AbstractWorkflow(label)
+    for comp in ("x", "y"):
+        aw.add_task(
+            AbstractTask(
+                f"sgt_{comp}",
+                transformation="PreSGT" if comp == "x" else "PostSGT",
+                runtime_estimate=sgt_runtime,
+                argv=f"--component {comp}",
+            )
+        )
+    aw.add_task(
+        AbstractTask(
+            "hazard_curve",
+            transformation="HazardCurve",
+            runtime_estimate=20.0,
+        )
+    )
+    for r in range(n_ruptures):
+        for v in range(variations_per_rupture):
+            synth = f"synth_r{r:05d}_v{v}"
+            peak = f"peak_r{r:05d}_v{v}"
+            aw.add_task(
+                AbstractTask(
+                    synth,
+                    transformation="SeismogramSynthesis",
+                    runtime_estimate=synth_runtime,
+                    argv=f"--rupture {r} --variation {v}",
+                )
+            )
+            aw.add_task(
+                AbstractTask(
+                    peak,
+                    transformation="PeakValCalc",
+                    runtime_estimate=peak_runtime,
+                )
+            )
+            aw.add_dependency("sgt_x", synth)
+            aw.add_dependency("sgt_y", synth)
+            aw.add_dependency(synth, peak)
+            aw.add_dependency(peak, "hazard_curve")
+    return aw

@@ -1,0 +1,71 @@
+"""Epigenomics-shaped workflows (the classic Pegasus workflow-gallery
+pipeline): parallel lanes of chained sequence-processing steps that merge
+into a genome-wide aggregation."""
+from __future__ import annotations
+
+from repro.pegasus.abstract import AbstractTask, AbstractWorkflow
+
+__all__ = ["epigenomics"]
+
+_LANE_STEPS = [
+    ("fastqSplit", 5.0),
+    ("filterContams", 12.0),
+    ("sol2sanger", 8.0),
+    ("fastq2bfq", 6.0),
+    ("map", 80.0),
+]
+
+
+def epigenomics(
+    n_lanes: int = 4,
+    splits_per_lane: int = 4,
+    label: str = "epigenomics",
+) -> AbstractWorkflow:
+    """One Epigenomics run: lanes × splits chains, merged per lane, then
+    globally, ending in the index/qc tail.
+
+    Task count = n_lanes * (splits_per_lane * 5 + 1) + 3.
+    """
+    if n_lanes < 1 or splits_per_lane < 1:
+        raise ValueError("need at least one lane and one split")
+    aw = AbstractWorkflow(label)
+    lane_merges = []
+    for lane in range(n_lanes):
+        merge_id = f"mapMerge_l{lane}"
+        aw.add_task(
+            AbstractTask(merge_id, transformation="mapMerge",
+                         runtime_estimate=15.0)
+        )
+        lane_merges.append(merge_id)
+        for split in range(splits_per_lane):
+            prev = None
+            for step_name, runtime in _LANE_STEPS:
+                tid = f"{step_name}_l{lane}_s{split}"
+                aw.add_task(
+                    AbstractTask(
+                        tid,
+                        transformation=step_name,
+                        runtime_estimate=runtime,
+                        argv=f"--lane {lane} --split {split}",
+                    )
+                )
+                if prev is not None:
+                    aw.add_dependency(prev, tid)
+                prev = tid
+            aw.add_dependency(prev, merge_id)
+    aw.add_task(
+        AbstractTask("mapMergeGlobal", transformation="mapMerge",
+                     runtime_estimate=25.0)
+    )
+    for merge in lane_merges:
+        aw.add_dependency(merge, "mapMergeGlobal")
+    aw.add_task(
+        AbstractTask("maqIndex", transformation="maqIndex",
+                     runtime_estimate=40.0)
+    )
+    aw.add_dependency("mapMergeGlobal", "maqIndex")
+    aw.add_task(
+        AbstractTask("pileup", transformation="pileup", runtime_estimate=50.0)
+    )
+    aw.add_dependency("maqIndex", "pileup")
+    return aw

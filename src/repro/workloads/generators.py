@@ -1,0 +1,109 @@
+"""Synthetic abstract-workflow generators.
+
+Shapes used across tests and benchmarks: chains, diamonds, fan-out/fan-in,
+and seeded random layered DAGs.  All return
+:class:`~repro.pegasus.abstract.AbstractWorkflow` objects that either
+engine (after conversion) can execute.
+"""
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.pegasus.abstract import AbstractTask, AbstractWorkflow
+
+__all__ = ["chain", "diamond", "fan", "random_layered_dag"]
+
+
+def chain(length: int, runtime: float = 10.0, label: str = "chain") -> AbstractWorkflow:
+    """t0 -> t1 -> ... -> t(n-1)."""
+    if length < 1:
+        raise ValueError("length must be >= 1")
+    aw = AbstractWorkflow(label)
+    for i in range(length):
+        aw.add_task(
+            AbstractTask(f"t{i}", transformation="step",
+                         runtime_estimate=runtime, argv=f"--stage {i}")
+        )
+    for i in range(length - 1):
+        aw.add_dependency(f"t{i}", f"t{i+1}")
+    return aw
+
+
+def diamond(runtime: float = 10.0, label: str = "diamond") -> AbstractWorkflow:
+    """The canonical 4-task diamond: a -> (b, c) -> d."""
+    aw = AbstractWorkflow(label)
+    for name, tr in (("a", "preprocess"), ("b", "analyze"),
+                     ("c", "analyze"), ("d", "combine")):
+        aw.add_task(AbstractTask(name, transformation=tr, runtime_estimate=runtime))
+    aw.add_dependency("a", "b")
+    aw.add_dependency("a", "c")
+    aw.add_dependency("b", "d")
+    aw.add_dependency("c", "d")
+    return aw
+
+
+def fan(width: int, runtime: float = 10.0, label: str = "fan") -> AbstractWorkflow:
+    """split -> width parallel workers -> join (a map-reduce shape)."""
+    if width < 1:
+        raise ValueError("width must be >= 1")
+    aw = AbstractWorkflow(label)
+    aw.add_task(AbstractTask("split", transformation="split", runtime_estimate=2.0))
+    aw.add_task(AbstractTask("join", transformation="join", runtime_estimate=2.0))
+    for i in range(width):
+        aw.add_task(
+            AbstractTask(f"work{i}", transformation="work",
+                         runtime_estimate=runtime, argv=f"--part {i}")
+        )
+        aw.add_dependency("split", f"work{i}")
+        aw.add_dependency(f"work{i}", "join")
+    return aw
+
+
+def random_layered_dag(
+    n_tasks: int,
+    n_layers: int = 5,
+    edge_density: float = 0.3,
+    mean_runtime: float = 20.0,
+    seed: int = 0,
+    label: str = "random",
+    n_transformations: int = 4,
+) -> AbstractWorkflow:
+    """Seeded random DAG: tasks spread over layers, edges only forward.
+
+    Every non-first-layer task gets at least one parent so the graph is
+    connected top-down; extra edges appear with ``edge_density``.
+    """
+    if n_tasks < 1:
+        raise ValueError("n_tasks must be >= 1")
+    if n_layers < 1:
+        raise ValueError("n_layers must be >= 1")
+    n_layers = min(n_layers, n_tasks)
+    rng = np.random.Generator(np.random.PCG64(seed))
+    aw = AbstractWorkflow(label)
+    layers: list = [[] for _ in range(n_layers)]
+    for i in range(n_tasks):
+        layer = i % n_layers if i < n_layers else int(rng.integers(0, n_layers))
+        tid = f"t{i:05d}"
+        layers[layer].append(tid)
+        aw.add_task(
+            AbstractTask(
+                tid,
+                transformation=f"tr{int(rng.integers(0, n_transformations))}",
+                runtime_estimate=float(
+                    max(0.5, rng.gamma(4.0, mean_runtime / 4.0))
+                ),
+            )
+        )
+    for li in range(1, n_layers):
+        prev = layers[li - 1]
+        if not prev:
+            continue
+        for child in layers[li]:
+            parent = prev[int(rng.integers(0, len(prev)))]
+            aw.add_dependency(parent, child)
+            for candidate in prev:
+                if candidate != parent and rng.random() < edge_density / len(prev):
+                    aw.add_dependency(candidate, child)
+    return aw

@@ -1,0 +1,56 @@
+"""LIGO Inspiral-shaped workflows: the gravitational-wave search pipeline
+(Triana's home domain, per the paper's §III-A history).
+
+Shape: per analysis block, template-bank generation fans into many
+matched-filter inspiral tasks, thinned by a coincidence stage, then a
+second inspiral pass and a final trigger aggregation.
+"""
+from __future__ import annotations
+
+from repro.pegasus.abstract import AbstractTask, AbstractWorkflow
+
+__all__ = ["ligo_inspiral"]
+
+
+def ligo_inspiral(
+    n_blocks: int = 3,
+    templates_per_block: int = 6,
+    label: str = "ligo-inspiral",
+) -> AbstractWorkflow:
+    """One inspiral search.
+
+    Task count = n_blocks * (1 + 2*templates_per_block + 1) + 1.
+    """
+    if n_blocks < 1 or templates_per_block < 1:
+        raise ValueError("need at least one block and one template")
+    aw = AbstractWorkflow(label)
+    aw.add_task(
+        AbstractTask("thinca_final", transformation="Thinca",
+                     runtime_estimate=20.0)
+    )
+    for block in range(n_blocks):
+        bank = f"tmpltbank_b{block}"
+        aw.add_task(
+            AbstractTask(bank, transformation="TmpltBank",
+                         runtime_estimate=60.0, argv=f"--block {block}")
+        )
+        coinc = f"thinca_b{block}"
+        aw.add_task(
+            AbstractTask(coinc, transformation="Thinca", runtime_estimate=10.0)
+        )
+        for t in range(templates_per_block):
+            first = f"inspiral1_b{block}_t{t}"
+            second = f"inspiral2_b{block}_t{t}"
+            aw.add_task(
+                AbstractTask(first, transformation="Inspiral",
+                             runtime_estimate=120.0)
+            )
+            aw.add_task(
+                AbstractTask(second, transformation="Inspiral",
+                             runtime_estimate=90.0)
+            )
+            aw.add_dependency(bank, first)
+            aw.add_dependency(first, coinc)
+            aw.add_dependency(coinc, second)
+            aw.add_dependency(second, "thinca_final")
+    return aw

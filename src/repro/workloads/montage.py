@@ -1,0 +1,82 @@
+"""Montage-shaped workflows (paper ref [27]).
+
+Montage builds astronomical image mosaics: reproject each input image,
+compute pairwise overlap differences, fit a background model, correct
+every image, and assemble the mosaic.  The shape is the standard workflow
+benchmark alongside CyberShake; the level structure exercises clustering
+(many small mProjectPP/mDiffFit tasks at one level).
+"""
+from __future__ import annotations
+
+from repro.pegasus.abstract import AbstractTask, AbstractWorkflow
+
+__all__ = ["montage"]
+
+
+def montage(
+    n_images: int = 20,
+    overlap_fraction: float = 0.5,
+    label: str = "montage",
+) -> AbstractWorkflow:
+    """One Montage mosaic workflow over ``n_images`` input images.
+
+    Overlap pairs are consecutive images (ring topology thinned by
+    ``overlap_fraction``) — enough to preserve the level structure without
+    quadratic blowup.
+    """
+    if n_images < 2:
+        raise ValueError("montage needs at least 2 images")
+    aw = AbstractWorkflow(label)
+    projects = []
+    for i in range(n_images):
+        tid = f"mProjectPP_{i:04d}"
+        projects.append(tid)
+        aw.add_task(
+            AbstractTask(tid, transformation="mProjectPP",
+                         runtime_estimate=12.0, argv=f"--image {i}")
+        )
+    # overlap differences between neighbouring projections
+    diffs = []
+    n_pairs = max(1, int((n_images - 1) * overlap_fraction))
+    for k in range(n_pairs):
+        i, j = k, k + 1
+        tid = f"mDiffFit_{i:04d}_{j:04d}"
+        diffs.append(tid)
+        aw.add_task(
+            AbstractTask(tid, transformation="mDiffFit", runtime_estimate=4.0)
+        )
+        aw.add_dependency(projects[i], tid)
+        aw.add_dependency(projects[j], tid)
+    aw.add_task(
+        AbstractTask("mConcatFit", transformation="mConcatFit",
+                     runtime_estimate=8.0)
+    )
+    for d in diffs:
+        aw.add_dependency(d, "mConcatFit")
+    aw.add_task(
+        AbstractTask("mBgModel", transformation="mBgModel", runtime_estimate=10.0)
+    )
+    aw.add_dependency("mConcatFit", "mBgModel")
+    backgrounds = []
+    for i in range(n_images):
+        tid = f"mBackground_{i:04d}"
+        backgrounds.append(tid)
+        aw.add_task(
+            AbstractTask(tid, transformation="mBackground", runtime_estimate=3.0)
+        )
+        aw.add_dependency(projects[i], tid)
+        aw.add_dependency("mBgModel", tid)
+    aw.add_task(
+        AbstractTask("mImgtbl", transformation="mImgtbl", runtime_estimate=4.0)
+    )
+    for b in backgrounds:
+        aw.add_dependency(b, "mImgtbl")
+    aw.add_task(AbstractTask("mAdd", transformation="mAdd", runtime_estimate=30.0))
+    aw.add_dependency("mImgtbl", "mAdd")
+    aw.add_task(
+        AbstractTask("mShrink", transformation="mShrink", runtime_estimate=5.0)
+    )
+    aw.add_dependency("mAdd", "mShrink")
+    aw.add_task(AbstractTask("mJPEG", transformation="mJPEG", runtime_estimate=2.0))
+    aw.add_dependency("mShrink", "mJPEG")
+    return aw

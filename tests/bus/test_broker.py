@@ -1,0 +1,216 @@
+import threading
+
+import pytest
+
+from repro.bus.broker import Broker
+from repro.bus.client import BusSink, EventConsumer, EventPublisher, FileSink, MultiSink
+from repro.bus.queues import MessageQueue, QueueFullError
+from repro.netlogger.events import NLEvent
+
+
+class TestMessageQueue:
+    def test_fifo(self):
+        q = MessageQueue("q")
+        q.put("k1", "a")
+        q.put("k2", "b")
+        assert q.get().body == "a"
+        assert q.get().body == "b"
+        assert q.get() is None
+
+    def test_ack_cycle(self):
+        q = MessageQueue("q")
+        q.put("k", "a")
+        msg = q.get()
+        assert q.unacked_count == 1
+        q.ack(msg.delivery_tag)
+        assert q.unacked_count == 0
+        assert q.stats.acked == 1
+
+    def test_nack_requeues_at_head(self):
+        q = MessageQueue("q")
+        q.put("k", "a")
+        q.put("k", "b")
+        msg = q.get()
+        q.nack(msg.delivery_tag)
+        redelivered = q.get()
+        assert redelivered.body == "a"
+        assert redelivered.redelivered
+
+    def test_nack_drop(self):
+        q = MessageQueue("q")
+        q.put("k", "a")
+        msg = q.get()
+        q.nack(msg.delivery_tag, requeue=False)
+        assert q.get() is None
+        assert q.stats.dropped == 1
+
+    def test_unknown_tag(self):
+        q = MessageQueue("q")
+        with pytest.raises(ValueError):
+            q.ack(999)
+
+    def test_requeue_unacked(self):
+        q = MessageQueue("q")
+        for body in "abc":
+            q.put("k", body)
+        q.get(), q.get()
+        assert q.requeue_unacked() == 2
+        assert [q.get().body for _ in range(3)] == ["a", "b", "c"]
+
+    def test_bounded_drop_oldest(self):
+        q = MessageQueue("q", max_length=2)
+        for body in "abc":
+            q.put("k", body)
+        assert len(q) == 2
+        assert q.get().body == "b"
+        assert q.stats.dropped == 1
+
+    def test_bounded_raise(self):
+        q = MessageQueue("q", max_length=1, overflow="raise")
+        q.put("k", "a")
+        with pytest.raises(QueueFullError):
+            q.put("k", "b")
+
+    def test_drain(self):
+        q = MessageQueue("q")
+        for body in "abc":
+            q.put("k", body)
+        drained = q.drain()
+        assert [m.body for m in drained] == ["a", "b", "c"]
+        assert len(q) == 0
+
+
+class TestBroker:
+    def test_publish_routes_by_pattern(self):
+        broker = Broker()
+        broker.declare_queue("jobs")
+        broker.declare_queue("all")
+        broker.bind_queue("jobs", "stampede.job_inst.#")
+        broker.bind_queue("all", "stampede.#")
+        n = broker.publish("stampede.job_inst.main.start", "payload")
+        assert n == 2
+        assert broker.publish("stampede.xwf.start", "p2") == 1
+        assert len(broker.queue("jobs")) == 1
+        assert len(broker.queue("all")) == 2
+
+    def test_no_duplicate_delivery_per_queue(self):
+        broker = Broker()
+        broker.declare_queue("q")
+        broker.bind_queue("q", "stampede.#")
+        broker.bind_queue("q", "#")
+        assert broker.publish("stampede.x", "p") == 1
+
+    def test_unroutable_counted(self):
+        broker = Broker()
+        assert broker.publish("no.subscribers", "p") == 0
+        assert broker.declare_exchange().unroutable == 1
+
+    def test_redeclare_queue_idempotent(self):
+        broker = Broker()
+        q1 = broker.declare_queue("q", durable=True)
+        q2 = broker.declare_queue("q", durable=True)
+        assert q1 is q2
+
+    def test_redeclare_queue_mismatch(self):
+        broker = Broker()
+        broker.declare_queue("q", durable=True)
+        with pytest.raises(ValueError):
+            broker.declare_queue("q", durable=False)
+
+    def test_bind_unknown_queue(self):
+        with pytest.raises(KeyError):
+            Broker().bind_queue("nope", "#")
+
+    def test_anonymous_queue_names(self):
+        broker = Broker()
+        a = broker.declare_queue()
+        b = broker.declare_queue()
+        assert a.name != b.name
+
+    def test_subscribe_and_consume(self):
+        broker = Broker()
+        consumer = broker.subscribe("stampede.#")
+        broker.publish("stampede.a", 1)
+        broker.publish("stampede.b", 2)
+        assert [m.body for m in consumer] == [1, 2]
+
+    def test_consumer_cancel_auto_delete(self):
+        broker = Broker()
+        consumer = broker.subscribe("stampede.#")
+        name = consumer.queue_name
+        consumer.cancel()
+        assert name not in broker.queue_names()
+        # messages published after cancel go nowhere
+        assert broker.publish("stampede.a", 1) == 0
+
+    def test_delete_queue_removes_bindings(self):
+        broker = Broker()
+        broker.declare_queue("q")
+        broker.bind_queue("q", "stampede.#")
+        broker.delete_queue("q")
+        assert broker.publish("stampede.a", 1) == 0
+
+    def test_threaded_producer_consumer(self):
+        broker = Broker()
+        consumer = broker.subscribe("k.#", auto_delete=False)
+        total = 500
+        received = []
+
+        def produce():
+            for i in range(total):
+                broker.publish("k.msg", i)
+
+        t = threading.Thread(target=produce)
+        t.start()
+        while len(received) < total:
+            msg = consumer.get(timeout=1.0)
+            if msg is not None:
+                received.append(msg.body)
+        t.join()
+        assert received == list(range(total))
+
+
+class TestEventClient:
+    def test_publish_consume_events(self):
+        broker = Broker()
+        consumer = EventConsumer(broker, "stampede.xwf.#")
+        publisher = EventPublisher(broker)
+        ev = NLEvent("stampede.xwf.start", 1.0, {"restart_count": 0})
+        publisher.publish(ev)
+        publisher.publish(NLEvent("stampede.job.info", 2.0))  # filtered out
+        got = consumer.drain()
+        assert got == [ev]
+        assert publisher.events_published == 2
+
+    def test_bus_sink(self):
+        broker = Broker()
+        consumer = EventConsumer(broker, "#")
+        sink = BusSink(broker)
+        sink.emit(NLEvent("a.b", 0.0))
+        assert sink.events_published == 1
+        assert len(consumer.drain()) == 1
+
+    def test_file_sink_and_multi(self, tmp_path):
+        broker = Broker()
+        consumer = EventConsumer(broker, "#")
+        fsink = FileSink(tmp_path / "log.bp")
+        multi = MultiSink(fsink, BusSink(broker))
+        multi.emit(NLEvent("a.b", 0.0))
+        multi.close()
+        assert fsink.events_written == 1
+        assert len(consumer.drain()) == 1
+        assert (tmp_path / "log.bp").read_text().startswith("ts=")
+
+    def test_consumer_iterates_nl_events(self):
+        broker = Broker()
+        consumer = EventConsumer(broker, "#")
+        broker.publish("x.y", NLEvent("x.y", 1.0))
+        events = list(consumer)
+        assert isinstance(events[0], NLEvent)
+
+    def test_consumer_parses_bp_strings(self):
+        broker = Broker()
+        consumer = EventConsumer(broker, "#")
+        broker.publish("x.y", "ts=1 event=x.y a=1")
+        (event,) = consumer.drain()
+        assert event.attrs["a"] == "1"

@@ -1,0 +1,84 @@
+"""Bus edge cases: blocking gets, exchange bookkeeping, binding removal."""
+import threading
+import time
+
+import pytest
+
+from repro.bus.broker import Broker, Exchange
+from repro.bus.queues import MessageQueue
+
+
+class TestBlockingGet:
+    def test_timeout_expires(self):
+        q = MessageQueue("q")
+        start = time.monotonic()
+        assert q.get(timeout=0.05) is None
+        assert time.monotonic() - start >= 0.04
+
+    def test_blocking_get_wakes_on_put(self):
+        q = MessageQueue("q")
+        result = {}
+
+        def consumer():
+            result["msg"] = q.get(timeout=5.0)
+
+        t = threading.Thread(target=consumer)
+        t.start()
+        time.sleep(0.02)
+        q.put("k", "hello")
+        t.join(timeout=5)
+        assert not t.is_alive()
+        assert result["msg"].body == "hello"
+
+    def test_poll_returns_immediately(self):
+        q = MessageQueue("q")
+        start = time.monotonic()
+        assert q.get(timeout=0.0) is None
+        assert time.monotonic() - start < 0.05
+
+
+class TestExchange:
+    def test_route_order_stable(self):
+        ex = Exchange("x")
+        ex.bind("a.#", "q1")
+        ex.bind("#", "q2")
+        ex.bind("a.b", "q1")  # second binding to q1: still one delivery
+        assert ex.route("a.b") == ["q1", "q2"]
+
+    def test_unbind(self):
+        ex = Exchange("x")
+        ex.bind("a.#", "q1")
+        ex.unbind("a.#", "q1")
+        assert ex.route("a.b") == []
+
+    def test_duplicate_binding_ignored(self):
+        ex = Exchange("x")
+        ex.bind("a.#", "q1")
+        ex.bind("a.#", "q1")
+        assert len(ex.bindings()) == 1
+
+    def test_invalid_pattern_rejected_at_bind(self):
+        ex = Exchange("x")
+        with pytest.raises(ValueError):
+            ex.bind("a.b#", "q1")
+
+
+class TestBrokerMisc:
+    def test_publish_to_missing_exchange_creates_it(self):
+        broker = Broker()
+        assert broker.publish("a.b", 1, exchange="fresh") == 0
+        assert broker.declare_exchange("fresh").published == 1
+
+    def test_queue_lookup_missing(self):
+        with pytest.raises(KeyError):
+            Broker().queue("nope")
+
+    def test_bounded_queue_via_broker(self):
+        broker = Broker()
+        broker.declare_queue("small", max_length=2)
+        broker.bind_queue("small", "#")
+        for i in range(5):
+            broker.publish("k", i)
+        q = broker.queue("small")
+        assert len(q) == 2
+        assert q.stats.dropped == 3

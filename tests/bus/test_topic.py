@@ -1,0 +1,65 @@
+import pytest
+
+from repro.bus.topic import topic_matches, validate_pattern
+
+
+class TestTopicMatches:
+    @pytest.mark.parametrize(
+        "pattern,key,expected",
+        [
+            # exact
+            ("stampede.xwf.start", "stampede.xwf.start", True),
+            ("stampede.xwf.start", "stampede.xwf.end", False),
+            # single-word wildcard
+            ("stampede.*.start", "stampede.xwf.start", True),
+            ("stampede.*.start", "stampede.job_inst.main.start", False),
+            ("*", "stampede", True),
+            ("*", "stampede.xwf", False),
+            # multi-word wildcard
+            ("#", "anything.at.all", True),
+            ("#", "", True),
+            ("stampede.#", "stampede.xwf.start", True),
+            ("stampede.#", "stampede", True),  # '#' matches zero words
+            ("stampede.#", "other.xwf.start", False),
+            ("stampede.job_inst.#", "stampede.job_inst.main.start", True),
+            ("stampede.job_inst.#", "stampede.job.info", False),
+            # the paper's examples: "stampede.job" prefix vs mainjob subset
+            ("stampede.job.#", "stampede.job.info", True),
+            ("stampede.job.#", "stampede.job_inst.main.start", False),
+            # '#' in the middle
+            ("a.#.z", "a.z", True),
+            ("a.#.z", "a.b.c.z", True),
+            ("a.#.z", "a.b.c", False),
+            # combined
+            ("a.*.#", "a.b", True),
+            ("a.*.#", "a", False),
+            ("#.end", "stampede.inv.end", True),
+            ("#.end", "end", True),
+        ],
+    )
+    def test_matching(self, pattern, key, expected):
+        assert topic_matches(pattern, key) is expected
+
+    def test_word_boundary_not_prefix(self):
+        # 'stampede.job' must not match 'stampede.job_inst...' keys
+        assert not topic_matches("stampede.job.#", "stampede.job_inst.main.start")
+
+
+class TestValidatePattern:
+    def test_valid(self):
+        for p in ("a.b.c", "#", "*", "a.*.#", "stampede.#"):
+            validate_pattern(p)
+
+    def test_empty(self):
+        with pytest.raises(ValueError):
+            validate_pattern("")
+
+    def test_empty_word(self):
+        with pytest.raises(ValueError):
+            validate_pattern("a..b")
+
+    def test_embedded_wildcard(self):
+        with pytest.raises(ValueError):
+            validate_pattern("stampede.job*")
+        with pytest.raises(ValueError):
+            validate_pattern("a.b#")

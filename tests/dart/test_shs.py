@@ -1,0 +1,117 @@
+import numpy as np
+import pytest
+
+from repro.dart.audio import ToneSpec, add_noise, synth_missing_fundamental, synth_tone
+from repro.dart.shs import SHSParams, evaluate_params, shs_pitch, shs_track
+
+SR = 8000.0
+
+
+def tone(f0, **kw):
+    return synth_tone(ToneSpec(f0=f0, sample_rate=SR, **kw))
+
+
+class TestAudio:
+    def test_tone_length_and_range(self):
+        sig = tone(220.0, duration=0.5)
+        assert len(sig) == int(0.5 * SR)
+        assert np.abs(sig).max() <= 1.0 + 1e-9
+
+    def test_invalid_f0(self):
+        with pytest.raises(ValueError):
+            synth_tone(ToneSpec(f0=0.0))
+
+    def test_partials_below_nyquist(self):
+        # f0 near Nyquist/2: partials silently clipped, no aliasing crash
+        sig = tone(3500.0, n_partials=10)
+        assert np.isfinite(sig).all()
+
+    def test_noise_reproducible(self):
+        a = add_noise(np.zeros(100), 0.1, seed=1)
+        b = add_noise(np.zeros(100), 0.1, seed=1)
+        assert np.array_equal(a, b)
+        c = add_noise(np.zeros(100), 0.1, seed=2)
+        assert not np.array_equal(a, c)
+
+    def test_missing_fundamental_suppresses_f0_partial(self):
+        sig = synth_missing_fundamental(ToneSpec(f0=200.0, sample_rate=SR))
+        spectrum = np.abs(np.fft.rfft(sig * np.hanning(len(sig))))
+        bin_hz = SR / len(sig)
+        f0_bin = int(round(200.0 / bin_hz))
+        h2_bin = int(round(400.0 / bin_hz))
+        assert spectrum[h2_bin] > 3 * spectrum[f0_bin]
+
+
+class TestSHSParams:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SHSParams(n_harmonics=0)
+        with pytest.raises(ValueError):
+            SHSParams(compression=0.0)
+        with pytest.raises(ValueError):
+            SHSParams(window_size=1000)  # not a power of two
+        with pytest.raises(ValueError):
+            SHSParams(f_min=500, f_max=100)
+
+
+class TestPitchDetection:
+    @pytest.mark.parametrize("f0", [82.4, 110.0, 220.0, 440.0, 880.0])
+    def test_detects_pure_harmonic_tones(self, f0):
+        params = SHSParams(f_max=1000.0)
+        est = shs_pitch(tone(f0), SR, params).f0
+        cents = abs(1200 * np.log2(est / f0))
+        assert cents < 30, f"f0={f0} est={est}"
+
+    def test_missing_fundamental_recovered(self):
+        # the key property of sub-harmonic summation
+        sig = synth_missing_fundamental(ToneSpec(f0=196.0, sample_rate=SR))
+        est = shs_pitch(sig, SR, SHSParams()).f0
+        cents = abs(1200 * np.log2(est / 196.0))
+        assert cents < 50
+
+    def test_single_harmonic_fails_on_missing_fundamental(self):
+        # sanity check: with n_harmonics=1 SHS degrades to peak picking
+        sig = synth_missing_fundamental(ToneSpec(f0=196.0, sample_rate=SR))
+        est = shs_pitch(sig, SR, SHSParams(n_harmonics=1)).f0
+        # picks a partial (≈392 or higher), not the fundamental
+        assert est > 196.0 * 1.5
+
+    def test_noisy_tone(self):
+        sig = tone(330.0, noise_level=0.2)
+        est = shs_pitch(sig, SR, SHSParams()).f0
+        assert abs(1200 * np.log2(est / 330.0)) < 50
+
+    def test_track_shape(self):
+        sig = tone(220.0, duration=1.0)
+        track = shs_track(sig, SR, SHSParams(window_size=1024))
+        assert len(track) > 5
+        assert np.all(np.abs(1200 * np.log2(track / 220.0)) < 60)
+
+    def test_window_too_small_for_range(self):
+        with pytest.raises(ValueError):
+            shs_pitch(tone(220.0), SR, SHSParams(window_size=64, f_min=50,
+                                                 f_max=60))
+
+    def test_salience_positive(self):
+        result = shs_pitch(tone(220.0), SR)
+        assert result.salience > 0
+
+
+class TestEvaluateParams:
+    def test_good_params_score_high(self):
+        cases = [(tone(f0), f0) for f0 in (110.0, 220.0, 440.0)]
+        score = evaluate_params(SHSParams(), cases, SR)
+        assert score == 1.0
+
+    def test_bad_params_score_lower(self):
+        cases = [
+            (synth_missing_fundamental(ToneSpec(f0=f0, sample_rate=SR)), f0)
+            for f0 in (98.0, 196.0, 293.7)
+        ]
+        good = evaluate_params(SHSParams(n_harmonics=8), cases, SR)
+        bad = evaluate_params(SHSParams(n_harmonics=1), cases, SR)
+        assert good > bad
+
+    def test_empty_cases_rejected(self):
+        with pytest.raises(ValueError):
+            evaluate_params(SHSParams(), [], SR)

@@ -1,0 +1,160 @@
+import pytest
+
+from repro.dart.sweep import (
+    N_COMMANDS,
+    SweepCommand,
+    command_duration,
+    generate_commands,
+    mean_duration,
+    parse_command,
+    sweep_grid,
+)
+from repro.dart.workflow import (
+    DartExecUnit,
+    build_sub_workflow,
+    chunk_commands,
+    run_dart_experiment,
+)
+from repro.triana.appender import MemoryAppender
+from repro.triana.scheduler import Scheduler
+
+
+class TestSweep:
+    def test_306_commands(self):
+        assert N_COMMANDS == 306
+        assert len(generate_commands()) == 306
+
+    def test_grid_unique(self):
+        grid = sweep_grid()
+        assert len({(c.harmonics, c.compression, c.window) for c in grid}) == 306
+
+    def test_command_parse_roundtrip(self):
+        for cmd in sweep_grid()[::37]:
+            parsed = parse_command(cmd.line)
+            assert parsed == cmd
+
+    def test_malformed_command_rejected(self):
+        with pytest.raises(ValueError):
+            parse_command("java -jar dart.jar --nonsense")
+
+    def test_duration_model_calibrated(self):
+        # grid mean ~129 s puts the sweep's cumulative time at ~40 000 s
+        assert 120 < mean_duration() < 140
+        durations = [command_duration(c) for c in sweep_grid()]
+        assert min(durations) > 20
+        assert max(durations) < 350
+
+    def test_duration_monotone_in_work(self):
+        cheap = SweepCommand(0, harmonics=4, compression=0.7, window=1024)
+        costly = SweepCommand(1, harmonics=20, compression=0.7, window=4096)
+        assert command_duration(costly) > command_duration(cheap)
+
+
+class TestChunking:
+    def test_chunks_cover_all_commands(self):
+        commands = generate_commands()
+        chunks = chunk_commands(commands, 16, seed=0)
+        assert len(chunks) == 20
+        sizes = [len(lines) for _, _, lines in chunks]
+        assert sizes == [16] * 19 + [2]
+        all_lines = [l for _, _, lines in chunks for l in lines]
+        assert sorted(all_lines) == sorted(commands)
+
+    def test_line_ranges_contiguous(self):
+        chunks = chunk_commands(generate_commands(), 16, seed=0)
+        assert chunks[0][:2] == (0, 15)
+        assert chunks[-1][:2] == (304, 305)
+
+    def test_deterministic_per_seed(self):
+        a = chunk_commands(generate_commands(), 16, seed=3)
+        b = chunk_commands(generate_commands(), 16, seed=3)
+        assert a == b
+
+
+class TestSubWorkflow:
+    def test_structure(self):
+        chunks = chunk_commands(generate_commands(), 16, seed=0)
+        lo, hi, lines = chunks[0]
+        graph = build_sub_workflow("b0", lo, hi, lines)
+        names = {t.name for t in graph.tasks()}
+        assert f"unit:{lo}-{hi}" in names
+        assert "file.zipper" in names
+        assert "file.Output_0" in names
+        assert sum(1 for n in names if n.startswith("exec")) == 16
+        assert len(graph) == 19
+        assert graph.is_dag()
+
+    def test_executes_and_scores(self):
+        chunks = chunk_commands(generate_commands(), 4, seed=0)
+        lo, hi, lines = chunks[0]
+        graph = build_sub_workflow("b0", lo, hi, lines)
+        sched = Scheduler(graph, seed=0, max_concurrent=4)
+        report = sched.run()
+        assert report.ok
+        result = sched.results["exec0"]
+        assert 0.0 <= result["accuracy"] <= 1.0
+        assert sched.results["file.zipper"]["count"] == 4
+
+    def test_exec_unit_real_work(self):
+        cmd = sweep_grid()[100]
+        unit = DartExecUnit("exec0", cmd.line)
+        out = unit.process([["ignored"]])
+        assert out["harmonics"] == cmd.harmonics
+        assert out["window"] == cmd.window
+        assert 0.0 <= out["accuracy"] <= 1.0
+
+
+class TestFullExperiment:
+    @pytest.fixture(scope="class")
+    def result(self):
+        sink = MemoryAppender()
+        res = run_dart_experiment(sink, seed=0)
+        return sink, res
+
+    def test_bundle_and_task_counts(self, result):
+        _, res = result
+        assert res.n_bundles == 20
+        assert res.n_exec_tasks == 306
+
+    def test_all_bundles_succeed(self, result):
+        _, res = result
+        assert res.root_report.ok
+        assert all(r.report.ok for r in res.broker.runs)
+
+    def test_wall_time_in_paper_band(self, result):
+        # paper: 661 s; accept the same order with modest tolerance
+        _, res = result
+        assert 450 < res.wall_time < 1000
+
+    def test_results_for_every_command(self, result):
+        _, res = result
+        assert len(res.all_results) == 306
+        assert [r["index"] for r in res.all_results] == list(range(306))
+
+    def test_best_result_reasonable(self, result):
+        _, res = result
+        assert res.best_result is not None
+        assert res.best_result["accuracy"] >= max(
+            r["accuracy"] for r in res.all_results[:50]
+        ) - 1e-9
+
+    def test_deterministic(self):
+        s1, s2 = MemoryAppender(), MemoryAppender()
+        r1 = run_dart_experiment(s1, seed=42, chunk_size=50)
+        r2 = run_dart_experiment(s2, seed=42, chunk_size=50)
+        assert r1.wall_time == r2.wall_time
+        assert r1.root_xwf_id == r2.root_xwf_id
+        assert [e.to_bp() for e in s1.events] == [e.to_bp() for e in s2.events]
+
+    def test_smaller_configuration(self):
+        sink = MemoryAppender()
+        res = run_dart_experiment(
+            sink,
+            seed=1,
+            n_nodes=2,
+            chunk_size=8,
+            commands=[c.line for c in __import__("repro.dart.sweep",
+                                                 fromlist=["sweep_grid"]).sweep_grid()[:16]],
+        )
+        assert res.n_bundles == 2
+        assert res.n_exec_tasks == 16

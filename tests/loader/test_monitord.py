@@ -1,0 +1,133 @@
+import threading
+import time
+
+import pytest
+
+from repro.loader import Monitord, follow_file, make_loader
+from repro.model.entities import InvocationRow, WorkflowRow
+from repro.netlogger.stream import BPWriter
+from repro.query import StampedeQuery
+
+from tests.helpers import diamond_events
+
+
+class TestFollowFile:
+    def test_loads_growing_file(self, tmp_path):
+        path = tmp_path / "run.bp"
+        events = diamond_events()
+        writer = BPWriter(path)
+        loader = make_loader()
+        remaining = iter(events)
+
+        def poll():
+            # append a few more events per poll; stop when drained
+            wrote = 0
+            for event in remaining:
+                writer.write(event)
+                wrote += 1
+                if wrote >= 10:
+                    return True
+            if wrote:
+                return True
+            writer.close()
+            return False
+
+        loaded = follow_file(path, loader, poll)
+        assert loaded == len(events)
+        assert loader.archive.count(InvocationRow) == 4
+
+    def test_flushes_incrementally(self, tmp_path):
+        path = tmp_path / "run.bp"
+        events = diamond_events()
+        with BPWriter(path) as writer:
+            writer.write_all(events)
+        loader = make_loader(batch_size=10_000)  # rely on follow's flushes
+        counts = []
+
+        state = {"polls": 0}
+
+        def poll():
+            counts.append(loader.archive.count(WorkflowRow))
+            return False
+
+        follow_file(path, loader, poll, flush_every=5)
+        assert loader.archive.count(InvocationRow) == 4
+
+
+class TestMonitordThread:
+    def test_follows_live_run_until_termination(self, tmp_path):
+        path = tmp_path / "live.bp"
+        loader = make_loader()
+        monitord = Monitord(path, loader, poll_interval=0.005)
+        monitord.start()
+        # engine writes slowly on another thread
+        events = diamond_events()
+
+        def produce():
+            with BPWriter(path) as writer:
+                for event in events:
+                    writer.write(event)
+                    time.sleep(0.001)
+
+        producer = threading.Thread(target=produce)
+        producer.start()
+        producer.join()
+        monitord.join(timeout=10)
+        assert not monitord.running
+        assert monitord.events_loaded == len(events)
+        q = StampedeQuery(loader.archive)
+        wf = q.workflows()[0]
+        assert q.workflow_status(wf.wf_id) == 0
+
+    def test_waits_for_file_creation(self, tmp_path):
+        path = tmp_path / "late.bp"
+        loader = make_loader()
+        with Monitord(path, loader, poll_interval=0.005) as monitord:
+            time.sleep(0.02)  # file does not exist yet
+            with BPWriter(path) as writer:
+                writer.write_all(diamond_events())
+            deadline = time.time() + 10
+            while monitord.running and time.time() < deadline:
+                time.sleep(0.01)
+        assert loader.archive.count(InvocationRow) == 4
+
+    def test_explicit_stop(self, tmp_path):
+        path = tmp_path / "stop.bp"
+        events = diamond_events()[:10]  # no termination event
+        with BPWriter(path) as writer:
+            writer.write_all(events)
+        loader = make_loader()
+        monitord = Monitord(path, loader, poll_interval=0.005).start()
+        time.sleep(0.05)
+        assert monitord.running  # still tailing: no termination seen
+        monitord.stop()
+        monitord.join(timeout=10)
+        assert not monitord.running
+        assert monitord.events_loaded == 10
+
+    def test_double_start_rejected(self, tmp_path):
+        path = tmp_path / "x.bp"
+        BPWriter(path).close()
+        monitord = Monitord(path, make_loader()).start()
+        with pytest.raises(RuntimeError):
+            monitord.start()
+        monitord.stop()
+        monitord.join()
+
+    def test_multi_workflow_termination_count(self, tmp_path):
+        """With sub-workflows, monitord stops after ALL terminations."""
+        from tests.helpers import diamond_events as mk
+
+        path = tmp_path / "multi.bp"
+        uuid2 = "22222222-3333-4333-8444-555555555555"
+        events = mk() + mk(xwf=uuid2)
+        with BPWriter(path) as writer:
+            writer.write_all(events)
+        loader = make_loader()
+        monitord = Monitord(
+            path, loader, poll_interval=0.005, expected_terminations=2
+        ).start()
+        monitord.join(timeout=10)
+        assert not monitord.running
+        q = StampedeQuery(loader.archive)
+        assert len(q.workflows()) == 2

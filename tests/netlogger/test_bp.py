@@ -1,0 +1,117 @@
+import pytest
+
+from repro.netlogger.bp import (
+    BPParseError,
+    format_bp_line,
+    parse_bp_line,
+    quote_value,
+)
+
+PAPER_LINE = (
+    "ts=2012-03-13T12:35:38.000000Z event=stampede.xwf.start level=Info "
+    "xwf.id=ea17e8ac-02ac-4909-b5e3-16e367392556 restart_count=0"
+)
+
+
+class TestParse:
+    def test_paper_example(self):
+        attrs = parse_bp_line(PAPER_LINE)
+        assert attrs["event"] == "stampede.xwf.start"
+        assert attrs["restart_count"] == "0"
+        assert attrs["xwf.id"] == "ea17e8ac-02ac-4909-b5e3-16e367392556"
+
+    def test_order_preserved(self):
+        attrs = parse_bp_line("ts=1 event=x b=1 a=2")
+        assert list(attrs) == ["ts", "event", "b", "a"]
+
+    def test_quoted_value_with_spaces(self):
+        attrs = parse_bp_line('ts=1 event=x msg="hello world"')
+        assert attrs["msg"] == "hello world"
+
+    def test_quoted_value_with_escapes(self):
+        attrs = parse_bp_line(r'ts=1 event=x msg="say \"hi\" \\ there"')
+        assert attrs["msg"] == 'say "hi" \\ there'
+
+    def test_quoted_equals(self):
+        attrs = parse_bp_line('ts=1 event=x argv="--opt=value"')
+        assert attrs["argv"] == "--opt=value"
+
+    def test_empty_quoted_value(self):
+        attrs = parse_bp_line('ts=1 event=x empty=""')
+        assert attrs["empty"] == ""
+
+    def test_missing_ts_rejected(self):
+        with pytest.raises(BPParseError):
+            parse_bp_line("event=x a=1")
+
+    def test_missing_event_rejected(self):
+        with pytest.raises(BPParseError):
+            parse_bp_line("ts=1 a=1")
+
+    def test_unterminated_quote_rejected(self):
+        with pytest.raises(BPParseError):
+            parse_bp_line('ts=1 event=x msg="oops')
+
+    def test_missing_equals_rejected(self):
+        with pytest.raises(BPParseError):
+            parse_bp_line("ts=1 event=x standalone")
+
+    def test_garbage_rejected(self):
+        with pytest.raises(BPParseError):
+            parse_bp_line("ts=1 event=x ***=1")
+
+    def test_extra_whitespace_tolerated(self):
+        attrs = parse_bp_line("  ts=1   event=x   a=1  ")
+        assert attrs["a"] == "1"
+
+    def test_dotted_and_dashed_names(self):
+        attrs = parse_bp_line("ts=1 event=x job_inst.id=3 some-name=y")
+        assert attrs["job_inst.id"] == "3"
+        assert attrs["some-name"] == "y"
+
+
+class TestFormat:
+    def test_ts_event_first(self):
+        line = format_bp_line({"a": 1, "event": "x", "ts": "5"})
+        assert line.startswith("ts=5 event=x")
+
+    def test_quotes_spaces(self):
+        line = format_bp_line({"ts": 1, "event": "x", "m": "a b"})
+        assert 'm="a b"' in line
+
+    def test_bool_rendering(self):
+        line = format_bp_line({"ts": 1, "event": "x", "flag": True})
+        assert "flag=true" in line
+
+    def test_requires_ts_and_event(self):
+        with pytest.raises(ValueError):
+            format_bp_line({"a": 1})
+
+    def test_invalid_attr_name(self):
+        with pytest.raises(ValueError):
+            format_bp_line({"ts": 1, "event": "x", "bad name": 1})
+
+    def test_roundtrip(self):
+        original = {
+            "ts": "2012-03-13T12:35:38.000000Z",
+            "event": "stampede.inv.end",
+            "argv": '--file "my data.txt" --n=3',
+            "dur": "74.0",
+            "path": "C:\\temp\\x",
+        }
+        attrs = parse_bp_line(format_bp_line(original))
+        assert attrs == {k: str(v) for k, v in original.items()}
+
+
+class TestQuoteValue:
+    def test_plain_unquoted(self):
+        assert quote_value("hello") == "hello"
+
+    def test_space_quoted(self):
+        assert quote_value("a b") == '"a b"'
+
+    def test_empty_quoted(self):
+        assert quote_value("") == '""'
+
+    def test_backslash_escaped(self):
+        assert quote_value("a\\b c") == '"a\\\\b c"'

@@ -1,0 +1,140 @@
+import io
+
+import pytest
+
+from repro.netlogger.events import Level, NLEvent
+from repro.netlogger.stream import BPReader, BPWriter, read_events, tail_events, write_events
+
+
+def sample_events(n=5):
+    return [
+        NLEvent(f"stampede.test.e{i}", float(i), {"idx": i, "msg": f"event {i}"})
+        for i in range(n)
+    ]
+
+
+class TestNLEvent:
+    def test_bp_roundtrip(self):
+        ev = NLEvent(
+            "stampede.xwf.start",
+            1331642138.0,
+            {"xwf.id": "ea17e8ac-02ac-4909-b5e3-16e367392556", "restart_count": 0},
+        )
+        back = NLEvent.from_bp(ev.to_bp())
+        assert back == ev
+
+    def test_level_roundtrip(self):
+        ev = NLEvent("x.y", 1.0, level=Level.ERROR)
+        assert NLEvent.from_bp(ev.to_bp()).level is Level.ERROR
+
+    def test_level_parse_case_insensitive(self):
+        assert Level.parse("info") is Level.INFO
+        with pytest.raises(ValueError):
+            Level.parse("nope")
+
+    def test_default_level_info(self):
+        assert NLEvent.from_bp("ts=1 event=x").level is Level.INFO
+
+    def test_prefix_and_matching(self):
+        ev = NLEvent("stampede.job_inst.main.start", 0.0)
+        assert ev.prefix == "stampede"
+        assert ev.matches_prefix("stampede.job_inst")
+        assert ev.matches_prefix("stampede.job_inst.main.start")
+        assert not ev.matches_prefix("stampede.job")  # word boundary
+
+    def test_empty_event_rejected(self):
+        with pytest.raises(ValueError):
+            NLEvent("", 0.0)
+
+    def test_copy_independent(self):
+        ev = NLEvent("x", 0.0, {"a": 1})
+        cp = ev.copy()
+        cp.attrs["a"] = 2
+        assert ev.attrs["a"] == 1
+
+    def test_getitem_contains(self):
+        ev = NLEvent("x", 0.0, {"a": 1})
+        assert ev["a"] == 1
+        assert "a" in ev
+        assert ev.get("b", "d") == "d"
+
+
+class TestStream:
+    def test_write_read_roundtrip(self, tmp_path):
+        path = tmp_path / "log.bp"
+        events = sample_events()
+        assert write_events(path, events) == 5
+        back = read_events(path)
+        assert back == events
+
+    def test_reader_skips_blank_and_comments(self):
+        text = "# comment\n\nts=1 event=a\n   \nts=2 event=b\n"
+        events = read_events(io.StringIO(text))
+        assert [e.event for e in events] == ["a", "b"]
+
+    def test_reader_error_modes(self):
+        text = "ts=1 event=a\nnot a bp line ===\nts=2 event=b\n"
+        with pytest.raises(Exception):
+            read_events(io.StringIO(text))
+        reader = BPReader(io.StringIO(text), on_error="skip")
+        events = list(reader)
+        assert [e.event for e in events] == ["a", "b"]
+        assert len(reader.errors) == 1
+        assert reader.errors[0][0] == 2  # line number
+
+    def test_reader_error_callback(self):
+        seen = []
+        reader = BPReader(
+            io.StringIO("bogus ***\n"), on_error=lambda n, l, e: seen.append(n)
+        )
+        list(reader)
+        assert seen == [1]
+
+    def test_writer_append_and_count(self, tmp_path):
+        path = tmp_path / "log.bp"
+        with BPWriter(path) as w:
+            w.write_all(sample_events(3))
+            assert w.events_written == 3
+        with BPWriter(path) as w:
+            w.write(sample_events(1)[0])
+        assert len(read_events(path)) == 4
+
+    def test_tail_events_follows_growth(self, tmp_path):
+        path = tmp_path / "grow.bp"
+        events = sample_events(4)
+        with BPWriter(path) as w:
+            w.write(events[0])
+
+        produced = iter(events[1:])
+        writer = BPWriter(path)
+        state = {"remaining": 3}
+
+        def poll():
+            try:
+                writer.write(next(produced))
+                return True
+            except StopIteration:
+                writer.close()
+                return False
+
+        seen = list(tail_events(path, poll))
+        assert seen == events
+
+    def test_tail_start_at_end(self, tmp_path):
+        path = tmp_path / "grow.bp"
+        events = sample_events(3)
+        with BPWriter(path) as w:
+            w.write(events[0])
+        writer = BPWriter(path)
+        sent = {"done": False}
+
+        def poll():
+            if sent["done"]:
+                writer.close()
+                return False
+            writer.write(events[1])
+            sent["done"] = True
+            return True
+
+        seen = list(tail_events(path, poll, start_at_end=True))
+        assert seen == [events[1]]

@@ -1,0 +1,84 @@
+import pytest
+
+from repro.pegasus import Planner, PlannerConfig
+from repro.pegasus.abstract import AbstractTask, AbstractWorkflow
+from repro.pegasus.dax import (
+    dag_to_string,
+    dax_to_string,
+    parse_dax,
+    write_dag,
+    write_dax,
+)
+from repro.workloads import diamond, montage
+
+
+class TestDaxRoundtrip:
+    def test_structure_roundtrip(self):
+        aw = montage(n_images=5)
+        back = parse_dax(dax_to_string(aw))
+        assert back.label == aw.label
+        assert {t.task_id for t in back.tasks()} == {
+            t.task_id for t in aw.tasks()
+        }
+        assert set(back.edges()) == set(aw.edges())
+
+    def test_task_attributes_roundtrip(self):
+        aw = AbstractWorkflow("w")
+        aw.add_task(
+            AbstractTask(
+                "t1",
+                transformation="genome::map",
+                argv="--lanes 4 --out x.bam",
+                runtime_estimate=123.5,
+                inputs=["reads.fq"],
+                outputs=["x.bam"],
+            )
+        )
+        back = parse_dax(dax_to_string(aw))
+        task = back.task("t1")
+        assert task.transformation == "genome::map"
+        assert task.argv == "--lanes 4 --out x.bam"
+        assert task.runtime_estimate == 123.5
+        assert task.inputs == ["reads.fq"]
+        assert task.outputs == ["x.bam"]
+
+    def test_file_roundtrip(self, tmp_path):
+        aw = diamond()
+        path = write_dax(aw, tmp_path / "diamond.dax")
+        back = parse_dax(path)
+        assert set(back.edges()) == set(aw.edges())
+        text = (tmp_path / "diamond.dax").read_text()
+        assert text.startswith("<?xml")
+        assert "<adag" in text
+
+    def test_non_dax_rejected(self):
+        with pytest.raises(ValueError):
+            parse_dax("<notadag/>")
+
+    def test_parsed_dax_plans_and_matches(self):
+        aw = montage(n_images=6)
+        back = parse_dax(dax_to_string(aw))
+        ew_orig = Planner(config=PlannerConfig(cluster_size=3)).plan(aw)
+        ew_back = Planner(config=PlannerConfig(cluster_size=3)).plan(back)
+        assert {j.exec_job_id for j in ew_orig.jobs()} == {
+            j.exec_job_id for j in ew_back.jobs()
+        }
+
+
+class TestDagFile:
+    def test_dag_contents(self, tmp_path):
+        ew = Planner().plan(diamond())
+        text = dag_to_string(ew)
+        assert "JOB a a.sub" in text
+        assert "RETRY a 3" in text
+        assert "PARENT a CHILD b" in text
+        assert "PARENT stage_in_0 CHILD a" in text
+        path = write_dag(ew, tmp_path / "run.dag")
+        assert (tmp_path / "run.dag").read_text().startswith("#")
+
+    def test_every_job_listed(self):
+        ew = Planner(config=PlannerConfig(cluster_size=2)).plan(montage(8))
+        text = dag_to_string(ew)
+        for job in ew.jobs():
+            assert f"JOB {job.exec_job_id} " in text
+        assert text.count("PARENT ") == len(ew.edges())

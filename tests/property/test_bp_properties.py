@@ -1,0 +1,60 @@
+"""Property-based tests: the BP log format round-trips arbitrary data."""
+import string
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.netlogger.bp import format_bp_line, parse_bp_line, quote_value
+from repro.netlogger.events import Level, NLEvent
+from repro.util.timeutil import format_iso, parse_iso
+
+# Attribute names: dotted identifiers like job_inst.id
+name_part = st.text(
+    alphabet=string.ascii_letters + string.digits + "_",
+    min_size=1,
+    max_size=8,
+).filter(lambda s: s[0].isalpha() or s[0] == "_")
+attr_names = st.builds(
+    lambda parts: ".".join(parts), st.lists(name_part, min_size=1, max_size=3)
+).filter(lambda n: n not in ("ts", "event", "level"))
+
+# Values: any printable text without newlines (BP is line-oriented)
+attr_values = st.text(
+    alphabet=st.characters(blacklist_categories=("Cs", "Cc")),
+    max_size=40,
+)
+
+
+@given(attrs=st.dictionaries(attr_names, attr_values, max_size=8))
+@settings(max_examples=200)
+def test_bp_roundtrip_arbitrary_attrs(attrs):
+    line_attrs = {"ts": "1.5", "event": "prop.test", **attrs}
+    line = format_bp_line(line_attrs)
+    parsed = parse_bp_line(line)
+    assert parsed == {k: str(v) for k, v in line_attrs.items()}
+
+
+@given(value=attr_values)
+def test_quote_value_always_parseable(value):
+    line = f"ts=1 event=x v={quote_value(value)}"
+    assert parse_bp_line(line)["v"] == value
+
+
+@given(
+    ts=st.floats(min_value=0, max_value=4e9, allow_nan=False),
+    attrs=st.dictionaries(attr_names, attr_values, max_size=5),
+    level=st.sampled_from(list(Level)),
+)
+@settings(max_examples=200)
+def test_nlevent_roundtrip(ts, attrs, level):
+    event = NLEvent("stampede.prop.test", ts, attrs, level=level)
+    back = NLEvent.from_bp(event.to_bp())
+    assert back.event == event.event
+    assert abs(back.ts - event.ts) < 1e-5  # microsecond ISO precision
+    assert back.level is level
+    assert back.attrs == {k: str(v) for k, v in attrs.items()}
+
+
+@given(ts=st.floats(min_value=0, max_value=4e9, allow_nan=False))
+def test_iso_roundtrip(ts):
+    assert abs(parse_iso(format_iso(ts)) - ts) < 1e-5

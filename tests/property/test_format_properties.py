@@ -1,0 +1,105 @@
+"""Property tests for the interchange formats: jobstate.log, kickstart
+records and DAX documents all round-trip arbitrary well-formed content."""
+import string
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pegasus.abstract import AbstractTask, AbstractWorkflow
+from repro.pegasus.condor_log import JobstateEntry, KickstartRecord
+from repro.pegasus.dax import dax_to_string, parse_dax
+
+identifiers = st.text(
+    alphabet=string.ascii_letters + string.digits + "_-.",
+    min_size=1,
+    max_size=20,
+).filter(lambda s: not s[0] in "-.")
+
+job_states = st.sampled_from(
+    ["SUBMIT", "EXECUTE", "JOB_TERMINATED", "JOB_SUCCESS", "JOB_FAILURE",
+     "POST_SCRIPT_STARTED", "POST_SCRIPT_SUCCESS"]
+)
+
+
+@given(
+    ts=st.floats(0, 4e9, allow_nan=False).map(lambda x: round(x, 3)),
+    job=identifiers,
+    state=job_states,
+    sched=identifiers,
+    site=identifiers,
+    seq=st.integers(1, 99),
+)
+def test_jobstate_roundtrip(ts, job, state, sched, site, seq):
+    entry = JobstateEntry(ts, job, state, sched, site, seq)
+    assert JobstateEntry.from_line(entry.to_line()) == entry
+
+
+safe_text = st.text(
+    alphabet=st.characters(blacklist_categories=("Cs", "Cc")), max_size=30
+).map(lambda s: s.strip()).filter(lambda s: s)
+
+
+@given(
+    job=identifiers,
+    seq=st.integers(1, 9),
+    inv=st.integers(1, 99),
+    transformation=identifiers,
+    start=st.floats(0, 1e9, allow_nan=False).map(lambda x: round(x, 6)),
+    duration=st.floats(0, 1e5, allow_nan=False).map(lambda x: round(x, 6)),
+    exitcode=st.integers(-127, 255),
+    argv=safe_text,
+    task_id=st.none() | identifiers,
+)
+@settings(max_examples=100)
+def test_kickstart_roundtrip(job, seq, inv, transformation, start, duration,
+                             exitcode, argv, task_id):
+    record = KickstartRecord(
+        exec_job_id=job,
+        job_submit_seq=seq,
+        inv_seq=inv,
+        transformation=transformation,
+        executable=f"/bin/{transformation}",
+        start=start,
+        duration=duration,
+        exitcode=exitcode,
+        site="site",
+        hostname="host",
+        argv=argv,
+        task_id=task_id,
+    )
+    assert KickstartRecord.from_xml(record.to_xml()) == record
+
+
+@st.composite
+def small_workflows(draw):
+    n = draw(st.integers(1, 12))
+    aw = AbstractWorkflow(draw(identifiers))
+    for i in range(n):
+        aw.add_task(
+            AbstractTask(
+                f"t{i}",
+                transformation=draw(identifiers),
+                argv=draw(st.just("") | safe_text),
+                runtime_estimate=round(draw(st.floats(0.1, 1e4)), 6),
+            )
+        )
+    for _ in range(draw(st.integers(0, 2 * n))):
+        a = draw(st.integers(0, n - 1))
+        b = draw(st.integers(0, n - 1))
+        if a < b:
+            aw.add_dependency(f"t{a}", f"t{b}")
+    return aw
+
+
+@given(aw=small_workflows())
+@settings(max_examples=60, deadline=None)
+def test_dax_roundtrip(aw):
+    back = parse_dax(dax_to_string(aw))
+    assert back.label == aw.label
+    assert {t.task_id for t in back.tasks()} == {t.task_id for t in aw.tasks()}
+    assert set(back.edges()) == set(aw.edges())
+    for task in aw.tasks():
+        parsed = back.task(task.task_id)
+        assert parsed.transformation == task.transformation
+        assert parsed.runtime_estimate == task.runtime_estimate
+        assert parsed.argv.strip() == task.argv.strip()

@@ -1,0 +1,72 @@
+import pytest
+
+from repro.netlogger.stream import write_events
+from repro.schema.validate_cli import main
+
+from tests.helpers import diamond_events
+
+
+class TestValidateCli:
+    def test_valid_file(self, tmp_path, capsys):
+        path = tmp_path / "ok.bp"
+        write_events(path, diamond_events())
+        rc = main([str(path)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "OK" in out
+
+    def test_invalid_file(self, tmp_path, capsys):
+        path = tmp_path / "bad.bp"
+        lines = [e.to_bp() for e in diamond_events()]
+        lines.append("ts=1 event=stampede.xwf.start")  # missing restart_count
+        lines.append("this is not BP at all ***")
+        path.write_text("\n".join(lines) + "\n")
+        rc = main([str(path)])
+        assert rc == 1
+        captured = capsys.readouterr()
+        assert "missing" in captured.err
+        assert "unparseable" in captured.err
+
+    def test_unknown_event_tolerated_with_flag(self, tmp_path, capsys):
+        path = tmp_path / "custom.bp"
+        path.write_text("ts=1 event=custom.thing a=1\n")
+        assert main([str(path)]) == 1
+        assert main([str(path), "--allow-unknown-events",
+                     "--allow-unknown-attrs"]) == 0
+
+    def test_dump_schema(self, capsys):
+        rc = main(["--dump-schema"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert out.startswith("module stampede")
+        assert "stampede.xwf.start" in out
+
+    def test_list_events(self, capsys):
+        rc = main(["--list-events"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "stampede.inv.end" in out
+        assert "restart_count" in out  # mandatory attr shown
+
+    def test_requires_input(self, capsys):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_max_violations_cap(self, tmp_path, capsys):
+        path = tmp_path / "many.bp"
+        path.write_text(
+            "\n".join("ts=1 event=stampede.xwf.start" for _ in range(30)) + "\n"
+        )
+        rc = main([str(path), "--max-violations", "3"])
+        assert rc == 1
+        err = capsys.readouterr().err
+        assert "more violation(s)" in err
+        assert err.count("missing") == 3
+
+    def test_dumped_schema_recompiles(self, capsys):
+        from repro.schema.compiler import compile_module
+
+        main(["--dump-schema"])
+        text = capsys.readouterr().out
+        registry = compile_module(text)
+        assert len(registry) == 29

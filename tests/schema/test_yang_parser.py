@@ -1,0 +1,133 @@
+import pytest
+
+from repro.schema.yang.ast import YangStatement
+from repro.schema.yang.lexer import TokenKind, YangLexError, tokenize
+from repro.schema.yang.parser import YangParseError, parse_module, parse_yang
+
+
+class TestLexer:
+    def test_basic_tokens(self):
+        toks = tokenize("leaf x { type string; }")
+        kinds = [t.kind for t in toks]
+        assert kinds == [
+            TokenKind.STRING,
+            TokenKind.STRING,
+            TokenKind.LBRACE,
+            TokenKind.STRING,
+            TokenKind.STRING,
+            TokenKind.SEMI,
+            TokenKind.RBRACE,
+        ]
+
+    def test_double_quoted_string(self):
+        toks = tokenize('description "hello world";')
+        assert toks[1].value == "hello world"
+        assert toks[1].quoted
+
+    def test_escapes(self):
+        toks = tokenize(r'pattern "a\"b\nc\\d";')
+        assert toks[1].value == 'a"b\nc\\d'
+
+    def test_unknown_escape_keeps_backslash(self):
+        toks = tokenize(r'pattern "\d{4}";')
+        assert toks[1].value == r"\d{4}"
+
+    def test_single_quoted_no_escapes(self):
+        toks = tokenize(r"pattern '\d';")
+        assert toks[1].value == r"\d"
+
+    def test_line_comment(self):
+        toks = tokenize("a; // comment here\nb;")
+        assert [t.value for t in toks if t.kind == TokenKind.STRING] == ["a", "b"]
+
+    def test_block_comment(self):
+        toks = tokenize("a; /* multi\nline */ b;")
+        assert [t.value for t in toks if t.kind == TokenKind.STRING] == ["a", "b"]
+
+    def test_unterminated_string(self):
+        with pytest.raises(YangLexError):
+            tokenize('x "oops')
+
+    def test_unterminated_comment(self):
+        with pytest.raises(YangLexError):
+            tokenize("/* never ends")
+
+    def test_line_numbers(self):
+        toks = tokenize("a;\nb;")
+        assert toks[0].line == 1
+        assert toks[2].line == 2
+
+
+class TestParser:
+    def test_leaf_statement(self):
+        (stmt,) = parse_yang("leaf ts { type string; mandatory true; }")
+        assert stmt.keyword == "leaf"
+        assert stmt.arg == "ts"
+        assert stmt.arg_of("mandatory") == "true"
+        assert stmt.find_one("type").arg == "string"
+
+    def test_empty_block(self):
+        (stmt,) = parse_yang("container x { }")
+        assert stmt.children == []
+
+    def test_semicolon_statement(self):
+        (stmt,) = parse_yang("prefix stmp;")
+        assert stmt.arg == "stmp"
+
+    def test_string_concatenation(self):
+        (stmt,) = parse_yang('pattern "abc" + "def";')
+        assert stmt.arg == "abcdef"
+
+    def test_concat_requires_quotes(self):
+        with pytest.raises(YangParseError):
+            parse_yang("pattern abc + def;")
+
+    def test_nested(self):
+        (stmt,) = parse_yang(
+            "container a { leaf b { type string; } leaf c { type uint32; } }"
+        )
+        assert [c.arg for c in stmt.find_all("leaf")] == ["b", "c"]
+
+    def test_missing_terminator(self):
+        with pytest.raises(YangParseError):
+            parse_yang("leaf x")
+
+    def test_unclosed_block(self):
+        with pytest.raises(YangParseError):
+            parse_yang("container x { leaf y { type string; }")
+
+    def test_stray_rbrace(self):
+        with pytest.raises(YangParseError):
+            parse_yang("a; }")
+
+    def test_parse_module_requires_single_module(self):
+        with pytest.raises(YangParseError):
+            parse_module("leaf x { type string; }")
+        mod = parse_module("module m { prefix p; }")
+        assert mod.arg == "m"
+
+    def test_quoted_keyword_rejected(self):
+        with pytest.raises(YangParseError):
+            parse_yang('"leaf" x;')
+
+
+class TestAst:
+    def test_walk(self):
+        (stmt,) = parse_yang("container a { leaf b { type string; } }")
+        keywords = [s.keyword for s in stmt.walk()]
+        assert keywords == ["container", "leaf", "type"]
+
+    def test_to_yang_roundtrip(self):
+        text = 'container a { leaf b { type string; description "x y"; } }'
+        (stmt,) = parse_yang(text)
+        (reparsed,) = parse_yang(stmt.to_yang())
+        assert reparsed == stmt
+
+    def test_arg_of_default(self):
+        (stmt,) = parse_yang("leaf x { type string; }")
+        assert stmt.arg_of("mandatory", "false") == "false"
+
+    def test_equality(self):
+        a = YangStatement("leaf", "x")
+        b = YangStatement("leaf", "x")
+        assert a == b and hash(a) == hash(b)

@@ -1,0 +1,36 @@
+"""The full Stampede YANG module survives parse → to_yang → parse → compile."""
+from repro.schema.compiler import compile_module
+from repro.schema.stampede import STAMPEDE_SCHEMA
+from repro.schema.yang.parser import parse_module
+from repro.schema.yang_source import STAMPEDE_YANG
+
+
+class TestModuleRoundtrip:
+    def test_ast_roundtrip(self):
+        module = parse_module(STAMPEDE_YANG)
+        reparsed = parse_module(module.to_yang())
+        assert reparsed == module
+
+    def test_compiled_registry_identical(self):
+        module = parse_module(STAMPEDE_YANG)
+        registry = compile_module(module.to_yang())
+        assert set(registry.event_names()) == set(STAMPEDE_SCHEMA.event_names())
+        for name in registry.event_names():
+            a = registry.get(name)
+            b = STAMPEDE_SCHEMA.get(name)
+            assert set(a.leaves) == set(b.leaves), name
+            for leaf_name in a.leaves:
+                assert (
+                    a.leaves[leaf_name].mandatory
+                    == b.leaves[leaf_name].mandatory
+                ), f"{name}.{leaf_name}"
+                assert (
+                    a.leaves[leaf_name].type_name
+                    == b.leaves[leaf_name].type_name
+                ), f"{name}.{leaf_name}"
+
+    def test_descriptions_preserved(self):
+        module = parse_module(STAMPEDE_YANG)
+        registry = compile_module(module.to_yang())
+        schema = registry.get("stampede.xwf.start")
+        assert "restarted" in schema.leaves["restart_count"].description

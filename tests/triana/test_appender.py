@@ -1,0 +1,71 @@
+import pytest
+
+from repro.bus.broker import Broker
+from repro.bus.client import EventConsumer
+from repro.netlogger.events import NLEvent
+from repro.netlogger.stream import read_events
+from repro.triana.appender import (
+    AppenderRegistry,
+    LogFileAppender,
+    MemoryAppender,
+    RabbitAppender,
+    default_registry,
+)
+
+
+class TestAppenders:
+    def test_rabbit_appender_publishes(self):
+        broker = Broker()
+        consumer = EventConsumer(broker, "stampede.#")
+        appender = RabbitAppender(broker)
+        appender.emit(NLEvent("stampede.xwf.start", 1.0, {"restart_count": 0}))
+        assert len(consumer.drain()) == 1
+        assert appender.events_published == 1
+
+    def test_logfile_appender(self, tmp_path):
+        path = tmp_path / "triana.log"
+        appender = LogFileAppender(path)
+        appender.emit(NLEvent("stampede.xwf.start", 1.0, {"restart_count": 0}))
+        appender.close()
+        (event,) = read_events(path)
+        assert event.event == "stampede.xwf.start"
+
+    def test_memory_appender(self):
+        appender = MemoryAppender()
+        appender.emit(NLEvent("a.b", 1.0))
+        appender.emit(NLEvent("c.d", 2.0))
+        assert len(appender) == 2
+        assert [e.event for e in appender] == ["a.b", "c.d"]
+
+
+class TestRegistry:
+    def test_default_registry_names(self):
+        registry = default_registry()
+        assert registry.names() == ["file", "memory", "multi", "rabbit"]
+
+    def test_create_by_name(self, tmp_path):
+        registry = default_registry()
+        mem = registry.create("memory")
+        assert isinstance(mem, MemoryAppender)
+        rabbit = registry.create("rabbit", broker=Broker())
+        assert isinstance(rabbit, RabbitAppender)
+        file_app = registry.create("file", path=tmp_path / "x.log")
+        assert isinstance(file_app, LogFileAppender)
+        file_app.close()
+
+    def test_multi_composes(self):
+        registry = default_registry()
+        a, b = MemoryAppender(), MemoryAppender()
+        multi = registry.create("multi", sinks=[a, b])
+        multi.emit(NLEvent("x.y", 0.0))
+        assert len(a) == 1 and len(b) == 1
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            default_registry().create("syslog")
+
+    def test_duplicate_registration(self):
+        registry = AppenderRegistry()
+        registry.register("m", MemoryAppender)
+        with pytest.raises(ValueError):
+            registry.register("m", MemoryAppender)

@@ -1,0 +1,141 @@
+import pytest
+
+from repro.triana.appender import MemoryAppender
+from repro.triana.bundles import BundleError, WorkflowBundle
+from repro.triana.cloud import TrianaCloudBroker
+from repro.triana.scheduler import Scheduler
+from repro.triana.taskgraph import TaskGraph
+from repro.triana.unit import CallableUnit, ConstantUnit, ExecUnit, GatherUnit, ZipperUnit
+from repro.util.simclock import SimClock
+
+
+def bundleable_graph(name="bg"):
+    g = TaskGraph(name)
+    src = g.add(ConstantUnit("src", [1, 2]))
+    e0 = g.add(ExecUnit("e0", ["run", "--x", "1"], base_seconds=5.0))
+    e1 = g.add(ExecUnit("e1", ["run", "--x", "2"], base_seconds=5.0))
+    z = g.add(ZipperUnit("zip"))
+    g.connect(src, e0)
+    g.connect(src, e1)
+    g.connect(e0, z)
+    g.connect(e1, z)
+    return g
+
+
+class TestBundles:
+    def test_roundtrip_structure(self):
+        bundle = WorkflowBundle.from_graph(bundleable_graph())
+        rebuilt = bundle.to_graph()
+        assert rebuilt.name == "bg"
+        assert len(rebuilt) == 4
+        assert set(rebuilt.edges()) == set(bundleable_graph().edges())
+
+    def test_json_roundtrip(self):
+        bundle = WorkflowBundle.from_graph(
+            bundleable_graph(), parent_xwf_id="p", root_xwf_id="r",
+            params={"k": 1},
+        )
+        back = WorkflowBundle.from_json(bundle.to_json())
+        assert back.name == bundle.name
+        assert back.parent_xwf_id == "p"
+        assert back.root_xwf_id == "r"
+        assert back.params == {"k": 1}
+        assert back.task_count == 4
+
+    def test_rebuilt_graph_executes(self):
+        bundle = WorkflowBundle.from_graph(bundleable_graph())
+        report = Scheduler(bundle.to_graph(), seed=0).run()
+        assert report.ok
+        assert report.completed == 4
+
+    def test_exec_unit_params_survive(self):
+        bundle = WorkflowBundle.from_graph(bundleable_graph())
+        rebuilt = bundle.to_graph()
+        assert rebuilt["e0"].unit.argv == ["run", "--x", "1"]
+        assert rebuilt["e0"].unit.base_seconds == 5.0
+
+    def test_uncodeced_unit_rejected(self):
+        g = TaskGraph("g")
+        g.add(CallableUnit("fn", lambda ins: None))
+        with pytest.raises(BundleError):
+            WorkflowBundle.from_graph(g)
+
+    def test_unknown_type_in_spec_rejected(self):
+        bundle = WorkflowBundle.from_graph(bundleable_graph())
+        bundle.graph_spec["tasks"][0]["type"] = "martian"
+        with pytest.raises(BundleError):
+            bundle.to_graph()
+
+
+class TestCloudBroker:
+    def test_bundles_distributed_across_nodes(self):
+        clock = SimClock()
+        sink = MemoryAppender()
+        broker = TrianaCloudBroker(clock, sink, n_nodes=2, slots_per_bundle=2)
+        for i in range(4):
+            bundle = WorkflowBundle.from_graph(
+                bundleable_graph(f"b{i}"), root_xwf_id="root"
+            )
+            broker.submit(bundle.to_json())
+        clock.run()
+        assert broker.all_done
+        assert len(broker.runs) == 4
+        assert all(r.report.ok for r in broker.runs)
+        sites = {r.node.name for r in broker.runs}
+        assert sites == {"trianaworker0", "trianaworker1"}
+
+    def test_queueing_when_nodes_busy(self):
+        clock = SimClock()
+        broker = TrianaCloudBroker(
+            clock, MemoryAppender(), n_nodes=1, bundles_per_node=1
+        )
+        for i in range(3):
+            bundle = WorkflowBundle.from_graph(bundleable_graph(f"b{i}"))
+            broker.submit(bundle.to_json())
+        clock.run()
+        starts = sorted(r.started_at for r in broker.runs)
+        # serial execution on the single node: starts strictly increase
+        assert starts[0] < starts[1] < starts[2]
+        assert broker.nodes[0].bundles_executed == 3
+
+    def test_bundles_per_node_concurrency(self):
+        clock = SimClock()
+        broker = TrianaCloudBroker(
+            clock, MemoryAppender(), n_nodes=1, bundles_per_node=3
+        )
+        for i in range(3):
+            broker.submit(WorkflowBundle.from_graph(bundleable_graph(f"b{i}")).to_json())
+        clock.run()
+        starts = [r.started_at for r in broker.runs]
+        # all three run concurrently on the oversubscribed node
+        assert max(starts) - min(starts) < 2.0
+
+    def test_on_all_done_fires_once(self):
+        clock = SimClock()
+        broker = TrianaCloudBroker(clock, MemoryAppender(), n_nodes=2)
+        calls = []
+        broker.on_all_done(lambda: calls.append(clock.now))
+        for i in range(2):
+            broker.submit(WorkflowBundle.from_graph(bundleable_graph(f"b{i}")).to_json())
+        clock.run()
+        assert len(calls) == 1
+
+    def test_events_carry_node_hostnames(self):
+        clock = SimClock()
+        sink = MemoryAppender()
+        broker = TrianaCloudBroker(clock, sink, n_nodes=1)
+        broker.submit(WorkflowBundle.from_graph(bundleable_graph()).to_json())
+        clock.run()
+        host_events = [
+            e for e in sink.events if e.event == "stampede.job_inst.host.info"
+        ]
+        assert host_events
+        assert all(str(e["hostname"]) == "trianaworker0" for e in host_events)
+
+    def test_run_results_retained(self):
+        clock = SimClock()
+        broker = TrianaCloudBroker(clock, MemoryAppender(), n_nodes=1)
+        broker.submit(WorkflowBundle.from_graph(bundleable_graph()).to_json())
+        clock.run()
+        (run,) = broker.runs
+        assert "zip" in run.results

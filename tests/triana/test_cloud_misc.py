@@ -1,0 +1,71 @@
+"""Remaining TrianaCloud broker behaviours: dispatch latency, pending
+accounting, and per-node bundle concurrency limits."""
+import pytest
+
+from repro.triana.appender import MemoryAppender
+from repro.triana.bundles import WorkflowBundle
+from repro.triana.cloud import TrianaCloudBroker
+from repro.triana.taskgraph import TaskGraph
+from repro.triana.unit import ConstantUnit, ExecUnit
+from repro.util.simclock import SimClock
+
+
+def tiny_bundle(name):
+    g = TaskGraph(name)
+    src = g.add(ConstantUnit("src", 1))
+    e = g.add(ExecUnit("e", ["run"], base_seconds=10.0))
+    g.connect(src, e)
+    return WorkflowBundle.from_graph(g)
+
+
+class TestBrokerBehaviour:
+    def test_dispatch_latency_delays_start(self):
+        clock = SimClock()
+        broker = TrianaCloudBroker(
+            clock, MemoryAppender(), n_nodes=1, dispatch_latency=2.5
+        )
+        broker.submit(tiny_bundle("b0").to_json())
+        clock.run()
+        (run,) = broker.runs
+        assert run.started_at >= run.submitted_at + 2.5
+
+    def test_pending_count_tracks_lifecycle(self):
+        clock = SimClock()
+        broker = TrianaCloudBroker(clock, MemoryAppender(), n_nodes=1)
+        broker.submit(tiny_bundle("b0").to_json())
+        broker.submit(tiny_bundle("b1").to_json())
+        assert broker.pending_count() == 2  # both queued, none started
+        clock.run()
+        assert broker.pending_count() == 0
+        assert broker.all_done
+
+    def test_all_done_false_before_submissions(self):
+        broker = TrianaCloudBroker(SimClock(), MemoryAppender())
+        assert not broker.all_done  # vacuous truth excluded
+
+    def test_node_capacity_respected(self):
+        clock = SimClock()
+        broker = TrianaCloudBroker(
+            clock, MemoryAppender(), n_nodes=2, bundles_per_node=2
+        )
+        for i in range(6):
+            broker.submit(tiny_bundle(f"b{i}").to_json())
+        # drive time forward step by step, checking the invariant
+        while clock.peek() is not None:
+            clock.step()
+            for node in broker.nodes:
+                assert node.active_bundles <= node.bundles_per_node
+        assert sum(n.bundles_executed for n in broker.nodes) == 6
+
+    def test_deterministic_assignment(self):
+        def run_once():
+            clock = SimClock()
+            broker = TrianaCloudBroker(clock, MemoryAppender(), n_nodes=3,
+                                       seed=5)
+            for i in range(5):
+                broker.submit(tiny_bundle(f"b{i}").to_json())
+            clock.run()
+            return [(r.bundle.name, r.node.name, r.finished_at)
+                    for r in broker.runs]
+
+        assert run_once() == run_once()

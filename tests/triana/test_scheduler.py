@@ -1,0 +1,196 @@
+import numpy as np
+import pytest
+
+from repro.triana.execution import ExecutionState
+from repro.triana.scheduler import Scheduler
+from repro.triana.taskgraph import TaskGraph
+from repro.triana.unit import (
+    CallableUnit,
+    ConstantUnit,
+    FailingUnit,
+    GatherUnit,
+    StreamSourceUnit,
+    ThresholdSinkUnit,
+)
+
+
+def pipeline_graph():
+    g = TaskGraph("pipe")
+    src = g.add(ConstantUnit("src", [1, 2, 3]))
+    double = g.add(CallableUnit("double", lambda ins: [x * 2 for x in ins[0]]))
+    total = g.add(CallableUnit("total", lambda ins: sum(ins[0])))
+    g.connect(src, double)
+    g.connect(double, total)
+    return g
+
+
+class TestSingleStep:
+    def test_pipeline_result(self):
+        sched = Scheduler(pipeline_graph())
+        report = sched.run()
+        assert report.ok
+        assert report.completed == 3
+        assert report.invocations == 3
+        assert sched.results["total"] == 12
+        assert report.final_state is ExecutionState.COMPLETE
+
+    def test_deterministic_given_seed(self):
+        r1 = Scheduler(pipeline_graph(), seed=5).run()
+        r2 = Scheduler(pipeline_graph(), seed=5).run()
+        assert r1.wall_time == r2.wall_time
+
+    def test_wall_time_accounts_durations(self):
+        sched = Scheduler(pipeline_graph())
+        report = sched.run()
+        # three 1-second units in sequence plus scheduling overheads
+        assert 3.0 < report.wall_time < 4.0
+
+    def test_diamond_parallelism(self):
+        g = TaskGraph("d")
+        a = g.add(ConstantUnit("a", 1))
+        b = g.add(CallableUnit("b", lambda ins: ins[0], seconds=5.0))
+        c = g.add(CallableUnit("c", lambda ins: ins[0], seconds=5.0))
+        d = g.add(GatherUnit("d"))
+        g.connect(a, b)
+        g.connect(a, c)
+        g.connect(b, d)
+        g.connect(c, d)
+        report = Scheduler(g).run()
+        # b and c run in parallel: ~1 + 5 + 1, far less than serial 12
+        assert report.wall_time < 8.5
+
+    def test_max_concurrent_serializes(self):
+        g = TaskGraph("f")
+        src = g.add(ConstantUnit("src", 0))
+        for i in range(4):
+            w = g.add(CallableUnit(f"w{i}", lambda ins: None, seconds=10.0))
+            g.connect(src, w)
+        limited = Scheduler(g, max_concurrent=1).run()
+        parallel = Scheduler(TaskGraph("f2"), max_concurrent=None)
+        # rebuild for the parallel case
+        g2 = TaskGraph("f2")
+        src2 = g2.add(ConstantUnit("src", 0))
+        for i in range(4):
+            w = g2.add(CallableUnit(f"w{i}", lambda ins: None, seconds=10.0))
+            g2.connect(src2, w)
+        free = Scheduler(g2).run()
+        assert limited.wall_time > 40.0
+        assert free.wall_time < 13.0
+
+    def test_loop_rejected_in_single_step(self):
+        g = TaskGraph("loop")
+        a = g.add(CallableUnit("a", lambda ins: 1))
+        b = g.add(CallableUnit("b", lambda ins: 2))
+        g.connect(a, b)
+        g.connect(b, a)
+        with pytest.raises(ValueError):
+            Scheduler(g, mode="single-step")
+
+    def test_failure_marks_error_and_deadlocks_downstream(self):
+        g = TaskGraph("fail")
+        src = g.add(ConstantUnit("src", 1))
+        bad = g.add(FailingUnit("bad"))
+        after = g.add(GatherUnit("after"))
+        g.connect(src, bad)
+        g.connect(bad, after)
+        sched = Scheduler(g)
+        report = sched.run()
+        assert not report.ok
+        assert report.errored == 1
+        assert sched.instances["bad"].state is ExecutionState.ERROR
+        assert sched.instances["after"].state is ExecutionState.SCHEDULED
+        assert report.final_state is ExecutionState.ERROR
+
+    def test_stop_button(self):
+        g = pipeline_graph()
+        sched = Scheduler(g)
+        sched.start()
+        sched.stop()
+        sched.clock.run()
+        sched.finalize()
+        assert sched.report.aborted >= 1
+        assert sched.graph_emitter.state is ExecutionState.SUSPENDED
+
+    def test_pause_resume(self):
+        g = pipeline_graph()
+        sched = Scheduler(g)
+        sched.start()
+        sched.pause()
+        # nothing not-yet-running proceeds while paused
+        paused_states = [i.state for i in sched.instances.values()]
+        assert ExecutionState.PAUSED in paused_states
+        sched.resume()
+        sched.clock.run()
+        sched.finalize()
+        assert sched.report.ok
+        assert sched.results["total"] == 12
+
+    def test_execution_event_stream(self):
+        events = []
+        sched = Scheduler(pipeline_graph())
+        sched.add_execution_listener(events.append)
+        sched.run()
+        names = {e.task_name for e in events}
+        assert names == {"pipe", "src", "double", "total"}
+        graph_transitions = [
+            (e.old_state, e.new_state) for e in events if e.task_name == "pipe"
+        ]
+        assert graph_transitions[0] == (
+            ExecutionState.NOT_INITIALIZED,
+            ExecutionState.SCHEDULED,
+        )
+        assert graph_transitions[-1][1] is ExecutionState.COMPLETE
+
+    def test_invocation_records(self):
+        records = []
+        sched = Scheduler(pipeline_graph())
+        sched.add_invocation_listener(records.append)
+        sched.run()
+        assert len(records) == 3
+        assert all(r.exitcode == 0 for r in records)
+        assert {r.task_name for r in records} == {"src", "double", "total"}
+        for r in records:
+            assert r.duration > 0
+            assert r.inv_seq == 1
+
+
+class TestContinuous:
+    def test_stream_multiple_invocations(self):
+        g = TaskGraph("stream")
+        src = g.add(StreamSourceUnit("src", [1.0, 2.0, 3.0, 4.0]))
+        sink = g.add(ThresholdSinkUnit("sink", threshold=100.0))
+        g.connect(src, sink)
+        sched = Scheduler(g, mode="continuous")
+        records = []
+        sched.add_invocation_listener(records.append)
+        report = sched.run()
+        assert report.ok
+        sink_invocations = [r for r in records if r.task_name == "sink"]
+        assert len(sink_invocations) == 4  # one invocation per chunk
+        assert sched.results["sink"] == 10.0
+
+    def test_threshold_releases_workflow(self):
+        g = TaskGraph("released")
+        src = g.add(StreamSourceUnit("src", [50.0] * 100))
+        sink = g.add(ThresholdSinkUnit("sink", threshold=100.0))
+        g.connect(src, sink)
+        sched = Scheduler(g, mode="continuous")
+        report = sched.run()
+        assert report.ok
+        # released once the threshold was reached: far fewer than 100 chunks
+        assert sched.instances["sink"].invocations <= 4
+        assert sched.results["sink"] >= 100.0
+
+    def test_loop_allowed_in_continuous(self):
+        g = TaskGraph("loop")
+        a = g.add(StreamSourceUnit("a", [1]))
+        b = g.add(CallableUnit("b", lambda ins: ins[0]))
+        g.connect(a, b)
+        g.connect(b, a)  # feedback cable
+        # construction should not raise in continuous mode
+        Scheduler(g, mode="continuous")
+
+    def test_single_step_counts_one_invocation_per_task(self):
+        sched = Scheduler(pipeline_graph())
+        report = sched.run()
+        assert report.invocations == report.completed

@@ -1,0 +1,133 @@
+"""Edge cases of the Triana scheduler: external units, multi-sink fan-out,
+unit exceptions beyond UnitError, and deep graphs."""
+import numpy as np
+import pytest
+
+from repro.triana.execution import ExecutionState
+from repro.triana.scheduler import Scheduler
+from repro.triana.taskgraph import TaskGraph
+from repro.triana.unit import CallableUnit, ConstantUnit, GatherUnit, Unit
+
+
+class ExternalUnit(Unit):
+    """Minimal externally-completed unit for direct scheduler tests."""
+
+    external = True
+
+    def __init__(self, name):
+        super().__init__(name)
+        self.processed = False
+
+    def process(self, inputs):
+        self.processed = True
+        return "partial"
+
+    def duration(self, inputs, rng):  # pragma: no cover - external path
+        return 0.0
+
+
+class TestExternalUnits:
+    def test_external_completion(self):
+        g = TaskGraph("ext")
+        unit = ExternalUnit("waiter")
+        g.add(unit)
+        sched = Scheduler(g, seed=0)
+        sched.start()
+        sched.clock.run()
+        # process() ran but the task is still open
+        assert unit.processed
+        assert sched.instances["waiter"].state is ExecutionState.RUNNING
+        sched.clock.schedule(30.0, lambda: sched.complete_external(
+            "waiter", result="done"))
+        sched.clock.run()
+        sched.finalize()
+        assert sched.report.ok
+        assert sched.results["waiter"] == "done"
+        assert sched.report.wall_time >= 30.0
+
+    def test_external_failure(self):
+        g = TaskGraph("ext")
+        g.add(ExternalUnit("waiter"))
+        sched = Scheduler(g, seed=0)
+        sched.start()
+        sched.clock.run()
+        sched.complete_external("waiter", exitcode=1, error_text="broker died")
+        sched.clock.run()
+        sched.finalize()
+        assert not sched.report.ok
+        assert sched.instances["waiter"].state is ExecutionState.ERROR
+
+    def test_unknown_external_task(self):
+        g = TaskGraph("ext")
+        g.add(ExternalUnit("waiter"))
+        sched = Scheduler(g, seed=0)
+        sched.start()
+        sched.clock.run()
+        with pytest.raises(KeyError):
+            sched.complete_external("nope")
+
+
+class TestRobustness:
+    def test_non_uniterror_exception_is_error_state(self):
+        g = TaskGraph("boom")
+        src = g.add(ConstantUnit("src", [1]))
+        bad = g.add(CallableUnit("bad", lambda ins: 1 / 0))
+        g.connect(src, bad)
+        sched = Scheduler(g, seed=0)
+        records = []
+        sched.add_invocation_listener(records.append)
+        report = sched.run()
+        assert not report.ok
+        failure = next(r for r in records if r.task_name == "bad")
+        assert "ZeroDivisionError" in failure.error_text
+
+    def test_deep_chain(self):
+        g = TaskGraph("deep")
+        prev = g.add(ConstantUnit("t0", 0, seconds=0.1))
+        for i in range(1, 200):
+            cur = g.add(CallableUnit(f"t{i}", lambda ins: ins[0] + 1,
+                                     seconds=0.1))
+            g.connect(prev, cur)
+            prev = cur
+        report = Scheduler(g, seed=0).run()
+        assert report.ok
+        assert report.completed == 200
+
+    def test_wide_fanout(self):
+        g = TaskGraph("wide")
+        src = g.add(ConstantUnit("src", 1, seconds=0.1))
+        sink = g.add(GatherUnit("sink", seconds=0.1))
+        for i in range(300):
+            w = g.add(CallableUnit(f"w{i}", lambda ins: ins[0], seconds=0.1))
+            g.connect(src, w)
+            g.connect(w, sink)
+        sched = Scheduler(g, seed=0)
+        report = sched.run()
+        assert report.ok
+        assert len(sched.results["sink"]) == 300
+
+    def test_independent_components(self):
+        """Two disconnected pipelines in one graph both complete."""
+        g = TaskGraph("two")
+        a1 = g.add(ConstantUnit("a1", 1))
+        a2 = g.add(CallableUnit("a2", lambda ins: ins[0]))
+        b1 = g.add(ConstantUnit("b1", 2))
+        b2 = g.add(CallableUnit("b2", lambda ins: ins[0]))
+        g.connect(a1, a2)
+        g.connect(b1, b2)
+        report = Scheduler(g, seed=0).run()
+        assert report.ok
+        assert report.completed == 4
+
+    def test_rng_isolation_between_schedulers(self):
+        def build():
+            g = TaskGraph("j")
+            src = g.add(ConstantUnit("src", 1))
+            w = g.add(CallableUnit("w", lambda ins: None, seconds=5.0,
+                                   jitter=1.0))
+            g.connect(src, w)
+            return g
+
+        r1 = Scheduler(build(), rng=np.random.Generator(np.random.PCG64(1))).run()
+        r2 = Scheduler(build(), rng=np.random.Generator(np.random.PCG64(2))).run()
+        assert r1.wall_time != r2.wall_time

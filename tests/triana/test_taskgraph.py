@@ -1,0 +1,94 @@
+import pytest
+
+from repro.triana.taskgraph import Cable, Task, TaskGraph
+from repro.triana.unit import CallableUnit, ConstantUnit, GatherUnit
+
+
+def make_graph():
+    g = TaskGraph("g")
+    src = g.add(ConstantUnit("src", [1, 2, 3]))
+    mid = g.add(CallableUnit("mid", lambda ins: sum(ins[0])))
+    sink = g.add(GatherUnit("sink"))
+    g.connect(src, mid)
+    g.connect(mid, sink)
+    return g, src, mid, sink
+
+
+class TestTaskGraph:
+    def test_add_and_lookup(self):
+        g, src, mid, sink = make_graph()
+        assert len(g) == 3
+        assert "mid" in g
+        assert g["mid"] is mid
+
+    def test_duplicate_name_rejected(self):
+        g = TaskGraph("g")
+        g.add(ConstantUnit("x", 1))
+        with pytest.raises(ValueError):
+            g.add(ConstantUnit("x", 2))
+
+    def test_connect_foreign_task_rejected(self):
+        g1 = TaskGraph("g1")
+        g2 = TaskGraph("g2")
+        a = g1.add(ConstantUnit("a", 1))
+        b = g2.add(GatherUnit("b"))
+        with pytest.raises(ValueError):
+            g1.connect(a, b)
+
+    def test_edges(self):
+        g, *_ = make_graph()
+        assert g.edges() == [("src", "mid"), ("mid", "sink")]
+
+    def test_sources_and_sinks(self):
+        g, src, mid, sink = make_graph()
+        assert g.sources() == [src]
+        assert g.sinks() == [sink]
+
+    def test_is_dag(self):
+        g, src, mid, sink = make_graph()
+        assert g.is_dag()
+        g.connect(sink, src)
+        assert not g.is_dag()
+
+    def test_subgraph_nesting_walk(self):
+        parent = TaskGraph("parent")
+        child = TaskGraph("child")
+        grandchild = TaskGraph("grandchild")
+        child.add_subgraph(grandchild)
+        parent.add_subgraph(child)
+        names = [g.name for g in parent.walk()]
+        assert names == ["parent", "child", "grandchild"]
+        assert grandchild.parent is child
+
+    def test_cable_fifo(self):
+        g, src, mid, sink = make_graph()
+        cable = src.out_cables[0]
+        cable.send("a")
+        cable.send("b")
+        assert cable.has_data()
+        assert len(cable) == 2
+        assert cable.receive() == "a"
+        assert cable.receive() == "b"
+        assert not cable.has_data()
+
+    def test_inputs_ready_and_take(self):
+        g, src, mid, sink = make_graph()
+        assert not mid.inputs_ready()
+        src.broadcast([5])
+        assert mid.inputs_ready()
+        assert mid.take_inputs() == [[5]]
+        assert not mid.inputs_ready()
+
+    def test_multi_input_ports(self):
+        g = TaskGraph("g")
+        a = g.add(ConstantUnit("a", 1))
+        b = g.add(ConstantUnit("b", 2))
+        j = g.add(GatherUnit("j"))
+        g.connect(a, j)
+        g.connect(b, j)
+        assert [c.sink_port for c in j.in_cables] == [0, 1]
+        a.broadcast(1)
+        assert not j.inputs_ready()  # b hasn't produced
+        b.broadcast(2)
+        assert j.inputs_ready()
+        assert j.take_inputs() == [1, 2]

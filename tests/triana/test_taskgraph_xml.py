@@ -1,0 +1,76 @@
+import pytest
+
+from repro.triana.bundles import BundleError
+from repro.triana.scheduler import Scheduler
+from repro.triana.taskgraph import TaskGraph
+from repro.triana.taskgraph_xml import (
+    parse_taskgraph_xml,
+    read_taskgraph,
+    taskgraph_to_xml,
+    write_taskgraph,
+)
+from repro.triana.unit import CallableUnit, ConstantUnit, ExecUnit, GatherUnit, ZipperUnit
+
+
+def sample_graph():
+    g = TaskGraph("xmlsample")
+    src = g.add(ConstantUnit("src", [1, 2, {"nested": True}]))
+    e0 = g.add(ExecUnit("e0", ["run", "--x=1"], base_seconds=7.5))
+    z = g.add(ZipperUnit("zip"))
+    g.connect(src, e0)
+    g.connect(e0, z)
+    return g
+
+
+class TestTaskgraphXml:
+    def test_roundtrip_structure(self):
+        g = sample_graph()
+        back = parse_taskgraph_xml(taskgraph_to_xml(g))
+        assert back.name == g.name
+        assert {t.name for t in back.tasks()} == {t.name for t in g.tasks()}
+        assert set(back.edges()) == set(g.edges())
+
+    def test_unit_parameters_roundtrip(self):
+        back = parse_taskgraph_xml(taskgraph_to_xml(sample_graph()))
+        assert back["src"].unit.value == [1, 2, {"nested": True}]
+        assert back["e0"].unit.argv == ["run", "--x=1"]
+        assert back["e0"].unit.base_seconds == 7.5
+
+    def test_roundtripped_graph_executes(self):
+        back = parse_taskgraph_xml(taskgraph_to_xml(sample_graph()))
+        report = Scheduler(back, seed=0).run()
+        assert report.ok
+        assert report.completed == 3
+
+    def test_nested_subgraphs(self):
+        parent = sample_graph()
+        child = TaskGraph("child")
+        child.add(GatherUnit("g"))
+        parent.add_subgraph(child)
+        back = parse_taskgraph_xml(taskgraph_to_xml(parent))
+        assert [s.name for s in back.subgraphs] == ["child"]
+        assert "g" in back.subgraphs[0]
+        assert back.subgraphs[0].parent is back
+
+    def test_file_io(self, tmp_path):
+        path = write_taskgraph(sample_graph(), tmp_path / "wf.xml")
+        back = read_taskgraph(path)
+        assert back.name == "xmlsample"
+        assert (tmp_path / "wf.xml").read_text().startswith("<?xml")
+
+    def test_uncodeced_unit_rejected(self):
+        g = TaskGraph("bad")
+        g.add(CallableUnit("fn", lambda ins: None))
+        with pytest.raises(BundleError):
+            taskgraph_to_xml(g)
+
+    def test_non_taskgraph_rejected(self):
+        with pytest.raises(BundleError):
+            parse_taskgraph_xml("<other/>")
+
+    def test_unknown_unit_type_rejected(self):
+        xml = taskgraph_to_xml(sample_graph()).replace(
+            'type="constant"', 'type="martian"'
+        )
+        with pytest.raises(BundleError):
+            parse_taskgraph_xml(xml)

@@ -1,0 +1,123 @@
+import pytest
+
+from repro.util.graph import CycleError, DiGraph, has_cycle, topological_sort
+
+
+def diamond() -> DiGraph:
+    g = DiGraph()
+    g.add_edge("a", "b")
+    g.add_edge("a", "c")
+    g.add_edge("b", "d")
+    g.add_edge("c", "d")
+    return g
+
+
+class TestDiGraph:
+    def test_nodes_and_edges(self):
+        g = diamond()
+        assert set(g.nodes()) == {"a", "b", "c", "d"}
+        assert ("a", "b") in g.edges()
+        assert len(g) == 4
+
+    def test_duplicate_edge_ignored(self):
+        g = DiGraph()
+        g.add_edge("a", "b")
+        g.add_edge("a", "b")
+        assert g.edges() == [("a", "b")]
+
+    def test_degrees(self):
+        g = diamond()
+        assert g.in_degree("a") == 0
+        assert g.in_degree("d") == 2
+        assert g.out_degree("a") == 2
+
+    def test_roots_and_leaves(self):
+        g = diamond()
+        assert g.roots() == ["a"]
+        assert g.leaves() == ["d"]
+
+    def test_remove_node(self):
+        g = diamond()
+        g.remove_node("b")
+        assert "b" not in g
+        assert g.in_degree("d") == 1
+
+    def test_topological_order(self):
+        order = diamond().topological_order()
+        assert order.index("a") < order.index("b") < order.index("d")
+        assert order.index("a") < order.index("c") < order.index("d")
+
+    def test_cycle_detection(self):
+        g = DiGraph()
+        g.add_edge("a", "b")
+        g.add_edge("b", "c")
+        g.add_edge("c", "a")
+        assert not g.is_dag()
+        cycle = g.find_cycle()
+        assert len(cycle) >= 3
+        with pytest.raises(CycleError):
+            g.topological_order()
+
+    def test_self_loop_is_cycle(self):
+        g = DiGraph()
+        g.add_edge("a", "a")
+        assert not g.is_dag()
+
+    def test_acyclic_has_no_cycle(self):
+        assert diamond().find_cycle() == []
+        assert diamond().is_dag()
+
+    def test_levels(self):
+        levels = diamond().levels()
+        assert levels == {"a": 0, "b": 1, "c": 1, "d": 2}
+
+    def test_levels_longest_path(self):
+        g = DiGraph()
+        g.add_edge("a", "d")
+        g.add_edge("a", "b")
+        g.add_edge("b", "c")
+        g.add_edge("c", "d")
+        assert g.levels()["d"] == 3
+
+    def test_ancestors_descendants(self):
+        g = diamond()
+        assert g.ancestors("d") == {"a", "b", "c"}
+        assert g.descendants("a") == {"b", "c", "d"}
+        assert g.ancestors("a") == set()
+        assert g.descendants("d") == set()
+
+    def test_critical_path_unit_weights(self):
+        assert diamond().critical_path_length() == 3.0
+
+    def test_critical_path_weighted(self):
+        weights = {"a": 1.0, "b": 10.0, "c": 1.0, "d": 1.0}
+        assert diamond().critical_path_length(lambda n: weights[n]) == 12.0
+
+    def test_subgraph(self):
+        g = diamond().subgraph(["a", "b", "d"])
+        assert set(g.nodes()) == {"a", "b", "d"}
+        assert ("a", "b") in g.edges()
+        assert ("c", "d") not in g.edges()
+
+    def test_copy_is_independent(self):
+        g = diamond()
+        h = g.copy()
+        h.add_edge("d", "e")
+        assert "e" not in g
+
+    def test_isolated_node(self):
+        g = DiGraph()
+        g.add_node("x")
+        assert g.roots() == ["x"]
+        assert g.leaves() == ["x"]
+        assert g.topological_order() == ["x"]
+
+
+class TestFunctions:
+    def test_topological_sort(self):
+        order = topological_sort(["a", "b", "c"], [("a", "b"), ("b", "c")])
+        assert order == ["a", "b", "c"]
+
+    def test_has_cycle(self):
+        assert has_cycle(["a", "b"], [("a", "b"), ("b", "a")])
+        assert not has_cycle(["a", "b"], [("a", "b")])

@@ -1,0 +1,103 @@
+import pytest
+
+from repro.util.simclock import SimClock
+
+
+class TestSimClock:
+    def test_starts_at_zero(self):
+        assert SimClock().now == 0.0
+
+    def test_custom_start(self):
+        assert SimClock(100.0).now == 100.0
+
+    def test_events_run_in_time_order(self):
+        clock = SimClock()
+        order = []
+        clock.schedule(5.0, lambda: order.append("b"))
+        clock.schedule(1.0, lambda: order.append("a"))
+        clock.schedule(9.0, lambda: order.append("c"))
+        clock.run()
+        assert order == ["a", "b", "c"]
+        assert clock.now == 9.0
+
+    def test_equal_times_fifo(self):
+        clock = SimClock()
+        order = []
+        for name in "abc":
+            clock.schedule(1.0, lambda n=name: order.append(n))
+        clock.run()
+        assert order == ["a", "b", "c"]
+
+    def test_nested_scheduling(self):
+        clock = SimClock()
+        seen = []
+
+        def first():
+            seen.append(clock.now)
+            clock.schedule(2.0, lambda: seen.append(clock.now))
+
+        clock.schedule(1.0, first)
+        clock.run()
+        assert seen == [1.0, 3.0]
+
+    def test_cancellation(self):
+        clock = SimClock()
+        fired = []
+        handle = clock.schedule(1.0, lambda: fired.append(1))
+        handle.cancel()
+        clock.run()
+        assert fired == []
+        # cancelled events do not advance the clock
+        assert clock.now == 0.0
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            SimClock().schedule(-1.0, lambda: None)
+
+    def test_run_until(self):
+        clock = SimClock()
+        fired = []
+        clock.schedule(1.0, lambda: fired.append(1))
+        clock.schedule(10.0, lambda: fired.append(2))
+        clock.run(until=5.0)
+        assert fired == [1]
+        assert clock.now == 5.0
+        clock.run()
+        assert fired == [1, 2]
+
+    def test_schedule_at(self):
+        clock = SimClock(10.0)
+        fired = []
+        clock.schedule_at(15.0, lambda: fired.append(clock.now))
+        clock.run()
+        assert fired == [15.0]
+
+    def test_peek_and_pending(self):
+        clock = SimClock()
+        assert clock.peek() is None
+        assert clock.pending() == 0
+        h = clock.schedule(2.0, lambda: None)
+        clock.schedule(5.0, lambda: None)
+        assert clock.peek() == 2.0
+        assert clock.pending() == 2
+        h.cancel()
+        assert clock.peek() == 5.0
+        assert clock.pending() == 1
+
+    def test_max_events_guard(self):
+        clock = SimClock()
+
+        def loop():
+            clock.schedule(1.0, loop)
+
+        clock.schedule(1.0, loop)
+        with pytest.raises(RuntimeError):
+            clock.run(max_events=100)
+
+    def test_step(self):
+        clock = SimClock()
+        fired = []
+        clock.schedule(1.0, lambda: fired.append(1))
+        assert clock.step() is True
+        assert fired == [1]
+        assert clock.step() is False

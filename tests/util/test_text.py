@@ -1,0 +1,50 @@
+import pytest
+
+from repro.util.text import indent, render_table
+
+
+class TestRenderTable:
+    def test_alignment_inferred(self):
+        text = render_table(["Name", "N"], [["abc", 1], ["d", 22]])
+        lines = text.splitlines()
+        # numeric column right-aligned: '22' ends at the same column as header
+        assert lines[2].endswith("1")
+        assert lines[3].endswith("22")
+        assert lines[2].startswith("abc")
+
+    def test_explicit_alignment(self):
+        text = render_table(["A"], [["x"], ["yy"]], aligns=["r"])
+        lines = text.splitlines()
+        assert lines[2] == " x"
+        assert lines[3] == "yy"
+
+    def test_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            render_table(["A", "B"], [["only-one"]])
+
+    def test_empty_rows(self):
+        text = render_table(["A", "B"], [])
+        assert len(text.splitlines()) == 2  # header + rule only
+
+    def test_float_formatting(self):
+        text = render_table(["V"], [[1.0], [2.5], [3.25]])
+        assert "1.0" in text
+        assert "2.5" in text
+        assert "3.25" in text
+
+    def test_separator_column_spacing(self):
+        text = render_table(["A", "B"], [["x", "y"]], sep=" | ")
+        assert "A | B" in text
+
+    def test_header_wider_than_cells(self):
+        text = render_table(["LongHeader"], [["x"]])
+        rule = text.splitlines()[1]
+        assert len(rule) == len("LongHeader")
+
+
+class TestIndent:
+    def test_basic(self):
+        assert indent("a\nb", "  ") == "  a\n  b"
+
+    def test_empty_lines_not_padded(self):
+        assert indent("a\n\nb", "  ") == "  a\n\n  b"

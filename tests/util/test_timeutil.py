@@ -1,0 +1,126 @@
+import math
+
+import pytest
+
+from repro.util.timeutil import (
+    format_duration,
+    format_hms,
+    format_iso,
+    parse_iso,
+    parse_ts,
+)
+
+
+class TestFormatIso:
+    def test_epoch(self):
+        assert format_iso(0.0) == "1970-01-01T00:00:00.000000Z"
+
+    def test_paper_example(self):
+        ts = parse_iso("2012-03-13T12:35:38.000000Z")
+        assert format_iso(ts) == "2012-03-13T12:35:38.000000Z"
+
+    def test_fractional_seconds(self):
+        assert format_iso(1.5) == "1970-01-01T00:00:01.500000Z"
+
+    def test_precision_zero_rounds(self):
+        assert format_iso(1.7, precision=0) == "1970-01-01T00:00:02Z"
+        assert format_iso(1.2, precision=0) == "1970-01-01T00:00:01Z"
+
+    def test_fraction_carry(self):
+        # 1.9999995 must round up to 2.000000, not truncate to 1.000000
+        assert format_iso(1.9999995) == "1970-01-01T00:00:02.000000Z"
+
+    def test_non_finite_rejected(self):
+        with pytest.raises(ValueError):
+            format_iso(float("nan"))
+        with pytest.raises(ValueError):
+            format_iso(math.inf)
+
+
+class TestParseIso:
+    def test_zulu(self):
+        assert parse_iso("1970-01-01T00:00:00Z") == 0.0
+
+    def test_space_separator(self):
+        assert parse_iso("1970-01-01 00:00:10Z") == 10.0
+
+    def test_lowercase_t_and_z(self):
+        assert parse_iso("1970-01-01t00:00:10z") == 10.0
+
+    def test_offset_positive(self):
+        # 01:00:00+01:00 is midnight UTC
+        assert parse_iso("1970-01-01T01:00:00+01:00") == 0.0
+
+    def test_offset_negative(self):
+        assert parse_iso("1969-12-31T23:00:00-01:00") == 0.0
+
+    def test_offset_without_colon(self):
+        assert parse_iso("1970-01-01T01:00:00+0100") == 0.0
+
+    def test_naive_assumed_utc(self):
+        assert parse_iso("1970-01-01T00:00:05") == 5.0
+
+    def test_microseconds(self):
+        assert parse_iso("1970-01-01T00:00:00.250000Z") == 0.25
+
+    def test_nanoseconds_kept(self):
+        assert parse_iso("1970-01-01T00:00:00.123456789Z") == pytest.approx(
+            0.123456789, abs=1e-9
+        )
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            parse_iso("not-a-date")
+        with pytest.raises(ValueError):
+            parse_iso("1970-13-01T00:00:00Z")
+
+    def test_roundtrip(self):
+        for ts in (0.0, 1331642138.0, 86399.999999, 1e9 + 0.5):
+            assert parse_iso(format_iso(ts)) == pytest.approx(ts, abs=1e-6)
+
+
+class TestParseTs:
+    def test_float_passthrough(self):
+        assert parse_ts(12.5) == 12.5
+
+    def test_int(self):
+        assert parse_ts(12) == 12.0
+
+    def test_numeric_string(self):
+        assert parse_ts("1331642138.75") == 1331642138.75
+
+    def test_iso_string(self):
+        assert parse_ts("2012-03-13T12:35:38.000000Z") == parse_iso(
+            "2012-03-13T12:35:38.000000Z"
+        )
+
+
+class TestFormatDuration:
+    def test_paper_wall_time(self):
+        # Table I: "11 mins, 1 sec, (661 seconds)"
+        assert format_duration(661) == "11 mins, 1 sec"
+
+    def test_paper_cumulative(self):
+        # Table I: "11 hrs, 10 mins, (40224 seconds)"
+        assert format_duration(40224) == "11 hrs, 10 mins"
+
+    def test_seconds_only(self):
+        assert format_duration(1) == "1 sec"
+        assert format_duration(45) == "45 secs"
+
+    def test_minutes(self):
+        assert format_duration(120) == "2 mins"
+
+    def test_days(self):
+        assert format_duration(90000) == "1 day, 1 hr"
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            format_duration(-1)
+
+
+class TestFormatHms:
+    def test_basic(self):
+        assert format_hms(661) == "0:11:01"
+        assert format_hms(40224) == "11:10:24"
+        assert format_hms(0) == "0:00:00"
