@@ -1,0 +1,42 @@
+"""stampede-lint: static analysis for workflow definitions and BP logs.
+
+Three analyzer families share one rule registry (stable ``STLnnn`` IDs):
+
+* workflow-definition analyzers over Pegasus DAX and Triana task-graph
+  documents (:func:`lint_dax`, :func:`lint_taskgraph`);
+* event-stream analyzers over NetLogger BP logs, incremental via
+  :class:`StreamLinter` or whole-file via :func:`lint_bp`;
+* the rule-engine core: :class:`Rule`/:class:`Finding` records,
+  :class:`LintConfig` enable/disable + severity overrides, text/JSON
+  reporters and CLI exit codes.
+
+See ``docs/lint-rules.md`` for the rule catalog.
+"""
+from repro.lint.config import LintConfig
+from repro.lint.engine import LintRunner, detect_kind, lint_path, lint_paths
+from repro.lint.report import exit_code_for, render_json, render_text, summarize
+from repro.lint.rules import RULES, Finding, Rule, Severity, get_rule, make_finding
+from repro.lint.stream import StreamLinter, lint_bp
+from repro.lint.workflow import lint_dax, lint_taskgraph
+
+__all__ = [
+    "LintConfig",
+    "LintRunner",
+    "detect_kind",
+    "lint_path",
+    "lint_paths",
+    "exit_code_for",
+    "render_json",
+    "render_text",
+    "summarize",
+    "RULES",
+    "Finding",
+    "Rule",
+    "Severity",
+    "get_rule",
+    "make_finding",
+    "StreamLinter",
+    "lint_bp",
+    "lint_dax",
+    "lint_taskgraph",
+]

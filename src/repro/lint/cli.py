@@ -1,0 +1,140 @@
+"""stampede-lint: the command-line front-end.
+
+Usage::
+
+    stampede-lint run.bp workflow.dax graph.xml
+    stampede-lint --format json --ignore STL104 run.bp
+    stampede-lint --list-rules
+
+Exit codes: 0 = no findings at/above the failure threshold (default
+``error``); 1 = findings at/above the threshold; 2 = usage error or an
+internally inconsistent invocation.
+"""
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import List, Optional
+
+from repro.lint.config import LintConfig
+from repro.lint.engine import LintRunner
+from repro.lint.report import exit_code_for, render_json, render_text
+from repro.lint.rules import RULES, Severity
+
+__all__ = ["main", "build_parser"]
+
+USAGE_ERROR = 2
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="stampede-lint",
+        description=(
+            "Static analysis for workflow definitions (Pegasus DAX, Triana "
+            "task graphs) and NetLogger BP event logs."
+        ),
+    )
+    parser.add_argument(
+        "inputs", nargs="*",
+        help="files to check ('-' for a BP stream on stdin)",
+    )
+    parser.add_argument(
+        "--kind", choices=("auto", "dax", "taskgraph", "bp"), default="auto",
+        help="force the input kind instead of auto-detection",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--select", action="append", default=[], metavar="RULES",
+        help="comma-separated rule ids/prefixes to run exclusively",
+    )
+    parser.add_argument(
+        "--ignore", action="append", default=[], metavar="RULES",
+        help="comma-separated rule ids/prefixes to skip",
+    )
+    parser.add_argument(
+        "--fail-on", choices=("error", "warning", "info"), default="error",
+        help="lowest severity that makes the exit code non-zero",
+    )
+    parser.add_argument(
+        "--allow-unknown-events", action="store_true",
+        help="do not report event types missing from the schema (STL102)",
+    )
+    parser.add_argument(
+        "--allow-unknown-attrs", action="store_true",
+        help="do not report attributes missing from the schema (STL104)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalog and exit",
+    )
+    parser.add_argument("-v", "--verbose", action="store_true")
+    return parser
+
+
+def _split_ids(values: List[str]) -> List[str]:
+    return [part for value in values for part in value.split(",") if part.strip()]
+
+
+def _emit(text: str) -> None:
+    """Print to stdout, tolerating a reader (e.g. ``| head``) going away.
+
+    The lint verdict lives in the exit code, so a closed pipe must not
+    turn into a traceback; stdout is detached so the interpreter's
+    shutdown flush cannot raise again.
+    """
+    try:
+        print(text)
+        sys.stdout.flush()
+    except BrokenPipeError:
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        _emit("\n".join(
+            f"{rule.rule_id}  {str(rule.severity):7s}  "
+            f"{rule.name}: {rule.summary}"
+            for rule in RULES.values()
+        ))
+        return 0
+
+    if not args.inputs:
+        parser.print_usage(sys.stderr)
+        print("stampede-lint: error: no inputs given", file=sys.stderr)
+        return USAGE_ERROR
+
+    try:
+        config = LintConfig.build(
+            select=_split_ids(args.select),
+            ignore=_split_ids(args.ignore),
+            allow_unknown_events=args.allow_unknown_events,
+            allow_unknown_attrs=args.allow_unknown_attrs,
+        )
+    except ValueError as exc:
+        print(f"stampede-lint: error: {exc}", file=sys.stderr)
+        return USAGE_ERROR
+
+    runner = LintRunner(config=config)
+    findings = []
+    for path in args.inputs:
+        if path == "-":
+            text = sys.stdin.read()
+            findings.extend(runner.lint_text(text, "<stdin>", kind="bp"))
+        else:
+            findings.extend(runner.lint_path(path, kind=args.kind))
+
+    _emit(render_json(findings) if args.format == "json"
+          else render_text(findings, verbose=args.verbose))
+    return exit_code_for(findings, Severity.parse(args.fail_on))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,87 @@
+"""Per-rule lint configuration: enable/disable and severity overrides."""
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional
+
+from repro.lint.rules import RULES, Finding, Severity
+
+__all__ = ["LintConfig"]
+
+
+def _expand(ids: Iterable[str]) -> FrozenSet[str]:
+    """Expand rule-id prefixes (``STL1`` = every stream rule) to full IDs."""
+    out = set()
+    for rid in ids:
+        rid = rid.strip().upper()
+        if not rid:
+            continue
+        matches = [known for known in RULES if known.startswith(rid)]
+        if not matches:
+            raise ValueError(f"unknown rule id or prefix {rid!r}")
+        out.update(matches)
+    return frozenset(out)
+
+
+@dataclass
+class LintConfig:
+    """Which rules run and how severe their findings are.
+
+    ``select`` non-empty means *only* those rules run; ``ignore`` always
+    subtracts.  ``severity_overrides`` remaps a rule's severity (e.g. treat
+    STL104 unknown-attr as an error for a frozen producer).
+    """
+
+    select: FrozenSet[str] = frozenset()
+    ignore: FrozenSet[str] = frozenset()
+    severity_overrides: Dict[str, Severity] = field(default_factory=dict)
+    # schema-analyzer knobs, mirroring EventValidator's
+    allow_unknown_events: bool = False
+    allow_unknown_attrs: bool = False
+
+    @classmethod
+    def build(
+        cls,
+        select: Iterable[str] = (),
+        ignore: Iterable[str] = (),
+        severity_overrides: Optional[Dict[str, str]] = None,
+        allow_unknown_events: bool = False,
+        allow_unknown_attrs: bool = False,
+    ) -> "LintConfig":
+        """Build from user-facing strings (CLI flags), validating rule IDs."""
+        overrides = {
+            rid.upper(): Severity.parse(sev)
+            for rid, sev in (severity_overrides or {}).items()
+        }
+        for rid in overrides:
+            if rid not in RULES:
+                raise ValueError(f"unknown rule id {rid!r}")
+        return cls(
+            select=_expand(select),
+            ignore=_expand(ignore),
+            severity_overrides=overrides,
+            allow_unknown_events=allow_unknown_events,
+            allow_unknown_attrs=allow_unknown_attrs,
+        )
+
+    def is_enabled(self, rule_id: str) -> bool:
+        if rule_id in self.ignore:
+            return False
+        if self.select:
+            return rule_id in self.select
+        return True
+
+    def severity_of(self, rule_id: str) -> Severity:
+        return self.severity_overrides.get(rule_id, RULES[rule_id].severity)
+
+    def apply(self, findings: Iterable[Finding]) -> List[Finding]:
+        """Filter disabled rules and apply severity overrides."""
+        out: List[Finding] = []
+        for finding in findings:
+            if not self.is_enabled(finding.rule_id):
+                continue
+            override = self.severity_overrides.get(finding.rule_id)
+            if override is not None:
+                finding.severity = override
+            out.append(finding)
+        return out

@@ -1,0 +1,107 @@
+"""The lint driver: classify inputs, dispatch analyzers, aggregate findings."""
+from __future__ import annotations
+
+import os
+import xml.etree.ElementTree as ET
+from typing import List, Optional, Sequence, Union
+
+from repro.lint.config import LintConfig
+from repro.lint.rules import Finding, make_finding
+from repro.lint.stream import lint_bp
+from repro.lint.workflow import lint_dax, lint_taskgraph
+from repro.schema.compiler import SchemaRegistry
+
+__all__ = ["detect_kind", "lint_path", "lint_paths", "LintRunner"]
+
+_KINDS = ("dax", "taskgraph", "bp")
+
+
+def detect_kind(path: Union[str, os.PathLike], text: str) -> str:
+    """Classify an input as 'dax', 'taskgraph' or 'bp'.
+
+    XML documents are classified by their root element; everything else is
+    treated as a BP event log (the BP grammar itself then reports lines
+    that do not parse).
+    """
+    name = str(path).lower()
+    if name.endswith(".dax"):
+        return "dax"
+    stripped = text.lstrip()
+    if stripped.startswith("<"):
+        try:
+            root_tag = ET.fromstring(stripped).tag.split("}")[-1]
+        except ET.ParseError:
+            # broken XML: guess from the first opening tag so the right
+            # analyzer reports the parse error
+            head = stripped[: min(len(stripped), 4096)]
+            if "<taskgraph" in head:
+                return "taskgraph"
+            return "dax"
+        if root_tag == "taskgraph":
+            return "taskgraph"
+        return "dax"
+    return "bp"
+
+
+class LintRunner:
+    """Run analyzers over files and collect findings."""
+
+    def __init__(
+        self,
+        config: Optional[LintConfig] = None,
+        registry: Optional[SchemaRegistry] = None,
+    ):
+        self.config = config or LintConfig()
+        self.registry = registry
+        self.files_checked = 0
+
+    def lint_text(self, text: str, path: str, kind: str = "auto") -> List[Finding]:
+        if kind == "auto":
+            kind = detect_kind(path, text)
+        if kind not in _KINDS:
+            raise ValueError(f"unknown input kind {kind!r}")
+        self.files_checked += 1
+        if kind == "dax":
+            return self.config.apply(lint_dax(text, path))
+        if kind == "taskgraph":
+            return self.config.apply(lint_taskgraph(text, path))
+        return lint_bp(text, path, config=self.config, registry=self.registry)
+
+    def lint_path(
+        self, path: Union[str, os.PathLike], kind: str = "auto"
+    ) -> List[Finding]:
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                text = fh.read()
+        except OSError as exc:
+            self.files_checked += 1
+            return self.config.apply(
+                [make_finding("STL010", f"cannot read input: {exc}", str(path), 0)]
+            )
+        return self.lint_text(text, str(path), kind)
+
+    def lint_paths(
+        self, paths: Sequence[Union[str, os.PathLike]], kind: str = "auto"
+    ) -> List[Finding]:
+        findings: List[Finding] = []
+        for path in paths:
+            findings.extend(self.lint_path(path, kind))
+        return findings
+
+
+def lint_path(
+    path: Union[str, os.PathLike],
+    kind: str = "auto",
+    config: Optional[LintConfig] = None,
+) -> List[Finding]:
+    """Convenience one-shot over a single file."""
+    return LintRunner(config=config).lint_path(path, kind)
+
+
+def lint_paths(
+    paths: Sequence[Union[str, os.PathLike]],
+    kind: str = "auto",
+    config: Optional[LintConfig] = None,
+) -> List[Finding]:
+    """Convenience one-shot over many files."""
+    return LintRunner(config=config).lint_paths(paths, kind)

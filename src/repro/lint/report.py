@@ -1,0 +1,53 @@
+"""Reporters: render findings as human text or machine JSON."""
+from __future__ import annotations
+
+import json
+from collections import Counter
+from typing import Dict, List, Sequence
+
+from repro.lint.rules import RULES, Finding, Severity
+
+__all__ = ["render_text", "render_json", "summarize", "exit_code_for"]
+
+
+def summarize(findings: Sequence[Finding]) -> Dict[str, int]:
+    """Counts per severity name, plus a total."""
+    counts = Counter(str(f.severity) for f in findings)
+    counts["total"] = len(findings)
+    return dict(counts)
+
+
+def exit_code_for(
+    findings: Sequence[Finding], fail_on: Severity = Severity.ERROR
+) -> int:
+    """0 = clean at the threshold, 1 = findings at/above ``fail_on``."""
+    return 1 if any(f.severity >= fail_on for f in findings) else 0
+
+
+def render_text(findings: Sequence[Finding], verbose: bool = False) -> str:
+    """One finding per line, ``file:line: RULE severity: message``."""
+    lines: List[str] = [str(f) for f in findings]
+    counts = summarize(findings)
+    if findings:
+        by_sev = ", ".join(
+            f"{counts.get(str(sev), 0)} {sev}"
+            for sev in (Severity.ERROR, Severity.WARNING, Severity.INFO)
+            if counts.get(str(sev))
+        )
+        lines.append(f"{counts['total']} finding(s): {by_sev}")
+    else:
+        lines.append("no findings")
+    if verbose and findings:
+        lines.append("")
+        for rule_id in sorted({f.rule_id for f in findings}):
+            lines.append(f"  {RULES[rule_id]}: {RULES[rule_id].summary}")
+    return "\n".join(lines)
+
+
+def render_json(findings: Sequence[Finding]) -> str:
+    """A stable JSON document: findings plus the severity summary."""
+    doc = {
+        "findings": [f.to_dict() for f in findings],
+        "summary": summarize(findings),
+    }
+    return json.dumps(doc, indent=2, sort_keys=True)

@@ -1,0 +1,233 @@
+"""The stampede-lint rule registry: rule IDs, severities, findings.
+
+Every check the analyzers perform is declared here as a :class:`Rule` with
+a stable identifier (``STL001``, ``STL002``, ...).  Stable IDs are the
+contract that makes findings scriptable: reports reference them, configs
+enable/disable them, and docs/lint-rules.md catalogs them.  Workflow-
+definition rules live in the ``STL0xx`` block, event-stream rules in
+``STL1xx``.
+"""
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional
+
+__all__ = ["Severity", "Rule", "Finding", "RULES", "register_rule", "get_rule"]
+
+
+class Severity(enum.IntEnum):
+    """Finding severities; comparable so thresholds are natural."""
+
+    INFO = 10
+    WARNING = 20
+    ERROR = 30
+
+    def __str__(self) -> str:
+        return self.name.lower()
+
+    @classmethod
+    def parse(cls, text: str) -> "Severity":
+        try:
+            return cls[text.strip().upper()]
+        except KeyError:
+            raise ValueError(f"unknown severity {text!r}") from None
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One named check with a stable ID and a default severity."""
+
+    rule_id: str
+    name: str
+    severity: Severity
+    summary: str
+
+    def __str__(self) -> str:
+        return f"{self.rule_id} [{self.severity}] {self.name}"
+
+
+RULES: Dict[str, Rule] = {}
+
+
+def register_rule(rule_id: str, name: str, severity: Severity, summary: str) -> Rule:
+    """Register a rule; duplicate IDs are a programming error."""
+    if rule_id in RULES:
+        raise ValueError(f"duplicate rule id {rule_id!r}")
+    rule = Rule(rule_id, name, severity, summary)
+    RULES[rule_id] = rule
+    return rule
+
+
+def get_rule(rule_id: str) -> Rule:
+    return RULES[rule_id]
+
+
+@dataclass
+class Finding:
+    """One problem found at one location.
+
+    ``severity`` is copied from the rule at creation so config-level
+    severity overrides are baked in and reporters never need the registry.
+    """
+
+    rule_id: str
+    severity: Severity
+    message: str
+    file: str = "<input>"
+    line: int = 0
+    context: Dict[str, str] = field(default_factory=dict)
+
+    @property
+    def rule(self) -> Rule:
+        return RULES[self.rule_id]
+
+    def location(self) -> str:
+        return f"{self.file}:{self.line}" if self.line else self.file
+
+    def __str__(self) -> str:
+        return f"{self.location()}: {self.rule_id} {self.severity}: {self.message}"
+
+    def to_dict(self) -> Dict[str, object]:
+        out: Dict[str, object] = {
+            "rule": self.rule_id,
+            "severity": str(self.severity),
+            "message": self.message,
+            "file": self.file,
+            "line": self.line,
+        }
+        if self.context:
+            out["context"] = dict(self.context)
+        return out
+
+
+def make_finding(
+    rule_id: str,
+    message: str,
+    file: str = "<input>",
+    line: int = 0,
+    severity: Optional[Severity] = None,
+    context: Optional[Mapping[str, str]] = None,
+) -> Finding:
+    """Build a Finding with the rule's default severity unless overridden."""
+    return Finding(
+        rule_id=rule_id,
+        severity=severity if severity is not None else RULES[rule_id].severity,
+        message=message,
+        file=file,
+        line=line,
+        context=dict(context or {}),
+    )
+
+
+# --------------------------------------------------------------------------
+# Workflow-definition rules (DAX and Triana task graphs): STL0xx
+# --------------------------------------------------------------------------
+register_rule(
+    "STL001", "workflow-cycle", Severity.ERROR,
+    "the workflow dependency graph contains a cycle (the AW must be a DAG)",
+)
+register_rule(
+    "STL002", "dangling-ref", Severity.ERROR,
+    "a dependency edge references a job/task that is not defined",
+)
+register_rule(
+    "STL003", "duplicate-id", Severity.ERROR,
+    "two jobs/tasks share the same identifier",
+)
+register_rule(
+    "STL004", "unreachable-task", Severity.WARNING,
+    "a task cannot be reached from any root of the workflow",
+)
+register_rule(
+    "STL005", "unproduced-input", Severity.WARNING,
+    "a file is consumed but never produced by any job in the workflow",
+)
+register_rule(
+    "STL006", "duplicate-output", Severity.ERROR,
+    "a file is declared as the output of more than one job",
+)
+register_rule(
+    "STL007", "self-dependency", Severity.ERROR,
+    "a dependency edge has the same job as parent and child",
+)
+register_rule(
+    "STL008", "isolated-task", Severity.WARNING,
+    "a task has no dependencies while the rest of the workflow is connected",
+)
+register_rule(
+    "STL009", "taskgraph-cycle", Severity.WARNING,
+    "a Triana task graph contains a loop (legal only in continuous mode)",
+)
+register_rule(
+    "STL010", "unparseable-document", Severity.ERROR,
+    "the workflow document could not be parsed at all",
+)
+register_rule(
+    "STL011", "unknown-unit-type", Severity.ERROR,
+    "a task references a unit type with no registered codec",
+)
+register_rule(
+    "STL012", "duplicate-edge", Severity.WARNING,
+    "the same dependency edge is declared more than once",
+)
+register_rule(
+    "STL013", "bad-param-payload", Severity.ERROR,
+    "a task parameter payload is not valid JSON",
+)
+
+# --------------------------------------------------------------------------
+# Event-stream rules (NetLogger BP logs): STL1xx
+# --------------------------------------------------------------------------
+register_rule(
+    "STL101", "malformed-bp-line", Severity.ERROR,
+    "a log line does not parse as a BP name=value record",
+)
+register_rule(
+    "STL102", "unknown-event-type", Severity.ERROR,
+    "an event type does not exist in the compiled YANG schema",
+)
+register_rule(
+    "STL103", "missing-mandatory-attr", Severity.ERROR,
+    "an event lacks an attribute the schema marks mandatory",
+)
+register_rule(
+    "STL104", "unknown-attr", Severity.WARNING,
+    "an event carries an attribute the schema does not declare",
+)
+register_rule(
+    "STL105", "bad-attr-type", Severity.ERROR,
+    "an attribute value violates its YANG type",
+)
+register_rule(
+    "STL106", "duplicate-attr", Severity.ERROR,
+    "an attribute name appears more than once on one line",
+)
+register_rule(
+    "STL107", "illegal-transition", Severity.ERROR,
+    "a lifecycle event implies a state transition the state machine forbids",
+)
+register_rule(
+    "STL108", "event-after-terminal", Severity.ERROR,
+    "a lifecycle event arrived after the entity reached an end state",
+)
+register_rule(
+    "STL109", "start-without-end", Severity.WARNING,
+    "a start event has no matching end event by end of stream",
+)
+register_rule(
+    "STL110", "end-without-start", Severity.ERROR,
+    "an end event has no preceding matching start event",
+)
+register_rule(
+    "STL111", "nonmonotonic-timestamp", Severity.WARNING,
+    "an entity's events move backwards in time",
+)
+register_rule(
+    "STL112", "orphan-reference", Severity.ERROR,
+    "an event references a workflow/job/task id never declared in the stream",
+)
+register_rule(
+    "STL113", "duplicate-event", Severity.ERROR,
+    "the identical event was delivered more than once",
+)

@@ -1,0 +1,269 @@
+"""Workflow-definition analyzers: Pegasus DAX and Triana task graphs.
+
+Both analyzers work from the *raw* structures the format modules expose
+(:func:`repro.pegasus.dax.dax_structure`,
+:func:`repro.triana.taskgraph_xml.taskgraph_structure`) rather than the
+validated object models, so a single pass reports every problem in a
+document instead of raising on the first.
+"""
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from collections import Counter
+from typing import Dict, List, Sequence, Set, Tuple
+
+from repro.lint.rules import Finding, make_finding
+from repro.pegasus.dax import RawDax, dax_structure
+from repro.triana.bundles import UNIT_CODECS, BundleError
+from repro.triana.taskgraph_xml import RawTaskGraph, taskgraph_structure
+from repro.util.graph import DiGraph
+
+__all__ = ["lint_dax", "lint_taskgraph"]
+
+
+def _graph_findings(
+    node_lines: Dict[str, int],
+    edges: Sequence[Tuple[str, str, int]],
+    path: str,
+    cycle_rule: str,
+) -> List[Finding]:
+    """Shared structural checks over (nodes, edges): cycles, reachability,
+    isolation.  ``edges`` must already be confined to known nodes."""
+    findings: List[Finding] = []
+    graph = DiGraph()
+    for node in node_lines:
+        graph.add_node(node)
+    for parent, child, _line in edges:
+        graph.add_edge(parent, child)
+
+    cycle = graph.find_cycle()
+    if cycle:
+        at = node_lines.get(cycle[0], 0)
+        findings.append(
+            make_finding(
+                cycle_rule,
+                "dependency cycle: " + " -> ".join(map(str, cycle)),
+                path,
+                at,
+            )
+        )
+    cycle_nodes: Set[str] = set(cycle)
+
+    roots = graph.roots()
+    if roots and len(graph) > 1:
+        reachable: Set[str] = set(roots)
+        stack = list(roots)
+        while stack:
+            for child in graph.successors(stack.pop()):
+                if child not in reachable:
+                    reachable.add(child)
+                    stack.append(child)
+        for node in graph.nodes():
+            if node not in reachable and node not in cycle_nodes:
+                findings.append(
+                    make_finding(
+                        "STL004",
+                        f"task {node!r} is unreachable from any workflow root",
+                        path,
+                        node_lines.get(node, 0),
+                    )
+                )
+
+    if edges:
+        for node in graph.nodes():
+            if graph.in_degree(node) == 0 and graph.out_degree(node) == 0:
+                findings.append(
+                    make_finding(
+                        "STL008",
+                        f"task {node!r} has no dependencies "
+                        "(isolated from the rest of the workflow)",
+                        path,
+                        node_lines.get(node, 0),
+                    )
+                )
+    return findings
+
+
+# ------------------------------------------------------------------- DAX --
+def lint_dax(source, path: str = "<dax>") -> List[Finding]:
+    """All findings for one DAX document (path or XML text)."""
+    try:
+        raw: RawDax = dax_structure(source)
+    except ET.ParseError as exc:
+        return [make_finding("STL010", f"not well-formed XML: {exc}", path, 1)]
+    except ValueError as exc:
+        return [make_finding("STL010", str(exc), path, 1)]
+
+    findings: List[Finding] = []
+
+    id_counts = Counter(job.job_id for job in raw.jobs)
+    seen_ids: Set[str] = set()
+    node_lines: Dict[str, int] = {}
+    for job in raw.jobs:
+        if job.job_id in seen_ids:
+            findings.append(
+                make_finding(
+                    "STL003",
+                    f"duplicate job id {job.job_id!r} "
+                    f"({id_counts[job.job_id]} declarations)",
+                    path,
+                    job.line,
+                )
+            )
+            continue
+        seen_ids.add(job.job_id)
+        node_lines[job.job_id] = job.line
+
+    good_edges: List[Tuple[str, str, int]] = []
+    edge_counts: Counter = Counter()
+    for edge in raw.edges:
+        if edge.parent == edge.child:
+            findings.append(
+                make_finding(
+                    "STL007",
+                    f"job {edge.child!r} depends on itself",
+                    path,
+                    edge.line,
+                )
+            )
+            continue
+        dangling = [ref for ref in (edge.parent, edge.child) if ref not in seen_ids]
+        if dangling:
+            for ref in dangling:
+                findings.append(
+                    make_finding(
+                        "STL002",
+                        f"dependency {edge.parent!r} -> {edge.child!r} "
+                        f"references undefined job {ref!r}",
+                        path,
+                        edge.line,
+                    )
+                )
+            continue
+        edge_counts[(edge.parent, edge.child)] += 1
+        if edge_counts[(edge.parent, edge.child)] == 2:
+            findings.append(
+                make_finding(
+                    "STL012",
+                    f"dependency {edge.parent!r} -> {edge.child!r} "
+                    "declared more than once",
+                    path,
+                    edge.line,
+                )
+            )
+        if edge_counts[(edge.parent, edge.child)] == 1:
+            good_edges.append((edge.parent, edge.child, edge.line))
+
+    findings.extend(_graph_findings(node_lines, good_edges, path, "STL001"))
+
+    producers: Dict[str, List[str]] = {}
+    for job in raw.jobs:
+        for lfn in job.outputs:
+            producers.setdefault(lfn, []).append(job.job_id)
+    for lfn, jobs in producers.items():
+        if len(jobs) > 1:
+            findings.append(
+                make_finding(
+                    "STL006",
+                    f"file {lfn!r} is produced by multiple jobs: "
+                    + ", ".join(repr(j) for j in jobs),
+                    path,
+                    node_lines.get(jobs[1], 0),
+                )
+            )
+    for job in raw.jobs:
+        for lfn in job.inputs:
+            if lfn not in producers:
+                findings.append(
+                    make_finding(
+                        "STL005",
+                        f"job {job.job_id!r} consumes file {lfn!r} "
+                        "which no job produces (must be staged in)",
+                        path,
+                        job.line,
+                    )
+                )
+    return findings
+
+
+# -------------------------------------------------------------- taskgraph --
+def lint_taskgraph(source, path: str = "<taskgraph>") -> List[Finding]:
+    """All findings for one task-graph XML document (path or XML text)."""
+    try:
+        raw: RawTaskGraph = taskgraph_structure(source)
+    except ET.ParseError as exc:
+        return [make_finding("STL010", f"not well-formed XML: {exc}", path, 1)]
+    except BundleError as exc:
+        return [make_finding("STL010", str(exc), path, 1)]
+    return _lint_taskgraph_raw(raw, path)
+
+
+def _lint_taskgraph_raw(raw: RawTaskGraph, path: str) -> List[Finding]:
+    findings: List[Finding] = []
+    seen: Set[str] = set()
+    node_lines: Dict[str, int] = {}
+    for task in raw.tasks:
+        if task.name in seen:
+            findings.append(
+                make_finding(
+                    "STL003",
+                    f"duplicate task name {task.name!r} in graph {raw.name!r}",
+                    path,
+                    task.line,
+                )
+            )
+        else:
+            seen.add(task.name)
+            node_lines[task.name] = task.line
+        if task.type_name not in UNIT_CODECS:
+            findings.append(
+                make_finding(
+                    "STL011",
+                    f"task {task.name!r} uses unknown unit type "
+                    f"{task.type_name!r} (no registered codec)",
+                    path,
+                    task.line,
+                )
+            )
+        for param in task.bad_params:
+            findings.append(
+                make_finding(
+                    "STL013",
+                    f"task {task.name!r} parameter {param!r} "
+                    "payload is not valid JSON",
+                    path,
+                    task.line,
+                )
+            )
+
+    good_edges: List[Tuple[str, str, int]] = []
+    for src, dst, line in raw.cables:
+        if src == dst:
+            findings.append(
+                make_finding(
+                    "STL007", f"task {dst!r} is cabled to itself", path, line
+                )
+            )
+            continue
+        dangling = [ref for ref in (src, dst) if ref not in seen]
+        if dangling:
+            for ref in dangling:
+                findings.append(
+                    make_finding(
+                        "STL002",
+                        f"cable {src!r} -> {dst!r} references "
+                        f"undefined task {ref!r}",
+                        path,
+                        line,
+                    )
+                )
+            continue
+        good_edges.append((src, dst, line))
+
+    # Loops are legal in continuous mode, so a Triana cycle is a warning
+    # (STL009) rather than the DAX's hard error (STL001).
+    findings.extend(_graph_findings(node_lines, good_edges, path, "STL009"))
+
+    for sub in raw.subgraphs:
+        findings.extend(_lint_taskgraph_raw(sub, path))
+    return findings

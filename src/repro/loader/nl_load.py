@@ -18,16 +18,27 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import Callable, Iterable, Optional
+from typing import Callable, Iterable, List, Optional, TextIO, Tuple, Union
 
 from repro.archive.store import StampedeArchive
 from repro.bus.broker import Broker
 from repro.bus.client import EventConsumer
+from repro.lint.config import LintConfig
+from repro.lint.report import render_text
+from repro.lint.rules import Finding, Severity
+from repro.lint.stream import StreamLinter
 from repro.loader.stampede_loader import LoaderStats, StampedeLoader
 from repro.netlogger.events import NLEvent
 from repro.netlogger.stream import BPReader
 
-__all__ = ["load_events", "load_file", "load_from_bus", "make_loader", "main"]
+__all__ = [
+    "load_events",
+    "load_file",
+    "load_file_linted",
+    "load_from_bus",
+    "make_loader",
+    "main",
+]
 
 
 def make_loader(
@@ -65,6 +76,67 @@ def load_file(
 ) -> StampedeLoader:
     """Load a BP log file."""
     return load_events(BPReader(path, on_error=on_error), loader, **loader_kwargs)
+
+
+def load_file_linted(
+    source: Union[str, TextIO],
+    loader: Optional[StampedeLoader] = None,
+    quarantine: Optional[Union[str, TextIO]] = None,
+    config: Optional[LintConfig] = None,
+    **loader_kwargs,
+) -> Tuple[StampedeLoader, List[Finding], int]:
+    """Load a BP log in lint-strict mode, quarantining failing events.
+
+    Every line runs through the :class:`StreamLinter` analyzers first.
+    Lines that trigger an error-severity finding (malformed BP, schema
+    violations, illegal lifecycle transitions, orphan references, duplicate
+    delivery, ...) are written verbatim to ``quarantine`` — a path or file
+    object — instead of being silently archived; everything else is loaded
+    normally.  Returns ``(loader, findings, quarantined_count)``.
+    """
+    if loader is None:
+        loader = make_loader(**loader_kwargs)
+    path = source if isinstance(source, str) else "<stdin>"
+    linter = StreamLinter(config=config, path=path)
+    findings: List[Finding] = []
+    quarantined = 0
+
+    close_in = close_q = False
+    if isinstance(source, str):
+        fh: TextIO = open(source, "r", encoding="utf-8")
+        close_in = True
+    else:
+        fh = source
+    qfh: Optional[TextIO] = None
+    if isinstance(quarantine, str):
+        qfh = open(quarantine, "w", encoding="utf-8")
+        close_q = True
+    elif quarantine is not None:
+        qfh = quarantine
+    try:
+        for lineno, line in enumerate(fh, start=1):
+            event, line_findings = linter.feed_line(line, lineno)
+            findings.extend(line_findings)
+            if event is None and not line_findings:
+                continue  # blank line or comment
+            if event is None or any(
+                f.severity >= Severity.ERROR for f in line_findings
+            ):
+                quarantined += 1
+                if qfh is not None:
+                    qfh.write(line.rstrip("\n") + "\n")
+                continue
+            loader.process(event)
+        loader.flush()
+        findings.extend(linter.finish())
+    finally:
+        if close_in:
+            fh.close()
+        if qfh is not None:
+            qfh.flush()
+            if close_q:
+                qfh.close()
+    return loader, findings, quarantined
 
 
 def load_from_bus(
@@ -133,31 +205,72 @@ def main(argv: Optional[list] = None) -> int:
     parser.add_argument(
         "--validate", action="store_true", help="validate events against the schema"
     )
+    parser.add_argument(
+        "--lint",
+        action="store_true",
+        help="run the stampede-lint stream analyzers and quarantine events "
+        "with error-severity findings instead of archiving them",
+    )
+    parser.add_argument(
+        "--quarantine",
+        metavar="PATH",
+        help="with --lint: write quarantined BP lines to this file",
+    )
     parser.add_argument("-v", "--verbose", action="store_true")
     args = parser.parse_args(argv)
 
     if args.module != "stampede_loader":
         parser.error(f"unknown loader module {args.module!r}")
+    if args.quarantine and not args.lint:
+        parser.error("--quarantine requires --lint")
     params = dict(p.split("=", 1) for p in args.params if "=" in p)
     conn_string = params.get("connString", "sqlite:///:memory:")
 
+    # In lint mode the analyzers are the strictness layer: events that would
+    # crash a strict loader are quarantined before it sees them, and the
+    # loader runs tolerantly so a quarantined event's survivors (e.g. a
+    # main.end whose submit.start was quarantined) cannot take it down.
     loader = make_loader(
         conn_string,
         batch_size=args.batch_size,
-        strict=not args.tolerant,
+        strict=not (args.tolerant or args.lint),
         validate=args.validate,
     )
     source = sys.stdin if args.input == "-" else args.input
-    stats: LoaderStats = load_file(source, loader).stats
+
+    if args.lint:
+        # BP permits engine-specific extras, so unknown attrs stay quiet;
+        # hard schema errors still quarantine.
+        config = LintConfig(allow_unknown_attrs=True)
+        loader, findings, quarantined = load_file_linted(
+            source, loader, quarantine=args.quarantine, config=config
+        )
+        stats = loader.stats
+        if findings:
+            print(render_text(findings), file=sys.stderr)
+        if quarantined:
+            where = f" -> {args.quarantine}" if args.quarantine else ""
+            print(
+                f"quarantined {quarantined} event(s){where}", file=sys.stderr
+            )
+        if args.verbose:
+            _print_stats(stats)
+        return 1 if quarantined else 0
+
+    stats = load_file(source, loader).stats
 
     if args.verbose:
-        print(f"events processed : {stats.events_processed}")
-        print(f"rows inserted    : {stats.rows_inserted}")
-        print(f"rows updated     : {stats.rows_updated}")
-        print(f"flushes          : {stats.flushes}")
-        print(f"wall seconds     : {stats.wall_seconds:.3f}")
-        print(f"events/second    : {stats.events_per_second:,.0f}")
+        _print_stats(stats)
     return 0
+
+
+def _print_stats(stats: LoaderStats) -> None:
+    print(f"events processed : {stats.events_processed}")
+    print(f"rows inserted    : {stats.rows_inserted}")
+    print(f"rows updated     : {stats.rows_updated}")
+    print(f"flushes          : {stats.flushes}")
+    print(f"wall seconds     : {stats.wall_seconds:.3f}")
+    print(f"events/second    : {stats.events_per_second:,.0f}")
 
 
 if __name__ == "__main__":  # pragma: no cover

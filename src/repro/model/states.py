@@ -3,12 +3,30 @@
 Workflows and jobs are "associated with any number of time-stamped and
 named states" (paper §IV-D); these enums are the canonical names recorded
 in the ``workflowstate`` and ``jobstate`` tables.
+
+Besides the vocabularies themselves this module carries the explicit
+lifecycle state machine: :data:`ALLOWED_TRANSITIONS` enumerates every legal
+``current -> next`` job-state transition under DAGMan/Condor semantics and
+:func:`is_valid_transition` answers the question the loader, the dashboard
+and the ``stampede-lint`` lifecycle analyzer all need: *may this state
+follow that one for a single job instance?*
 """
 from __future__ import annotations
 
 import enum
+from typing import Dict, FrozenSet, Optional, Union
 
-__all__ = ["WorkflowState", "JobState", "TERMINAL_JOB_STATES"]
+__all__ = [
+    "WorkflowState",
+    "JobState",
+    "TERMINAL_JOB_STATES",
+    "INITIAL_JOB_STATES",
+    "END_JOB_STATES",
+    "ALLOWED_TRANSITIONS",
+    "ALLOWED_WORKFLOW_TRANSITIONS",
+    "is_valid_transition",
+    "allowed_successors",
+]
 
 
 class WorkflowState(enum.Enum):
@@ -47,3 +65,94 @@ class JobState(enum.Enum):
 TERMINAL_JOB_STATES = frozenset(
     {JobState.JOB_SUCCESS, JobState.JOB_FAILURE, JobState.JOB_ABORTED}
 )
+
+# States a fresh job instance may enter first: a DAGMan pre-script, or a
+# straight submit when the job has no pre-script.
+INITIAL_JOB_STATES: FrozenSet[JobState] = frozenset(
+    {JobState.PRE_SCRIPT_STARTED, JobState.SUBMIT}
+)
+
+# The full legal lifecycle of one job instance.  TERMINAL_JOB_STATES above
+# names the *outcome* states (what the job amounted to); post-scripts may
+# still run after JOB_SUCCESS / JOB_FAILURE, so the states after which no
+# further event is legal are the END_JOB_STATES below.
+ALLOWED_TRANSITIONS: Dict[JobState, FrozenSet[JobState]] = {
+    JobState.PRE_SCRIPT_STARTED: frozenset({JobState.PRE_SCRIPT_TERMINATED}),
+    JobState.PRE_SCRIPT_TERMINATED: frozenset(
+        {JobState.PRE_SCRIPT_SUCCESS, JobState.PRE_SCRIPT_FAILURE}
+    ),
+    JobState.PRE_SCRIPT_SUCCESS: frozenset({JobState.SUBMIT}),
+    # a failed pre-script fails the job without it ever being submitted
+    JobState.PRE_SCRIPT_FAILURE: frozenset({JobState.JOB_FAILURE}),
+    JobState.SUBMIT: frozenset(
+        {JobState.EXECUTE, JobState.JOB_HELD, JobState.JOB_ABORTED}
+    ),
+    JobState.EXECUTE: frozenset(
+        {
+            JobState.JOB_TERMINATED,
+            JobState.JOB_HELD,
+            JobState.JOB_EVICTED,
+            JobState.JOB_ABORTED,
+        }
+    ),
+    JobState.JOB_HELD: frozenset({JobState.JOB_RELEASED, JobState.JOB_ABORTED}),
+    JobState.JOB_RELEASED: frozenset(
+        {JobState.EXECUTE, JobState.JOB_HELD, JobState.JOB_ABORTED}
+    ),
+    # an evicted job is re-run within the same instance
+    JobState.JOB_EVICTED: frozenset({JobState.EXECUTE, JobState.JOB_ABORTED}),
+    JobState.JOB_TERMINATED: frozenset(
+        {JobState.JOB_SUCCESS, JobState.JOB_FAILURE}
+    ),
+    JobState.JOB_SUCCESS: frozenset({JobState.POST_SCRIPT_STARTED}),
+    JobState.JOB_FAILURE: frozenset({JobState.POST_SCRIPT_STARTED}),
+    JobState.JOB_ABORTED: frozenset(),
+    JobState.POST_SCRIPT_STARTED: frozenset({JobState.POST_SCRIPT_TERMINATED}),
+    JobState.POST_SCRIPT_TERMINATED: frozenset(
+        {JobState.POST_SCRIPT_SUCCESS, JobState.POST_SCRIPT_FAILURE}
+    ),
+    JobState.POST_SCRIPT_SUCCESS: frozenset(),
+    JobState.POST_SCRIPT_FAILURE: frozenset(),
+}
+
+# States with no legal successor: once here, the instance's stream is over.
+END_JOB_STATES: FrozenSet[JobState] = frozenset(
+    state for state, nxt in ALLOWED_TRANSITIONS.items() if not nxt
+)
+
+ALLOWED_WORKFLOW_TRANSITIONS: Dict[WorkflowState, FrozenSet[WorkflowState]] = {
+    WorkflowState.WORKFLOW_STARTED: frozenset(
+        {WorkflowState.WORKFLOW_TERMINATED}
+    ),
+    # a restart re-enters WORKFLOW_STARTED after termination
+    WorkflowState.WORKFLOW_TERMINATED: frozenset(
+        {WorkflowState.WORKFLOW_STARTED}
+    ),
+}
+
+_State = Union[JobState, WorkflowState]
+
+
+def allowed_successors(current: Optional[_State]) -> FrozenSet[_State]:
+    """Legal next states after ``current`` (``None`` = fresh entity)."""
+    if current is None:
+        return INITIAL_JOB_STATES
+    if isinstance(current, WorkflowState):
+        return ALLOWED_WORKFLOW_TRANSITIONS[current]
+    return ALLOWED_TRANSITIONS[current]
+
+
+def is_valid_transition(current: Optional[_State], nxt: _State) -> bool:
+    """True when ``nxt`` may legally follow ``current``.
+
+    ``current=None`` asks whether ``nxt`` is a legal *first* state: for jobs
+    that means a pre-script start or a submit; a workflow always begins with
+    WORKFLOW_STARTED.
+    """
+    if current is None and isinstance(nxt, WorkflowState):
+        return nxt is WorkflowState.WORKFLOW_STARTED
+    if current is not None and type(current) is not type(nxt):
+        raise TypeError(
+            f"cannot mix state vocabularies: {current!r} -> {nxt!r}"
+        )
+    return nxt in allowed_successors(current)

@@ -1,5 +1,11 @@
 """NetLogger Toolkit substrate: BP log format, typed events, streams, filters."""
-from repro.netlogger.bp import BPParseError, format_bp_line, parse_bp_line, quote_value
+from repro.netlogger.bp import (
+    BPParseError,
+    format_bp_line,
+    parse_bp_line,
+    parse_bp_pairs,
+    quote_value,
+)
 from repro.netlogger.events import Level, NLEvent
 from repro.netlogger.filters import (
     by_pattern,
@@ -21,6 +27,7 @@ __all__ = [
     "BPParseError",
     "format_bp_line",
     "parse_bp_line",
+    "parse_bp_pairs",
     "quote_value",
     "Level",
     "NLEvent",

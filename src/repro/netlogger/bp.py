@@ -19,7 +19,13 @@ from __future__ import annotations
 import re
 from typing import Dict, Iterator, List, Tuple
 
-__all__ = ["BPParseError", "parse_bp_line", "format_bp_line", "quote_value"]
+__all__ = [
+    "BPParseError",
+    "parse_bp_line",
+    "parse_bp_pairs",
+    "format_bp_line",
+    "quote_value",
+]
 
 _NAME_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_.\-]*")
 
@@ -64,16 +70,36 @@ def format_bp_line(attrs: Dict[str, object]) -> str:
     return " ".join(parts)
 
 
-def parse_bp_line(line: str) -> Dict[str, str]:
-    """Parse one BP line into an ordered dict of string attributes."""
+def parse_bp_line(line: str, strict: bool = False) -> Dict[str, str]:
+    """Parse one BP line into an ordered dict of string attributes.
+
+    A name appearing more than once is ambiguous producer output.  By
+    default the last occurrence wins (the historical NetLogger behaviour);
+    with ``strict=True`` a duplicate raises :class:`BPParseError` instead.
+    Callers that want to *report* duplicates without failing (e.g. the
+    ``stampede-lint`` stream analyzer) should use :func:`parse_bp_pairs`,
+    which preserves every occurrence.
+    """
     attrs: Dict[str, str] = {}
     for key, value in _scan_pairs(line):
+        if strict and key in attrs:
+            raise BPParseError(f"duplicate attribute {key!r}", line, 0)
         attrs[key] = value
     if "ts" not in attrs:
         raise BPParseError("missing required attribute 'ts'", line, 0)
     if "event" not in attrs:
         raise BPParseError("missing required attribute 'event'", line, 0)
     return attrs
+
+
+def parse_bp_pairs(line: str) -> List[Tuple[str, str]]:
+    """Parse one BP line into (name, value) pairs, keeping duplicates.
+
+    Unlike :func:`parse_bp_line` this performs no required-attribute checks
+    and keeps repeated names, so callers can inspect exactly what the
+    producer wrote.
+    """
+    return list(_scan_pairs(line))
 
 
 def _scan_pairs(line: str) -> Iterator[Tuple[str, str]]:

@@ -15,13 +15,15 @@ from __future__ import annotations
 
 import os
 import xml.etree.ElementTree as ET
+from dataclasses import dataclass, field
 from typing import List, Union
 
 from repro.pegasus.abstract import AbstractTask, AbstractWorkflow
 from repro.pegasus.executable import ExecutableWorkflow
 
 __all__ = ["write_dax", "parse_dax", "dax_to_string", "write_dag",
-           "dag_to_string"]
+           "dag_to_string", "RawDaxJob", "RawDaxEdge", "RawDax",
+           "dax_structure"]
 
 _DAX_NS = "http://pegasus.isi.edu/schema/DAX"
 
@@ -125,6 +127,108 @@ def parse_dax(source: Union[str, os.PathLike]) -> AbstractWorkflow:
         for parent in child.findall(f"{ns}parent"):
             aw.add_dependency(parent.attrib["ref"], child_id)
     return aw
+
+
+@dataclass
+class RawDaxJob:
+    """One ``<job>`` element as written, before any validation."""
+
+    job_id: str
+    name: str = ""
+    namespace: str = ""
+    inputs: List[str] = field(default_factory=list)
+    outputs: List[str] = field(default_factory=list)
+    line: int = 1
+
+
+@dataclass
+class RawDaxEdge:
+    """One ``<parent ref=.../>`` under a ``<child ref=.../>``, as written."""
+
+    parent: str
+    child: str
+    line: int = 1
+
+
+@dataclass
+class RawDax:
+    """Uninterpreted DAX structure for analysis tools.
+
+    :func:`parse_dax` builds an :class:`AbstractWorkflow`, which *enforces*
+    well-formedness (unique ids, known refs, acyclicity) by raising on the
+    first problem.  Analysis tools such as ``stampede-lint`` need the
+    opposite: every job and edge exactly as the document declares them, with
+    line anchors, so all problems can be reported at once.
+    """
+
+    name: str
+    jobs: List[RawDaxJob] = field(default_factory=list)
+    edges: List[RawDaxEdge] = field(default_factory=list)
+
+
+def _token_line(text: str, token: str, occurrence: int = 0) -> int:
+    """Line number (1-based) of the nth occurrence of ``token``, or 1."""
+    pos = -1
+    for _ in range(occurrence + 1):
+        pos = text.find(token, pos + 1)
+        if pos < 0:
+            return 1
+    return text.count("\n", 0, pos) + 1
+
+
+def dax_structure(source: Union[str, os.PathLike]) -> RawDax:
+    """Extract the raw job/edge structure of a DAX document (path or text).
+
+    Raises ``xml.etree.ElementTree.ParseError`` on malformed XML and
+    ``ValueError`` when the root element is not ``<adag>``; everything else
+    — duplicate ids, dangling refs, cycles — is left in the returned
+    structure for the caller to judge.
+    """
+    text = source
+    if isinstance(source, (str, os.PathLike)) and os.path.exists(str(source)):
+        with open(source, "r", encoding="utf-8") as fh:
+            text = fh.read()
+    text = str(text)
+    root = ET.fromstring(text)
+    tag = root.tag.split("}")[-1]
+    if tag != "adag":
+        raise ValueError(f"not a DAX document: root element {root.tag!r}")
+    ns = root.tag[: -len(tag)] if root.tag.startswith("{") else ""
+    raw = RawDax(root.attrib.get("name", "unnamed"))
+    job_seen: dict = {}
+    for job in root.findall(f"{ns}job"):
+        job_id = job.attrib.get("id", "")
+        occurrence = job_seen.get(job_id, 0)
+        job_seen[job_id] = occurrence + 1
+        entry = RawDaxJob(
+            job_id=job_id,
+            name=job.attrib.get("name", ""),
+            namespace=job.attrib.get("namespace", ""),
+            line=_token_line(text, f'id="{job_id}"', occurrence),
+        )
+        for uses in job.findall(f"{ns}uses"):
+            target = (
+                entry.inputs
+                if uses.attrib.get("link") == "input"
+                else entry.outputs
+            )
+            target.append(uses.attrib.get("name", ""))
+        raw.jobs.append(entry)
+    ref_seen: dict = {}
+    for child in root.findall(f"{ns}child"):
+        child_id = child.attrib.get("ref", "")
+        child_occ = ref_seen.get(child_id, 0)
+        ref_seen[child_id] = child_occ + 1
+        line = _token_line(text, f'ref="{child_id}"', child_occ)
+        for parent in child.findall(f"{ns}parent"):
+            raw.edges.append(
+                RawDaxEdge(parent.attrib.get("ref", ""), child_id, line)
+            )
+            # parent refs share the token namespace with child refs
+            ref_seen[parent.attrib.get("ref", "")] = (
+                ref_seen.get(parent.attrib.get("ref", ""), 0) + 1
+            )
+    return raw
 
 
 def dag_to_string(ew: ExecutableWorkflow) -> str:

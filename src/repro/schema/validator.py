@@ -10,7 +10,7 @@ Validation checks, per event:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, List, Optional
+from typing import Iterable, List, Mapping, Optional
 
 from repro.netlogger.events import NLEvent
 from repro.schema.compiler import SchemaRegistry
@@ -67,13 +67,25 @@ class EventValidator:
 
     def validate_event(self, event: NLEvent) -> List[Violation]:
         """Return the violations for one event (empty list when valid)."""
-        schema = self._registry.get(event.event)
+        return self.validate_attrs(event.event, event.attrs)
+
+    def validate_attrs(
+        self, event_name: str, attrs: Mapping[str, object]
+    ) -> List[Violation]:
+        """Validate a raw attribute mapping as if it were event ``event_name``.
+
+        This is the NLEvent-free entry point used by ``stampede-lint``, which
+        works from parsed BP pairs so it can report on lines that never make
+        it into a typed event.  Envelope attributes (``ts``/``event``/
+        ``level``) present in ``attrs`` are ignored.
+        """
+        schema = self._registry.get(event_name)
         if schema is None:
             if self._allow_unknown_events:
                 return []
             return [
                 Violation(
-                    event.event,
+                    event_name,
                     "unknown-event",
                     message=f"event type not in schema module {self._registry.module_name!r}",
                 )
@@ -82,26 +94,28 @@ class EventValidator:
         for name in schema.mandatory_leaves:
             if name in _ENVELOPE:
                 continue  # carried by the NLEvent envelope, always present
-            if name not in event.attrs:
+            if name not in attrs:
                 violations.append(
                     Violation(
-                        event.event, "missing", name, "mandatory attribute absent"
+                        event_name, "missing", name, "mandatory attribute absent"
                     )
                 )
-        for name, value in event.attrs.items():
+        for name, value in attrs.items():
+            if name in _ENVELOPE:
+                continue
             leaf = schema.leaves.get(name)
             if leaf is None:
                 if not self._allow_unknown_attrs:
                     violations.append(
                         Violation(
-                            event.event, "unknown-attr", name, "attribute not in schema"
+                            event_name, "unknown-attr", name, "attribute not in schema"
                         )
                     )
                 continue
             try:
                 leaf.yang_type.check(str(value))
             except YangTypeError as exc:
-                violations.append(Violation(event.event, "bad-type", name, str(exc)))
+                violations.append(Violation(event_name, "bad-type", name, str(exc)))
         return violations
 
     def validate(self, events: Iterable[NLEvent]) -> ValidationReport:

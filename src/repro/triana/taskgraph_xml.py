@@ -19,13 +19,15 @@ from __future__ import annotations
 import json
 import os
 import xml.etree.ElementTree as ET
-from typing import Union
+from dataclasses import dataclass, field
+from typing import List, Tuple, Union
 
 from repro.triana.bundles import _CLS_TO_NAME, UNIT_CODECS, BundleError
 from repro.triana.taskgraph import TaskGraph
 
 __all__ = ["taskgraph_to_xml", "parse_taskgraph_xml", "write_taskgraph",
-           "read_taskgraph"]
+           "read_taskgraph", "RawTask", "RawTaskGraph",
+           "taskgraph_structure"]
 
 
 def _graph_element(graph: TaskGraph) -> ET.Element:
@@ -92,6 +94,88 @@ def _parse_element(root: ET.Element) -> TaskGraph:
 def parse_taskgraph_xml(text: str) -> TaskGraph:
     """Parse task-graph XML back into an executable TaskGraph."""
     return _parse_element(ET.fromstring(text))
+
+
+@dataclass
+class RawTask:
+    """One ``<task>`` element as written, before codec resolution."""
+
+    name: str
+    type_name: str
+    bad_params: List[str] = field(default_factory=list)  # non-JSON payloads
+    line: int = 1
+
+
+@dataclass
+class RawTaskGraph:
+    """Uninterpreted task-graph structure for analysis tools.
+
+    :func:`parse_taskgraph_xml` instantiates units and wires cables, raising
+    on the first unknown type or dangling cable ref; this raw form keeps
+    every declaration (including broken ones) so ``stampede-lint`` can
+    report them all, recursively over nested sub-graphs.
+    """
+
+    name: str
+    tasks: List[RawTask] = field(default_factory=list)
+    cables: List[Tuple[str, str, int]] = field(default_factory=list)  # from, to, line
+    subgraphs: List["RawTaskGraph"] = field(default_factory=list)
+
+
+def _line_of(text: str, token: str, seen: dict) -> int:
+    """Line of the next unvisited occurrence of ``token`` (1-based)."""
+    start = seen.get(token, 0)
+    pos = text.find(token, start)
+    if pos < 0:
+        return 1
+    seen[token] = pos + 1
+    return text.count("\n", 0, pos) + 1
+
+
+def _raw_element(root: ET.Element, text: str, seen: dict) -> RawTaskGraph:
+    raw = RawTaskGraph(root.attrib.get("name", "unnamed"))
+    tasks_el = root.find("tasks")
+    for node in (tasks_el.findall("task") if tasks_el is not None else []):
+        name = node.attrib.get("name", "")
+        task = RawTask(
+            name=name,
+            type_name=node.attrib.get("type", ""),
+            line=_line_of(text, f'name="{name}"', seen),
+        )
+        for param in node.findall("param"):
+            try:
+                json.loads(param.text or "null")
+            except json.JSONDecodeError:
+                task.bad_params.append(param.attrib.get("name", ""))
+        raw.tasks.append(task)
+    cables_el = root.find("cables")
+    for cable in (cables_el.findall("cable") if cables_el is not None else []):
+        src = cable.attrib.get("from", "")
+        raw.cables.append(
+            (src, cable.attrib.get("to", ""), _line_of(text, f'from="{src}"', seen))
+        )
+    subs_el = root.find("subgraphs")
+    for sub in (subs_el.findall("taskgraph") if subs_el is not None else []):
+        raw.subgraphs.append(_raw_element(sub, text, seen))
+    return raw
+
+
+def taskgraph_structure(source: Union[str, os.PathLike]) -> RawTaskGraph:
+    """Extract the raw structure of a task-graph XML document (path or text).
+
+    Raises ``xml.etree.ElementTree.ParseError`` on malformed XML and
+    :class:`BundleError` when the root element is not ``<taskgraph>``; all
+    structural problems are preserved in the returned object.
+    """
+    text = source
+    if isinstance(source, (str, os.PathLike)) and os.path.exists(str(source)):
+        with open(source, "r", encoding="utf-8") as fh:
+            text = fh.read()
+    text = str(text)
+    root = ET.fromstring(text)
+    if root.tag != "taskgraph":
+        raise BundleError(f"not a taskgraph document: root {root.tag!r}")
+    return _raw_element(root, text, {})
 
 
 def write_taskgraph(graph: TaskGraph, path: Union[str, os.PathLike]) -> str:

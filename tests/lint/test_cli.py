@@ -1,0 +1,91 @@
+"""The stampede-lint command-line interface."""
+import io
+import json
+import os
+
+from repro.lint.cli import main
+from repro.pegasus.dax import write_dax
+from repro.workloads import diamond
+
+FIXTURES = os.path.join(os.path.dirname(__file__), "fixtures")
+BROKEN_DAX = os.path.join(FIXTURES, "broken.dax")
+BROKEN_TG = os.path.join(FIXTURES, "broken_taskgraph.xml")
+CORRUPTED_BP = os.path.join(FIXTURES, "corrupted.bp")
+
+
+class TestExitCodes:
+    def test_clean_input_exits_zero(self, tmp_path, capsys):
+        path = write_dax(diamond(), tmp_path / "clean.dax")
+        assert main([path]) == 0
+        assert "no findings" in capsys.readouterr().out
+
+    def test_errors_exit_one(self, capsys):
+        assert main([BROKEN_DAX]) == 1
+
+    def test_warnings_exit_zero_by_default(self, capsys):
+        assert main(["--select", "STL004", BROKEN_DAX]) == 0
+
+    def test_fail_on_warning(self, capsys):
+        assert main(["--fail-on", "warning", "--select", "STL004",
+                     BROKEN_DAX]) == 1
+
+    def test_no_inputs_is_usage_error(self, capsys):
+        assert main([]) == 2
+
+    def test_bad_rule_id_is_usage_error(self, capsys):
+        assert main(["--select", "STL999", BROKEN_DAX]) == 2
+
+
+class TestOutputFormats:
+    def test_text_report(self, capsys):
+        main([BROKEN_DAX])
+        out = capsys.readouterr().out
+        assert "broken.dax:" in out
+        assert "STL001" in out
+        assert "finding(s)" in out
+
+    def test_json_report(self, capsys):
+        main(["--format", "json", BROKEN_DAX])
+        data = json.loads(capsys.readouterr().out)
+        assert data["summary"]["total"] == len(data["findings"])
+        assert any(f["rule"] == "STL001" for f in data["findings"])
+
+    def test_list_rules(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        assert "STL001" in out and "STL113" in out
+
+
+class TestSelection:
+    def test_select(self, capsys):
+        main(["--select", "STL003", "--format", "json", BROKEN_DAX])
+        data = json.loads(capsys.readouterr().out)
+        assert {f["rule"] for f in data["findings"]} == {"STL003"}
+
+    def test_ignore(self, capsys):
+        main(["--ignore", "STL003,STL008", "--format", "json", BROKEN_DAX])
+        data = json.loads(capsys.readouterr().out)
+        got = {f["rule"] for f in data["findings"]}
+        assert "STL003" not in got and "STL008" not in got
+
+    def test_multiple_inputs(self, capsys):
+        main(["--format", "json", BROKEN_DAX, BROKEN_TG, CORRUPTED_BP])
+        data = json.loads(capsys.readouterr().out)
+        files = {f["file"] for f in data["findings"]}
+        assert len(files) == 3
+
+
+class TestStdin:
+    def test_dash_reads_bp_from_stdin(self, capsys, monkeypatch):
+        monkeypatch.setattr(
+            "sys.stdin", io.StringIO("this is not a bp line\n")
+        )
+        assert main(["-"]) == 1
+        assert "STL101" in capsys.readouterr().out
+
+
+class TestAcceptance:
+    def test_seeded_fixtures_cover_at_least_12_rules(self, capsys):
+        main(["--format", "json", BROKEN_DAX, BROKEN_TG, CORRUPTED_BP])
+        data = json.loads(capsys.readouterr().out)
+        assert len({f["rule"] for f in data["findings"]}) >= 12

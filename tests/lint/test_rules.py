@@ -1,0 +1,150 @@
+"""Rule registry, configuration, reporters and exit codes."""
+import json
+
+import pytest
+
+from repro.lint import (
+    RULES,
+    Finding,
+    LintConfig,
+    Severity,
+    exit_code_for,
+    get_rule,
+    make_finding,
+    render_json,
+    render_text,
+    summarize,
+)
+
+
+class TestRegistry:
+    def test_ids_are_stable_and_well_formed(self):
+        for rule_id, rule in RULES.items():
+            assert rule_id == rule.rule_id
+            assert rule_id.startswith("STL") and len(rule_id) == 6
+            assert rule_id[3:].isdigit()
+            assert rule.name and rule.summary
+            assert isinstance(rule.severity, Severity)
+
+    def test_both_families_present(self):
+        workflow = {r for r in RULES if r < "STL100"}
+        stream = {r for r in RULES if r >= "STL100"}
+        assert len(workflow) >= 10
+        assert len(stream) >= 10
+
+    def test_get_rule(self):
+        assert get_rule("STL001").name == "workflow-cycle"
+        with pytest.raises(KeyError):
+            get_rule("STL999")
+
+    def test_severity_parse(self):
+        assert Severity.parse("error") is Severity.ERROR
+        assert Severity.parse("WARNING") is Severity.WARNING
+        assert Severity.ERROR > Severity.WARNING > Severity.INFO
+        with pytest.raises(ValueError):
+            Severity.parse("fatal")
+
+
+class TestFinding:
+    def test_str_has_location_and_rule(self):
+        f = make_finding("STL001", "cycle: a -> b -> a", file="wf.dax", line=7)
+        text = str(f)
+        assert "wf.dax:7" in text
+        assert "STL001" in text
+        assert "cycle: a -> b -> a" in text
+
+    def test_to_dict_roundtrips_through_json(self):
+        f = make_finding("STL104", "who knows", file="log.bp", line=3)
+        data = json.loads(json.dumps(f.to_dict()))
+        assert data["rule"] == "STL104"
+        assert data["severity"] == "warning"
+        assert data["file"] == "log.bp"
+        assert data["line"] == 3
+
+
+class TestLintConfig:
+    def _findings(self):
+        return [
+            make_finding("STL001", "cycle", file="a", line=1),
+            make_finding("STL004", "unreachable", file="a", line=2),
+            make_finding("STL104", "unknown attr", file="b", line=3),
+        ]
+
+    def test_default_keeps_everything(self):
+        assert len(LintConfig().apply(self._findings())) == 3
+
+    def test_select_restricts(self):
+        cfg = LintConfig.build(select=["STL001"])
+        kept = cfg.apply(self._findings())
+        assert [f.rule_id for f in kept] == ["STL001"]
+
+    def test_select_prefix_expands(self):
+        cfg = LintConfig.build(select=["STL0"])
+        kept = cfg.apply(self._findings())
+        assert {f.rule_id for f in kept} == {"STL001", "STL004"}
+
+    def test_ignore_subtracts(self):
+        cfg = LintConfig.build(ignore=["STL104"])
+        assert {f.rule_id for f in cfg.apply(self._findings())} == {
+            "STL001", "STL004",
+        }
+
+    def test_unknown_rule_id_rejected(self):
+        with pytest.raises(ValueError):
+            LintConfig.build(select=["STL999"])
+        with pytest.raises(ValueError):
+            LintConfig.build(ignore=["banana"])
+
+    def test_severity_override(self):
+        cfg = LintConfig.build(severity_overrides={"STL104": "error"})
+        kept = cfg.apply(self._findings())
+        by_id = {f.rule_id: f for f in kept}
+        assert by_id["STL104"].severity is Severity.ERROR
+        assert by_id["STL001"].severity is Severity.ERROR  # untouched
+
+
+class TestReporters:
+    def _findings(self):
+        return [
+            make_finding("STL001", "cycle", file="a.dax", line=1),
+            make_finding("STL004", "unreachable", file="a.dax", line=2),
+        ]
+
+    def test_summarize(self):
+        counts = summarize(self._findings())
+        assert counts["error"] == 1
+        assert counts["warning"] == 1
+        assert counts["total"] == 2
+
+    def test_render_text(self):
+        out = render_text(self._findings())
+        assert "a.dax:1" in out and "STL001" in out
+        assert "1 error" in out
+
+    def test_render_text_empty(self):
+        assert "no findings" in render_text([])
+
+    def test_render_json(self):
+        data = json.loads(render_json(self._findings()))
+        assert len(data["findings"]) == 2
+        assert data["summary"]["error"] == 1
+
+    def test_exit_codes(self):
+        errors = [make_finding("STL001", "x", file="f", line=1)]
+        warnings = [make_finding("STL004", "x", file="f", line=1)]
+        assert exit_code_for([]) == 0
+        assert exit_code_for(errors) == 1
+        assert exit_code_for(warnings) == 0
+        assert exit_code_for(warnings, fail_on=Severity.WARNING) == 1
+
+
+def test_finding_is_dataclass_with_context():
+    f = Finding(
+        rule_id="STL101",
+        severity=Severity.ERROR,
+        message="bad line",
+        file="x.bp",
+        line=9,
+        context={"raw": "garbage"},
+    )
+    assert f.to_dict()["context"] == {"raw": "garbage"}

@@ -1,0 +1,245 @@
+"""Event-stream analyzers: schema conformance, lifecycle, pairing, ordering."""
+import os
+import sys
+
+from repro.lint import LintConfig, Severity, StreamLinter, lint_bp
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), ".."))
+from helpers import diamond_events  # noqa: E402
+
+FIXTURES = os.path.join(os.path.dirname(__file__), "fixtures")
+XWF = "11111111-2222-4333-8444-555555555555"
+
+
+def run_lines(lines, config=None):
+    linter = StreamLinter(config=config)
+    findings = []
+    for lineno, line in enumerate(lines, start=1):
+        _, fs = linter.feed_line(line, lineno)
+        findings.extend(fs)
+    findings.extend(linter.finish())
+    return findings
+
+
+def ids(findings):
+    return {f.rule_id for f in findings}
+
+
+def bp(event, ts="2012-03-13T12:00:00.000000Z", **attrs):
+    attrs.setdefault("xwf.id", XWF)
+    pairs = " ".join(f"{k}={v}" for k, v in attrs.items())
+    return f"ts={ts} event={event} level=Info {pairs}"
+
+
+class TestCleanStreams:
+    def test_hand_built_diamond_stream_is_clean(self):
+        linter = StreamLinter()
+        findings = []
+        for i, event in enumerate(diamond_events(), start=1):
+            findings.extend(linter.feed(event, lineno=i))
+        findings.extend(linter.finish())
+        assert findings == []
+
+    def test_diamond_stream_via_bp_lines_is_clean(self):
+        lines = [e.to_bp() for e in diamond_events()]
+        assert run_lines(lines) == []
+
+    def test_failing_diamond_stream_is_still_clean(self):
+        # a failed job is a legitimate run, not a lint problem
+        lines = [e.to_bp() for e in diamond_events(fail_job="b")]
+        errors = [f for f in run_lines(lines) if f.severity >= Severity.ERROR]
+        assert errors == []
+
+    def test_pegasus_engine_stream_is_clean(self):
+        from repro.pegasus import run_pegasus_workflow
+        from repro.triana.appender import MemoryAppender
+        from repro.workloads import diamond
+
+        sink = MemoryAppender()
+        run_pegasus_workflow(diamond(runtime=10.0), sink, seed=0)
+        linter = StreamLinter()
+        findings = []
+        for i, event in enumerate(sink.events, start=1):
+            findings.extend(linter.feed(event, lineno=i))
+        findings.extend(linter.finish())
+        assert findings == []
+
+    def test_triana_engine_stream_is_clean(self):
+        from repro.triana.appender import MemoryAppender
+        from repro.triana.scheduler import Scheduler
+        from repro.triana.stampede_log import StampedeLog
+        from repro.triana.taskgraph import TaskGraph
+        from repro.triana.unit import CallableUnit, ConstantUnit, GatherUnit
+        from repro.util.uuidgen import derive_uuid
+
+        g = TaskGraph("diamond")
+        a = g.add(ConstantUnit("a", 1, seconds=10.0))
+        b = g.add(CallableUnit("b", lambda ins: ins[0], seconds=10.0))
+        c = g.add(CallableUnit("c", lambda ins: ins[0], seconds=10.0))
+        d = g.add(GatherUnit("d", seconds=10.0))
+        for parent, child in ((a, b), (a, c), (b, d), (c, d)):
+            g.connect(parent, child)
+        sink = MemoryAppender()
+        sched = Scheduler(g, seed=0)
+        StampedeLog(sched, sink, xwf_id=derive_uuid("lint", "triana"))
+        sched.run()
+        linter = StreamLinter()
+        findings = []
+        for i, event in enumerate(sink.events, start=1):
+            findings.extend(linter.feed(event, lineno=i))
+        findings.extend(linter.finish())
+        assert findings == []
+
+
+class TestSchemaRules:
+    def test_stl101_malformed_line(self):
+        assert "STL101" in ids(run_lines(["not a bp line at all"]))
+
+    def test_stl101_missing_required_envelope(self):
+        assert "STL101" in ids(run_lines(["ts=2012-03-13T12:00:00.000000Z foo=1"]))
+
+    def test_stl102_unknown_event(self):
+        findings = run_lines([bp("stampede.not.a.thing")])
+        assert "STL102" in ids(findings)
+
+    def test_stl102_suppressed_by_config(self):
+        cfg = LintConfig(allow_unknown_events=True)
+        findings = run_lines([bp("stampede.not.a.thing")], config=cfg)
+        assert "STL102" not in ids(findings)
+
+    def test_stl103_missing_mandatory_attr(self):
+        findings = run_lines([bp("stampede.xwf.start")])  # no restart_count
+        assert "STL103" in ids(findings)
+
+    def test_stl104_unknown_attr(self):
+        findings = run_lines([bp("stampede.xwf.start", restart_count=0,
+                                 flavor="spicy")])
+        assert "STL104" in ids(findings)
+
+    def test_stl104_suppressed_by_config(self):
+        cfg = LintConfig(allow_unknown_attrs=True)
+        findings = run_lines([bp("stampede.xwf.start", restart_count=0,
+                                 flavor="spicy")], config=cfg)
+        assert "STL104" not in ids(findings)
+
+    def test_stl105_bad_attr_type(self):
+        findings = run_lines([bp("stampede.xwf.start", restart_count="soon")])
+        assert "STL105" in ids(findings)
+
+    def test_stl106_duplicate_attr(self):
+        line = bp("stampede.xwf.start", restart_count=0) + " restart_count=1"
+        assert "STL106" in ids(run_lines([line]))
+
+
+class TestLifecycleRules:
+    def test_stl107_illegal_transition(self):
+        lines = [
+            bp("stampede.job_inst.submit.start", **{"job.id": "j", "job_inst.id": 1}),
+            bp("stampede.job_inst.post.start",
+               ts="2012-03-13T12:00:01.000000Z",
+               **{"job.id": "j", "job_inst.id": 1}),
+        ]
+        assert "STL107" in ids(run_lines(lines))
+
+    def test_stl108_event_after_terminal(self):
+        lines = [
+            bp("stampede.job_inst.abort.info", **{"job.id": "j", "job_inst.id": 1}),
+            bp("stampede.job_inst.main.start",
+               ts="2012-03-13T12:00:01.000000Z",
+               **{"job.id": "j", "job_inst.id": 1}),
+        ]
+        assert "STL108" in ids(run_lines(lines))
+
+    def test_post_script_after_success_is_legal(self):
+        j = {"job.id": "j", "job_inst.id": 1}
+        t = lambda s: f"2012-03-13T12:00:{s:02d}.000000Z"  # noqa: E731
+        lines = [
+            bp("stampede.job_inst.submit.start", ts=t(0), **j),
+            bp("stampede.job_inst.submit.end", ts=t(1), status=0, **j),
+            bp("stampede.job_inst.main.start", ts=t(2), **j),
+            bp("stampede.job_inst.main.term", ts=t(3), status=0, **j),
+            bp("stampede.job_inst.main.end", ts=t(3), status=0, exitcode=0,
+               site="local", **{"local.dur": 1.0, **j}),
+            bp("stampede.job_inst.post.start", ts=t(4), **j),
+            bp("stampede.job_inst.post.term", ts=t(5), status=0, **j),
+            bp("stampede.job_inst.post.end", ts=t(5), status=0, **j),
+        ]
+        findings = run_lines(lines)
+        assert "STL107" not in ids(findings)
+        assert "STL108" not in ids(findings)
+
+
+class TestPairingRules:
+    def test_stl109_start_without_end(self):
+        findings = run_lines([bp("stampede.xwf.start", restart_count=0)])
+        assert "STL109" in ids(findings)
+
+    def test_stl110_end_without_start(self):
+        findings = run_lines([bp("stampede.xwf.end", restart_count=0, status=0)])
+        assert "STL110" in ids(findings)
+
+    def test_matched_pair_is_clean(self):
+        lines = [
+            bp("stampede.xwf.start", restart_count=0),
+            bp("stampede.xwf.end", ts="2012-03-13T12:00:05.000000Z",
+               restart_count=0, status=0),
+        ]
+        findings = run_lines(lines)
+        assert "STL109" not in ids(findings)
+        assert "STL110" not in ids(findings)
+
+
+class TestOrderingAndIdentityRules:
+    def test_stl111_nonmonotonic_timestamp(self):
+        lines = [
+            bp("stampede.xwf.start", ts="2012-03-13T12:00:10.000000Z",
+               restart_count=0),
+            bp("stampede.xwf.end", ts="2012-03-13T12:00:05.000000Z",
+               restart_count=0, status=0),
+        ]
+        assert "STL111" in ids(run_lines(lines))
+
+    def test_stl112_orphan_reference(self):
+        line = bp("stampede.task.edge",
+                  **{"parent.task.id": "a", "child.task.id": "b"})
+        assert "STL112" in ids(run_lines([line]))
+
+    def test_stl112_reported_once_per_entity(self):
+        lines = [
+            bp("stampede.job_inst.main.start",
+               **{"job.id": "ghost", "job_inst.id": 1}),
+            bp("stampede.job_inst.main.start",
+               ts="2012-03-13T12:00:01.000000Z",
+               **{"job.id": "ghost", "job_inst.id": 1}),
+        ]
+        orphans = [f for f in run_lines(lines) if f.rule_id == "STL112"]
+        assert len(orphans) == 1
+
+    def test_stl113_duplicate_delivery(self):
+        line = bp("stampede.xwf.start", restart_count=0)
+        assert "STL113" in ids(run_lines([line, line]))
+
+    def test_retransmission_with_new_ts_is_not_duplicate(self):
+        lines = [
+            bp("stampede.xwf.start", restart_count=0),
+            bp("stampede.xwf.start", ts="2012-03-13T12:00:01.000000Z",
+               restart_count=0),
+        ]
+        assert "STL113" not in ids(run_lines(lines))
+
+
+class TestWholeFile:
+    def test_corrupted_fixture_covers_stream_rules(self):
+        findings = lint_bp(os.path.join(FIXTURES, "corrupted.bp"))
+        got = ids(findings)
+        expected = {f"STL1{n:02d}" for n in range(1, 14)}  # STL101..STL113
+        assert expected <= got
+
+    def test_findings_are_line_anchored(self):
+        findings = lint_bp(os.path.join(FIXTURES, "corrupted.bp"))
+        assert all(f.line >= 1 for f in findings)
+
+    def test_select_filters_stream_findings(self):
+        cfg = LintConfig.build(select=["STL101"])
+        findings = lint_bp(os.path.join(FIXTURES, "corrupted.bp"), config=cfg)
+        assert ids(findings) == {"STL101"}

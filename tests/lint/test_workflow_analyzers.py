@@ -1,0 +1,102 @@
+"""Workflow-definition analyzers: Pegasus DAX and Triana task graphs."""
+import os
+
+import pytest
+
+from repro.lint import lint_dax, lint_path, lint_taskgraph
+from repro.lint.rules import Severity
+from repro.pegasus.dax import dax_to_string
+from repro.triana.taskgraph import TaskGraph
+from repro.triana.taskgraph_xml import taskgraph_to_xml
+from repro.triana.unit import ConstantUnit, ExecUnit, GatherUnit
+from repro.workloads import diamond
+from repro.workloads.montage import montage
+
+FIXTURES = os.path.join(os.path.dirname(__file__), "fixtures")
+
+
+def ids(findings):
+    return {f.rule_id for f in findings}
+
+
+class TestDaxAnalyzers:
+    def test_broken_fixture_hits_all_dax_rules(self):
+        findings = lint_path(os.path.join(FIXTURES, "broken.dax"))
+        assert ids(findings) == {
+            "STL001",  # b <-> c cycle
+            "STL002",  # ref to undefined job zz
+            "STL003",  # duplicate job id a
+            "STL004",  # d unreachable through the cycle
+            "STL005",  # ghost.dat consumed but never produced
+            "STL006",  # f1 produced twice
+            "STL007",  # c depends on itself
+            "STL008",  # a, e isolated
+            "STL012",  # b -> d declared twice
+        }
+
+    def test_findings_carry_line_anchors(self):
+        findings = lint_path(os.path.join(FIXTURES, "broken.dax"))
+        for f in findings:
+            assert f.file.endswith("broken.dax")
+            assert f.line >= 1
+
+    def test_clean_generated_dax_is_clean(self):
+        for aw in (diamond(), montage(n_images=4)):
+            text = dax_to_string(aw)
+            assert lint_dax(text, path="gen.dax") == []
+
+    def test_unparseable_xml_is_stl010(self):
+        findings = lint_dax("<adag><job ", path="bad.dax")
+        assert ids(findings) == {"STL010"}
+        assert findings[0].severity is Severity.ERROR
+
+    def test_wrong_root_element_is_stl010(self):
+        findings = lint_dax("<notadax/>", path="bad.dax")
+        assert ids(findings) == {"STL010"}
+
+
+class TestTaskGraphAnalyzers:
+    def test_broken_fixture_hits_all_taskgraph_rules(self):
+        findings = lint_path(os.path.join(FIXTURES, "broken_taskgraph.xml"))
+        assert ids(findings) == {
+            "STL002",  # cable to undefined task
+            "STL003",  # duplicate task name src
+            "STL007",  # sink cabled to itself
+            "STL008",  # loner isolated
+            "STL009",  # mystery <-> sink cycle (warning: Triana loops can be intentional)
+            "STL011",  # unknown unit type quantum_flux
+            "STL013",  # non-JSON param payload
+        }
+
+    def test_taskgraph_cycle_is_warning_not_error(self):
+        findings = lint_path(os.path.join(FIXTURES, "broken_taskgraph.xml"))
+        sev = {f.rule_id: f.severity for f in findings}
+        assert sev["STL009"] is Severity.WARNING
+        assert sev["STL011"] is Severity.ERROR
+
+    def test_clean_generated_taskgraph_is_clean(self):
+        g = TaskGraph("clean")
+        src = g.add(ConstantUnit("src", [1, 2]))
+        e0 = g.add(ExecUnit("e0", ["run"], base_seconds=1.0))
+        z = g.add(GatherUnit("z"))
+        g.connect(src, e0)
+        g.connect(e0, z)
+        assert lint_taskgraph(taskgraph_to_xml(g), path="gen.xml") == []
+
+    def test_truncated_xml_is_stl010(self):
+        findings = lint_path(os.path.join(FIXTURES, "garbage.xml"))
+        assert ids(findings) == {"STL010"}
+
+
+class TestAcceptance:
+    def test_bad_fixtures_cover_at_least_12_rules(self):
+        all_ids = set()
+        for name in ("broken.dax", "broken_taskgraph.xml", "corrupted.bp",
+                     "garbage.xml"):
+            all_ids |= ids(lint_path(os.path.join(FIXTURES, name)))
+        assert len(all_ids) >= 12
+
+    @pytest.mark.parametrize("name", ["broken.dax", "broken_taskgraph.xml"])
+    def test_bad_fixtures_have_errors(self, name):
+        findings = lint_path(os.path.join(FIXTURES, name))
+        assert any(f.severity is Severity.ERROR for f in findings)

@@ -1,0 +1,108 @@
+"""The explicit job/workflow lifecycle state machine."""
+import pytest
+
+from repro.model import (
+    ALLOWED_TRANSITIONS,
+    ALLOWED_WORKFLOW_TRANSITIONS,
+    END_JOB_STATES,
+    INITIAL_JOB_STATES,
+    TERMINAL_JOB_STATES,
+    JobState,
+    WorkflowState,
+    allowed_successors,
+    is_valid_transition,
+)
+
+
+class TestTransitionTable:
+    def test_every_state_has_an_entry(self):
+        assert set(ALLOWED_TRANSITIONS) == set(JobState)
+
+    def test_successors_are_jobstates(self):
+        for nxt in ALLOWED_TRANSITIONS.values():
+            assert all(isinstance(s, JobState) for s in nxt)
+
+    def test_end_states_have_no_successors(self):
+        for state in END_JOB_STATES:
+            assert ALLOWED_TRANSITIONS[state] == frozenset()
+
+    def test_non_end_states_have_successors(self):
+        for state in set(JobState) - END_JOB_STATES:
+            assert ALLOWED_TRANSITIONS[state]
+
+    def test_terminal_outcomes_may_still_run_post_script(self):
+        # JOB_SUCCESS / JOB_FAILURE are *outcome* states, not end states:
+        # DAGMan may still run a post script afterwards.
+        assert JobState.JOB_SUCCESS in TERMINAL_JOB_STATES
+        assert is_valid_transition(JobState.JOB_SUCCESS,
+                                   JobState.POST_SCRIPT_STARTED)
+        assert is_valid_transition(JobState.JOB_FAILURE,
+                                   JobState.POST_SCRIPT_STARTED)
+
+    def test_allowed_successors(self):
+        assert allowed_successors(JobState.SUBMIT) == ALLOWED_TRANSITIONS[
+            JobState.SUBMIT
+        ]
+
+
+class TestIsValidTransition:
+    @pytest.mark.parametrize("current,nxt", [
+        (JobState.SUBMIT, JobState.EXECUTE),
+        (JobState.EXECUTE, JobState.JOB_TERMINATED),
+        (JobState.JOB_TERMINATED, JobState.JOB_SUCCESS),
+        (JobState.JOB_TERMINATED, JobState.JOB_FAILURE),
+        (JobState.EXECUTE, JobState.JOB_HELD),
+        (JobState.JOB_HELD, JobState.JOB_RELEASED),
+        (JobState.JOB_RELEASED, JobState.EXECUTE),
+        (JobState.EXECUTE, JobState.JOB_EVICTED),
+        (JobState.PRE_SCRIPT_STARTED, JobState.PRE_SCRIPT_TERMINATED),
+        (JobState.PRE_SCRIPT_SUCCESS, JobState.SUBMIT),
+        (JobState.PRE_SCRIPT_FAILURE, JobState.JOB_FAILURE),
+        (JobState.POST_SCRIPT_STARTED, JobState.POST_SCRIPT_TERMINATED),
+    ])
+    def test_legal(self, current, nxt):
+        assert is_valid_transition(current, nxt)
+
+    @pytest.mark.parametrize("current,nxt", [
+        (JobState.SUBMIT, JobState.SUBMIT),
+        (JobState.SUBMIT, JobState.JOB_SUCCESS),
+        (JobState.EXECUTE, JobState.JOB_SUCCESS),  # must pass JOB_TERMINATED
+        (JobState.JOB_SUCCESS, JobState.EXECUTE),
+        (JobState.JOB_ABORTED, JobState.SUBMIT),
+        (JobState.POST_SCRIPT_SUCCESS, JobState.SUBMIT),
+        (JobState.JOB_TERMINATED, JobState.EXECUTE),
+    ])
+    def test_illegal(self, current, nxt):
+        assert not is_valid_transition(current, nxt)
+
+    def test_initial_states(self):
+        assert is_valid_transition(None, JobState.SUBMIT)
+        assert is_valid_transition(None, JobState.PRE_SCRIPT_STARTED)
+        assert not is_valid_transition(None, JobState.EXECUTE)
+        assert INITIAL_JOB_STATES == frozenset(
+            {JobState.PRE_SCRIPT_STARTED, JobState.SUBMIT}
+        )
+
+    def test_mixed_vocabularies_rejected(self):
+        with pytest.raises(TypeError):
+            is_valid_transition(JobState.SUBMIT, WorkflowState.WORKFLOW_STARTED)
+
+
+class TestWorkflowTransitions:
+    def test_start_end_cycle(self):
+        assert is_valid_transition(None, WorkflowState.WORKFLOW_STARTED)
+        assert is_valid_transition(WorkflowState.WORKFLOW_STARTED,
+                                   WorkflowState.WORKFLOW_TERMINATED)
+        # restarts re-enter WORKFLOW_STARTED
+        assert is_valid_transition(WorkflowState.WORKFLOW_TERMINATED,
+                                   WorkflowState.WORKFLOW_STARTED)
+
+    def test_double_start_illegal(self):
+        assert not is_valid_transition(WorkflowState.WORKFLOW_STARTED,
+                                       WorkflowState.WORKFLOW_STARTED)
+
+    def test_end_before_start_illegal(self):
+        assert not is_valid_transition(None, WorkflowState.WORKFLOW_TERMINATED)
+
+    def test_table_covers_all_workflow_states(self):
+        assert set(ALLOWED_WORKFLOW_TRANSITIONS) == set(WorkflowState)
