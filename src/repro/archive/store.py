@@ -60,12 +60,23 @@ class StampedeArchive:
 
     # -- key generation -----------------------------------------------------
     def next_id(self, table_name: str) -> int:
-        """Allocate the next surrogate key for a table."""
+        """Allocate the next surrogate key for a table.
+
+        Sequences seed from ``MAX(id) + 1``, not row count: with deleted
+        rows or two archives reopening the same file the ids are
+        non-contiguous and a count-based seed would reissue live keys.
+        """
         with self._seq_lock:
-            if table_name not in self._sequences:
-                start = self.db.count(ddl.TABLES[table_name]) + 1
-                self._sequences[table_name] = itertools.count(start)
-            return next(self._sequences[table_name])
+            seq = self._sequences.get(table_name)
+            if seq is None:
+                table = ddl.TABLES[table_name]
+                if table.primary_key is not None:
+                    current = self.db.max_value(table, table.primary_key.name)
+                    start = int(current or 0) + 1
+                else:
+                    start = self.db.count(table) + 1
+                seq = self._sequences[table_name] = itertools.count(start)
+            return next(seq)
 
     # -- generic entity I/O ----------------------------------------------------
     def insert(self, entity: Any) -> None:
@@ -78,9 +89,14 @@ class StampedeArchive:
         for entity in entities:
             by_type.setdefault(type(entity), []).append(_to_row(entity))
         total = 0
-        for etype, rows in by_type.items():
-            total += self.db.insert_many(_table_for(etype), rows)
+        with self.db.transaction():
+            for etype, rows in by_type.items():
+                total += self.db.insert_many(_table_for(etype), rows)
         return total
+
+    def transaction(self):
+        """Scope archive writes into one atomic backend transaction."""
+        return self.db.transaction()
 
     def query(self, entity_type: Type[T]) -> "EntityQuery[T]":
         return EntityQuery(self, entity_type)
@@ -121,16 +137,25 @@ class EntityQuery:
         self._query.limit(count, offset)
         return self
 
+    def copy(self) -> "EntityQuery[T]":
+        clone = EntityQuery(self._archive, self._entity_type)
+        clone._query = self._query.copy()
+        return clone
+
     def all(self) -> List[T]:
         rows = self._archive.db.select(self._query)
         return [self._entity_type(**row) for row in rows]
 
     def first(self) -> Optional[T]:
-        results = self.limit(1).all()
+        # Work on a clone: first() must not mutate this query's limit,
+        # or a later .all() on the same object would return one row.
+        results = self.copy().limit(1).all()
         return results[0] if results else None
 
     def count(self) -> int:
-        return len(self.all())
+        if self._query.limit_count is not None or self._query.offset_count:
+            return len(self.all())  # limit/offset semantics need the rows
+        return self._archive.db.count_where(self._query)
 
 
 def _table_for(entity_type: type) -> Table:

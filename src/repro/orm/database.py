@@ -6,12 +6,20 @@ used on its command line::
     sqlite:///test.db      -> sqlite file
     sqlite:///:memory:     -> sqlite in memory
     memory://              -> pure-Python dict backend
+
+Both backends expose explicit transaction scoping via
+:meth:`Database.transaction`: statements issued inside the context
+manager commit (or roll back) as one unit, which is what lets the
+loader turn a batch of inserts plus its coalesced updates into a single
+fsync on the file backend.  Outside a transaction each statement
+auto-commits, preserving the original per-statement durability.
 """
 from __future__ import annotations
 
 import sqlite3
 import threading
-from typing import Any, Dict, Iterable, List, Optional, Sequence
+from contextlib import contextmanager
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence
 
 from repro.orm.query import Query
 from repro.orm.table import Table
@@ -21,6 +29,9 @@ __all__ = ["Database", "SqliteDatabase", "MemoryDatabase", "connect"]
 
 class Database:
     """Abstract backend: DDL, inserts (single + executemany), query, count."""
+
+    #: Exception types a caller may treat as transient and retry.
+    TRANSIENT_ERRORS: tuple = ()
 
     def create_tables(self, tables: Sequence[Table]) -> None:
         raise NotImplementedError
@@ -45,17 +56,76 @@ class Database:
     def count(self, table: Table) -> int:
         raise NotImplementedError
 
+    def count_where(self, query: Query) -> int:
+        """COUNT(*) of the rows matching the query's predicates."""
+        raise NotImplementedError
+
+    def max_value(self, table: Table, column: str) -> Optional[Any]:
+        """MAX(column) over the table, or None if the table is empty."""
+        raise NotImplementedError
+
+    @contextmanager
+    def transaction(self) -> Iterator["Database"]:
+        """Scope a group of statements into one atomic commit.
+
+        Nested calls join the outermost transaction.  The base
+        implementation is a no-op for backends without durability.
+        """
+        yield self
+
     def close(self) -> None:  # pragma: no cover - default no-op
         pass
 
 
 class SqliteDatabase(Database):
-    """sqlite3-backed storage; thread-safe via a connection lock."""
+    """sqlite3-backed storage; thread-safe via a reentrant connection lock.
+
+    File-backed databases run in WAL mode with NORMAL synchronous and a
+    generous page cache — the tuning the high-rate loader path needs.
+    The connection runs in autocommit mode; :meth:`transaction` issues
+    explicit BEGIN IMMEDIATE / COMMIT / ROLLBACK and holds the lock for
+    the whole scope, so a loader flush is one write transaction even
+    with reader threads around.
+    """
+
+    TRANSIENT_ERRORS = (sqlite3.OperationalError,)
 
     def __init__(self, path: str = ":memory:"):
         self.path = path
-        self._conn = sqlite3.connect(path, check_same_thread=False)
-        self._lock = threading.Lock()
+        # isolation_level=None -> autocommit; transactions are explicit.
+        self._conn = sqlite3.connect(
+            path, check_same_thread=False, isolation_level=None
+        )
+        self._lock = threading.RLock()
+        self._txn_depth = 0
+        self._apply_pragmas()
+
+    def _apply_pragmas(self) -> None:
+        cur = self._conn.cursor()
+        if self.path not in (":memory:", ""):
+            cur.execute("PRAGMA journal_mode=WAL")
+            cur.execute("PRAGMA synchronous=NORMAL")
+        cur.execute("PRAGMA temp_store=MEMORY")
+        cur.execute("PRAGMA cache_size=-65536")  # 64 MiB page cache
+
+    @contextmanager
+    def transaction(self) -> Iterator["SqliteDatabase"]:
+        with self._lock:
+            self._txn_depth += 1
+            outermost = self._txn_depth == 1
+            if outermost:
+                self._conn.execute("BEGIN IMMEDIATE")
+            try:
+                yield self
+            except BaseException:
+                if outermost:
+                    self._conn.rollback()
+                raise
+            else:
+                if outermost:
+                    self._conn.commit()
+            finally:
+                self._txn_depth -= 1
 
     def create_tables(self, tables: Sequence[Table]) -> None:
         with self._lock:
@@ -64,7 +134,6 @@ class SqliteDatabase(Database):
                 cur.execute(table.create_sql())
                 for stmt in table.index_sql():
                     cur.execute(stmt)
-            self._conn.commit()
 
     def insert(self, table: Table, row: Dict[str, Any]) -> None:
         coerced = table.coerce_row(row)
@@ -75,7 +144,6 @@ class SqliteDatabase(Database):
         )
         with self._lock:
             self._conn.execute(sql, [coerced[n] for n in names])
-            self._conn.commit()
 
     def insert_many(self, table: Table, rows: Iterable[Dict[str, Any]]) -> int:
         coerced = [table.coerce_row(r) for r in rows]
@@ -89,7 +157,6 @@ class SqliteDatabase(Database):
         params = [[row.get(n) for n in names] for row in coerced]
         with self._lock:
             self._conn.executemany(sql, params)
-            self._conn.commit()
         return len(coerced)
 
     def select(self, query: Query) -> List[Dict[str, Any]]:
@@ -119,7 +186,6 @@ class SqliteDatabase(Database):
         ] + [table.by_name[n].type.to_storage(where[n]) for n in where_names]
         with self._lock:
             cur = self._conn.execute(sql, params)
-            self._conn.commit()
             return cur.rowcount
 
     def count(self, table: Table) -> int:
@@ -127,18 +193,49 @@ class SqliteDatabase(Database):
             (n,) = self._conn.execute(f"SELECT COUNT(*) FROM {table.name}").fetchone()
         return int(n)
 
+    def count_where(self, query: Query) -> int:
+        sql, params = query.to_count_sql()
+        with self._lock:
+            (n,) = self._conn.execute(sql, params).fetchone()
+        return int(n)
+
+    def max_value(self, table: Table, column: str) -> Optional[Any]:
+        if column not in table.by_name:
+            raise ValueError(f"no column {column!r} in table {table.name!r}")
+        with self._lock:
+            (value,) = self._conn.execute(
+                f"SELECT MAX({column}) FROM {table.name}"
+            ).fetchone()
+        return None if value is None else table.by_name[column].type.from_storage(value)
+
+    def pragma(self, name: str) -> Any:
+        """Read one PRAGMA value (introspection for tests/diagnostics)."""
+        with self._lock:
+            row = self._conn.execute(f"PRAGMA {name}").fetchone()
+        return row[0] if row else None
+
     def close(self) -> None:
         with self._lock:
             self._conn.close()
 
 
 class MemoryDatabase(Database):
-    """Pure-Python backend: rows are dicts in per-table lists."""
+    """Pure-Python backend: rows are dicts in per-table lists.
+
+    ``transaction`` only provides grouping semantics (no rollback): the
+    backend has no durability to protect, and snapshotting every table
+    per batch would defeat its purpose as the fast in-process store.
+    """
 
     def __init__(self):
         self._tables: Dict[str, List[Dict[str, Any]]] = {}
         self._meta: Dict[str, Table] = {}
-        self._lock = threading.Lock()
+        self._lock = threading.RLock()
+
+    @contextmanager
+    def transaction(self) -> Iterator["MemoryDatabase"]:
+        with self._lock:
+            yield self
 
     def create_tables(self, tables: Sequence[Table]) -> None:
         with self._lock:
@@ -191,6 +288,21 @@ class MemoryDatabase(Database):
     def count(self, table: Table) -> int:
         with self._lock:
             return len(self._require(table))
+
+    def count_where(self, query: Query) -> int:
+        with self._lock:
+            rows = list(self._require(query.table))
+        return sum(
+            1 for r in rows if all(p.evaluate(r) for p in query.predicates)
+        )
+
+    def max_value(self, table: Table, column: str) -> Optional[Any]:
+        if column not in table.by_name:
+            raise ValueError(f"no column {column!r} in table {table.name!r}")
+        with self._lock:
+            rows = self._require(table)
+            values = [r.get(column) for r in rows if r.get(column) is not None]
+        return max(values) if values else None
 
 
 def connect(conn_string: str) -> Database:

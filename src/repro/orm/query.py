@@ -89,6 +89,15 @@ class Query:
         self.offset_count = offset
         return self
 
+    def copy(self) -> "Query":
+        """Independent clone; mutating the copy leaves the original alone."""
+        clone = Query(self.table)
+        clone.predicates = list(self.predicates)
+        clone.order = list(self.order)
+        clone.limit_count = self.limit_count
+        clone.offset_count = self.offset_count
+        return clone
+
     # -- sqlite compilation -----------------------------------------------------
     def to_sql(self) -> Tuple[str, List[Any]]:
         sql = f"SELECT {', '.join(self.table.column_names())} FROM {self.table.name}"
@@ -106,6 +115,19 @@ class Query:
         if self.limit_count is not None:
             sql += " LIMIT ? OFFSET ?"
             params.extend([self.limit_count, self.offset_count])
+        return sql, params
+
+    def to_count_sql(self) -> Tuple[str, List[Any]]:
+        """Compile to SELECT COUNT(*) over the predicates (no order/limit)."""
+        sql = f"SELECT COUNT(*) FROM {self.table.name}"
+        params: List[Any] = []
+        if self.predicates:
+            clauses = []
+            for pred in self.predicates:
+                clause, vals = pred.to_sql()
+                clauses.append(clause)
+                params.extend(vals)
+            sql += " WHERE " + " AND ".join(clauses)
         return sql, params
 
     # -- memory evaluation ---------------------------------------------------------

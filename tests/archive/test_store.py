@@ -59,6 +59,24 @@ class TestStore:
         a.insert(WorkflowRow(wf_id=2, wf_uuid="u-2"))
         assert a.next_id("workflow") == 3
 
+    def test_next_id_seeds_from_max_not_count(self, archive):
+        # Non-contiguous ids (deleted rows, partial loads): a count-based
+        # seed would reissue id 2 and collide with the live id 5.
+        archive.insert(WorkflowRow(wf_id=1, wf_uuid="u-1"))
+        archive.insert(WorkflowRow(wf_id=5, wf_uuid="u-5"))
+        assert archive.next_id("workflow") == 6
+
+    def test_next_id_after_reopening_archive(self, tmp_path):
+        path = tmp_path / "reopen.db"
+        first = StampedeArchive.open(f"sqlite:///{path}")
+        ids = [first.next_id("workflow") for _ in range(3)]
+        for i in ids:
+            first.insert(WorkflowRow(wf_id=i, wf_uuid=f"u-{i}"))
+        first.close()
+        second = StampedeArchive.open(f"sqlite:///{path}")
+        assert second.next_id("workflow") == 4  # continues, never reissues
+        second.close()
+
     def test_insert_many_mixed_types(self, archive):
         n = archive.insert_many(
             [
@@ -101,6 +119,32 @@ class TestStore:
 
     def test_query_first_none(self, archive):
         assert archive.query(HostRow).eq("host_id", 42).first() is None
+
+    def test_first_does_not_mutate_query(self, archive):
+        for i in range(3):
+            archive.insert(
+                JobStateRow(job_instance_id=1, state=f"S{i}", timestamp=float(i))
+            )
+        q = archive.query(JobStateRow).eq("job_instance_id", 1).order_by("timestamp")
+        first = q.first()
+        assert first.state == "S0"
+        assert len(q.all()) == 3  # first() must not leave a limit behind
+        assert q.count() == 3
+
+    def test_count_uses_predicates(self, archive):
+        for i in range(6):
+            archive.insert(
+                JobStateRow(job_instance_id=i % 2, state="S", timestamp=float(i))
+            )
+        assert archive.query(JobStateRow).eq("job_instance_id", 0).count() == 3
+        assert archive.query(JobStateRow).where("timestamp", ">=", 4.0).count() == 2
+
+    def test_count_respects_limit_fallback(self, archive):
+        for i in range(5):
+            archive.insert(
+                JobStateRow(job_instance_id=1, state="S", timestamp=float(i))
+            )
+        assert archive.query(JobStateRow).limit(2).count() == 2
 
     def test_non_entity_rejected(self, archive):
         with pytest.raises(TypeError):
