@@ -83,6 +83,7 @@ class Broker:
         durable: bool = False,
         auto_delete: bool = False,
         max_length: Optional[int] = None,
+        overflow: str = "drop-oldest",
     ) -> MessageQueue:
         with self._lock:
             if name is None:
@@ -97,7 +98,11 @@ class Broker:
                     )
                 return existing
             queue = MessageQueue(
-                name, durable=durable, auto_delete=auto_delete, max_length=max_length
+                name,
+                durable=durable,
+                auto_delete=auto_delete,
+                max_length=max_length,
+                overflow=overflow,
             )
             self._queues[name] = queue
             return queue
@@ -153,11 +158,21 @@ class Broker:
         exchange: str = DEFAULT_EXCHANGE,
         durable: bool = False,
         auto_delete: bool = True,
+        max_length: Optional[int] = None,
+        overflow: str = "drop-oldest",
     ) -> "Consumer":
-        """Declare+bind a queue in one step and return a consumer handle."""
+        """Declare+bind a queue in one step and return a consumer handle.
+
+        ``max_length`` + ``overflow='block'`` turn the queue into a
+        backpressure boundary: publishers block when the consumer lags.
+        """
         with self._lock:
             queue = self.declare_queue(
-                queue_name, durable=durable, auto_delete=auto_delete
+                queue_name,
+                durable=durable,
+                auto_delete=auto_delete,
+                max_length=max_length,
+                overflow=overflow,
             )
             self.bind_queue(queue.name, pattern, exchange)
         return Consumer(self, queue)
@@ -186,6 +201,10 @@ class Consumer:
 
     def nack(self, message: Message, requeue: bool = True) -> None:
         self._queue.nack(message.delivery_tag, requeue=requeue)
+
+    def depth(self) -> int:
+        """Messages currently queued (excluding unacked in-flight ones)."""
+        return len(self._queue)
 
     def drain(self) -> List[Message]:
         """Consume everything currently queued without blocking."""

@@ -11,6 +11,7 @@ from __future__ import annotations
 from typing import Iterable, Iterator, List, Optional, Union
 
 from repro.bus.broker import DEFAULT_EXCHANGE, Broker, Consumer
+from repro.bus.queues import Message
 from repro.netlogger.events import NLEvent
 from repro.netlogger.stream import BPWriter
 
@@ -47,9 +48,16 @@ class EventConsumer:
         queue_name: Optional[str] = None,
         exchange: str = DEFAULT_EXCHANGE,
         durable: bool = False,
+        max_length: Optional[int] = None,
+        overflow: str = "drop-oldest",
     ):
         self._consumer: Consumer = broker.subscribe(
-            pattern, queue_name=queue_name, exchange=exchange, durable=durable
+            pattern,
+            queue_name=queue_name,
+            exchange=exchange,
+            durable=durable,
+            max_length=max_length,
+            overflow=overflow,
         )
 
     @property
@@ -59,6 +67,27 @@ class EventConsumer:
     def get(self, timeout: Optional[float] = 0.0) -> Optional[NLEvent]:
         msg = self._consumer.get(timeout=timeout)
         return None if msg is None else _as_event(msg.body)
+
+    def get_message(
+        self, timeout: Optional[float] = 0.0, auto_ack: bool = True
+    ) -> Optional[Message]:
+        """Raw message access (delivery tag + body) for at-least-once
+        consumers that want to ack only after their batch commits."""
+        return self._consumer.get(timeout=timeout, auto_ack=auto_ack)
+
+    def ack(self, message: Message) -> None:
+        self._consumer.ack(message)
+
+    def nack(self, message: Message, requeue: bool = True) -> None:
+        self._consumer.nack(message, requeue=requeue)
+
+    def depth(self) -> int:
+        """Current queue depth (messages awaiting delivery)."""
+        return self._consumer.depth()
+
+    @staticmethod
+    def as_event(message: Message) -> NLEvent:
+        return _as_event(message.body)
 
     def drain(self) -> List[NLEvent]:
         return [_as_event(m.body) for m in self._consumer.drain()]

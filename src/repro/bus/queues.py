@@ -2,20 +2,32 @@
 
 Queues support the subset of AMQP semantics Stampede relies on:
 durability flags, auto-delete, unacknowledged-message redelivery, and
-bounded capacity with a configurable overflow policy.
+bounded capacity with a configurable overflow policy:
+
+* ``'drop-oldest'`` — shed the head of the queue (monitoring data is
+  lossy-tolerant; the default);
+* ``'raise'`` — fail the publisher with :class:`QueueFullError`;
+* ``'block'`` — apply backpressure: the publisher blocks until a
+  consumer frees capacity (or its ``timeout`` expires), so a slow
+  loader deterministically slows producers instead of silently
+  dropping events.
 """
 from __future__ import annotations
 
 import threading
+import time
 from collections import OrderedDict, deque
 from dataclasses import dataclass, field
 from typing import Deque, Dict, Optional
 
 __all__ = ["Message", "QueueStats", "MessageQueue", "QueueFullError"]
 
+OVERFLOW_POLICIES = ("drop-oldest", "raise", "block")
+
 
 class QueueFullError(RuntimeError):
-    """Raised when a bounded queue with policy='raise' overflows."""
+    """Raised when a bounded queue overflows (policy 'raise', or 'block'
+    whose wait timed out)."""
 
 
 @dataclass(frozen=True)
@@ -35,6 +47,7 @@ class QueueStats:
     acked: int = 0
     requeued: int = 0
     dropped: int = 0
+    blocked: int = 0  # publisher waits caused by backpressure
 
 
 class MessageQueue:
@@ -51,9 +64,9 @@ class MessageQueue:
         durable: bool = False,
         auto_delete: bool = False,
         max_length: Optional[int] = None,
-        overflow: str = "drop-oldest",  # or 'raise'
+        overflow: str = "drop-oldest",
     ):
-        if overflow not in ("drop-oldest", "raise"):
+        if overflow not in OVERFLOW_POLICIES:
             raise ValueError(f"unknown overflow policy {overflow!r}")
         self.name = name
         self.durable = durable
@@ -65,17 +78,44 @@ class MessageQueue:
         self._tag = 0
         self._lock = threading.Lock()
         self._not_empty = threading.Condition(self._lock)
+        self._not_full = threading.Condition(self._lock)
         self.stats = QueueStats()
 
-    def put(self, routing_key: str, body: object) -> None:
-        with self._not_empty:
+    def put(
+        self, routing_key: str, body: object, timeout: Optional[float] = None
+    ) -> None:
+        """Enqueue a message, applying the overflow policy when bounded.
+
+        With policy ``'block'``, a full queue makes the publisher wait up
+        to ``timeout`` seconds (forever when None) for a consumer to free
+        capacity; :class:`QueueFullError` is raised on timeout.
+        """
+        with self._lock:
             if self._max_length is not None and len(self._items) >= self._max_length:
                 if self._overflow == "raise":
                     raise QueueFullError(
                         f"queue {self.name!r} full ({self._max_length})"
                     )
-                self._items.popleft()
-                self.stats.dropped += 1
+                if self._overflow == "block":
+                    self.stats.blocked += 1
+                    deadline = (
+                        None if timeout is None else time.monotonic() + timeout
+                    )
+                    while len(self._items) >= self._max_length:
+                        wait_for = (
+                            None
+                            if deadline is None
+                            else deadline - time.monotonic()
+                        )
+                        if wait_for is not None and wait_for <= 0:
+                            raise QueueFullError(
+                                f"queue {self.name!r} full ({self._max_length}); "
+                                f"backpressure wait timed out after {timeout}s"
+                            )
+                        self._not_full.wait(wait_for)
+                else:  # drop-oldest
+                    self._items.popleft()
+                    self.stats.dropped += 1
             self._tag += 1
             self._items.append(Message(routing_key, body, delivery_tag=self._tag))
             self.stats.published += 1
@@ -84,21 +124,25 @@ class MessageQueue:
     def get(self, timeout: Optional[float] = 0.0) -> Optional[Message]:
         """Pop the next message; None if empty after ``timeout`` seconds.
 
-        ``timeout=0`` polls; ``timeout=None`` blocks indefinitely.
+        ``timeout=0`` polls; ``timeout=None`` blocks indefinitely.  A
+        finite timeout is honored as a deadline across spurious wakeups.
         """
         with self._not_empty:
-            if timeout != 0.0:
-                deadline_wait = timeout
+            if not self._items and timeout != 0.0:
+                deadline = None if timeout is None else time.monotonic() + timeout
                 while not self._items:
-                    if not self._not_empty.wait(deadline_wait):
+                    wait_for = (
+                        None if deadline is None else deadline - time.monotonic()
+                    )
+                    if wait_for is not None and wait_for <= 0:
                         return None
-                    if timeout is not None:
-                        break
+                    self._not_empty.wait(wait_for)
             if not self._items:
                 return None
             msg = self._items.popleft()
             self._unacked[msg.delivery_tag] = msg
             self.stats.delivered += 1
+            self._not_full.notify()
             return msg
 
     def ack(self, delivery_tag: int) -> None:
@@ -152,4 +196,5 @@ class MessageQueue:
             self._items = deque()
             self.stats.delivered += len(items)
             self.stats.acked += len(items)
+            self._not_full.notify_all()
             return items

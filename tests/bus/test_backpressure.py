@@ -1,0 +1,80 @@
+"""Bounded-queue backpressure: the 'block' overflow policy."""
+import threading
+import time
+
+import pytest
+
+from repro.bus.broker import Broker
+from repro.bus.queues import MessageQueue, QueueFullError
+
+
+class TestBlockPolicy:
+    def test_put_blocks_until_consumer_frees_capacity(self):
+        q = MessageQueue("q", max_length=2, overflow="block")
+        q.put("k", 1)
+        q.put("k", 2)
+        done = threading.Event()
+
+        def publish_third():
+            q.put("k", 3)  # must block until a get() frees a slot
+            done.set()
+
+        t = threading.Thread(target=publish_third, daemon=True)
+        t.start()
+        time.sleep(0.05)
+        assert not done.is_set()  # publisher is being held back
+        msg = q.get()
+        q.ack(msg.delivery_tag)
+        assert done.is_set() or done.wait(1.0)
+        assert q.stats.blocked == 1
+        assert q.stats.dropped == 0  # backpressure sheds nothing
+
+    def test_put_timeout_raises(self):
+        q = MessageQueue("q", max_length=1, overflow="block")
+        q.put("k", 1)
+        start = time.monotonic()
+        with pytest.raises(QueueFullError):
+            q.put("k", 2, timeout=0.05)
+        assert time.monotonic() - start >= 0.05
+
+    def test_drain_releases_blocked_publisher(self):
+        q = MessageQueue("q", max_length=1, overflow="block")
+        q.put("k", 1)
+        done = threading.Event()
+
+        def publish():
+            q.put("k", 2)
+            done.set()
+
+        threading.Thread(target=publish, daemon=True).start()
+        time.sleep(0.02)
+        q.drain()
+        assert done.wait(1.0)
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError):
+            MessageQueue("q", overflow="explode")
+
+    def test_broker_passes_policy_through(self):
+        broker = Broker()
+        consumer = broker.subscribe(
+            "stampede.#", queue_name="bounded", max_length=1, overflow="raise"
+        )
+        broker.publish("stampede.x", "one")
+        with pytest.raises(QueueFullError):
+            broker.publish("stampede.x", "two")
+        assert consumer.depth() == 1
+
+
+class TestGetDeadline:
+    def test_finite_timeout_is_a_deadline(self):
+        q = MessageQueue("q")
+        start = time.monotonic()
+        assert q.get(timeout=0.08) is None
+        assert time.monotonic() - start >= 0.08
+
+    def test_zero_timeout_polls(self):
+        q = MessageQueue("q")
+        start = time.monotonic()
+        assert q.get(timeout=0.0) is None
+        assert time.monotonic() - start < 0.05
