@@ -1,5 +1,6 @@
 """High-performance log loading: nl_load front-end, stampede_loader module,
 and the monitord real-time file follower."""
+from repro.loader.checkpoint import Checkpoint, CheckpointManager
 from repro.loader.monitord import Monitord, follow_file
 from repro.loader.nl_load import (
     load_events,
@@ -11,6 +12,8 @@ from repro.loader.nl_load import (
 from repro.loader.stampede_loader import LoaderError, LoaderStats, StampedeLoader
 
 __all__ = [
+    "Checkpoint",
+    "CheckpointManager",
     "Monitord",
     "follow_file",
     "load_events",

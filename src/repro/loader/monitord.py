@@ -23,7 +23,7 @@ from typing import Callable, Optional, Union
 from repro.loader.stampede_loader import StampedeLoader
 from repro.model.entities import WorkflowStateRow
 from repro.model.states import WorkflowState
-from repro.netlogger.stream import tail_events
+from repro.netlogger.stream import tail_events_with_offsets
 
 __all__ = ["follow_file", "Monitord"]
 
@@ -35,14 +35,20 @@ def follow_file(
     loader: StampedeLoader,
     poll: Callable[[], bool],
     flush_every: int = 100,
+    start_offset: int = 0,
 ) -> int:
     """Tail a BP file into the loader until ``poll()`` returns False.
 
     Returns the number of events loaded.  Flushes the loader's batch
     buffer every ``flush_every`` events so queries see fresh data.
+    The loader's source position tracks the byte offset after each
+    event's line, so a checkpointing loader records exactly how far into
+    the file each committed batch reaches; ``start_offset`` skips the
+    prefix a previous run already archived.
     """
     loaded = 0
-    for event in tail_events(path, poll):
+    for event, offset in tail_events_with_offsets(path, poll, start_offset=start_offset):
+        loader.position = offset
         loader.process(event)
         loaded += 1
         if loaded % flush_every == 0:
@@ -65,11 +71,15 @@ class Monitord:
         loader: StampedeLoader,
         poll_interval: float = 0.02,
         expected_terminations: int = 1,
+        resume: bool = False,
     ):
+        if resume and loader.checkpoint is None:
+            raise ValueError("resume=True requires a loader with a checkpoint manager")
         self.path = path
         self.loader = loader
         self.poll_interval = poll_interval
         self.expected_terminations = expected_terminations
+        self.resume = resume
         self.events_loaded = 0
         self._stop = threading.Event()
         self._thread: Optional[threading.Thread] = None
@@ -120,9 +130,12 @@ class Monitord:
         return True
 
     def _run(self) -> None:
+        start_offset = self.loader.resume() if self.resume else 0
         # wait for the file to exist (the engine may not have started yet)
         while not os.path.exists(self.path):
             if self._stop.is_set():
                 return
             time.sleep(self.poll_interval)
-        self.events_loaded = follow_file(self.path, self.loader, self._poll)
+        self.events_loaded = follow_file(
+            self.path, self.loader, self._poll, start_offset=start_offset
+        )

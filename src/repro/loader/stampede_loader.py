@@ -11,14 +11,24 @@ events — ``stampede.task.info``, ``stampede.job.info``, the edges and the
 task→job mapping — must be seen for a workflow before execution events
 referencing them.  In ``strict`` mode a violation raises
 :class:`LoaderError`; in tolerant mode a placeholder row is synthesized.
+
+Write path: every handler only *buffers* work — row inserts and the
+coalesced column updates (task→job maps, job-instance finalization, host
+attachment) — as an ordered journal.  :meth:`StampedeLoader.flush`
+replays the journal inside one backend transaction, so a batch is one
+commit (one fsync on the file backend) instead of a commit per
+statement, and a crash mid-batch leaves no partial rows behind.
+Transient backend errors (e.g. a locked sqlite file) are retried with
+exponential backoff before the batch is abandoned.
 """
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, List, Optional, Tuple
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro.archive.store import StampedeArchive
+from repro.loader.checkpoint import CheckpointManager
 from repro.model.entities import (
     HostRow,
     InvocationRow,
@@ -44,6 +54,10 @@ class LoaderError(ValueError):
     """An event could not be normalized into the archive."""
 
 
+#: Cap on retained per-flush latency samples (long-running monitord).
+_MAX_LATENCY_SAMPLES = 8192
+
+
 @dataclass
 class LoaderStats:
     events_processed: int = 0
@@ -53,10 +67,49 @@ class LoaderStats:
     flushes: int = 0
     validation_failures: int = 0
     wall_seconds: float = 0.0
+    retries: int = 0
+    checkpoints_written: int = 0
+    resumes: int = 0
+    flush_seconds: List[float] = field(default_factory=list)
+    queue_depth_max: int = 0
+    queue_depth_sum: int = 0
+    queue_depth_samples: int = 0
 
     @property
     def events_per_second(self) -> float:
+        # wall_seconds may be zero/unset mid-stream; report 0 rather than
+        # dividing by zero or inventing an infinite rate.
         return self.events_processed / self.wall_seconds if self.wall_seconds else 0.0
+
+    @property
+    def queue_depth_avg(self) -> float:
+        if not self.queue_depth_samples:
+            return 0.0
+        return self.queue_depth_sum / self.queue_depth_samples
+
+    def record_flush_latency(self, seconds: float) -> None:
+        self.flush_seconds.append(seconds)
+        if len(self.flush_seconds) > _MAX_LATENCY_SAMPLES:
+            # keep the newest half; percentiles stay representative
+            del self.flush_seconds[: len(self.flush_seconds) // 2]
+
+    def record_queue_depth(self, depth: int) -> None:
+        self.queue_depth_samples += 1
+        self.queue_depth_sum += depth
+        if depth > self.queue_depth_max:
+            self.queue_depth_max = depth
+
+    def latency_percentiles(self) -> Dict[str, float]:
+        """Per-flush commit latency percentiles, in seconds."""
+        if not self.flush_seconds:
+            return {"p50": 0.0, "p95": 0.0, "p99": 0.0}
+        data = sorted(self.flush_seconds)
+        n = len(data)
+
+        def pct(q: float) -> float:
+            return data[min(n - 1, max(0, int(q * n + 0.5) - 1))]
+
+        return {"p50": pct(0.50), "p95": pct(0.95), "p99": pct(0.99)}
 
 
 class _WorkflowCache:
@@ -82,6 +135,39 @@ class _WorkflowCache:
         self.jobstate_seq: Dict[int, int] = {}  # job_instance_id -> next seq
         self.static_done = False
 
+    def to_state(self) -> Dict[str, Any]:
+        """JSON-serializable snapshot (tuple keys flattened to lists)."""
+        return {
+            "wf_id": self.wf_id,
+            "task_ids": self.task_ids,
+            "job_ids": self.job_ids,
+            "job_instances": [
+                [job, seq, ji] for (job, seq), ji in self.job_instances.items()
+            ],
+            "host_ids": [
+                [site, host, hid] for (site, host), hid in self.host_ids.items()
+            ],
+            "jobstate_seq": {str(k): v for k, v in self.jobstate_seq.items()},
+            "static_done": self.static_done,
+        }
+
+    @classmethod
+    def from_state(cls, state: Dict[str, Any]) -> "_WorkflowCache":
+        cache = cls(int(state["wf_id"]))
+        cache.task_ids = {str(k): int(v) for k, v in state["task_ids"].items()}
+        cache.job_ids = {str(k): int(v) for k, v in state["job_ids"].items()}
+        cache.job_instances = {
+            (str(job), int(seq)): int(ji) for job, seq, ji in state["job_instances"]
+        }
+        cache.host_ids = {
+            (str(site), str(host)): int(hid) for site, host, hid in state["host_ids"]
+        }
+        cache.jobstate_seq = {
+            int(k): int(v) for k, v in state["jobstate_seq"].items()
+        }
+        cache.static_done = bool(state["static_done"])
+        return cache
+
 
 class StampedeLoader:
     """The event-to-archive normalizer, with batched inserts."""
@@ -92,20 +178,34 @@ class StampedeLoader:
         batch_size: int = 500,
         strict: bool = True,
         validate: bool = False,
+        checkpoint: Optional[CheckpointManager] = None,
+        max_retries: int = 4,
+        retry_delay: float = 0.05,
     ):
         if batch_size < 1:
             raise ValueError(f"batch_size must be >= 1, got {batch_size}")
         self.archive = archive
         self.batch_size = batch_size
         self.strict = strict
+        self.checkpoint = checkpoint
+        self.max_retries = max_retries
+        self.retry_delay = retry_delay
         self.stats = LoaderStats()
+        #: source position (file byte offset / bus delivery tag) of the
+        #: last event handed to :meth:`process`; persisted on flush.
+        self.position: int = 0
+        #: called after every successful flush commit (bus path acks here)
+        self.on_flush: Optional[Callable[["StampedeLoader"], None]] = None
         self._validator = (
             EventValidator(STAMPEDE_SCHEMA, allow_unknown_attrs=True)
             if validate
             else None
         )
         self._workflows: Dict[str, _WorkflowCache] = {}  # xwf.id -> cache
-        self._pending: List[Any] = []  # batched entity rows
+        # ordered journal of pending ops: ("insert", entity) or
+        # ("update", entity_type, values, where) — replayed in order so an
+        # update always lands after the insert it targets.
+        self._pending: List[Tuple[Any, ...]] = []
         # subwf maps that arrived before their job_instance existed
         self._deferred_subwf: List[Tuple[str, str, int, int]] = []
         self._handlers = {
@@ -172,17 +272,139 @@ class StampedeLoader:
         return self.stats
 
     def flush(self) -> None:
-        """Write out all batched rows."""
-        if not self._pending:
+        """Replay the pending journal as one transaction (with retries).
+
+        One flush = one backend transaction: the batched inserts, their
+        coalesced updates, any now-resolvable deferred sub-workflow maps,
+        and (when checkpointing) the advanced checkpoint row all commit
+        atomically.  Transient backend errors roll the batch back and
+        retry with exponential backoff; the journal is only discarded
+        after a successful commit.
+        """
+        resolved, still_deferred = self._resolve_deferred_subwf()
+        ops = self._pending
+        if not ops and not resolved:
+            if self.on_flush is not None:
+                self.on_flush(self)
             return
-        self.stats.rows_inserted += self.archive.insert_many(self._pending)
-        self._pending.clear()
-        self.stats.flushes += 1
-        self._apply_deferred_subwf()
+        start = time.perf_counter()
+        attempt = 0
+        while True:
+            try:
+                inserted, updated = self._flush_once(ops, resolved, still_deferred)
+                break
+            except self.archive.db.TRANSIENT_ERRORS:
+                attempt += 1
+                if attempt > self.max_retries:
+                    raise
+                self.stats.retries += 1
+                time.sleep(self.retry_delay * (2 ** (attempt - 1)))
+        self._pending = []
+        self._deferred_subwf = still_deferred
+        self.stats.rows_inserted += inserted
+        self.stats.rows_updated += updated
+        if ops:
+            self.stats.flushes += 1
+        if self.checkpoint is not None:
+            self.stats.checkpoints_written += 1
+        self.stats.record_flush_latency(time.perf_counter() - start)
+        if self.on_flush is not None:
+            self.on_flush(self)
+
+    def _flush_once(
+        self,
+        ops: List[Tuple[Any, ...]],
+        resolved: List[Tuple[Dict[str, Any], Dict[str, Any]]],
+        still_deferred: List[Tuple[str, str, int, int]],
+    ) -> Tuple[int, int]:
+        inserted = updated = 0
+        with self.archive.transaction():
+            run: List[Any] = []
+            for op in ops:
+                if op[0] == "insert":
+                    run.append(op[1])
+                else:
+                    if run:
+                        inserted += self.archive.insert_many(run)
+                        run = []
+                    _, etype, values, where = op
+                    updated += self.archive.update(etype, values, where)
+            if run:
+                inserted += self.archive.insert_many(run)
+            for values, where in resolved:
+                updated += self.archive.update(JobInstanceRow, values, where)
+            if self.checkpoint is not None:
+                # the stats counters are only bumped after the commit
+                # succeeds, so fold this batch's contribution in here —
+                # the persisted counters must describe the rows this very
+                # transaction makes durable.
+                state = self.export_state(deferred=still_deferred)
+                state["stats"]["rows_inserted"] += inserted
+                state["stats"]["rows_updated"] += updated
+                state["stats"]["flushes"] += 1 if ops else 0
+                self.checkpoint.save(self.position, state)
+        return inserted, updated
+
+    # ------------------------------------------------------ checkpointing --
+    def export_state(
+        self, deferred: Optional[List[Tuple[str, str, int, int]]] = None
+    ) -> Dict[str, Any]:
+        """Minimal resolver state a fresh process needs to continue."""
+        if deferred is None:
+            deferred = self._deferred_subwf
+        return {
+            "version": 1,
+            "workflows": {
+                uuid: cache.to_state() for uuid, cache in self._workflows.items()
+            },
+            "deferred_subwf": [list(item) for item in deferred],
+            "stats": {
+                "events_processed": self.stats.events_processed,
+                "rows_inserted": self.stats.rows_inserted,
+                "rows_updated": self.stats.rows_updated,
+                "flushes": self.stats.flushes,
+            },
+        }
+
+    def restore_state(self, state: Dict[str, Any]) -> None:
+        """Rebuild resolver caches from a checkpoint's state blob."""
+        self._workflows = {
+            str(uuid): _WorkflowCache.from_state(wf_state)
+            for uuid, wf_state in state.get("workflows", {}).items()
+        }
+        self._deferred_subwf = [
+            (str(u), str(j), int(s), int(w))
+            for u, j, s, w in state.get("deferred_subwf", [])
+        ]
+        counters = state.get("stats", {})
+        self.stats.events_processed = int(counters.get("events_processed", 0))
+        self.stats.rows_inserted = int(counters.get("rows_inserted", 0))
+        self.stats.rows_updated = int(counters.get("rows_updated", 0))
+        self.stats.flushes = int(counters.get("flushes", 0))
+
+    def resume(self) -> int:
+        """Restore state from the checkpoint; returns the source position.
+
+        Returns 0 (a no-op) when no checkpoint row exists yet.
+        """
+        if self.checkpoint is None:
+            raise LoaderError("loader has no checkpoint manager configured")
+        ckpt = self.checkpoint.load()
+        if ckpt is None:
+            return 0
+        self.restore_state(ckpt.state)
+        self.position = ckpt.position
+        self.stats.resumes += 1
+        return ckpt.position
 
     # ------------------------------------------------------------- helpers --
     def _buffer(self, entity: Any) -> None:
-        self._pending.append(entity)
+        self._pending.append(("insert", entity))
+
+    def _buffer_update(
+        self, entity_type: type, values: Dict[str, Any], where: Dict[str, Any]
+    ) -> None:
+        self._pending.append(("update", entity_type, values, where))
 
     def _wf(self, event: NLEvent) -> _WorkflowCache:
         uuid = str(event.get("xwf.id", ""))
@@ -194,7 +416,7 @@ class StampedeLoader:
                     "(no stampede.wf.plan seen)"
                 )
             wf_id = self.archive.next_id("workflow")
-            self.archive.insert(
+            self._buffer(
                 WorkflowRow(wf_id=wf_id, wf_uuid=uuid, timestamp=event.ts)
             )
             cache = _WorkflowCache(wf_id)
@@ -273,7 +495,7 @@ class StampedeLoader:
         else:
             root_cache = self._workflows.get(root_uuid) if root_uuid else None
             root_wf_id = root_cache.wf_id if root_cache else None
-        self.archive.insert(
+        self._buffer(
             WorkflowRow(
                 wf_id=wf_id,
                 wf_uuid=uuid,
@@ -293,7 +515,6 @@ class StampedeLoader:
             )
         )
         self._workflows[uuid] = _WorkflowCache(wf_id)
-        self._apply_deferred_subwf()
 
     def _on_static_start(self, event: NLEvent) -> None:
         self._wf(event)
@@ -395,9 +616,9 @@ class StampedeLoader:
             raise LoaderError(f"map.task_job references unknown task {abs_task_id!r}")
         if exec_job_id not in cache.job_ids:
             raise LoaderError(f"map.task_job references unknown job {exec_job_id!r}")
-        # The mapping lands as task.job_id, so flush pending task rows first.
-        self.flush()
-        self.stats.rows_updated += self.archive.update(
+        # The mapping lands as task.job_id; the journal replays it after
+        # the buffered task row inside the same flush transaction.
+        self._buffer_update(
             TaskRow,
             {"job_id": cache.job_ids[exec_job_id]},
             {"task_id": cache.task_ids[abs_task_id]},
@@ -411,16 +632,25 @@ class StampedeLoader:
         self._deferred_subwf.append(
             (subwf_uuid, exec_job_id, submit_seq, cache.wf_id)
         )
-        self.flush()
 
-    def _apply_deferred_subwf(self) -> None:
-        """Resolve subwf→job-instance maps once both sides exist."""
-        still_pending = []
+    def _resolve_deferred_subwf(
+        self,
+    ) -> Tuple[
+        List[Tuple[Dict[str, Any], Dict[str, Any]]],
+        List[Tuple[str, str, int, int]],
+    ]:
+        """Split deferred subwf→job-instance maps into (resolvable, not-yet).
+
+        Pure computation over the in-memory caches; the caller applies the
+        resolved updates inside the flush transaction and only then adopts
+        the still-pending remainder.
+        """
+        resolved: List[Tuple[Dict[str, Any], Dict[str, Any]]] = []
+        still_pending: List[Tuple[str, str, int, int]] = []
+        by_wf_id = {c.wf_id: c for c in self._workflows.values()}
         for subwf_uuid, exec_job_id, submit_seq, parent_wf_id in self._deferred_subwf:
             sub = self._workflows.get(subwf_uuid)
-            parent = next(
-                (c for c in self._workflows.values() if c.wf_id == parent_wf_id), None
-            )
+            parent = by_wf_id.get(parent_wf_id)
             ji_id = (
                 parent.job_instances.get((exec_job_id, submit_seq))
                 if parent
@@ -431,12 +661,10 @@ class StampedeLoader:
                     (subwf_uuid, exec_job_id, submit_seq, parent_wf_id)
                 )
                 continue
-            self.stats.rows_updated += self.archive.update(
-                JobInstanceRow,
-                {"subwf_id": sub.wf_id},
-                {"job_instance_id": ji_id},
+            resolved.append(
+                ({"subwf_id": sub.wf_id}, {"job_instance_id": ji_id})
             )
-        self._deferred_subwf = still_pending
+        return resolved, still_pending
 
     def _on_submit_start(self, event: NLEvent) -> None:
         cache = self._wf(event)
@@ -482,8 +710,7 @@ class StampedeLoader:
         status = int(event.get("status", SUCCESS))
         state = JobState.JOB_SUCCESS if status == SUCCESS else JobState.JOB_FAILURE
         self._add_jobstate(cache, ji_id, state, event.ts)
-        self.flush()  # the instance row may still be in the batch buffer
-        self.stats.rows_updated += self.archive.update(
+        self._buffer_update(
             JobInstanceRow,
             {
                 "local_duration": float(event["local.dur"]),
@@ -520,8 +747,7 @@ class StampedeLoader:
                     total_memory=_opt_int(event.get("total_memory")),
                 )
             )
-        self.flush()
-        self.stats.rows_updated += self.archive.update(
+        self._buffer_update(
             JobInstanceRow, {"host_id": host_id}, {"job_instance_id": ji_id}
         )
 

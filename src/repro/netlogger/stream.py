@@ -8,14 +8,21 @@ the paper leans on).
 """
 from __future__ import annotations
 
-import io
 import os
 from typing import Callable, Iterable, Iterator, List, Optional, TextIO, Tuple, Union
 
 from repro.netlogger.bp import BPParseError
 from repro.netlogger.events import NLEvent
 
-__all__ = ["BPReader", "BPWriter", "read_events", "write_events", "tail_events"]
+__all__ = [
+    "BPReader",
+    "BPWriter",
+    "read_events",
+    "write_events",
+    "read_events_with_offsets",
+    "tail_events",
+    "tail_events_with_offsets",
+]
 
 PathOrFile = Union[str, os.PathLike, TextIO]
 
@@ -117,6 +124,34 @@ def write_events(target: PathOrFile, events: Iterable[NLEvent]) -> int:
         return writer.write_all(events)
 
 
+def read_events_with_offsets(
+    path: Union[str, os.PathLike],
+    start_offset: int = 0,
+    on_error: str = "raise",
+) -> Iterator[Tuple[NLEvent, int]]:
+    """Yield ``(event, byte_offset_after_its_line)`` pairs from a BP file.
+
+    The offsets are what a checkpointing loader persists: re-opening the
+    file and seeking to the stored offset resumes exactly after the last
+    durably-archived event.  ``on_error='skip'`` drops malformed lines.
+    """
+    with open(path, "rb") as fh:
+        fh.seek(start_offset)
+        offset = start_offset
+        for raw in fh:
+            offset += len(raw)
+            stripped = raw.decode("utf-8").strip()
+            if not stripped or stripped.startswith("#"):
+                continue
+            try:
+                event = NLEvent.from_bp(stripped)
+            except (BPParseError, ValueError):
+                if on_error == "raise":
+                    raise
+                continue
+            yield event, offset
+
+
 def tail_events(
     path: Union[str, os.PathLike],
     poll: Callable[[], bool],
@@ -128,21 +163,38 @@ def tail_events(
     ends the iteration (e.g. when the producing workflow has finished).
     Partial last lines are retained until their newline arrives.
     """
-    with open(path, "r", encoding="utf-8") as fh:
-        if start_at_end:
-            fh.seek(0, io.SEEK_END)
-        buffer = ""
+    start = os.path.getsize(path) if start_at_end else 0
+    for event, _offset in tail_events_with_offsets(path, poll, start_offset=start):
+        yield event
+
+
+def tail_events_with_offsets(
+    path: Union[str, os.PathLike],
+    poll: Callable[[], bool],
+    start_offset: int = 0,
+) -> Iterator[Tuple[NLEvent, int]]:
+    """Offset-reporting variant of :func:`tail_events`.
+
+    Yields ``(event, byte_offset_after_its_line)``; reading starts at
+    ``start_offset`` so a checkpointed follower resumes mid-file.
+    """
+    with open(path, "rb") as fh:
+        fh.seek(start_offset)
+        buffer = b""
+        offset = start_offset
         while True:
             chunk = fh.readline()
             if chunk:
                 buffer += chunk
-                if buffer.endswith("\n"):
-                    stripped = buffer.strip()
-                    buffer = ""
+                if buffer.endswith(b"\n"):
+                    offset += len(buffer)
+                    stripped = buffer.decode("utf-8").strip()
+                    buffer = b""
                     if stripped and not stripped.startswith("#"):
-                        yield NLEvent.from_bp(stripped)
+                        yield NLEvent.from_bp(stripped), offset
                 continue
             if not poll():
                 if buffer.strip():
-                    yield NLEvent.from_bp(buffer.strip())
+                    offset += len(buffer)
+                    yield NLEvent.from_bp(buffer.decode("utf-8").strip()), offset
                 return

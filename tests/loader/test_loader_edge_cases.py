@@ -172,3 +172,90 @@ class TestTolerantMode:
         child_wf = q.workflow_by_uuid(child)
         assert inst.subwf_id == child_wf.wf_id
         assert child_wf.parent_wf_id == 1
+
+    def test_subwf_map_tolerant_synthesizes_parent(self):
+        """In tolerant mode a MAP_SUBWF_JOB for a never-seen parent must
+        not crash: the parent is synthesized and the map stays deferred
+        until (if ever) the child's plan and job instance both exist."""
+        child = "deadbeef-0000-4111-8222-333333333333"
+        loader = make_loader(strict=False)
+        loader.process(
+            ji(Events.MAP_SUBWF_JOB, 1.0, **{"subwf.id": child})
+        )
+        loader.flush()
+        # parent placeholder exists; the map is parked, not dropped
+        assert loader.archive.count(WorkflowRow) == 1
+        assert loader._deferred_subwf == [(child, "a", 1, 1)]
+
+        # the child plan alone is not enough (no job instance yet) ...
+        loader.process(
+            NLEvent(
+                Events.WF_PLAN,
+                2.0,
+                {
+                    "xwf.id": child,
+                    "submit.hostname": "h",
+                    "dag.file.name": "c.dag",
+                    "planner.version": "t",
+                    "submit_dir": "/x",
+                    "root.xwf.id": XWF,
+                    "parent.xwf.id": XWF,
+                },
+            )
+        )
+        loader.flush()
+        assert loader._deferred_subwf  # still pending
+
+        # ... until the parent's job instance appears
+        loader.process(ji(Events.JOB_INST_SUBMIT_START, 3.0))
+        loader.flush()
+        assert loader._deferred_subwf == []
+        q = StampedeQuery(loader.archive)
+        (inst,) = q.job_instances(1)
+        assert inst.subwf_id == q.workflow_by_uuid(child).wf_id
+
+    def test_unresolvable_subwf_map_survives_flushes(self):
+        """A map whose child never planned keeps riding along without
+        being re-applied or lost across repeated flushes."""
+        events = _prefix_events() + [
+            ev(Events.XWF_START, 10.0, restart_count=0),
+            ji(Events.JOB_INST_SUBMIT_START, 11.0),
+            ji(Events.MAP_SUBWF_JOB, 12.0, **{"subwf.id": "never-planned"}),
+        ]
+        loader = load_events(events)
+        pending = list(loader._deferred_subwf)
+        assert len(pending) == 1
+        loader.flush()
+        loader.flush()
+        assert loader._deferred_subwf == pending
+        (inst,) = StampedeQuery(loader.archive).job_instances(1)
+        assert inst.subwf_id is None
+
+
+class TestStatsEdgeCases:
+    def test_events_per_second_zero_wall_seconds(self):
+        """A loader that never ran process_all (wall clock unset) reports
+        a 0 rate instead of dividing by zero."""
+        loader = make_loader()
+        loader.process(
+            ev(
+                Events.WF_PLAN,
+                0.0,
+                **{
+                    "submit.hostname": "s",
+                    "dag.file.name": "d",
+                    "planner.version": "1",
+                    "submit_dir": "/",
+                    "root.xwf.id": XWF,
+                },
+            )
+        )
+        assert loader.stats.events_processed == 1
+        assert loader.stats.wall_seconds == 0.0
+        assert loader.stats.events_per_second == 0.0
+
+    def test_events_per_second_normal(self):
+        loader = make_loader()
+        loader.stats.events_processed = 100
+        loader.stats.wall_seconds = 0.5
+        assert loader.stats.events_per_second == 200.0
