@@ -27,9 +27,10 @@ from repro.lint.config import LintConfig
 from repro.lint.report import render_text
 from repro.lint.rules import Finding, Severity
 from repro.lint.stream import StreamLinter
+from repro.loader.checkpoint import CheckpointManager
 from repro.loader.stampede_loader import LoaderStats, StampedeLoader
 from repro.netlogger.events import NLEvent
-from repro.netlogger.stream import BPReader
+from repro.netlogger.stream import BPReader, read_events_with_offsets
 
 __all__ = [
     "load_events",
@@ -47,12 +48,28 @@ def make_loader(
     batch_size: int = 500,
     strict: bool = True,
     validate: bool = False,
+    checkpoint_source: Optional[str] = None,
 ) -> StampedeLoader:
-    """Construct a StampedeLoader over a new or existing archive."""
+    """Construct a StampedeLoader over a new or existing archive.
+
+    ``checkpoint_source`` names the input (a file path, a queue name) in
+    the archive's checkpoint table and turns on crash-safe checkpointing:
+    every flush atomically records the source position alongside the rows
+    it made durable, so an interrupted load can :meth:`~StampedeLoader.resume`.
+    """
     if archive is None:
         archive = StampedeArchive.open(conn_string)
+    checkpoint = (
+        CheckpointManager(archive, checkpoint_source)
+        if checkpoint_source is not None
+        else None
+    )
     return StampedeLoader(
-        archive, batch_size=batch_size, strict=strict, validate=validate
+        archive,
+        batch_size=batch_size,
+        strict=strict,
+        validate=validate,
+        checkpoint=checkpoint,
     )
 
 
@@ -72,9 +89,29 @@ def load_file(
     path,
     loader: Optional[StampedeLoader] = None,
     on_error: str = "raise",
+    resume: bool = False,
     **loader_kwargs,
 ) -> StampedeLoader:
-    """Load a BP log file."""
+    """Load a BP log file.
+
+    For a checkpointing loader the byte offset of each event is tracked
+    so every flush checkpoints exactly how far into the file the archive
+    is; ``resume=True`` seeks past everything a previous (possibly
+    crashed) run already committed instead of re-loading it.
+    """
+    if loader is not None and loader.checkpoint is not None:
+        start = loader.resume() if resume else 0
+
+        def positioned() -> Iterable[NLEvent]:
+            for event, offset in read_events_with_offsets(
+                path, start_offset=start, on_error=on_error
+            ):
+                loader.position = offset
+                yield event
+
+        return load_events(positioned(), loader)
+    if resume:
+        raise ValueError("resume=True requires a loader with a checkpoint manager")
     return load_events(BPReader(path, on_error=on_error), loader, **loader_kwargs)
 
 
@@ -146,31 +183,78 @@ def load_from_bus(
     loader: Optional[StampedeLoader] = None,
     until: Optional[Callable[[StampedeLoader], bool]] = None,
     durable: bool = False,
+    poll_timeout: float = 0.05,
+    max_length: Optional[int] = None,
+    overflow: str = "drop-oldest",
+    resume: bool = False,
     **loader_kwargs,
 ) -> StampedeLoader:
     """Consume events from a broker queue into the archive.
 
-    Drains whatever is queued; if ``until`` is given, keeps polling until
+    Drains whatever is queued; if ``until`` is given, keeps consuming until
     ``until(loader)`` returns True (e.g. "the workflow-terminated state has
     been recorded"), enabling real-time loading concurrent with a run.
+
+    The consumption loop is backpressure-aware and crash-safe:
+
+    * ``get`` *blocks* up to ``poll_timeout`` seconds instead of spinning,
+      so an idle loader costs no CPU and the batch buffer only flushes on
+      batch-full (inside :meth:`StampedeLoader.process`) or on the idle
+      deadline — never once per empty poll;
+    * messages are acked only after the batch containing them commits
+      (at-least-once delivery; a crashed loader's in-flight messages are
+      redelivered);
+    * ``max_length`` + ``overflow='block'`` bound the queue so a slow
+      loader blocks publishers instead of accumulating events;
+    * with a checkpointing loader and ``resume=True``, consumption
+      restarts after the last committed delivery tag, skipping redelivered
+      messages that are already in the archive.
     """
     if loader is None:
         loader = make_loader(**loader_kwargs)
     consumer = EventConsumer(
-        broker, pattern=pattern, queue_name=queue_name, durable=durable
+        broker,
+        pattern=pattern,
+        queue_name=queue_name,
+        durable=durable,
+        max_length=max_length,
+        overflow=overflow,
     )
+    skip_to = 0
+    if resume and loader.checkpoint is not None:
+        skip_to = loader.resume()
+    in_flight: List = []
+
+    def ack_committed(_loader: StampedeLoader) -> None:
+        # called by the loader after a successful flush commit: every
+        # message whose events are now durable can be settled.
+        for msg in in_flight:
+            consumer.ack(msg)
+        in_flight.clear()
+
+    previous_on_flush = loader.on_flush
+    loader.on_flush = ack_committed
     try:
         while True:
-            event = consumer.get(timeout=0.0)
-            if event is not None:
-                loader.process(event)
+            msg = consumer.get_message(timeout=poll_timeout, auto_ack=False)
+            if msg is not None:
+                loader.stats.record_queue_depth(consumer.depth())
+                if msg.delivery_tag <= skip_to:
+                    consumer.ack(msg)  # already archived before the crash
+                    continue
+                in_flight.append(msg)
+                loader.position = msg.delivery_tag
+                loader.process(EventConsumer.as_event(msg))
                 continue
+            # idle deadline: push out the partial batch, then consult the
+            # stop predicate (or stop once the backlog is drained).
             loader.flush()
             if until is None or until(loader):
                 break
+        loader.flush()
     finally:
-        consumer.cancel()
-    loader.flush()
+        loader.on_flush = previous_on_flush
+        consumer.cancel()  # requeues anything not acked (crash semantics)
     return loader
 
 
@@ -216,6 +300,18 @@ def main(argv: Optional[list] = None) -> int:
         metavar="PATH",
         help="with --lint: write quarantined BP lines to this file",
     )
+    parser.add_argument(
+        "--checkpoint",
+        action="store_true",
+        help="record crash-safe progress checkpoints in the archive "
+        "(keyed by the input path)",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="continue a checkpointed load after the last committed offset "
+        "(implies --checkpoint)",
+    )
     parser.add_argument("-v", "--verbose", action="store_true")
     args = parser.parse_args(argv)
 
@@ -223,6 +319,12 @@ def main(argv: Optional[list] = None) -> int:
         parser.error(f"unknown loader module {args.module!r}")
     if args.quarantine and not args.lint:
         parser.error("--quarantine requires --lint")
+    if args.resume:
+        args.checkpoint = True
+    if args.checkpoint and args.input == "-":
+        parser.error("--checkpoint/--resume need a seekable file, not stdin")
+    if args.checkpoint and args.lint:
+        parser.error("--checkpoint/--resume cannot be combined with --lint")
     params = dict(p.split("=", 1) for p in args.params if "=" in p)
     conn_string = params.get("connString", "sqlite:///:memory:")
 
@@ -235,6 +337,7 @@ def main(argv: Optional[list] = None) -> int:
         batch_size=args.batch_size,
         strict=not (args.tolerant or args.lint),
         validate=args.validate,
+        checkpoint_source=args.input if args.checkpoint else None,
     )
     source = sys.stdin if args.input == "-" else args.input
 
@@ -257,7 +360,7 @@ def main(argv: Optional[list] = None) -> int:
             _print_stats(stats)
         return 1 if quarantined else 0
 
-    stats = load_file(source, loader).stats
+    stats = load_file(source, loader, resume=args.resume).stats
 
     if args.verbose:
         _print_stats(stats)
@@ -265,10 +368,24 @@ def main(argv: Optional[list] = None) -> int:
 
 
 def _print_stats(stats: LoaderStats) -> None:
+    pct = stats.latency_percentiles()
     print(f"events processed : {stats.events_processed}")
     print(f"rows inserted    : {stats.rows_inserted}")
     print(f"rows updated     : {stats.rows_updated}")
     print(f"flushes          : {stats.flushes}")
+    print(
+        "flush latency    : "
+        f"p50={pct['p50'] * 1000:.2f}ms "
+        f"p95={pct['p95'] * 1000:.2f}ms "
+        f"p99={pct['p99'] * 1000:.2f}ms"
+    )
+    print(f"retries          : {stats.retries}")
+    print(f"checkpoints      : {stats.checkpoints_written} (resumes: {stats.resumes})")
+    if stats.queue_depth_samples:
+        print(
+            "queue depth      : "
+            f"max={stats.queue_depth_max} avg={stats.queue_depth_avg:.1f}"
+        )
     print(f"wall seconds     : {stats.wall_seconds:.3f}")
     print(f"events/second    : {stats.events_per_second:,.0f}")
 
