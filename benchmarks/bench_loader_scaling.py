@@ -9,8 +9,26 @@ These benches measure:
   events/second roughly flat as workflows grow);
 * the batching ablation (batch 1 vs 50 vs 1000);
 * file-stream vs AMQP-queue ingestion;
-* sqlite vs pure-memory archive backends.
+* sqlite vs pure-memory archive backends;
+* the file-backed sqlite path at batch 500 (one fsync'd transaction per
+  batch — the transactional-batching win).
+
+Besides the pytest-benchmark suite, the module runs standalone as a CI
+smoke check::
+
+    python benchmarks/bench_loader_scaling.py --scale 10 -o bench.json
+
+which loads a reduced workload through the memory- and file-backed
+archives and writes throughput + flush-latency numbers as JSON.
 """
+import argparse
+import itertools
+import json
+import sys
+import tempfile
+import time
+from pathlib import Path
+
 import pytest
 
 from repro.archive.store import StampedeArchive
@@ -108,6 +126,32 @@ def test_backend_ablation(benchmark, backend):
     assert loader.stats.events_processed == len(events)
 
 
+def test_file_backend_batched(benchmark, tmp_path):
+    """The production-shaped path: file-backed sqlite, batch_size=500.
+
+    Each flush is one WAL transaction (one fsync) instead of a commit
+    per statement, which is where the real-time headroom comes from."""
+    events = _events_for(100)
+    fresh = itertools.count()
+
+    def load():
+        db = tmp_path / f"bench-{next(fresh)}.db"
+        loader = StampedeLoader(
+            StampedeArchive.open(f"sqlite:///{db}"), batch_size=500
+        )
+        loader.process_all(events)
+        return loader
+
+    loader = benchmark(load)
+    assert loader.stats.events_processed == len(events)
+    pct = loader.stats.latency_percentiles()
+    print(
+        f"\nfile sqlite batch=500: {loader.stats.flushes} flushes, "
+        f"{len(events) / benchmark.stats.stats.mean:,.0f} events/s, "
+        f"flush p95={pct['p95'] * 1000:.2f}ms"
+    )
+
+
 def test_large_workflow_loads(benchmark):
     """One big shot: a ~20k-task CyberShake slice (the O(10^6) claim's
     shape at bench-friendly scale — throughput must not collapse)."""
@@ -119,3 +163,67 @@ def test_large_workflow_loads(benchmark):
     rate = len(events) / benchmark.stats.stats.mean
     print(f"\nlarge workflow: {len(events)} events at {rate:,.0f} events/s")
     assert rate > 5_000  # comfortably real-time for any engine
+
+
+# ---------------------------------------------------------------- smoke --
+def _smoke_one(events, batch_size: int, conn_string: str) -> dict:
+    loader = StampedeLoader(
+        StampedeArchive.open(conn_string), batch_size=batch_size
+    )
+    start = time.perf_counter()
+    loader.process_all(events)
+    elapsed = time.perf_counter() - start
+    stats = loader.stats
+    loader.archive.close()
+    return {
+        "events": stats.events_processed,
+        "rows_inserted": stats.rows_inserted,
+        "rows_updated": stats.rows_updated,
+        "flushes": stats.flushes,
+        "wall_seconds": round(elapsed, 4),
+        "events_per_second": round(stats.events_processed / elapsed, 1),
+        "flush_latency_ms": {
+            k: round(v * 1000, 3) for k, v in stats.latency_percentiles().items()
+        },
+    }
+
+
+def smoke(n_ruptures: int = 10, batch_size: int = 500) -> dict:
+    """Reduced-scale throughput check for both sqlite backends."""
+    events = _events_for(n_ruptures)
+    results = {
+        "scale": {"n_ruptures": n_ruptures, "events": len(events)},
+        "batch_size": batch_size,
+        "memory": _smoke_one(events, batch_size, "sqlite:///:memory:"),
+    }
+    with tempfile.TemporaryDirectory() as tmp:
+        results["file"] = _smoke_one(
+            events, batch_size, f"sqlite:///{Path(tmp) / 'smoke.db'}"
+        )
+    return results
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Loader throughput smoke benchmark (JSON output)."
+    )
+    parser.add_argument("--scale", type=int, default=10, metavar="N_RUPTURES")
+    parser.add_argument("-b", "--batch-size", type=int, default=500)
+    parser.add_argument("-o", "--output", metavar="PATH", help="write JSON here")
+    args = parser.parse_args(argv)
+
+    results = smoke(n_ruptures=args.scale, batch_size=args.batch_size)
+    payload = json.dumps(results, indent=2)
+    if args.output:
+        Path(args.output).write_text(payload + "\n", encoding="utf-8")
+    print(payload)
+    # smoke gate: the file backend must stay comfortably real-time even
+    # at reduced scale; regression here means batching broke.
+    if results["file"]["events_per_second"] < 2_000:
+        print("FAIL: file-backend throughput below smoke floor", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())
