@@ -1,5 +1,13 @@
 """In-process AMQP-style topic message bus (RabbitMQ substitute)."""
-from repro.bus.broker import DEFAULT_EXCHANGE, Binding, Broker, Consumer, Exchange
+from repro.bus.broker import (
+    DEAD_LETTER_QUEUE,
+    DEFAULT_EXCHANGE,
+    Binding,
+    Broker,
+    ConnectionLostError,
+    Consumer,
+    Exchange,
+)
 from repro.bus.client import (
     BusSink,
     EventConsumer,
@@ -9,10 +17,16 @@ from repro.bus.client import (
     MultiSink,
 )
 from repro.bus.queues import Message, MessageQueue, QueueFullError, QueueStats
+from repro.bus.reliable import HEADER_PUBLISHER, HEADER_SEQ, Resequencer
 from repro.bus.topic import compile_pattern, topic_matches, validate_pattern
 
 __all__ = [
+    "DEAD_LETTER_QUEUE",
     "DEFAULT_EXCHANGE",
+    "ConnectionLostError",
+    "HEADER_PUBLISHER",
+    "HEADER_SEQ",
+    "Resequencer",
     "Binding",
     "Broker",
     "Consumer",

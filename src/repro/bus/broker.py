@@ -10,14 +10,35 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterator, List, Optional, Tuple
+from typing import Callable, Dict, Iterator, List, Mapping, Optional, Tuple
 
 from repro.bus.queues import Message, MessageQueue
 from repro.bus.topic import topic_matches, validate_pattern
 
-__all__ = ["Binding", "Exchange", "Broker", "Consumer"]
+__all__ = [
+    "Binding",
+    "Exchange",
+    "Broker",
+    "Consumer",
+    "ConnectionLostError",
+    "DEAD_LETTER_QUEUE",
+]
 
 DEFAULT_EXCHANGE = "stampede"
+
+#: Default dead-letter queue: unroutable publishes and poison events land
+#: here instead of disappearing.
+DEAD_LETTER_QUEUE = "stampede.dlq"
+
+
+class ConnectionLostError(ConnectionError):
+    """The consumer's connection to the broker dropped.
+
+    Raised by consumer operations after a (possibly fault-injected)
+    disconnect; unacknowledged messages have been requeued for
+    redelivery.  Callers recover by re-subscribing — see
+    :meth:`repro.bus.client.EventConsumer.reconnect`.
+    """
 
 
 @dataclass(frozen=True)
@@ -64,11 +85,15 @@ class Exchange:
 class Broker:
     """The message bus: exchanges + queues + publish/subscribe."""
 
-    def __init__(self):
+    def __init__(self, dead_letter_queue: Optional[str] = DEAD_LETTER_QUEUE):
         self._exchanges: Dict[str, Exchange] = {}
         self._queues: Dict[str, MessageQueue] = {}
         self._lock = threading.RLock()
         self._anon_counter = 0
+        #: where unroutable publishes go; None restores the old
+        #: drop-and-count behavior.  Declared lazily on first use so the
+        #: queue only exists once something actually dead-letters.
+        self.dead_letter_queue = dead_letter_queue
 
     # -- topology ------------------------------------------------------------
     def declare_exchange(self, name: str = DEFAULT_EXCHANGE) -> Exchange:
@@ -133,13 +158,22 @@ class Broker:
 
     # -- messaging ------------------------------------------------------------
     def publish(
-        self, routing_key: str, body: object, exchange: str = DEFAULT_EXCHANGE
+        self,
+        routing_key: str,
+        body: object,
+        exchange: str = DEFAULT_EXCHANGE,
+        headers: Optional[Mapping[str, object]] = None,
     ) -> int:
         """Publish to every queue bound with a matching pattern.
 
         Returns the number of queues that received the message.  Never
         blocks the producer (the property §IV-C of the paper calls out).
+        An unroutable publish (no binding matches — e.g. a typo'd routing
+        key) is counted *and* routed to the broker's dead-letter queue,
+        annotated with the exchange it failed to route through, so it
+        stays recoverable instead of vanishing.
         """
+        dead_letter = None
         with self._lock:
             exch = self.declare_exchange(exchange)
             exch.published += 1
@@ -147,8 +181,23 @@ class Broker:
                        if name in self._queues]
             if not targets:
                 exch.unroutable += 1
+                if self.dead_letter_queue is not None:
+                    dead_letter = self.declare_queue(
+                        self.dead_letter_queue, durable=True
+                    )
+        if dead_letter is not None:
+            dead_letter.put(
+                routing_key,
+                body,
+                headers={
+                    **(headers or {}),
+                    "x-death": "unroutable",
+                    "x-exchange": exchange,
+                },
+            )
+            return 0
         for queue in targets:
-            queue.put(routing_key, body)
+            queue.put(routing_key, body, headers=headers)
         return len(targets)
 
     def subscribe(
@@ -185,21 +234,25 @@ class Consumer:
         self._broker = broker
         self._queue = queue
         self.cancelled = False
+        self.disconnected = False
 
     @property
     def queue_name(self) -> str:
         return self._queue.name
 
     def get(self, timeout: Optional[float] = 0.0, auto_ack: bool = True) -> Optional[Message]:
+        self._check_connected()
         msg = self._queue.get(timeout=timeout)
         if msg is not None and auto_ack:
             self._queue.ack(msg.delivery_tag)
         return msg
 
     def ack(self, message: Message) -> None:
+        self._check_connected()
         self._queue.ack(message.delivery_tag)
 
     def nack(self, message: Message, requeue: bool = True) -> None:
+        self._check_connected()
         self._queue.nack(message.delivery_tag, requeue=requeue)
 
     def depth(self) -> int:
@@ -224,3 +277,24 @@ class Consumer:
         self._queue.requeue_unacked()
         if self._queue.auto_delete:
             self._broker.delete_queue(self._queue.name)
+
+    def disconnect(self) -> None:
+        """Simulate the connection to the broker dropping.
+
+        Mirrors real AMQP semantics: unacknowledged messages are requeued
+        for redelivery (flagged ``redelivered``), auto-delete queues are
+        torn down, and every further operation on this handle raises
+        :class:`ConnectionLostError` — the consumer must re-subscribe.
+        """
+        if self.disconnected:
+            return
+        self.disconnected = True
+        self._queue.requeue_unacked()
+        if self._queue.auto_delete:
+            self._broker.delete_queue(self._queue.name)
+
+    def _check_connected(self) -> None:
+        if self.disconnected:
+            raise ConnectionLostError(
+                f"connection to queue {self._queue.name!r} lost"
+            )

@@ -8,27 +8,58 @@ appenders share.
 """
 from __future__ import annotations
 
+import itertools
 from typing import Iterable, Iterator, List, Optional, Union
 
-from repro.bus.broker import DEFAULT_EXCHANGE, Broker, Consumer
+from repro.bus.broker import (
+    DEFAULT_EXCHANGE,
+    Broker,
+    ConnectionLostError,
+    Consumer,
+)
 from repro.bus.queues import Message
+from repro.bus.reliable import HEADER_PUBLISHER, HEADER_SEQ
 from repro.netlogger.events import NLEvent
 from repro.netlogger.stream import BPWriter
 
 __all__ = ["EventPublisher", "EventConsumer", "EventSink", "BusSink", "FileSink", "MultiSink"]
 
+#: process-wide counter giving each publisher a distinct default identity
+_publisher_ids = itertools.count(1)
+
 
 class EventPublisher:
-    """Publishes NLEvents to a broker, keyed by their event name."""
+    """Publishes NLEvents to a broker, keyed by their event name.
 
-    def __init__(self, broker: Broker, exchange: str = DEFAULT_EXCHANGE):
+    Every message carries ``(publisher id, sequence)`` headers (sequences
+    start at 1) so consumers can restore publish order and drop duplicate
+    deliveries end-to-end — see :mod:`repro.bus.reliable`.  Pass
+    ``stamp=False`` for raw fire-and-forget publishing.
+    """
+
+    def __init__(
+        self,
+        broker: Broker,
+        exchange: str = DEFAULT_EXCHANGE,
+        publisher_id: Optional[str] = None,
+        stamp: bool = True,
+    ):
         self._broker = broker
         self._exchange = exchange
+        self.publisher_id = publisher_id or f"pub-{next(_publisher_ids)}"
+        self._stamp = stamp
         self.events_published = 0
 
     def publish(self, event: NLEvent) -> int:
         self.events_published += 1
-        return self._broker.publish(event.event, event, exchange=self._exchange)
+        headers = (
+            {HEADER_PUBLISHER: self.publisher_id, HEADER_SEQ: self.events_published}
+            if self._stamp
+            else None
+        )
+        return self._broker.publish(
+            event.event, event, exchange=self._exchange, headers=headers
+        )
 
     def publish_all(self, events: Iterable[NLEvent]) -> int:
         count = 0
@@ -39,7 +70,14 @@ class EventPublisher:
 
 
 class EventConsumer:
-    """Receives NLEvents from a topic subscription."""
+    """Receives NLEvents from a topic subscription.
+
+    Survives broker connection loss: :meth:`get` transparently
+    re-subscribes (redeclaring the queue and binding) and carries on;
+    :meth:`get_message` lets :class:`ConnectionLostError` propagate so
+    batch consumers can settle in-flight work first, then call
+    :meth:`reconnect` themselves.  ``reconnects`` counts recoveries.
+    """
 
     def __init__(
         self,
@@ -51,28 +89,70 @@ class EventConsumer:
         max_length: Optional[int] = None,
         overflow: str = "drop-oldest",
     ):
+        self._broker = broker
+        self._pattern = pattern
+        self._exchange = exchange
+        self._durable = durable
+        self._max_length = max_length
+        self._overflow = overflow
+        self.reconnects = 0
         self._consumer: Consumer = broker.subscribe(
             pattern,
             queue_name=queue_name,
             exchange=exchange,
             durable=durable,
+            # a durable queue must survive its consumer disconnecting —
+            # that is the whole point of declaring it durable
+            auto_delete=not durable,
             max_length=max_length,
             overflow=overflow,
         )
+        # remember the resolved name so a reconnect reattaches to the
+        # same (durable) queue rather than an anonymous fresh one
+        self._queue_name = self._consumer.queue_name
 
     @property
     def queue_name(self) -> str:
         return self._consumer.queue_name
 
+    @property
+    def connected(self) -> bool:
+        return not self._consumer.disconnected
+
+    def reconnect(self) -> None:
+        """Re-subscribe after a connection loss (queue + binding redeclare).
+
+        The broker requeued whatever was unacked at disconnect time, so
+        those messages arrive again flagged ``redelivered``.
+        """
+        self.reconnects += 1
+        self._consumer = self._broker.subscribe(
+            self._pattern,
+            queue_name=self._queue_name,
+            exchange=self._exchange,
+            durable=self._durable,
+            auto_delete=not self._durable,
+            max_length=self._max_length,
+            overflow=self._overflow,
+        )
+
     def get(self, timeout: Optional[float] = 0.0) -> Optional[NLEvent]:
-        msg = self._consumer.get(timeout=timeout)
+        try:
+            msg = self._consumer.get(timeout=timeout)
+        except ConnectionLostError:
+            self.reconnect()
+            return None
         return None if msg is None else _as_event(msg.body)
 
     def get_message(
         self, timeout: Optional[float] = 0.0, auto_ack: bool = True
     ) -> Optional[Message]:
         """Raw message access (delivery tag + body) for at-least-once
-        consumers that want to ack only after their batch commits."""
+        consumers that want to ack only after their batch commits.
+
+        Raises :class:`ConnectionLostError` on a dropped connection —
+        batch consumers must flush/settle, then :meth:`reconnect`.
+        """
         return self._consumer.get(timeout=timeout, auto_ack=auto_ack)
 
     def ack(self, message: Message) -> None:

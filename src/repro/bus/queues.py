@@ -18,7 +18,7 @@ import threading
 import time
 from collections import OrderedDict, deque
 from dataclasses import dataclass, field
-from typing import Deque, Dict, Optional
+from typing import Deque, Dict, Mapping, Optional
 
 __all__ = ["Message", "QueueStats", "MessageQueue", "QueueFullError"]
 
@@ -32,12 +32,21 @@ class QueueFullError(RuntimeError):
 
 @dataclass(frozen=True)
 class Message:
-    """One message: a routing key plus an opaque body."""
+    """One message: a routing key plus an opaque body.
+
+    ``headers`` carries AMQP-style per-message metadata (the publisher
+    sequence stamps the reliable-delivery layer uses, dead-letter
+    annotations, ...); it survives requeue/redelivery untouched.
+    """
 
     routing_key: str
     body: object
     delivery_tag: int = 0
     redelivered: bool = False
+    headers: Optional[Mapping[str, object]] = None
+
+    def header(self, name: str, default: object = None) -> object:
+        return default if self.headers is None else self.headers.get(name, default)
 
 
 @dataclass
@@ -82,7 +91,11 @@ class MessageQueue:
         self.stats = QueueStats()
 
     def put(
-        self, routing_key: str, body: object, timeout: Optional[float] = None
+        self,
+        routing_key: str,
+        body: object,
+        timeout: Optional[float] = None,
+        headers: Optional[Mapping[str, object]] = None,
     ) -> None:
         """Enqueue a message, applying the overflow policy when bounded.
 
@@ -117,7 +130,9 @@ class MessageQueue:
                     self._items.popleft()
                     self.stats.dropped += 1
             self._tag += 1
-            self._items.append(Message(routing_key, body, delivery_tag=self._tag))
+            self._items.append(
+                Message(routing_key, body, delivery_tag=self._tag, headers=headers)
+            )
             self.stats.published += 1
             self._not_empty.notify()
 
@@ -159,7 +174,13 @@ class MessageQueue:
                 raise ValueError(f"unknown delivery tag {delivery_tag}")
             if requeue:
                 self._items.appendleft(
-                    Message(msg.routing_key, msg.body, msg.delivery_tag, redelivered=True)
+                    Message(
+                        msg.routing_key,
+                        msg.body,
+                        msg.delivery_tag,
+                        redelivered=True,
+                        headers=msg.headers,
+                    )
                 )
                 self.stats.requeued += 1
                 self._not_empty.notify()
@@ -173,7 +194,13 @@ class MessageQueue:
             self._unacked.clear()
             for msg in reversed(pending):
                 self._items.appendleft(
-                    Message(msg.routing_key, msg.body, msg.delivery_tag, redelivered=True)
+                    Message(
+                        msg.routing_key,
+                        msg.body,
+                        msg.delivery_tag,
+                        redelivered=True,
+                        headers=msg.headers,
+                    )
                 )
             self.stats.requeued += len(pending)
             if pending:

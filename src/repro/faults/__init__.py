@@ -1,0 +1,42 @@
+"""Seeded, deterministic fault injection for the monitoring pipeline.
+
+Declare a scenario as a :class:`FaultPlan` (one seed, per-layer specs),
+then wrap each pipeline layer:
+
+* bus — construct a :class:`ChaosBroker` in place of the plain broker;
+* archive — ``archive.db = plan.wrap_database(archive.db)``;
+* engines — pass ``plan.engine_injector()`` to ``DAGManRun(faults=...)``
+  or ``Scheduler(fault_injector=...)``.
+
+Every injected fault is tallied in ``plan.stats``; the resilience layer
+(:mod:`repro.bus.reliable`, :mod:`repro.util.retry`,
+:mod:`repro.loader.dlq`, :mod:`repro.loader.spill`) is what makes the
+archive come out row-for-row identical anyway — see docs/resilience.md.
+"""
+from repro.faults.archive import ArchiveFaultInjector, ChaosDatabase
+from repro.faults.bus import BusFaultInjector, ChaosBroker, ChaosConsumer
+from repro.faults.engine import EngineFaultInjector, FaultDecision
+from repro.faults.plan import (
+    ArchiveFaultSpec,
+    BusFaultSpec,
+    EngineFaultSpec,
+    FaultPlan,
+    FaultPlanError,
+    FaultStats,
+)
+
+__all__ = [
+    "ArchiveFaultInjector",
+    "ArchiveFaultSpec",
+    "BusFaultInjector",
+    "BusFaultSpec",
+    "ChaosBroker",
+    "ChaosConsumer",
+    "ChaosDatabase",
+    "EngineFaultInjector",
+    "EngineFaultSpec",
+    "FaultDecision",
+    "FaultPlan",
+    "FaultPlanError",
+    "FaultStats",
+]

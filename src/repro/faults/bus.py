@@ -1,0 +1,198 @@
+"""Bus-layer chaos: a broker whose network misbehaves on schedule.
+
+:class:`ChaosBroker` is a drop-in :class:`~repro.bus.broker.Broker` whose
+deliveries suffer the faults a real AMQP deployment sees, within AMQP
+semantics so the resilience layer can win:
+
+* **drop** — the delivery is nacked back to the queue un-acked, so the
+  broker redelivers it (``redelivered=True``); nothing is ever lost,
+  which is exactly what at-least-once promises;
+* **duplicate** — a published message fans out twice; the consumer-side
+  :class:`~repro.bus.reliable.Resequencer` spots the repeated sequence
+  stamp;
+* **reorder** / **delay** — a delivery is held back a few polls so later
+  messages overtake it; the resequencer restores publish order;
+* **disconnect** — after the n-th delivery the consumer's connection is
+  severed: in-flight messages requeue and every further operation raises
+  :class:`~repro.bus.broker.ConnectionLostError` until the client
+  re-subscribes.
+
+All fault state lives in one :class:`BusFaultInjector` shared across
+reconnects (obtained from the plan), so a scripted disconnect schedule
+keeps counting across consumer generations and one seed replays the
+exact same chaos.
+"""
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Tuple
+
+from repro.bus.broker import (
+    DEAD_LETTER_QUEUE,
+    DEFAULT_EXCHANGE,
+    Broker,
+    ConnectionLostError,
+    Consumer,
+)
+from repro.bus.queues import Message
+from repro.faults.plan import BusFaultSpec, FaultPlan, FaultStats
+
+__all__ = ["BusFaultInjector", "ChaosBroker", "ChaosConsumer"]
+
+
+class BusFaultInjector:
+    """Seeded decision-maker for one plan's bus faults.
+
+    Owns the delivery/poll counters, the holdback buffer (reordered and
+    delayed deliveries waiting to be released), and the remaining
+    scripted disconnect ordinals.  Shared by every :class:`ChaosConsumer`
+    the broker hands out, so state survives reconnects.
+    """
+
+    def __init__(self, spec: BusFaultSpec, rng: random.Random, stats: FaultStats):
+        self.spec = spec
+        self.rng = rng
+        self.stats = stats
+        self.polls = 0
+        self.deliveries = 0
+        self._disconnects_due = sorted(spec.disconnect_after)
+        # (release-at-poll, message) for held-back deliveries
+        self._holdback: List[Tuple[int, Message]] = []
+
+    # -- publish side ---------------------------------------------------------
+    def should_duplicate(self) -> bool:
+        if not self.spec.duplicate or self.rng.random() >= self.spec.duplicate:
+            return False
+        self.stats.messages_duplicated += 1
+        return True
+
+    # -- consume side ---------------------------------------------------------
+    def poll(self) -> None:
+        self.polls += 1
+
+    def due_disconnect(self) -> bool:
+        if not (
+            self._disconnects_due
+            and self.deliveries >= self._disconnects_due[0]
+        ):
+            return False
+        self._disconnects_due.pop(0)
+        self.stats.disconnects += 1
+        return True
+
+    def classify(self, msg: Message) -> str:
+        """Roll this delivery's fate: 'deliver', 'drop', or 'hold'."""
+        self.deliveries += 1
+        spec, rng = self.spec, self.rng
+        # a redelivery is never dropped again: the first drop already
+        # proved the loss path, and re-rolling forever would turn a high
+        # drop rate into livelock
+        if spec.drop and not msg.redelivered and rng.random() < spec.drop:
+            self.stats.messages_dropped += 1
+            return "drop"
+        if spec.reorder and rng.random() < spec.reorder:
+            self.stats.messages_reordered += 1
+            self._hold(msg, rng.randint(1, spec.reorder_depth))
+            return "hold"
+        if spec.delay and rng.random() < spec.delay:
+            self.stats.messages_delayed += 1
+            self._hold(msg, spec.delay_polls)
+            return "hold"
+        return "deliver"
+
+    def _hold(self, msg: Message, polls_from_now: int) -> None:
+        self._holdback.append((self.polls + polls_from_now, msg))
+
+    def pop_due(self) -> Optional[Message]:
+        for i, (due, msg) in enumerate(self._holdback):
+            if due <= self.polls:
+                self._holdback.pop(i)
+                return msg
+        return None
+
+    def pop_any(self) -> Optional[Message]:
+        """Release the oldest holdback even if not due (end-of-stream)."""
+        if not self._holdback:
+            return None
+        return self._holdback.pop(0)[1]
+
+    def clear_holdback(self) -> int:
+        """Forget held deliveries (their queue requeues them on disconnect)."""
+        dropped = len(self._holdback)
+        self._holdback = []
+        return dropped
+
+
+class ChaosConsumer(Consumer):
+    """A consumer whose deliveries pass through the fault injector."""
+
+    def __init__(self, broker: Broker, queue, injector: BusFaultInjector):
+        super().__init__(broker, queue)
+        self._injector = injector
+
+    def get(
+        self, timeout: Optional[float] = 0.0, auto_ack: bool = True
+    ) -> Optional[Message]:
+        inj = self._injector
+        while True:
+            self._check_connected()
+            if inj.due_disconnect():
+                inj.clear_holdback()
+                self.disconnect()
+                raise ConnectionLostError(
+                    f"injected connection loss on queue {self.queue_name!r}"
+                )
+            inj.poll()
+            msg = inj.pop_due()
+            if msg is None:
+                fresh = self._queue.get(timeout=timeout)
+                if fresh is None:
+                    # queue empty: flush the holdback rather than strand
+                    # deliveries behind polls that will never come
+                    msg = inj.pop_any()
+                    if msg is None:
+                        return None
+                else:
+                    fate = inj.classify(fresh)
+                    if fate == "drop":
+                        # lost on the wire: never acked, so the queue
+                        # redelivers it (flagged redelivered)
+                        self._queue.nack(fresh.delivery_tag, requeue=True)
+                        continue
+                    if fate == "hold":
+                        continue
+                    msg = fresh
+            if auto_ack:
+                self._queue.ack(msg.delivery_tag)
+            return msg
+
+
+class ChaosBroker(Broker):
+    """Broker applying a :class:`~repro.faults.plan.FaultPlan`'s bus spec.
+
+    Construct it in place of a plain :class:`Broker`; publishes may
+    duplicate and every consumer it hands out is a :class:`ChaosConsumer`.
+    """
+
+    def __init__(
+        self,
+        plan: FaultPlan,
+        dead_letter_queue: Optional[str] = DEAD_LETTER_QUEUE,
+    ):
+        super().__init__(dead_letter_queue=dead_letter_queue)
+        self.plan = plan
+        self._injector = plan.bus_injector()
+
+    def publish(self, routing_key, body, exchange=DEFAULT_EXCHANGE, headers=None):
+        delivered = super().publish(
+            routing_key, body, exchange=exchange, headers=headers
+        )
+        if delivered and self._injector.should_duplicate():
+            super().publish(routing_key, body, exchange=exchange, headers=headers)
+        return delivered
+
+    def subscribe(self, *args, **kwargs) -> Consumer:
+        consumer = super().subscribe(*args, **kwargs)
+        return ChaosConsumer(
+            self, self.queue(consumer.queue_name), self._injector
+        )

@@ -1,0 +1,76 @@
+"""Engine-layer chaos: crashing and hanging task attempts.
+
+Both engines consult an :class:`EngineFaultInjector` at the moment an
+attempt executes:
+
+* :class:`~repro.pegasus.dagman.DAGManRun` asks per *(exec job id,
+  attempt ordinal)* — an injected **crash** forces the attempt down the
+  normal failure path (non-zero exit, POST_SCRIPT_FAILURE, DAGMan retry
+  up to ``max_retries``), and a **hang** stretches the attempt by the
+  plan's ``hang_seconds`` of simulated time before it completes;
+* :class:`~repro.triana.scheduler.Scheduler` asks per *(task name,
+  invocation ordinal)* — a crash becomes a unit error (ERROR state in
+  the Triana lifecycle), a hang inflates the invocation duration.
+
+Faults ride the engines' existing failure machinery rather than
+bypassing it, so every injected crash produces the full, lintable
+Stampede event lifecycle a real failure would.
+"""
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.faults.plan import EngineFaultSpec, FaultStats
+
+__all__ = ["FaultDecision", "EngineFaultInjector"]
+
+#: exit code injected crashes report (SIGKILL-style, distinct from the
+#: engines' organic exit 1 so post-mortems can tell them apart)
+INJECTED_EXITCODE = 137
+
+
+@dataclass(frozen=True)
+class FaultDecision:
+    """What the injector decided for one attempt."""
+
+    crash: bool = False
+    hang_seconds: float = 0.0
+
+    @property
+    def clean(self) -> bool:
+        return not self.crash and not self.hang_seconds
+
+
+_NO_FAULT = FaultDecision()
+
+
+class EngineFaultInjector:
+    """Decides, per attempt, whether an engine task crashes or hangs."""
+
+    def __init__(self, spec: EngineFaultSpec, rng: random.Random, stats: FaultStats):
+        self.spec = spec
+        self.rng = rng
+        self.stats = stats
+
+    def attempt(self, name: str, attempt: int) -> FaultDecision:
+        """Fault decision for attempt ``attempt`` (1-based) of ``name``."""
+        spec = self.spec
+        if not spec.active:
+            return _NO_FAULT
+        crash = attempt in spec.crash.get(name, ())
+        hang = attempt in spec.hang.get(name, ())
+        if not crash and spec.crash_rate:
+            crash = self.rng.random() < spec.crash_rate
+        if not hang and spec.hang_rate:
+            hang = self.rng.random() < spec.hang_rate
+        if crash:
+            self.stats.engine_crashes += 1
+        if hang:
+            self.stats.engine_hangs += 1
+        return FaultDecision(
+            crash=crash, hang_seconds=spec.hang_seconds if hang else 0.0
+        )
+
+    # Triana counts invocations where DAGMan counts attempts; same decision
+    invocation_fault = attempt

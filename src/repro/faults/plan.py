@@ -1,0 +1,312 @@
+"""Declarative, seeded fault plans for the monitoring pipeline.
+
+A :class:`FaultPlan` describes what may go wrong in each layer of the
+paper's Figure-1 pipeline — engine → bus → loader → archive — as plain
+data, so a chaos run is a *spec plus one RNG seed* and therefore exactly
+reproducible:
+
+.. code-block:: python
+
+    plan = FaultPlan.from_dict({
+        "seed": 42,
+        "bus": {"drop": 0.05, "duplicate": 0.05, "reorder": 0.10,
+                "disconnect_after": [120]},
+        "archive": {"fail_transactions": [2, 5]},
+        "engine": {"crash": {"b": [1]}, "hang_seconds": 60.0},
+    })
+
+Each layer draws from its own deterministic RNG stream (derived from the
+seed and the layer name), so adding faults to one layer never perturbs
+another layer's dice.  Every injected fault is tallied in
+:class:`FaultStats`, which serializes to JSON for the chaos-smoke CI
+artifact.
+
+The wrappers that *apply* a plan live next door:
+:class:`repro.faults.bus.ChaosBroker`,
+:class:`repro.faults.archive.ChaosDatabase`, and
+:class:`repro.faults.engine.EngineFaultInjector`.
+"""
+from __future__ import annotations
+
+import json
+import random
+import zlib
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+__all__ = [
+    "FaultPlanError",
+    "BusFaultSpec",
+    "ArchiveFaultSpec",
+    "EngineFaultSpec",
+    "FaultStats",
+    "FaultPlan",
+]
+
+_MAX_RATE = 0.9  # rates above this make geometric redelivery degenerate
+
+
+class FaultPlanError(ValueError):
+    """A fault spec failed validation."""
+
+
+def _check_rate(name: str, value: float) -> float:
+    value = float(value)
+    if not 0.0 <= value <= _MAX_RATE:
+        raise FaultPlanError(f"{name} must be in [0, {_MAX_RATE}], got {value}")
+    return value
+
+
+@dataclass(frozen=True)
+class BusFaultSpec:
+    """What can happen to a message between publisher and consumer.
+
+    All faults honor AMQP delivery semantics, so the resilience layer can
+    recover: a *dropped* delivery was never acked (the broker redelivers
+    it), a *duplicate* is a second fan-out of the same stamped message,
+    *reorder*/*delay* hold a delivery back so later ones overtake it, and
+    *disconnect_after* severs the consumer connection after the n-th
+    ``get`` (requeueing everything in flight).
+    """
+
+    drop: float = 0.0
+    duplicate: float = 0.0
+    reorder: float = 0.0
+    reorder_depth: int = 3
+    delay: float = 0.0
+    delay_polls: int = 2
+    disconnect_after: Tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        for name in ("drop", "duplicate", "reorder", "delay"):
+            _check_rate(f"bus.{name}", getattr(self, name))
+        if self.reorder_depth < 1 or self.delay_polls < 1:
+            raise FaultPlanError("reorder_depth/delay_polls must be >= 1")
+        if any(n < 1 for n in self.disconnect_after):
+            raise FaultPlanError("disconnect_after ordinals are 1-based")
+
+    @property
+    def active(self) -> bool:
+        return bool(
+            self.drop or self.duplicate or self.reorder or self.delay
+            or self.disconnect_after
+        )
+
+
+@dataclass(frozen=True)
+class ArchiveFaultSpec:
+    """Transient archive failures: lock contention on write transactions.
+
+    ``fail_transactions`` lists 1-based ordinals of write-transaction
+    *attempts* that raise ``sqlite3.OperationalError('database is
+    locked')`` — attempt 2 failing means the retry (attempt 3) sees a
+    healthy database, exactly the shape real lock contention has.
+    ``error_rate`` adds seeded random failures on top.
+    """
+
+    fail_transactions: Tuple[int, ...] = ()
+    error_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        _check_rate("archive.error_rate", self.error_rate)
+        if any(n < 1 for n in self.fail_transactions):
+            raise FaultPlanError("fail_transactions ordinals are 1-based")
+
+    @property
+    def active(self) -> bool:
+        return bool(self.fail_transactions or self.error_rate)
+
+
+@dataclass(frozen=True)
+class EngineFaultSpec:
+    """Task-execution faults inside the engines.
+
+    ``crash`` maps a job / task name to the 1-based attempt ordinals that
+    fail with an injected non-zero exit (DAGMan then retries up to the
+    job's ``max_retries``; Triana surfaces an ERROR state).  ``hang``
+    maps names to attempts that stall for ``hang_seconds`` of simulated
+    time before completing.  ``crash_rate`` / ``hang_rate`` add seeded
+    random faults across all attempts.
+    """
+
+    crash: Mapping[str, Tuple[int, ...]] = field(default_factory=dict)
+    hang: Mapping[str, Tuple[int, ...]] = field(default_factory=dict)
+    crash_rate: float = 0.0
+    hang_rate: float = 0.0
+    hang_seconds: float = 60.0
+
+    def __post_init__(self) -> None:
+        _check_rate("engine.crash_rate", self.crash_rate)
+        _check_rate("engine.hang_rate", self.hang_rate)
+        if self.hang_seconds < 0:
+            raise FaultPlanError("hang_seconds must be >= 0")
+
+    @property
+    def active(self) -> bool:
+        return bool(self.crash or self.hang or self.crash_rate or self.hang_rate)
+
+
+@dataclass
+class FaultStats:
+    """Tally of every fault injected and every recovery observed."""
+
+    messages_dropped: int = 0
+    messages_duplicated: int = 0
+    messages_reordered: int = 0
+    messages_delayed: int = 0
+    disconnects: int = 0
+    archive_faults: int = 0
+    engine_crashes: int = 0
+    engine_hangs: int = 0
+
+    @property
+    def total_injected(self) -> int:
+        return sum(asdict(self).values())
+
+    def to_dict(self) -> Dict[str, int]:
+        data = asdict(self)
+        data["total_injected"] = self.total_injected
+        return data
+
+    def to_json(self, **kwargs: Any) -> str:
+        return json.dumps(self.to_dict(), **kwargs)
+
+
+def _sub_mapping(data: Mapping[str, Any], key: str) -> Dict[str, Any]:
+    value = data.get(key) or {}
+    if not isinstance(value, Mapping):
+        raise FaultPlanError(f"{key!r} section must be a mapping, got {value!r}")
+    return dict(value)
+
+
+def _int_tuple(value: Any) -> Tuple[int, ...]:
+    if value is None:
+        return ()
+    if isinstance(value, (int, float)):
+        return (int(value),)
+    return tuple(int(v) for v in value)
+
+
+def _name_attempts(value: Any) -> Dict[str, Tuple[int, ...]]:
+    return {str(k): _int_tuple(v) for k, v in (value or {}).items()}
+
+
+class FaultPlan:
+    """One seeded, deterministic chaos scenario across all pipeline layers."""
+
+    def __init__(
+        self,
+        seed: int = 0,
+        bus: Optional[BusFaultSpec] = None,
+        archive: Optional[ArchiveFaultSpec] = None,
+        engine: Optional[EngineFaultSpec] = None,
+    ):
+        self.seed = int(seed)
+        self.bus = bus or BusFaultSpec()
+        self.archive = archive or ArchiveFaultSpec()
+        self.engine = engine or EngineFaultSpec()
+        self.stats = FaultStats()
+        self._rngs: Dict[str, random.Random] = {}
+        self._injectors: Dict[str, Any] = {}
+
+    # -- construction --------------------------------------------------------
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "FaultPlan":
+        """Build a plan from a YAML-shaped mapping (see module docstring)."""
+        known = {"seed", "bus", "archive", "engine"}
+        unknown = set(data) - known
+        if unknown:
+            raise FaultPlanError(
+                f"unknown fault-plan section(s): {sorted(unknown)}; "
+                f"expected a subset of {sorted(known)}"
+            )
+        bus = _sub_mapping(data, "bus")
+        bus["disconnect_after"] = _int_tuple(bus.get("disconnect_after"))
+        archive = _sub_mapping(data, "archive")
+        archive["fail_transactions"] = _int_tuple(archive.get("fail_transactions"))
+        engine = _sub_mapping(data, "engine")
+        engine["crash"] = _name_attempts(engine.get("crash"))
+        engine["hang"] = _name_attempts(engine.get("hang"))
+        try:
+            return cls(
+                seed=int(data.get("seed", 0)),
+                bus=BusFaultSpec(**bus),
+                archive=ArchiveFaultSpec(**archive),
+                engine=EngineFaultSpec(**engine),
+            )
+        except TypeError as exc:  # unknown field name inside a section
+            raise FaultPlanError(str(exc)) from None
+
+    @classmethod
+    def from_file(cls, path: str) -> "FaultPlan":
+        """Load a plan from a JSON (or, when PyYAML is present, YAML) file."""
+        with open(path, "r", encoding="utf-8") as fh:
+            text = fh.read()
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError:
+            try:
+                import yaml  # type: ignore[import-untyped]
+            except ImportError:
+                raise FaultPlanError(
+                    f"{path}: not valid JSON and PyYAML is not installed"
+                ) from None
+            data = yaml.safe_load(text)
+        if not isinstance(data, Mapping):
+            raise FaultPlanError(f"{path}: fault plan must be a mapping")
+        return cls.from_dict(data)
+
+    # -- deterministic randomness --------------------------------------------
+    def rng(self, layer: str) -> random.Random:
+        """The per-layer RNG stream (stable across reconnects/retries)."""
+        if layer not in self._rngs:
+            self._rngs[layer] = random.Random(
+                (self.seed << 32) ^ zlib.crc32(layer.encode("utf-8"))
+            )
+        return self._rngs[layer]
+
+    # -- layer injectors (singletons, so state survives reconnects) ----------
+    def bus_injector(self):
+        if "bus" not in self._injectors:
+            from repro.faults.bus import BusFaultInjector
+
+            self._injectors["bus"] = BusFaultInjector(
+                self.bus, self.rng("bus"), self.stats
+            )
+        return self._injectors["bus"]
+
+    def archive_injector(self):
+        if "archive" not in self._injectors:
+            from repro.faults.archive import ArchiveFaultInjector
+
+            self._injectors["archive"] = ArchiveFaultInjector(
+                self.archive, self.rng("archive"), self.stats
+            )
+        return self._injectors["archive"]
+
+    def engine_injector(self):
+        if "engine" not in self._injectors:
+            from repro.faults.engine import EngineFaultInjector
+
+            self._injectors["engine"] = EngineFaultInjector(
+                self.engine, self.rng("engine"), self.stats
+            )
+        return self._injectors["engine"]
+
+    def wrap_database(self, db):
+        """Wrap an ORM backend so archive faults fire on its writes."""
+        from repro.faults.archive import ChaosDatabase
+
+        return ChaosDatabase(db, self.archive_injector())
+
+    def __repr__(self) -> str:
+        active = [
+            name
+            for name, spec in (
+                ("bus", self.bus),
+                ("archive", self.archive),
+                ("engine", self.engine),
+            )
+            if spec.active
+        ]
+        return f"FaultPlan(seed={self.seed}, active={active or 'none'})"

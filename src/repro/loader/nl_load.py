@@ -21,14 +21,18 @@ import sys
 from typing import Callable, Iterable, List, Optional, TextIO, Tuple, Union
 
 from repro.archive.store import StampedeArchive
-from repro.bus.broker import Broker
+from repro.bus.broker import Broker, ConnectionLostError
 from repro.bus.client import EventConsumer
+from repro.bus.queues import Message
+from repro.bus.reliable import Resequencer
 from repro.lint.config import LintConfig
 from repro.lint.report import render_text
 from repro.lint.rules import Finding, Severity
 from repro.lint.stream import StreamLinter
 from repro.loader.checkpoint import CheckpointManager
-from repro.loader.stampede_loader import LoaderStats, StampedeLoader
+from repro.loader.dlq import DeadLetterQueue
+from repro.loader.spill import SpillBuffer
+from repro.loader.stampede_loader import LoaderError, LoaderStats, StampedeLoader
 from repro.netlogger.events import NLEvent
 from repro.netlogger.stream import BPReader, read_events_with_offsets
 
@@ -187,6 +191,9 @@ def load_from_bus(
     max_length: Optional[int] = None,
     overflow: str = "drop-oldest",
     resume: bool = False,
+    dead_letter: Union[DeadLetterQueue, bool, None] = None,
+    spill: Union[SpillBuffer, str, None] = None,
+    resequence: bool = True,
     **loader_kwargs,
 ) -> StampedeLoader:
     """Consume events from a broker queue into the archive.
@@ -195,7 +202,8 @@ def load_from_bus(
     ``until(loader)`` returns True (e.g. "the workflow-terminated state has
     been recorded"), enabling real-time loading concurrent with a run.
 
-    The consumption loop is backpressure-aware and crash-safe:
+    The consumption loop is backpressure-aware, crash-safe, and — under
+    chaos — self-healing:
 
     * ``get`` *blocks* up to ``poll_timeout`` seconds instead of spinning,
       so an idle loader costs no CPU and the batch buffer only flushes on
@@ -204,6 +212,21 @@ def load_from_bus(
     * messages are acked only after the batch containing them commits
       (at-least-once delivery; a crashed loader's in-flight messages are
       redelivered);
+    * deliveries run through a :class:`~repro.bus.reliable.Resequencer`
+      (``resequence=True``), which restores publish order and discards
+      duplicate deliveries, upgrading the at-least-once bus to
+      exactly-once archive writes;
+    * a lost broker connection is survived: the in-flight batch is
+      committed, stale state dropped, and the queue re-subscribed — the
+      broker's redeliveries then dedupe against the committed sequences;
+    * ``dead_letter`` (a :class:`~repro.loader.dlq.DeadLetterQueue`, or
+      True to build one over this loader's archive) quarantines poison
+      events — unparseable or schema-violating payloads — instead of
+      letting one bad message kill the whole batch;
+    * ``spill`` (a :class:`~repro.loader.spill.SpillBuffer` or a path)
+      enables graceful degradation: when the archive stays down past the
+      retry ladder, events are parked on disk and acked, then drained
+      back through the loader once the archive recovers;
     * ``max_length`` + ``overflow='block'`` bound the queue so a slow
       loader blocks publishers instead of accumulating events;
     * with a checkpointing loader and ``resume=True``, consumption
@@ -220,37 +243,149 @@ def load_from_bus(
         max_length=max_length,
         overflow=overflow,
     )
+    if dead_letter is True:
+        dead_letter = DeadLetterQueue(
+            loader.archive, source=consumer.queue_name, broker=broker
+        )
+    elif dead_letter is False:
+        dead_letter = None
+    if spill is not None and not isinstance(spill, SpillBuffer):
+        spill = SpillBuffer(spill)
+    reseq = Resequencer() if resequence else None
+    transient = loader.archive.db.TRANSIENT_ERRORS
     skip_to = 0
     if resume and loader.checkpoint is not None:
         skip_to = loader.resume()
-    in_flight: List = []
+    in_flight: List[Message] = []
+    archive_down = False
+
+    def ack_quiet(msg: Message) -> None:
+        # after a disconnect the tag is stale (the broker requeued the
+        # message); the redelivery will settle through the normal path
+        try:
+            consumer.ack(msg)
+        except (ConnectionLostError, ValueError):
+            pass
 
     def ack_committed(_loader: StampedeLoader) -> None:
         # called by the loader after a successful flush commit: every
         # message whose events are now durable can be settled.
         for msg in in_flight:
-            consumer.ack(msg)
+            ack_quiet(msg)
         in_flight.clear()
+
+    def enter_degraded() -> None:
+        # the archive outlasted the whole retry ladder
+        nonlocal archive_down
+        loader.stats.archive_outages += 1
+        if spill is None:
+            raise  # noqa: PLE0704 - re-raise the active transient error
+        archive_down = True
+
+    def bp_line(msg: Message) -> str:
+        body = msg.body
+        return body if isinstance(body, str) else EventConsumer.as_event(msg).to_bp()
+
+    def drain_spill() -> None:
+        # journal first — its events arrived before anything spilled —
+        # then replay the spill file in arrival order
+        nonlocal archive_down
+        loader.flush()
+        if spill is not None and spill:
+            for line in spill.lines():
+                loader.process(NLEvent.from_bp(line))
+            loader.flush()
+            spill.clear()
+            loader.stats.spill_drains += 1
+        archive_down = False
+
+    def try_recover() -> None:
+        try:
+            drain_spill()
+        except transient:
+            pass  # still down; stay degraded
+
+    def consume(msg: Message) -> None:
+        if msg.delivery_tag <= skip_to:
+            ack_quiet(msg)  # already archived before the crash
+            return
+        try:
+            if archive_down and spill is not None:
+                spill.append(bp_line(msg))
+                loader.stats.spilled_events += 1
+                ack_quiet(msg)  # on disk is durable enough to settle
+                return
+            in_flight.append(msg)
+            try:
+                loader.position = msg.delivery_tag
+                loader.process(EventConsumer.as_event(msg))
+            except transient:
+                # batch-full flush failed beyond retries; the event's ops
+                # are safely journalled (flush only clears on success), so
+                # keep the message in flight and degrade if possible
+                enter_degraded()
+        except (LoaderError, TypeError, ValueError, KeyError) as exc:
+            # poison event: quarantine it rather than kill the batch
+            if msg in in_flight:
+                in_flight.remove(msg)
+            if dead_letter is None:
+                raise
+            dead_letter.quarantine(
+                msg.body, f"{type(exc).__name__}: {exc}", msg.routing_key
+            )
+            loader.stats.dlq_events += 1
+            ack_quiet(msg)
 
     previous_on_flush = loader.on_flush
     loader.on_flush = ack_committed
     try:
         while True:
-            msg = consumer.get_message(timeout=poll_timeout, auto_ack=False)
+            try:
+                msg = consumer.get_message(timeout=poll_timeout, auto_ack=False)
+            except ConnectionLostError:
+                # the broker requeued everything unacked, including our
+                # uncommitted batch: commit it now (the acks tolerate the
+                # dead connection), drop state that points at requeued
+                # messages, and re-subscribe — committed redeliveries then
+                # dedupe against the resequencer's release positions.
+                loader.flush()
+                in_flight.clear()
+                if reseq is not None:
+                    reseq.reset_held()
+                consumer.reconnect()
+                loader.stats.reconnects += 1
+                continue
             if msg is not None:
                 loader.stats.record_queue_depth(consumer.depth())
-                if msg.delivery_tag <= skip_to:
-                    consumer.ack(msg)  # already archived before the crash
-                    continue
-                in_flight.append(msg)
-                loader.position = msg.delivery_tag
-                loader.process(EventConsumer.as_event(msg))
+                if msg.redelivered:
+                    loader.stats.redelivered_events += 1
+                released, duplicates = (
+                    reseq.offer(msg) if reseq is not None else ([msg], [])
+                )
+                for dup in duplicates:
+                    loader.stats.duplicates_skipped += 1
+                    ack_quiet(dup)
+                for ready in released:
+                    consume(ready)
                 continue
             # idle deadline: push out the partial batch, then consult the
             # stop predicate (or stop once the backlog is drained).
-            loader.flush()
+            if archive_down:
+                try_recover()
+            else:
+                try:
+                    loader.flush()
+                except transient:
+                    enter_degraded()
             if until is None or until(loader):
                 break
+        # end of stream: release anything still held for a gap that will
+        # never fill, then make the tail durable
+        if reseq is not None:
+            for ready in reseq.release_pending():
+                consume(ready)
+        if archive_down:
+            try_recover()
         loader.flush()
     finally:
         loader.on_flush = previous_on_flush
@@ -312,6 +447,12 @@ def main(argv: Optional[list] = None) -> int:
         help="continue a checkpointed load after the last committed offset "
         "(implies --checkpoint)",
     )
+    parser.add_argument(
+        "--faults",
+        metavar="SPEC",
+        help="fault-injection plan (JSON file, see repro.faults.FaultPlan): "
+        "archive faults apply to this load; used to rehearse outage recovery",
+    )
     parser.add_argument("-v", "--verbose", action="store_true")
     args = parser.parse_args(argv)
 
@@ -339,6 +480,12 @@ def main(argv: Optional[list] = None) -> int:
         validate=args.validate,
         checkpoint_source=args.input if args.checkpoint else None,
     )
+    plan = None
+    if args.faults:
+        from repro.faults import FaultPlan
+
+        plan = FaultPlan.from_file(args.faults)
+        loader.archive.db = plan.wrap_database(loader.archive.db)
     source = sys.stdin if args.input == "-" else args.input
 
     if args.lint:
@@ -364,6 +511,8 @@ def main(argv: Optional[list] = None) -> int:
 
     if args.verbose:
         _print_stats(stats)
+        if plan is not None:
+            print(f"faults injected  : {plan.stats.total_injected}", file=sys.stderr)
     return 0
 
 
@@ -385,6 +534,21 @@ def _print_stats(stats: LoaderStats) -> None:
         print(
             "queue depth      : "
             f"max={stats.queue_depth_max} avg={stats.queue_depth_avg:.1f}"
+        )
+    if stats.redelivered_events or stats.duplicates_skipped or stats.reconnects:
+        print(
+            "redelivery       : "
+            f"redelivered={stats.redelivered_events} "
+            f"duplicates_skipped={stats.duplicates_skipped} "
+            f"reconnects={stats.reconnects}"
+        )
+    if stats.dlq_events:
+        print(f"dead-lettered    : {stats.dlq_events}")
+    if stats.archive_outages:
+        print(
+            "archive outages  : "
+            f"{stats.archive_outages} "
+            f"(spilled={stats.spilled_events} drains={stats.spill_drains})"
         )
     print(f"wall seconds     : {stats.wall_seconds:.3f}")
     print(f"events/second    : {stats.events_per_second:,.0f}")

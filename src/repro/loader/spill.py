@@ -1,0 +1,76 @@
+"""Spill-to-disk overflow buffer: graceful degradation when the archive
+is unavailable.
+
+When the archive stays down past the loader's whole retry ladder, the
+bus consumption loop switches to *degraded mode*: incoming events are
+appended to a :class:`SpillBuffer` — a bounded, append-only file of BP
+lines — and acked, so the queue keeps draining and publishers are never
+blocked by an archive outage.  On recovery the buffer is drained back
+through the loader in arrival order, then truncated; a crash while
+spilled data exists leaves the file on disk for the next run.
+
+The buffer is deliberately dumb: BP text lines, fsync-free appends, a
+hard ``max_events`` bound (overflow raises — at that point the operator
+has an outage, not a blip, and silently eating events would violate the
+no-loss contract the chaos suite asserts).
+"""
+from __future__ import annotations
+
+import os
+from typing import Iterator, List
+
+__all__ = ["SpillBuffer", "SpillOverflowError"]
+
+
+class SpillOverflowError(RuntimeError):
+    """The spill buffer hit its bound: the outage outlasted the budget."""
+
+
+class SpillBuffer:
+    """Bounded file-backed FIFO of BP event lines."""
+
+    def __init__(self, path, max_events: int = 100_000):
+        if max_events < 1:
+            raise ValueError("max_events must be >= 1")
+        self.path = os.fspath(path)
+        self.max_events = max_events
+        self.appended = 0  # lifetime appends, survives clear()
+        self._count = self._count_existing()
+
+    def _count_existing(self) -> int:
+        if not os.path.exists(self.path):
+            return 0
+        with open(self.path, "r", encoding="utf-8") as fh:
+            return sum(1 for line in fh if line.strip())
+
+    def append(self, bp_line: str) -> None:
+        if self._count >= self.max_events:
+            raise SpillOverflowError(
+                f"spill buffer {self.path!r} full ({self.max_events} events)"
+            )
+        with open(self.path, "a", encoding="utf-8") as fh:
+            fh.write(bp_line.rstrip("\n") + "\n")
+        self._count += 1
+        self.appended += 1
+
+    def lines(self) -> List[str]:
+        """The buffered BP lines, oldest first (non-destructive)."""
+        if not os.path.exists(self.path):
+            return []
+        with open(self.path, "r", encoding="utf-8") as fh:
+            return [line.rstrip("\n") for line in fh if line.strip()]
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.lines())
+
+    def clear(self) -> None:
+        """Truncate after a successful drain (data is in the archive now)."""
+        if os.path.exists(self.path):
+            os.remove(self.path)
+        self._count = 0
+
+    def __len__(self) -> int:
+        return self._count
+
+    def __bool__(self) -> bool:
+        return self._count > 0

@@ -44,6 +44,7 @@ from repro.model.entities import (
 from repro.model.states import JobState, WorkflowState
 from repro.netlogger.events import NLEvent
 from repro.schema.stampede import STAMPEDE_SCHEMA, Events, SUCCESS
+from repro.util.retry import CircuitBreaker, RetryPolicy
 from repro.util.timeutil import parse_ts
 from repro.schema.validator import EventValidator
 
@@ -74,6 +75,14 @@ class LoaderStats:
     queue_depth_max: int = 0
     queue_depth_sum: int = 0
     queue_depth_samples: int = 0
+    # resilience counters (bus consumption path)
+    redelivered_events: int = 0  # deliveries flagged redelivered (at-least-once)
+    duplicates_skipped: int = 0  # resequencer-deduped repeat deliveries
+    reconnects: int = 0  # consumer connection recoveries
+    dlq_events: int = 0  # poison events quarantined instead of fatal
+    spilled_events: int = 0  # events parked on disk while the archive was down
+    spill_drains: int = 0  # successful spill-buffer drains back into the archive
+    archive_outages: int = 0  # times the whole retry ladder was exhausted
 
     @property
     def events_per_second(self) -> float:
@@ -181,6 +190,8 @@ class StampedeLoader:
         checkpoint: Optional[CheckpointManager] = None,
         max_retries: int = 4,
         retry_delay: float = 0.05,
+        retry_policy: Optional[RetryPolicy] = None,
+        breaker: Optional[CircuitBreaker] = None,
     ):
         if batch_size < 1:
             raise ValueError(f"batch_size must be >= 1, got {batch_size}")
@@ -190,6 +201,17 @@ class StampedeLoader:
         self.checkpoint = checkpoint
         self.max_retries = max_retries
         self.retry_delay = retry_delay
+        # max_retries/retry_delay remain as the simple knobs; a full
+        # RetryPolicy overrides them (uncapped 'none' jitter reproduces
+        # the historical base * 2**n ladder exactly)
+        self.retry_policy = retry_policy or RetryPolicy(
+            max_retries=max_retries,
+            base_delay=retry_delay,
+            max_delay=float("inf"),
+            jitter="none",
+        )
+        #: optional circuit breaker shared with other archive writers
+        self.breaker = breaker
         self.stats = LoaderStats()
         #: source position (file byte offset / bus delivery tag) of the
         #: last event handed to :meth:`process`; persisted on flush.
@@ -288,17 +310,16 @@ class StampedeLoader:
                 self.on_flush(self)
             return
         start = time.perf_counter()
-        attempt = 0
-        while True:
-            try:
-                inserted, updated = self._flush_once(ops, resolved, still_deferred)
-                break
-            except self.archive.db.TRANSIENT_ERRORS:
-                attempt += 1
-                if attempt > self.max_retries:
-                    raise
-                self.stats.retries += 1
-                time.sleep(self.retry_delay * (2 ** (attempt - 1)))
+
+        def record_retry(attempt: int, exc: BaseException) -> None:
+            self.stats.retries += 1
+
+        inserted, updated = self.retry_policy.call(
+            lambda: self._flush_once(ops, resolved, still_deferred),
+            retry_on=self.archive.db.TRANSIENT_ERRORS,
+            on_retry=record_retry,
+            breaker=self.breaker,
+        )
         self._pending = []
         self._deferred_subwf = still_deferred
         self.stats.rows_inserted += inserted

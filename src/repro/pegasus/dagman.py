@@ -73,6 +73,7 @@ class DAGManRun:
         parent_xwf_id: Optional[str] = None,
         root_xwf_id: Optional[str] = None,
         raw_recorder=None,
+        faults=None,
     ):
         self.aw = aw
         self.ew = ew
@@ -91,6 +92,9 @@ class DAGManRun:
         #: optional RawLogRecorder mirroring execution into the raw Condor
         #: log formats (jobstate.log + kickstart) for the normalizer path
         self.raw_recorder = raw_recorder
+        #: optional EngineFaultInjector (repro.faults): consulted per
+        #: (exec job id, attempt) to crash or hang attempts on demand
+        self.faults = faults
         self._states: Dict[str, _JobState] = {}
         self._in_flight = 0
         self._sched_counter = 0
@@ -199,6 +203,15 @@ class DAGManRun:
         self.emitter.main_start(job, seq, now)
         self._record_jobstate(job, seq, "EXECUTE", f"{seq}.0", site.name, now)
         failed_attempt = site.attempt_fails(self.rng)
+        hang_extra = 0.0
+        if self.faults is not None:
+            # injected faults ride the organic failure path: a crash is a
+            # failed attempt (retried like any site failure), a hang
+            # stretches the attempt's simulated wall time
+            decision = self.faults.attempt(job.exec_job_id, seq)
+            if decision.crash:
+                failed_attempt = True
+            hang_extra = decision.hang_seconds
         # clustered jobs run their tasks serially within the instance
         inv_specs = []
         if job.tasks:
@@ -256,6 +269,7 @@ class DAGManRun:
             if exitcode != 0:
                 break  # remaining invocations never run
         exitcode = 1 if failed_attempt else 0
+        total += hang_extra
         self.clock.schedule(
             total, lambda: self._complete(state, seq, site, exitcode, total)
         )
@@ -337,12 +351,14 @@ def run_pegasus_workflow(
     planner_config: Optional[PlannerConfig] = None,
     clock: Optional[SimClock] = None,
     seed: int = 0,
+    faults=None,
 ) -> DAGManRun:
     """Plan and execute an abstract workflow; returns the finished run."""
     planner = Planner(catalog=catalog, config=planner_config)
     ew = planner.plan(aw)
     run = DAGManRun(
-        aw, ew, sink, catalog=planner.catalog, clock=clock, seed=seed
+        aw, ew, sink, catalog=planner.catalog, clock=clock, seed=seed,
+        faults=faults,
     )
     run.run()
     return run

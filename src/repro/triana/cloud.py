@@ -84,9 +84,12 @@ class TrianaCloudBroker:
         seed: int = 0,
         node_name_prefix: str = "trianaworker",
         dispatch_latency: float = 0.5,
+        faults=None,
     ):
         self.clock = clock
         self.sink = sink
+        #: optional EngineFaultInjector passed to every bundle scheduler
+        self.faults = faults
         self.nodes = [
             CloudNode(f"{node_name_prefix}{i}", slots_per_bundle, bundles_per_node)
             for i in range(n_nodes)
@@ -145,6 +148,7 @@ class TrianaCloudBroker:
                 np.random.PCG64(int(self.rng.integers(0, 2**63)))
             ),
             max_concurrent=node.slots_per_bundle,
+            fault_injector=self.faults,
         )
         parent_xwf = run.bundle.parent_xwf_id or (
             self._parent_log.xwf_id if self._parent_log else None

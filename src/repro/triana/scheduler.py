@@ -96,6 +96,7 @@ class Scheduler:
         seed: int = 0,
         mode: str = "single-step",
         max_concurrent: Optional[int] = None,
+        fault_injector=None,
     ):
         if mode not in ("single-step", "continuous"):
             raise ValueError(f"unknown mode {mode!r}")
@@ -108,6 +109,9 @@ class Scheduler:
         self.rng = rng if rng is not None else np.random.Generator(np.random.PCG64(seed))
         self.mode = mode
         self.max_concurrent = max_concurrent
+        #: optional EngineFaultInjector (repro.faults): consulted per
+        #: (task name, invocation) to crash or hang units on demand
+        self.fault_injector = fault_injector
         self.graph_emitter = EventEmitter(graph.name, is_graph=True)
         self.instances: Dict[str, RunnableInstance] = {
             t.name: RunnableInstance(t) for t in graph.tasks()
@@ -261,12 +265,23 @@ class Scheduler:
         except Exception as exc:  # unit bug: also an ERROR state in Triana
             exitcode = 1
             error_text = f"{type(exc).__name__}: {exc}"
+        hang_extra = 0.0
+        if self.fault_injector is not None and exitcode == 0:
+            # injected faults ride the unit-error path so they produce the
+            # same ERROR-state lifecycle an organic failure would
+            decision = self.fault_injector.invocation_fault(
+                task.name, instance.invocations
+            )
+            if decision.crash:
+                exitcode = 1
+                error_text = "injected fault: unit crashed"
+            hang_extra = decision.hang_seconds
         if getattr(task.unit, "external", False) and exitcode == 0:
             # Externally-completed unit (e.g. waiting on the TrianaCloud
             # broker): someone must call complete_external() later.
             self._external_pending[task.name] = (instance, result, start)
             return
-        duration = float(task.unit.duration(inputs, self.rng))
+        duration = float(task.unit.duration(inputs, self.rng)) + hang_extra
         self.clock.schedule(
             duration,
             lambda: self._complete(instance, result, exitcode, error_text, start, duration),

@@ -1,5 +1,12 @@
-"""Shared utilities: time formats, deterministic UUIDs, virtual clock, graphs."""
+"""Shared utilities: time formats, deterministic UUIDs, virtual clock,
+graphs, and the shared retry/backoff policy."""
 from repro.util.graph import CycleError, DiGraph, has_cycle, topological_sort
+from repro.util.retry import (
+    CircuitBreaker,
+    CircuitOpenError,
+    RetryError,
+    RetryPolicy,
+)
 from repro.util.simclock import SimClock, SimEvent
 from repro.util.text import indent, render_table
 from repro.util.timeutil import (
@@ -12,6 +19,10 @@ from repro.util.timeutil import (
 from repro.util.uuidgen import UUIDFactory, derive_uuid
 
 __all__ = [
+    "CircuitBreaker",
+    "CircuitOpenError",
+    "RetryError",
+    "RetryPolicy",
     "CycleError",
     "DiGraph",
     "has_cycle",

@@ -1,0 +1,202 @@
+"""Shared retry machinery: one policy for every transient-failure site.
+
+The loader, the bus clients, and the chaos-recovery paths all need the
+same three things when a dependency hiccups:
+
+* :class:`RetryPolicy` — bounded exponential backoff with optional
+  decorrelated jitter and an overall deadline, expressed as data so the
+  loader and the bus share one implementation instead of each growing an
+  inline ``while/attempt`` loop;
+* :class:`CircuitBreaker` — a small closed/open/half-open breaker so a
+  component facing a *down* (not merely slow) dependency fails fast and
+  probes for recovery instead of sleeping through full retry ladders on
+  every call;
+* injectable ``sleep`` / ``clock`` / ``rng`` hooks, so tests and the
+  deterministic fault-injection suite can drive every branch without
+  real time passing.
+
+Decorrelated jitter follows the AWS architecture-blog formulation:
+``delay = min(max_delay, uniform(base_delay, prev_delay * 3))`` — each
+delay is randomized around the previous one, which spreads thundering
+herds better than full-jitter while keeping the expected growth
+exponential.
+"""
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator, Optional, Tuple, Type
+
+__all__ = [
+    "RetryError",
+    "CircuitOpenError",
+    "RetryPolicy",
+    "CircuitBreaker",
+]
+
+
+class RetryError(RuntimeError):
+    """A retried call exhausted its attempts or deadline.
+
+    The final underlying exception is chained as ``__cause__``.
+    """
+
+
+class CircuitOpenError(RuntimeError):
+    """The circuit breaker is open: the protected call was not attempted."""
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Declarative retry schedule shared by the loader and bus clients.
+
+    ``max_retries`` counts *re*-tries: a call may run ``max_retries + 1``
+    times in total.  ``deadline`` bounds the whole ladder in seconds
+    (attempts stop once the budget is spent, even with retries left).
+    ``jitter='decorrelated'`` randomizes each delay between ``base_delay``
+    and three times the previous delay; ``jitter='none'`` gives the exact
+    ``base_delay * multiplier**n`` ladder (capped at ``max_delay``), which
+    is what deterministic tests want.
+    """
+
+    max_retries: int = 4
+    base_delay: float = 0.05
+    max_delay: float = 2.0
+    multiplier: float = 2.0
+    jitter: str = "none"  # 'none' | 'decorrelated'
+    deadline: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.base_delay < 0 or self.max_delay < self.base_delay:
+            raise ValueError("need 0 <= base_delay <= max_delay")
+        if self.multiplier < 1.0:
+            raise ValueError("multiplier must be >= 1")
+        if self.jitter not in ("none", "decorrelated"):
+            raise ValueError(f"unknown jitter mode {self.jitter!r}")
+        if self.deadline is not None and self.deadline <= 0:
+            raise ValueError("deadline must be positive")
+
+    # -- schedule ------------------------------------------------------------
+    def delays(self, rng: Optional[random.Random] = None) -> Iterator[float]:
+        """Yield the sleep before each retry (``max_retries`` values)."""
+        prev = self.base_delay
+        for attempt in range(self.max_retries):
+            if self.jitter == "decorrelated":
+                rng = rng if rng is not None else random
+                delay = min(self.max_delay, rng.uniform(self.base_delay, prev * 3))
+            else:
+                delay = min(
+                    self.max_delay, self.base_delay * self.multiplier**attempt
+                )
+            prev = delay
+            yield delay
+
+    # -- execution -----------------------------------------------------------
+    def call(
+        self,
+        fn: Callable[[], Any],
+        retry_on: Tuple[Type[BaseException], ...],
+        on_retry: Optional[Callable[[int, BaseException], None]] = None,
+        sleep: Callable[[float], None] = time.sleep,
+        clock: Callable[[], float] = time.monotonic,
+        rng: Optional[random.Random] = None,
+        breaker: Optional["CircuitBreaker"] = None,
+    ) -> Any:
+        """Run ``fn`` under this policy.
+
+        Exceptions in ``retry_on`` are retried per the schedule; anything
+        else propagates immediately.  ``on_retry(attempt, exc)`` fires
+        before each sleep (attempt is 1-based).  When the schedule is
+        exhausted the *original* exception type propagates, so callers'
+        existing ``except TRANSIENT_ERRORS`` handling keeps working.  A
+        ``breaker``, when given, is consulted before every attempt and
+        fed the outcome of each one.
+        """
+        started = clock()
+        attempt = 0
+        delays = self.delays(rng=rng)
+        while True:
+            if breaker is not None and not breaker.allow():
+                raise CircuitOpenError(
+                    f"circuit open after {breaker.consecutive_failures} "
+                    "consecutive failures"
+                )
+            try:
+                result = fn()
+            except retry_on as exc:
+                if breaker is not None:
+                    breaker.record_failure()
+                attempt += 1
+                try:
+                    delay = next(delays)
+                except StopIteration:
+                    raise exc
+                if (
+                    self.deadline is not None
+                    and clock() - started + delay > self.deadline
+                ):
+                    raise exc
+                if on_retry is not None:
+                    on_retry(attempt, exc)
+                sleep(delay)
+            else:
+                if breaker is not None:
+                    breaker.record_success()
+                return result
+
+
+@dataclass
+class CircuitBreaker:
+    """Minimal closed → open → half-open breaker.
+
+    After ``failure_threshold`` consecutive failures the circuit opens:
+    :meth:`allow` returns False (fail fast) until ``reset_timeout``
+    seconds pass, after which exactly one probe call is let through
+    (half-open).  A successful probe closes the circuit; a failed one
+    re-opens it for another timeout.
+    """
+
+    failure_threshold: int = 5
+    reset_timeout: float = 30.0
+    clock: Callable[[], float] = time.monotonic
+    consecutive_failures: int = 0
+    opened_at: Optional[float] = field(default=None)
+    _probing: bool = field(default=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if self.reset_timeout < 0:
+            raise ValueError("reset_timeout must be >= 0")
+
+    @property
+    def state(self) -> str:
+        if self.opened_at is None:
+            return "closed"
+        if self.clock() - self.opened_at >= self.reset_timeout:
+            return "half-open"
+        return "open"
+
+    def allow(self) -> bool:
+        """May the protected call run right now?"""
+        state = self.state
+        if state == "closed":
+            return True
+        if state == "half-open" and not self._probing:
+            self._probing = True  # single probe until its outcome lands
+            return True
+        return False
+
+    def record_success(self) -> None:
+        self.consecutive_failures = 0
+        self.opened_at = None
+        self._probing = False
+
+    def record_failure(self) -> None:
+        self.consecutive_failures += 1
+        self._probing = False
+        if self.consecutive_failures >= self.failure_threshold:
+            self.opened_at = self.clock()

@@ -1,0 +1,72 @@
+"""Broker dead-lettering: unroutable publishes land in ``stampede.dlq``.
+
+Regression suite for the failure mode where a typo'd routing key (or a
+publish racing queue setup) silently vanished: the message must now be
+counted, annotated, and *recoverable* — an operator can read it back from
+the DLQ and republish it down the correct path.
+"""
+from repro.bus.broker import DEAD_LETTER_QUEUE, Broker
+from repro.bus.client import EventConsumer, EventPublisher
+from repro.netlogger.events import NLEvent
+
+
+class TestUnroutableDeadLettering:
+    def test_typoed_routing_key_is_recoverable_from_the_dlq(self):
+        broker = Broker()
+        consumer = broker.subscribe("stampede.job.#", queue_name="loader")
+
+        # the typo: 'stamped.' routes nowhere
+        delivered = broker.publish("stamped.job.mainjob.start", {"job": "j1"})
+        assert delivered == 0
+        assert broker.declare_exchange().unroutable == 1
+        assert consumer.get() is None  # nothing leaked to the real queue
+
+        dead = broker.queue(DEAD_LETTER_QUEUE).get()
+        assert dead is not None
+        assert dead.body == {"job": "j1"}
+        assert dead.routing_key == "stamped.job.mainjob.start"
+        assert dead.header("x-death") == "unroutable"
+        assert dead.header("x-exchange") == "stampede"
+
+        # recovery: replay under the intended key and the consumer sees it
+        broker.publish("stampede.job.mainjob.start", dead.body)
+        replayed = consumer.get()
+        assert replayed is not None
+        assert replayed.body == {"job": "j1"}
+
+    def test_publisher_headers_survive_dead_lettering(self):
+        broker = Broker()
+        broker.publish("nowhere", "x", headers={"x-seq": 7})
+        dead = broker.queue(DEAD_LETTER_QUEUE).get()
+        assert dead.header("x-seq") == 7
+        assert dead.header("x-death") == "unroutable"
+
+    def test_stamped_event_publish_dead_letters_whole_event(self):
+        broker = Broker()
+        EventConsumer(broker, pattern="stampede.job.#")
+        publisher = EventPublisher(broker)
+        event = NLEvent("stampede.xwf.start", 1.0, {"xwf.id": "w1"})
+        # no binding matches xwf events -> dead-lettered with its stamp
+        publisher.publish(event)
+        dead = broker.queue(DEAD_LETTER_QUEUE).get()
+        assert dead.body is event
+        assert dead.header("x-publisher") == publisher.publisher_id
+
+    def test_dlq_queue_is_lazy_and_durable(self):
+        broker = Broker()
+        assert DEAD_LETTER_QUEUE not in broker.queue_names()
+        broker.publish("void", "x")
+        assert DEAD_LETTER_QUEUE in broker.queue_names()
+        assert broker.queue(DEAD_LETTER_QUEUE).durable
+
+    def test_disabled_dlq_restores_drop_and_count(self):
+        broker = Broker(dead_letter_queue=None)
+        assert broker.publish("void", "x") == 0
+        assert broker.declare_exchange().unroutable == 1
+        assert DEAD_LETTER_QUEUE not in broker.queue_names()
+
+    def test_routable_publish_never_touches_the_dlq(self):
+        broker = Broker()
+        broker.subscribe("stampede.#", queue_name="q")
+        assert broker.publish("stampede.job.start", "x") == 1
+        assert DEAD_LETTER_QUEUE not in broker.queue_names()

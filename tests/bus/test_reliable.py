@@ -1,0 +1,146 @@
+"""repro.bus.reliable: publisher sequence stamps + the Resequencer.
+
+The resequencer is the consumer half of the exactly-once story: it must
+restore publish order, swallow duplicate deliveries, and never lose a
+message — even across forced releases and connection resets.
+"""
+import pytest
+
+from repro.bus.queues import Message
+from repro.bus.reliable import HEADER_PUBLISHER, HEADER_SEQ, Resequencer
+
+
+def msg(seq, publisher="pub", body=None):
+    return Message(
+        "stampede.test",
+        body if body is not None else f"{publisher}:{seq}",
+        delivery_tag=seq,
+        headers={HEADER_PUBLISHER: publisher, HEADER_SEQ: seq},
+    )
+
+
+def bodies(messages):
+    return [m.body for m in messages]
+
+
+class TestInOrder:
+    def test_in_order_stream_passes_straight_through(self):
+        reseq = Resequencer()
+        for seq in range(1, 6):
+            released, dups = reseq.offer(msg(seq))
+            assert bodies(released) == [f"pub:{seq}"]
+            assert dups == []
+        assert reseq.duplicates == 0
+        assert reseq.pending_count == 0
+        assert reseq.expected("pub") == 6
+
+    def test_unstamped_messages_pass_through_untouched(self):
+        reseq = Resequencer()
+        plain = Message("stampede.test", "raw", delivery_tag=1)
+        released, dups = reseq.offer(plain)
+        assert released == [plain] and dups == []
+        # and they don't disturb stamped streams
+        released, _ = reseq.offer(msg(1))
+        assert bodies(released) == ["pub:1"]
+
+    def test_partial_stamp_is_treated_as_unstamped(self):
+        reseq = Resequencer()
+        half = Message("k", "x", headers={HEADER_SEQ: 5})
+        released, dups = reseq.offer(half)
+        assert released == [half] and dups == []
+
+
+class TestReordering:
+    def test_early_arrival_held_until_gap_fills(self):
+        reseq = Resequencer()
+        released, _ = reseq.offer(msg(2))
+        assert released == []
+        assert reseq.pending_count == 1
+        assert reseq.held_back == 1
+        released, _ = reseq.offer(msg(1))
+        assert bodies(released) == ["pub:1", "pub:2"]
+        assert reseq.pending_count == 0
+
+    def test_deep_shuffle_comes_out_in_publish_order(self):
+        reseq = Resequencer()
+        out = []
+        for seq in [3, 1, 5, 2, 4]:
+            released, _ = reseq.offer(msg(seq))
+            out.extend(bodies(released))
+        assert out == [f"pub:{i}" for i in range(1, 6)]
+        assert reseq.gaps_skipped == 0
+
+    def test_publishers_are_independent(self):
+        reseq = Resequencer()
+        released, _ = reseq.offer(msg(2, publisher="a"))
+        assert released == []
+        released, _ = reseq.offer(msg(1, publisher="b"))
+        assert bodies(released) == ["b:1"]  # b's stream is not gated by a's gap
+
+
+class TestDuplicates:
+    def test_already_released_sequence_is_a_duplicate(self):
+        reseq = Resequencer()
+        reseq.offer(msg(1))
+        released, dups = reseq.offer(msg(1))
+        assert released == []
+        assert bodies(dups) == ["pub:1"]
+        assert reseq.duplicates == 1
+
+    def test_duplicate_of_a_held_message_is_flagged(self):
+        reseq = Resequencer()
+        reseq.offer(msg(2))
+        released, dups = reseq.offer(msg(2))
+        assert released == [] and len(dups) == 1
+        # the original held copy is still released when the gap fills
+        released, _ = reseq.offer(msg(1))
+        assert bodies(released) == ["pub:1", "pub:2"]
+
+
+class TestForcedRelease:
+    def test_overflowing_max_held_force_releases_in_order(self):
+        reseq = Resequencer(max_held=3)
+        for seq in [5, 3, 4]:
+            released, _ = reseq.offer(msg(seq))
+            assert released == []
+        released, _ = reseq.offer(msg(6))  # 4th held message bursts the bound
+        assert bodies(released) == ["pub:3", "pub:4", "pub:5", "pub:6"]
+        assert reseq.gaps_skipped == 2  # seq 1 and 2 adopted as lost
+        # the stream continues cleanly after the skip
+        released, _ = reseq.offer(msg(7))
+        assert bodies(released) == ["pub:7"]
+
+    def test_release_pending_drains_end_of_stream_gaps(self):
+        reseq = Resequencer()
+        reseq.offer(msg(1))
+        reseq.offer(msg(3))
+        reseq.offer(msg(5))
+        released = reseq.release_pending()
+        assert bodies(released) == ["pub:3", "pub:5"]
+        assert reseq.gaps_skipped == 2  # 2 and 4 never arrived
+        assert reseq.pending_count == 0
+
+    def test_release_pending_on_empty_is_a_noop(self):
+        assert Resequencer().release_pending() == []
+
+    def test_max_held_must_be_positive(self):
+        with pytest.raises(ValueError):
+            Resequencer(max_held=0)
+
+
+class TestReset:
+    def test_reset_held_drops_buffer_but_keeps_positions(self):
+        reseq = Resequencer()
+        reseq.offer(msg(1))
+        reseq.offer(msg(3))
+        assert reseq.reset_held() == 1
+        assert reseq.pending_count == 0
+        # seq 1 was already released: its redelivery must dedupe
+        released, dups = reseq.offer(msg(1))
+        assert released == [] and len(dups) == 1
+        # seq 2 and 3 redeliver in order and flow normally
+        released, _ = reseq.offer(msg(2))
+        assert bodies(released) == ["pub:2"]
+        released, _ = reseq.offer(msg(3))
+        assert bodies(released) == ["pub:3"]
+        assert reseq.gaps_skipped == 0

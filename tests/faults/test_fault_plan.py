@@ -1,0 +1,134 @@
+"""repro.faults.plan: spec validation, determinism, stats plumbing."""
+import json
+
+import pytest
+
+from repro.faults import (
+    ArchiveFaultSpec,
+    BusFaultSpec,
+    EngineFaultSpec,
+    FaultPlan,
+    FaultPlanError,
+    FaultStats,
+)
+
+
+class TestSpecValidation:
+    def test_rates_bounded(self):
+        with pytest.raises(FaultPlanError, match="bus.drop"):
+            BusFaultSpec(drop=0.95)
+        with pytest.raises(FaultPlanError):
+            BusFaultSpec(duplicate=-0.1)
+        with pytest.raises(FaultPlanError, match="archive.error_rate"):
+            ArchiveFaultSpec(error_rate=1.0)
+        with pytest.raises(FaultPlanError, match="engine.crash_rate"):
+            EngineFaultSpec(crash_rate=2.0)
+
+    def test_ordinals_are_one_based(self):
+        with pytest.raises(FaultPlanError):
+            BusFaultSpec(disconnect_after=(0,))
+        with pytest.raises(FaultPlanError):
+            ArchiveFaultSpec(fail_transactions=(0, 2))
+
+    def test_active_flags(self):
+        assert not BusFaultSpec().active
+        assert BusFaultSpec(drop=0.1).active
+        assert BusFaultSpec(disconnect_after=(5,)).active
+        assert not ArchiveFaultSpec().active
+        assert ArchiveFaultSpec(fail_transactions=(1,)).active
+        assert EngineFaultSpec(crash={"j": (1,)}).active
+
+
+class TestFromDict:
+    def test_full_round_trip(self):
+        plan = FaultPlan.from_dict(
+            {
+                "seed": 42,
+                "bus": {"drop": 0.05, "duplicate": 0.1, "disconnect_after": [120]},
+                "archive": {"fail_transactions": [2, 5]},
+                "engine": {"crash": {"b": [1]}, "hang_seconds": 30.0},
+            }
+        )
+        assert plan.seed == 42
+        assert plan.bus.drop == 0.05
+        assert plan.bus.disconnect_after == (120,)
+        assert plan.archive.fail_transactions == (2, 5)
+        assert plan.engine.crash == {"b": (1,)}
+        assert plan.engine.hang_seconds == 30.0
+
+    def test_scalar_ordinals_coerce_to_tuples(self):
+        plan = FaultPlan.from_dict(
+            {"bus": {"disconnect_after": 3}, "archive": {"fail_transactions": 2}}
+        )
+        assert plan.bus.disconnect_after == (3,)
+        assert plan.archive.fail_transactions == (2,)
+
+    def test_unknown_section_rejected(self):
+        with pytest.raises(FaultPlanError, match="loader"):
+            FaultPlan.from_dict({"loader": {"drop": 0.1}})
+
+    def test_unknown_field_inside_section_rejected(self):
+        with pytest.raises(FaultPlanError):
+            FaultPlan.from_dict({"bus": {"dropp": 0.1}})
+
+    def test_empty_dict_is_a_quiet_plan(self):
+        plan = FaultPlan.from_dict({})
+        assert not plan.bus.active
+        assert not plan.archive.active
+        assert not plan.engine.active
+
+
+class TestFromFile:
+    def test_json_file(self, tmp_path):
+        path = tmp_path / "plan.json"
+        path.write_text(json.dumps({"seed": 7, "bus": {"drop": 0.2}}))
+        plan = FaultPlan.from_file(str(path))
+        assert plan.seed == 7 and plan.bus.drop == 0.2
+
+    def test_non_mapping_rejected(self, tmp_path):
+        path = tmp_path / "plan.json"
+        path.write_text("[1, 2, 3]")
+        with pytest.raises(FaultPlanError, match="mapping"):
+            FaultPlan.from_file(str(path))
+
+
+class TestDeterminism:
+    def test_layer_rngs_are_seed_stable(self):
+        a = FaultPlan(seed=99)
+        b = FaultPlan(seed=99)
+        assert [a.rng("bus").random() for _ in range(5)] == [
+            b.rng("bus").random() for _ in range(5)
+        ]
+
+    def test_layers_draw_from_independent_streams(self):
+        plan = FaultPlan(seed=99)
+        assert [plan.rng("bus").random() for _ in range(5)] != [
+            plan.rng("archive").random() for _ in range(5)
+        ]
+
+    def test_rng_is_cached_per_layer(self):
+        plan = FaultPlan(seed=1)
+        assert plan.rng("bus") is plan.rng("bus")
+
+    def test_injectors_are_singletons(self):
+        plan = FaultPlan(seed=1)
+        assert plan.bus_injector() is plan.bus_injector()
+        assert plan.archive_injector() is plan.archive_injector()
+        assert plan.engine_injector() is plan.engine_injector()
+        # all feed the one shared stats tally
+        assert plan.bus_injector().stats is plan.stats
+
+
+class TestStats:
+    def test_total_and_serialization(self):
+        stats = FaultStats(messages_dropped=2, archive_faults=1)
+        assert stats.total_injected == 3
+        data = stats.to_dict()
+        assert data["messages_dropped"] == 2
+        assert data["total_injected"] == 3
+        assert json.loads(stats.to_json())["archive_faults"] == 1
+
+    def test_repr_names_active_layers(self):
+        plan = FaultPlan.from_dict({"seed": 1, "bus": {"drop": 0.1}})
+        assert "bus" in repr(plan)
+        assert "archive" not in repr(plan)

@@ -1,0 +1,230 @@
+"""repro.util.retry: the shared retry policy and circuit breaker.
+
+Everything runs on fake sleep/clock hooks — no real time passes, so the
+schedules (including deadlines and breaker reset timeouts) are asserted
+exactly.
+"""
+import random
+
+import pytest
+
+from repro.util.retry import CircuitBreaker, CircuitOpenError, RetryPolicy
+
+
+class Boom(RuntimeError):
+    pass
+
+
+class OtherBoom(RuntimeError):
+    pass
+
+
+class Flaky:
+    """Callable failing its first ``fail_times`` calls."""
+
+    def __init__(self, fail_times, exc=Boom):
+        self.fail_times = fail_times
+        self.exc = exc
+        self.calls = 0
+
+    def __call__(self):
+        self.calls += 1
+        if self.calls <= self.fail_times:
+            raise self.exc(f"call {self.calls}")
+        return "ok"
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def sleep(self, seconds):
+        self.now += seconds
+
+
+class TestRetryPolicySchedule:
+    def test_plain_exponential_ladder(self):
+        policy = RetryPolicy(
+            max_retries=4, base_delay=0.05, max_delay=100.0, multiplier=2.0
+        )
+        assert list(policy.delays()) == [0.05, 0.1, 0.2, 0.4]
+
+    def test_ladder_capped_at_max_delay(self):
+        policy = RetryPolicy(max_retries=5, base_delay=1.0, max_delay=3.0)
+        assert list(policy.delays()) == [1.0, 2.0, 3.0, 3.0, 3.0]
+
+    def test_decorrelated_jitter_bounds(self):
+        policy = RetryPolicy(
+            max_retries=50, base_delay=0.1, max_delay=5.0, jitter="decorrelated"
+        )
+        prev = policy.base_delay
+        for delay in policy.delays(rng=random.Random(7)):
+            assert policy.base_delay <= delay <= min(policy.max_delay, prev * 3)
+            prev = delay
+
+    def test_decorrelated_jitter_is_seed_deterministic(self):
+        policy = RetryPolicy(max_retries=10, jitter="decorrelated")
+        a = list(policy.delays(rng=random.Random(3)))
+        b = list(policy.delays(rng=random.Random(3)))
+        assert a == b
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_retries": -1},
+            {"base_delay": -0.1},
+            {"base_delay": 2.0, "max_delay": 1.0},
+            {"multiplier": 0.5},
+            {"jitter": "full"},
+            {"deadline": 0.0},
+        ],
+    )
+    def test_invalid_parameters_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            RetryPolicy(**kwargs)
+
+
+class TestRetryPolicyCall:
+    def test_success_after_failures(self):
+        clock = FakeClock()
+        fn = Flaky(2)
+        policy = RetryPolicy(max_retries=3, base_delay=1.0, max_delay=10.0)
+        result = policy.call(fn, retry_on=(Boom,), sleep=clock.sleep, clock=clock)
+        assert result == "ok"
+        assert fn.calls == 3
+        assert clock.now == 1.0 + 2.0  # the two backoff sleeps
+
+    def test_exhaustion_raises_the_original_exception(self):
+        clock = FakeClock()
+        fn = Flaky(99)
+        policy = RetryPolicy(max_retries=2, base_delay=1.0)
+        with pytest.raises(Boom, match="call 3"):
+            policy.call(fn, retry_on=(Boom,), sleep=clock.sleep, clock=clock)
+        assert fn.calls == 3  # 1 initial + 2 retries
+
+    def test_non_retryable_exception_propagates_immediately(self):
+        fn = Flaky(99, exc=OtherBoom)
+        policy = RetryPolicy(max_retries=5)
+        with pytest.raises(OtherBoom):
+            policy.call(fn, retry_on=(Boom,), sleep=lambda s: None)
+        assert fn.calls == 1
+
+    def test_zero_retries_means_one_attempt(self):
+        fn = Flaky(1)
+        policy = RetryPolicy(max_retries=0)
+        with pytest.raises(Boom):
+            policy.call(fn, retry_on=(Boom,), sleep=lambda s: None)
+        assert fn.calls == 1
+
+    def test_on_retry_sees_one_based_attempts_and_the_error(self):
+        clock = FakeClock()
+        seen = []
+        policy = RetryPolicy(max_retries=3, base_delay=1.0)
+        policy.call(
+            Flaky(2),
+            retry_on=(Boom,),
+            on_retry=lambda attempt, exc: seen.append((attempt, str(exc))),
+            sleep=clock.sleep,
+            clock=clock,
+        )
+        assert seen == [(1, "call 1"), (2, "call 2")]
+
+    def test_deadline_stops_the_ladder_early(self):
+        clock = FakeClock()
+        fn = Flaky(99)
+        # delays 1, 2, 4...: the third sleep would cross the 4s budget
+        policy = RetryPolicy(max_retries=10, base_delay=1.0, max_delay=100.0,
+                             deadline=4.0)
+        with pytest.raises(Boom):
+            policy.call(fn, retry_on=(Boom,), sleep=clock.sleep, clock=clock)
+        assert fn.calls == 3
+        assert clock.now == 3.0  # slept 1 + 2, then gave up
+
+
+class TestCircuitBreaker:
+    def test_opens_after_threshold_consecutive_failures(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=3, reset_timeout=30.0,
+                                 clock=clock)
+        assert breaker.state == "closed"
+        for _ in range(2):
+            breaker.record_failure()
+        assert breaker.state == "closed"
+        breaker.record_failure()
+        assert breaker.state == "open"
+        assert not breaker.allow()
+
+    def test_success_resets_the_failure_count(self):
+        breaker = CircuitBreaker(failure_threshold=2)
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state == "closed"
+
+    def test_half_open_allows_exactly_one_probe(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=1, reset_timeout=10.0,
+                                 clock=clock)
+        breaker.record_failure()
+        assert not breaker.allow()
+        clock.now += 10.0
+        assert breaker.state == "half-open"
+        assert breaker.allow()  # the single probe
+        assert not breaker.allow()  # a second caller is still blocked
+
+    def test_successful_probe_closes_the_circuit(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=1, reset_timeout=10.0,
+                                 clock=clock)
+        breaker.record_failure()
+        clock.now += 10.0
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == "closed"
+        assert breaker.allow()
+
+    def test_failed_probe_reopens_for_another_timeout(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=1, reset_timeout=10.0,
+                                 clock=clock)
+        breaker.record_failure()
+        clock.now += 10.0
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == "open"
+        assert not breaker.allow()
+        clock.now += 10.0
+        assert breaker.allow()
+
+    def test_policy_raises_circuit_open_without_calling(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=2, reset_timeout=60.0,
+                                 clock=clock)
+        fn = Flaky(99)
+        policy = RetryPolicy(max_retries=1, base_delay=1.0)
+        with pytest.raises(Boom):
+            policy.call(fn, retry_on=(Boom,), sleep=clock.sleep, clock=clock,
+                        breaker=breaker)
+        assert breaker.state == "open"
+        calls_before = fn.calls
+        with pytest.raises(CircuitOpenError):
+            policy.call(fn, retry_on=(Boom,), sleep=clock.sleep, clock=clock,
+                        breaker=breaker)
+        assert fn.calls == calls_before  # failed fast, fn never ran
+
+    def test_breaker_recovers_through_policy_probe(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=1, reset_timeout=5.0,
+                                 clock=clock)
+        policy = RetryPolicy(max_retries=0)
+        with pytest.raises(Boom):
+            policy.call(Flaky(1), retry_on=(Boom,), sleep=clock.sleep,
+                        clock=clock, breaker=breaker)
+        clock.now += 5.0
+        result = policy.call(Flaky(0), retry_on=(Boom,), sleep=clock.sleep,
+                             clock=clock, breaker=breaker)
+        assert result == "ok"
+        assert breaker.state == "closed"
