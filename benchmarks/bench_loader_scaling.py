@@ -22,6 +22,7 @@ which loads a reduced workload through the memory- and file-backed
 archives and writes throughput + flush-latency numbers as JSON.
 """
 import argparse
+import gc
 import itertools
 import json
 import os
@@ -46,7 +47,7 @@ except ImportError:  # pragma: no cover - smoke mode must run without pytest
 from repro.archive.store import StampedeArchive
 from repro.bus.broker import Broker
 from repro.bus.client import BusSink, EventConsumer
-from repro.loader import StampedeLoader, load_events
+from repro.loader import StampedeLoader, load_events, load_file
 from repro.orm import MemoryDatabase
 from repro.pegasus import PlannerConfig, Site, SiteCatalog, run_pegasus_workflow
 from repro.triana.appender import MemoryAppender
@@ -178,15 +179,61 @@ def test_large_workflow_loads(benchmark):
 
 
 # ---------------------------------------------------------------- smoke --
-def _smoke_one(events, batch_size: int, conn_string: str) -> dict:
+# The smoke benchmark drives the real ingest entry point (load_file) over
+# a rendered BP log, sweeping the parse-pipeline configurations:
+#
+#   baseline     workers=0, strict parser  — the legacy single-thread path
+#   workers-0    workers=0, fast parser    — micro-optimized, inline
+#   workers-N    N parse threads, fast parser
+#
+# and reports events/second + flush-latency percentiles per (config,
+# backend), plus each config's speedup over the baseline.  The committed
+# BENCH_loader.json at the repo root is this benchmark's output on the
+# reference container; CI re-runs the sweep and gates on the speedups
+# (and optionally on regression vs the committed numbers).
+
+SMOKE_CONFIGS = [
+    {"name": "baseline", "workers": 0, "parse_mode": "strict"},
+    {"name": "workers-0", "workers": 0, "parse_mode": "fast"},
+    {"name": "workers-1", "workers": 1, "parse_mode": "fast"},
+    {"name": "workers-2", "workers": 2, "parse_mode": "fast"},
+    {"name": "workers-4", "workers": 4, "parse_mode": "fast"},
+]
+
+
+def _write_bp(events, path) -> int:
+    with open(path, "w", encoding="utf-8") as fh:
+        for event in events:
+            fh.write(event.to_bp() + "\n")
+    return len(events)
+
+
+def _smoke_one(
+    bp_path, n_events: int, batch_size: int, conn_string: str, config: dict
+) -> dict:
     loader = StampedeLoader(
         StampedeArchive.open(conn_string), batch_size=batch_size
     )
-    start = time.perf_counter()
-    loader.process_all(events)
-    elapsed = time.perf_counter() - start
+    # a GC pause landing inside one config's run and not another's looks
+    # like a speedup difference; collect before, disable during
+    gc.collect()
+    gc.disable()
+    try:
+        start = time.perf_counter()
+        load_file(
+            str(bp_path),
+            loader,
+            workers=config["workers"],
+            parse_mode=config["parse_mode"],
+        )
+        elapsed = time.perf_counter() - start
+    finally:
+        gc.enable()
     stats = loader.stats
     loader.archive.close()
+    assert stats.events_processed == n_events, (
+        f"{config['name']}: processed {stats.events_processed} != {n_events}"
+    )
     return {
         "events": stats.events_processed,
         "rows_inserted": stats.rows_inserted,
@@ -200,41 +247,131 @@ def _smoke_one(events, batch_size: int, conn_string: str) -> dict:
     }
 
 
-def _best_of(runs: int, events, batch_size: int, make_conn) -> dict:
-    """Best-of-N throughput: shared CI runners are noisy, so a single
-    slow run should not look like a code regression."""
-    best = None
-    for i in range(max(1, runs)):
-        result = _smoke_one(events, batch_size, make_conn(i))
-        if best is None or result["events_per_second"] > best["events_per_second"]:
-            best = result
-    return best
-
-
 def smoke(n_ruptures: int = 10, batch_size: int = 500, runs: int = 2) -> dict:
-    """Reduced-scale throughput check for both sqlite backends."""
+    """Reduced-scale ingest sweep over parse-pipeline configs and both
+    sqlite backends; speedups are each config vs the strict baseline.
+
+    Measurement is **interleaved**: every round measures every config
+    back to back, and a config's speedup is its best per-round ratio
+    against that same round's baseline.  Shared runners drift (noisy
+    neighbors, frequency scaling); comparing measurements taken seconds
+    apart within one round is far steadier than comparing each config's
+    best absolute number across the whole sweep.  The reported
+    events/second per config is still its best round (absolute floors,
+    human-readable numbers).
+    """
     events = _events_for(n_ruptures)
+    runs = max(1, runs)
     results = {
         "scale": {"n_ruptures": n_ruptures, "events": len(events)},
         "batch_size": batch_size,
-        "runs": max(1, runs),
-        "memory": _best_of(
-            runs, events, batch_size, lambda i: "sqlite:///:memory:"
-        ),
+        "runs": runs,
+        "configs": {},
+        "speedups": {},
+    }
+    rounds = {
+        config["name"]: {"memory": [], "file": []} for config in SMOKE_CONFIGS
     }
     with tempfile.TemporaryDirectory() as tmp:
-        results["file"] = _best_of(
-            runs,
-            events,
-            batch_size,
-            lambda i: f"sqlite:///{Path(tmp) / f'smoke-{i}.db'}",
-        )
+        bp_path = Path(tmp) / "smoke.bp"
+        n_events = _write_bp(events, bp_path)
+        fresh = itertools.count()
+        for _round in range(runs):
+            for config in SMOKE_CONFIGS:
+                rounds[config["name"]]["memory"].append(
+                    _smoke_one(
+                        bp_path, n_events, batch_size, "sqlite:///:memory:", config
+                    )
+                )
+                rounds[config["name"]]["file"].append(
+                    _smoke_one(
+                        bp_path,
+                        n_events,
+                        batch_size,
+                        f"sqlite:///{Path(tmp) / f'smoke-{next(fresh)}.db'}",
+                        config,
+                    )
+                )
+    for config in SMOKE_CONFIGS:
+        name = config["name"]
+        results["configs"][name] = {
+            "workers": config["workers"],
+            "parse_mode": config["parse_mode"],
+            "memory": max(
+                rounds[name]["memory"], key=lambda r: r["events_per_second"]
+            ),
+            "file": max(
+                rounds[name]["file"], key=lambda r: r["events_per_second"]
+            ),
+        }
+    for backend in ("memory", "file"):
+        base_rounds = [
+            r["events_per_second"] for r in rounds["baseline"][backend]
+        ]
+        results["speedups"][backend] = {
+            name: round(
+                max(
+                    per_backend[backend][i]["events_per_second"] / base_rounds[i]
+                    for i in range(runs)
+                ),
+                2,
+            )
+            for name, per_backend in rounds.items()
+        }
     return results
+
+
+def _check_gates(results: dict, args) -> list:
+    """Return a list of failure strings (empty = all gates pass)."""
+    failures = []
+    file_eps = results["configs"]["workers-4"]["file"]["events_per_second"]
+    if file_eps < args.min_eps:
+        failures.append(
+            f"file-backend throughput below smoke floor "
+            f"({file_eps:,.0f} < {args.min_eps:,.0f} events/s)"
+        )
+    mem_speedup = results["speedups"]["memory"]["workers-4"]
+    if mem_speedup < args.min_speedup_memory:
+        failures.append(
+            f"memory-backend workers-4 speedup below floor "
+            f"({mem_speedup:.2f}x < {args.min_speedup_memory:.2f}x vs baseline)"
+        )
+    file_speedup = results["speedups"]["file"]["workers-4"]
+    if file_speedup < args.min_speedup_file:
+        failures.append(
+            f"file-backend workers-4 speedup below floor "
+            f"({file_speedup:.2f}x < {args.min_speedup_file:.2f}x vs baseline)"
+        )
+    return failures
+
+
+def _check_baseline(results: dict, baseline_path: str, threshold: float) -> list:
+    """Compare against a committed BENCH_loader.json; a config/backend
+    dropping below ``threshold`` of its committed events/s is a failure.
+    Committed configs absent from this run are ignored (and vice versa),
+    so the comparison survives sweep changes."""
+    committed = json.loads(Path(baseline_path).read_text(encoding="utf-8"))
+    failures = []
+    for name, entry in committed.get("configs", {}).items():
+        current = results["configs"].get(name)
+        if current is None:
+            continue
+        for backend in ("memory", "file"):
+            old = entry.get(backend, {}).get("events_per_second")
+            new = current.get(backend, {}).get("events_per_second")
+            if not old or not new:
+                continue
+            if new < old * threshold:
+                failures.append(
+                    f"{name}/{backend} regressed: {new:,.0f} events/s < "
+                    f"{threshold:.0%} of committed {old:,.0f}"
+                )
+    return failures
 
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
-        description="Loader throughput smoke benchmark (JSON output)."
+        description="Loader ingest-pipeline smoke benchmark (JSON output)."
     )
     parser.add_argument("--scale", type=int, default=10, metavar="N_RUPTURES")
     parser.add_argument("-b", "--batch-size", type=int, default=500)
@@ -243,7 +380,7 @@ def main(argv=None) -> int:
         "--runs",
         type=int,
         default=2,
-        help="measure each backend this many times and keep the best (default 2)",
+        help="measure each config this many times and keep the best (default 2)",
     )
     parser.add_argument(
         "--min-eps",
@@ -252,26 +389,57 @@ def main(argv=None) -> int:
         help="file-backend events/s floor for the smoke gate "
         "(default 2000, or $BENCH_SMOKE_MIN_EPS)",
     )
+    parser.add_argument(
+        "--min-speedup-memory",
+        type=float,
+        default=float(os.environ.get("BENCH_SMOKE_MIN_SPEEDUP_MEM", 2.0)),
+        help="workers-4 vs baseline speedup floor, memory backend "
+        "(default 2.0, or $BENCH_SMOKE_MIN_SPEEDUP_MEM)",
+    )
+    parser.add_argument(
+        "--min-speedup-file",
+        type=float,
+        default=float(os.environ.get("BENCH_SMOKE_MIN_SPEEDUP_FILE", 1.3)),
+        help="workers-4 vs baseline speedup floor, file backend "
+        "(default 1.3, or $BENCH_SMOKE_MIN_SPEEDUP_FILE)",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="PATH",
+        help="committed BENCH_loader.json to compare against "
+        "(fails on per-config regression past --regression-threshold)",
+    )
+    parser.add_argument(
+        "--regression-threshold",
+        type=float,
+        default=float(os.environ.get("BENCH_SMOKE_REGRESSION_THRESHOLD", 0.5)),
+        help="fraction of committed events/s below which the baseline "
+        "comparison fails (default 0.5: CI runners vary a lot, so only "
+        "a halving is treated as a real regression)",
+    )
     args = parser.parse_args(argv)
 
     results = smoke(
         n_ruptures=args.scale, batch_size=args.batch_size, runs=args.runs
     )
-    results["min_eps"] = args.min_eps
+    results["gates"] = {
+        "min_eps": args.min_eps,
+        "min_speedup_memory": args.min_speedup_memory,
+        "min_speedup_file": args.min_speedup_file,
+    }
     payload = json.dumps(results, indent=2)
     if args.output:
         Path(args.output).write_text(payload + "\n", encoding="utf-8")
     print(payload)
-    # smoke gate: the file backend must stay comfortably real-time even
-    # at reduced scale; regression here means batching broke.
-    if results["file"]["events_per_second"] < args.min_eps:
-        print(
-            f"FAIL: file-backend throughput below smoke floor "
-            f"({results['file']['events_per_second']:,.0f} < {args.min_eps:,.0f} events/s)",
-            file=sys.stderr,
+
+    failures = _check_gates(results, args)
+    if args.baseline and os.path.exists(args.baseline):
+        failures += _check_baseline(
+            results, args.baseline, args.regression_threshold
         )
-        return 1
-    return 0
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -165,5 +165,15 @@ def _table_for(entity_type: type) -> Table:
         raise TypeError(f"not an archive entity type: {entity_type!r}") from None
 
 
+#: per-entity-type field-name tuples; dataclasses.fields() resolves the
+#: class metadata on every call, which dominates the row-building cost
+#: at ingest rates — resolve once per type instead.
+_FIELD_NAMES: Dict[type, tuple] = {}
+
+
 def _to_row(entity: Any) -> Dict[str, Any]:
-    return {f.name: getattr(entity, f.name) for f in fields(entity)}
+    etype = type(entity)
+    names = _FIELD_NAMES.get(etype)
+    if names is None:
+        names = _FIELD_NAMES[etype] = tuple(f.name for f in fields(etype))
+    return {name: getattr(entity, name) for name in names}

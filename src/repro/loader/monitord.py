@@ -20,10 +20,11 @@ import threading
 import time
 from typing import Callable, Optional, Union
 
+from repro.loader.pipeline import ParsePool
 from repro.loader.stampede_loader import StampedeLoader
 from repro.model.entities import WorkflowStateRow
 from repro.model.states import WorkflowState
-from repro.netlogger.stream import tail_events_with_offsets
+from repro.netlogger.stream import tail_events_with_offsets, tail_raw
 
 __all__ = ["follow_file", "Monitord"]
 
@@ -36,6 +37,7 @@ def follow_file(
     poll: Callable[[], bool],
     flush_every: int = 100,
     start_offset: int = 0,
+    pool: Optional[ParsePool] = None,
 ) -> int:
     """Tail a BP file into the loader until ``poll()`` returns False.
 
@@ -45,14 +47,62 @@ def follow_file(
     event's line, so a checkpointing loader records exactly how far into
     the file each committed batch reaches; ``start_offset`` skips the
     prefix a previous run already archived.
+
+    With a :class:`~repro.loader.pipeline.ParsePool`, raw lines are
+    buffered and parsed in parallel bursts; the buffer always drains
+    before ``poll()`` runs (the raw tail emits an EOF marker first), so
+    anything ``poll()`` inspects — e.g. the workflow-terminated state —
+    sees every event read so far, exactly as in the sequential path.
     """
+    if pool is None:
+        loaded = 0
+        for event, offset in tail_events_with_offsets(
+            path, poll, start_offset=start_offset
+        ):
+            loader.position = offset
+            loader.process(event)
+            loaded += 1
+            if loaded % flush_every == 0:
+                loader.flush()
+        loader.flush()
+        return loaded
+    return _follow_file_pooled(path, loader, poll, flush_every, start_offset, pool)
+
+
+def _follow_file_pooled(
+    path: PathLike,
+    loader: StampedeLoader,
+    poll: Callable[[], bool],
+    flush_every: int,
+    start_offset: int,
+    pool: ParsePool,
+) -> int:
     loaded = 0
-    for event, offset in tail_events_with_offsets(path, poll, start_offset=start_offset):
-        loader.position = offset
-        loader.process(event)
-        loaded += 1
-        if loaded % flush_every == 0:
-            loader.flush()
+    burst: list = []
+    burst_limit = pool.chunk_size * max(1, pool.workers)
+
+    def drain() -> None:
+        nonlocal loaded
+        for outcome, _line, offset in pool.results(burst):
+            if isinstance(outcome, Exception):
+                raise outcome
+            loader.position = offset
+            loader.process(outcome)
+            loaded += 1
+            if loaded % flush_every == 0:
+                loader.flush()
+        burst.clear()
+
+    for kind, line, offset in tail_raw(path, poll, start_offset=start_offset):
+        if kind == "eof":
+            if burst:
+                drain()
+            continue
+        burst.append((line, offset))
+        if len(burst) >= burst_limit:
+            drain()
+    if burst:
+        drain()
     loader.flush()
     return loaded
 
@@ -72,6 +122,10 @@ class Monitord:
         poll_interval: float = 0.02,
         expected_terminations: int = 1,
         resume: bool = False,
+        workers: int = 0,
+        parse_mode: str = "fast",
+        worker_mode: str = "thread",
+        chunk_size: int = 256,
     ):
         if resume and loader.checkpoint is None:
             raise ValueError("resume=True requires a loader with a checkpoint manager")
@@ -80,6 +134,10 @@ class Monitord:
         self.poll_interval = poll_interval
         self.expected_terminations = expected_terminations
         self.resume = resume
+        self.workers = workers
+        self.parse_mode = parse_mode
+        self.worker_mode = worker_mode
+        self.chunk_size = chunk_size
         self.events_loaded = 0
         self._stop = threading.Event()
         self._thread: Optional[threading.Thread] = None
@@ -136,6 +194,24 @@ class Monitord:
             if self._stop.is_set():
                 return
             time.sleep(self.poll_interval)
-        self.events_loaded = follow_file(
-            self.path, self.loader, self._poll, start_offset=start_offset
+        pool = (
+            ParsePool(
+                workers=self.workers,
+                mode=self.worker_mode,
+                parse_mode=self.parse_mode,
+                chunk_size=self.chunk_size,
+            )
+            if self.workers > 0 or self.parse_mode != "fast"
+            else None
         )
+        try:
+            self.events_loaded = follow_file(
+                self.path,
+                self.loader,
+                self._poll,
+                start_offset=start_offset,
+                pool=pool,
+            )
+        finally:
+            if pool is not None:
+                pool.close()

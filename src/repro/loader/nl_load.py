@@ -31,10 +31,16 @@ from repro.lint.rules import Finding, Severity
 from repro.lint.stream import StreamLinter
 from repro.loader.checkpoint import CheckpointManager
 from repro.loader.dlq import DeadLetterQueue
+from repro.loader.pipeline import ParsePool
 from repro.loader.spill import SpillBuffer
 from repro.loader.stampede_loader import LoaderError, LoaderStats, StampedeLoader
 from repro.netlogger.events import NLEvent
-from repro.netlogger.stream import BPReader, read_events_with_offsets
+from repro.netlogger.stream import (
+    BPReader,
+    read_events_with_offsets,
+    read_lines,
+    read_lines_with_offsets,
+)
 
 __all__ = [
     "load_events",
@@ -94,6 +100,10 @@ def load_file(
     loader: Optional[StampedeLoader] = None,
     on_error: str = "raise",
     resume: bool = False,
+    workers: int = 0,
+    parse_mode: str = "fast",
+    worker_mode: str = "thread",
+    chunk_size: int = 256,
     **loader_kwargs,
 ) -> StampedeLoader:
     """Load a BP log file.
@@ -102,7 +112,26 @@ def load_file(
     so every flush checkpoints exactly how far into the file the archive
     is; ``resume=True`` seeks past everything a previous (possibly
     crashed) run already committed instead of re-loading it.
+
+    ``workers > 0`` fans the parse/normalize stage out over a
+    :class:`~repro.loader.pipeline.ParsePool` of that many threads
+    (``worker_mode='process'`` for a process pool); events reach the
+    loader in exact file order regardless, so the archive — and any
+    checkpoint offsets — are identical to a ``workers=0`` run.
+    ``parse_mode='strict'`` forces the reference char-by-char BP scanner
+    instead of the fast-path tokenizers.
     """
+    if workers > 0 or parse_mode != "fast":
+        pool = ParsePool(
+            workers=workers,
+            mode=worker_mode,
+            parse_mode=parse_mode,
+            chunk_size=chunk_size,
+        )
+        with pool:
+            return _load_file_pipelined(
+                path, loader, on_error, resume, pool, loader_kwargs
+            )
     if loader is not None and loader.checkpoint is not None:
         start = loader.resume() if resume else 0
 
@@ -117,6 +146,34 @@ def load_file(
     if resume:
         raise ValueError("resume=True requires a loader with a checkpoint manager")
     return load_events(BPReader(path, on_error=on_error), loader, **loader_kwargs)
+
+
+def _load_file_pipelined(
+    path,
+    loader: Optional[StampedeLoader],
+    on_error,
+    resume: bool,
+    pool: ParsePool,
+    loader_kwargs: dict,
+) -> StampedeLoader:
+    """File loading through a ParsePool (any worker count, either parse
+    mode); mirrors the sequential paths of :func:`load_file` exactly."""
+    if loader is not None and loader.checkpoint is not None:
+        start = loader.resume() if resume else 0
+
+        def positioned() -> Iterable[NLEvent]:
+            lines = read_lines_with_offsets(path, start_offset=start)
+            for event, offset in pool.events(lines, on_error=on_error):
+                loader.position = offset
+                yield event
+
+        return load_events(positioned(), loader)
+    if resume:
+        raise ValueError("resume=True requires a loader with a checkpoint manager")
+    events = (
+        event for event, _lineno in pool.events(read_lines(path), on_error=on_error)
+    )
+    return load_events(events, loader, **loader_kwargs)
 
 
 def load_file_linted(
@@ -194,6 +251,10 @@ def load_from_bus(
     dead_letter: Union[DeadLetterQueue, bool, None] = None,
     spill: Union[SpillBuffer, str, None] = None,
     resequence: bool = True,
+    workers: int = 0,
+    parse_mode: str = "fast",
+    worker_mode: str = "thread",
+    chunk_size: int = 256,
     **loader_kwargs,
 ) -> StampedeLoader:
     """Consume events from a broker queue into the archive.
@@ -232,9 +293,26 @@ def load_from_bus(
     * with a checkpointing loader and ``resume=True``, consumption
       restarts after the last committed delivery tag, skipping redelivered
       messages that are already in the archive.
+    * ``workers > 0`` drains queued messages in bursts and parses
+      string-bodied payloads through a parallel
+      :class:`~repro.loader.pipeline.ParsePool`; already-materialized
+      event bodies pass through untouched.  Messages are still
+      processed, acked, and dead-lettered one at a time in delivery
+      order, so every guarantee above holds for any worker count.
     """
     if loader is None:
         loader = make_loader(**loader_kwargs)
+    pool = (
+        ParsePool(
+            workers=workers,
+            mode=worker_mode,
+            parse_mode=parse_mode,
+            chunk_size=chunk_size,
+        )
+        if workers > 0 or parse_mode != "fast"
+        else None
+    )
+    burst_limit = max(1, chunk_size) * max(1, workers)
     consumer = EventConsumer(
         broker,
         pattern=pattern,
@@ -305,7 +383,7 @@ def load_from_bus(
         except transient:
             pass  # still down; stay degraded
 
-    def consume(msg: Message) -> None:
+    def consume(msg: Message, parsed: Optional[object] = None) -> None:
         if msg.delivery_tag <= skip_to:
             ack_quiet(msg)  # already archived before the crash
             return
@@ -318,7 +396,13 @@ def load_from_bus(
             in_flight.append(msg)
             try:
                 loader.position = msg.delivery_tag
-                loader.process(EventConsumer.as_event(msg))
+                if isinstance(parsed, Exception):
+                    # the parse pool already found this payload poisonous;
+                    # re-raise into the normal quarantine path below
+                    raise parsed
+                loader.process(
+                    parsed if parsed is not None else EventConsumer.as_event(msg)
+                )
             except transient:
                 # batch-full flush failed beyond retries; the event's ops
                 # are safely journalled (flush only clears on success), so
@@ -336,6 +420,36 @@ def load_from_bus(
             loader.stats.dlq_events += 1
             ack_quiet(msg)
 
+    def consume_all(ready: List[Message]) -> None:
+        # pooled path: pre-parse the string-bodied payloads in parallel,
+        # then settle each message through the ordinary one-at-a-time
+        # consume path (ack/DLQ/spill decisions stay per-message).
+        if pool is None:
+            for m in ready:
+                consume(m)
+            return
+        outcomes: List[Optional[object]] = [None] * len(ready)
+        to_parse = [
+            (m.body, i) for i, m in enumerate(ready) if isinstance(m.body, str)
+        ]
+        for outcome, _line, i in pool.results(to_parse):
+            outcomes[i] = outcome
+        for m, outcome in zip(ready, outcomes):
+            consume(m, outcome)
+
+    def lost_connection() -> None:
+        # the broker requeued everything unacked, including our
+        # uncommitted batch: commit it now (the acks tolerate the
+        # dead connection), drop state that points at requeued
+        # messages, and re-subscribe — committed redeliveries then
+        # dedupe against the resequencer's release positions.
+        loader.flush()
+        in_flight.clear()
+        if reseq is not None:
+            reseq.reset_held()
+        consumer.reconnect()
+        loader.stats.reconnects += 1
+
     previous_on_flush = loader.on_flush
     loader.on_flush = ack_committed
     try:
@@ -343,30 +457,38 @@ def load_from_bus(
             try:
                 msg = consumer.get_message(timeout=poll_timeout, auto_ack=False)
             except ConnectionLostError:
-                # the broker requeued everything unacked, including our
-                # uncommitted batch: commit it now (the acks tolerate the
-                # dead connection), drop state that points at requeued
-                # messages, and re-subscribe — committed redeliveries then
-                # dedupe against the resequencer's release positions.
-                loader.flush()
-                in_flight.clear()
-                if reseq is not None:
-                    reseq.reset_held()
-                consumer.reconnect()
-                loader.stats.reconnects += 1
+                lost_connection()
                 continue
             if msg is not None:
+                burst = [msg]
+                conn_lost = False
+                if pool is not None and pool.workers > 0:
+                    # drain whatever is already queued (up to one pool
+                    # round) so the workers get a full burst to chew on
+                    while len(burst) < burst_limit:
+                        try:
+                            extra = consumer.get_message(timeout=0, auto_ack=False)
+                        except ConnectionLostError:
+                            conn_lost = True
+                            break
+                        if extra is None:
+                            break
+                        burst.append(extra)
                 loader.stats.record_queue_depth(consumer.depth())
-                if msg.redelivered:
-                    loader.stats.redelivered_events += 1
-                released, duplicates = (
-                    reseq.offer(msg) if reseq is not None else ([msg], [])
-                )
-                for dup in duplicates:
-                    loader.stats.duplicates_skipped += 1
-                    ack_quiet(dup)
-                for ready in released:
-                    consume(ready)
+                ready: List[Message] = []
+                for m in burst:
+                    if m.redelivered:
+                        loader.stats.redelivered_events += 1
+                    released, duplicates = (
+                        reseq.offer(m) if reseq is not None else ([m], [])
+                    )
+                    for dup in duplicates:
+                        loader.stats.duplicates_skipped += 1
+                        ack_quiet(dup)
+                    ready.extend(released)
+                consume_all(ready)
+                if conn_lost:
+                    lost_connection()
                 continue
             # idle deadline: push out the partial batch, then consult the
             # stop predicate (or stop once the backlog is drained).
@@ -382,13 +504,14 @@ def load_from_bus(
         # end of stream: release anything still held for a gap that will
         # never fill, then make the tail durable
         if reseq is not None:
-            for ready in reseq.release_pending():
-                consume(ready)
+            consume_all(reseq.release_pending())
         if archive_down:
             try_recover()
         loader.flush()
     finally:
         loader.on_flush = previous_on_flush
+        if pool is not None:
+            pool.close()
         consumer.cancel()  # requeues anything not acked (crash semantics)
     return loader
 
@@ -416,6 +539,40 @@ def main(argv: Optional[list] = None) -> int:
         help="module parameters, e.g. connString=sqlite:///out.db",
     )
     parser.add_argument("-b", "--batch-size", type=int, default=500)
+    parser.add_argument(
+        "-w",
+        "--workers",
+        type=int,
+        default=0,
+        help="parse/normalize worker count (0 = inline, the default)",
+    )
+    parser.add_argument(
+        "--parse-mode",
+        choices=("fast", "strict"),
+        default="fast",
+        help="BP parser: 'fast' C-speed tokenizers with automatic "
+        "fallback (default), or 'strict' reference scanner",
+    )
+    parser.add_argument(
+        "--worker-mode",
+        choices=("thread", "process"),
+        default="thread",
+        help="worker pool flavour for --workers > 0 (default: thread)",
+    )
+    parser.add_argument(
+        "--chunk-size",
+        type=int,
+        default=256,
+        help="lines per parse-pool work unit (default: 256)",
+    )
+    parser.add_argument(
+        "--profile",
+        nargs="?",
+        const="nl-load.pstats",
+        metavar="PATH",
+        help="profile the load, dump pstats to PATH "
+        "(default nl-load.pstats) and print the top 20 entries",
+    )
     parser.add_argument(
         "--tolerant",
         action="store_true",
@@ -466,6 +623,10 @@ def main(argv: Optional[list] = None) -> int:
         parser.error("--checkpoint/--resume need a seekable file, not stdin")
     if args.checkpoint and args.lint:
         parser.error("--checkpoint/--resume cannot be combined with --lint")
+    if args.lint and args.workers:
+        parser.error("--workers cannot be combined with --lint (lint is streaming)")
+    if args.workers < 0:
+        parser.error("--workers must be >= 0")
     params = dict(p.split("=", 1) for p in args.params if "=" in p)
     conn_string = params.get("connString", "sqlite:///:memory:")
 
@@ -492,8 +653,14 @@ def main(argv: Optional[list] = None) -> int:
         # BP permits engine-specific extras, so unknown attrs stay quiet;
         # hard schema errors still quarantine.
         config = LintConfig(allow_unknown_attrs=True)
-        loader, findings, quarantined = load_file_linted(
-            source, loader, quarantine=args.quarantine, config=config
+
+        def run_linted():
+            return load_file_linted(
+                source, loader, quarantine=args.quarantine, config=config
+            )
+
+        loader, findings, quarantined = (
+            _profiled(run_linted, args.profile) if args.profile else run_linted()
         )
         stats = loader.stats
         if findings:
@@ -507,13 +674,45 @@ def main(argv: Optional[list] = None) -> int:
             _print_stats(stats)
         return 1 if quarantined else 0
 
-    stats = load_file(source, loader, resume=args.resume).stats
+    def run_load():
+        return load_file(
+            source,
+            loader,
+            resume=args.resume,
+            workers=args.workers,
+            parse_mode=args.parse_mode,
+            worker_mode=args.worker_mode,
+            chunk_size=args.chunk_size,
+        )
+
+    stats = (
+        _profiled(run_load, args.profile) if args.profile else run_load()
+    ).stats
 
     if args.verbose:
         _print_stats(stats)
         if plan is not None:
             print(f"faults injected  : {plan.stats.total_injected}", file=sys.stderr)
     return 0
+
+
+def _profiled(fn, path: str):
+    """Run ``fn`` under cProfile; dump pstats to ``path`` and print the
+    top 20 cumulative entries to stderr."""
+    import cProfile
+    import pstats
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        result = fn()
+    finally:
+        profiler.disable()
+        profiler.dump_stats(path)
+        stats = pstats.Stats(profiler, stream=sys.stderr)
+        stats.sort_stats("cumulative").print_stats(20)
+        print(f"profile written to {path}", file=sys.stderr)
+    return result
 
 
 def _print_stats(stats: LoaderStats) -> None:

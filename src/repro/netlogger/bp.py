@@ -13,11 +13,26 @@ paper references):
 * Values containing whitespace, ``=`` or quotes are double-quoted, with
   ``\\`` escapes for embedded quotes and backslashes.
 * Pair order is preserved round-trip (``ts`` and ``event`` first on output).
+
+Two scanners implement the grammar:
+
+* the *fast path* — ``str.split`` tokenization for lines without quotes
+  or escapes, and a compiled-regex tokenizer for lines with simple
+  quoted values — both of which run almost entirely in C;
+* the *strict path* — the original char-by-char scanner, which reports
+  exact error columns and handles every corner of the grammar.
+
+The fast path only commits to a parse it is certain about; anything
+irregular (malformed names, stray quotes, dangling escapes) falls back
+to the strict scanner, so the two paths are behavior-identical by
+construction — a property the test suite fuzzes.  ``parse_bp_line`` and
+``parse_bp_pairs`` take ``fast=False`` to force the strict scanner.
 """
 from __future__ import annotations
 
+import sys
 import re
-from typing import Dict, Iterator, List, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
 __all__ = [
     "BPParseError",
@@ -31,6 +46,43 @@ _NAME_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_.\-]*")
 
 # Characters that force a value to be quoted on output.
 _NEEDS_QUOTE_RE = re.compile(r'[\s="\\]|^$')
+
+# -- fast-path tokenizers ---------------------------------------------------
+# One pair: NAME=VALUE where VALUE is a fully quoted token (followed by
+# whitespace or end-of-line, as the strict scanner requires) or an
+# unquoted run of non-space characters not starting with a quote.
+_FAST_PAIR_SRC = (
+    r'[A-Za-z_][A-Za-z0-9_.\-]*=(?:"(?:[^"\\]|\\.)*"(?=\s|$)|(?!")\S*)'
+)
+#: whole-line shape check; only lines matching this use the regex tokenizer
+_FAST_LINE_RE = re.compile(
+    r"\s*(?:{pair}(?:\s+{pair})*)?\s*".format(pair=_FAST_PAIR_SRC)
+)
+_FAST_PAIR_RE = re.compile(
+    r'([A-Za-z_][A-Za-z0-9_.\-]*)=("(?:[^"\\]|\\.)*"(?=\s|$)|(?!")\S*)'
+)
+_UNESCAPE_RE = re.compile(r"\\(.)")
+
+#: memoized name validation; attribute names repeat heavily, so the
+#: regex runs once per distinct name and the stored key is interned
+#: (one shared string object per name across millions of events).
+_NAME_CACHE: Dict[str, Optional[str]] = {}
+#: distinct-from-everything default for cache .get() probes on the hot
+#: path (None is a legitimate cached verdict meaning "invalid name")
+_UNSEEN = object()
+
+
+def _valid_name(name: str) -> Optional[str]:
+    """Return the interned name if valid, else None (memoized)."""
+    try:
+        return _NAME_CACHE[name]
+    except KeyError:
+        interned = (
+            sys.intern(name) if _NAME_RE.fullmatch(name) else None
+        )
+        if len(_NAME_CACHE) < 65536:  # bound pathological inputs
+            _NAME_CACHE[name] = interned
+        return interned
 
 
 class BPParseError(ValueError):
@@ -70,7 +122,7 @@ def format_bp_line(attrs: Dict[str, object]) -> str:
     return " ".join(parts)
 
 
-def parse_bp_line(line: str, strict: bool = False) -> Dict[str, str]:
+def parse_bp_line(line: str, strict: bool = False, fast: bool = True) -> Dict[str, str]:
     """Parse one BP line into an ordered dict of string attributes.
 
     A name appearing more than once is ambiguous producer output.  By
@@ -79,12 +131,24 @@ def parse_bp_line(line: str, strict: bool = False) -> Dict[str, str]:
     Callers that want to *report* duplicates without failing (e.g. the
     ``stampede-lint`` stream analyzer) should use :func:`parse_bp_pairs`,
     which preserves every occurrence.
+
+    ``fast=False`` forces the char-by-char scanner; the default tries the
+    C-speed tokenizers first and falls back automatically, producing
+    identical results either way.
     """
-    attrs: Dict[str, str] = {}
-    for key, value in _scan_pairs(line):
-        if strict and key in attrs:
-            raise BPParseError(f"duplicate attribute {key!r}", line, 0)
-        attrs[key] = value
+    pairs = _fast_pairs(line.rstrip("\n")) if fast else None
+    if pairs is None:
+        pairs = _scan_pairs(line)
+    if strict:
+        attrs: Dict[str, str] = {}
+        for key, value in pairs:
+            if key in attrs:
+                raise BPParseError(f"duplicate attribute {key!r}", line, 0)
+            attrs[key] = value
+    else:
+        # dict() keeps the last occurrence per key — exactly the
+        # historical last-wins duplicate rule — in one C-level pass.
+        attrs = dict(pairs)
     if "ts" not in attrs:
         raise BPParseError("missing required attribute 'ts'", line, 0)
     if "event" not in attrs:
@@ -92,14 +156,62 @@ def parse_bp_line(line: str, strict: bool = False) -> Dict[str, str]:
     return attrs
 
 
-def parse_bp_pairs(line: str) -> List[Tuple[str, str]]:
+def parse_bp_pairs(line: str, fast: bool = True) -> List[Tuple[str, str]]:
     """Parse one BP line into (name, value) pairs, keeping duplicates.
 
     Unlike :func:`parse_bp_line` this performs no required-attribute checks
     and keeps repeated names, so callers can inspect exactly what the
     producer wrote.
     """
+    if fast:
+        pairs = _fast_pairs(line.rstrip("\n"))
+        if pairs is not None:
+            return pairs
     return list(_scan_pairs(line))
+
+
+def _fast_pairs(text: str) -> Optional[List[Tuple[str, str]]]:
+    """C-speed tokenization of one BP line; None means "use the scanner".
+
+    Quote-free lines split on whitespace and partition on ``=``; lines
+    with simple quoted values run through a compiled regex whose
+    whole-line shape check guarantees the pair pattern consumes exactly
+    the strict grammar.  Any line the fast path cannot be certain about
+    (invalid name, stray quote, dangling escape, garbage between pairs)
+    returns None so the caller falls back to the strict scanner — which
+    either parses the corner case or raises with a precise column.
+    """
+    cache_get = _NAME_CACHE.get
+    if '"' not in text and "\\" not in text:
+        out: List[Tuple[str, str]] = []
+        append = out.append
+        for token in text.split():
+            name, eq, value = token.partition("=")
+            if not eq:
+                return None
+            interned = cache_get(name, _UNSEEN)
+            if interned is _UNSEEN:
+                interned = _valid_name(name)
+            if interned is None:
+                return None
+            append((interned, value))
+        return out
+    if _FAST_LINE_RE.fullmatch(text) is None:
+        return None
+    out = []
+    append = out.append
+    for name, value in _FAST_PAIR_RE.findall(text):
+        if value[:1] == '"':
+            value = value[1:-1]
+            if "\\" in value:
+                value = _UNESCAPE_RE.sub(r"\1", value)
+        interned = cache_get(name, _UNSEEN)
+        if interned is _UNSEEN:
+            interned = _valid_name(name)
+        if interned is None:  # pragma: no cover - regex already validated
+            return None
+        append((interned, value))
+    return out
 
 
 def _scan_pairs(line: str) -> Iterator[Tuple[str, str]]:

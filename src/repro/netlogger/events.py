@@ -2,10 +2,11 @@
 from __future__ import annotations
 
 import enum
+import sys
 from typing import Dict, Mapping, Optional
 
 from repro.netlogger.bp import format_bp_line, parse_bp_line
-from repro.util.timeutil import format_iso, parse_ts
+from repro.util.timeutil import format_iso, parse_ts, parse_ts_cached
 
 __all__ = ["Level", "NLEvent"]
 
@@ -22,10 +23,20 @@ class Level(enum.Enum):
 
     @classmethod
     def parse(cls, text: str) -> "Level":
-        for member in cls:
-            if member.value.lower() == text.lower():
-                return member
+        member = _LEVEL_LOOKUP.get(text)
+        if member is not None:
+            return member
+        member = _LEVEL_LOOKUP.get(text.lower())
+        if member is not None:
+            return member
         raise ValueError(f"unknown NetLogger level: {text!r}")
+
+
+#: exact and lowercased spellings -> member; one dict hit on the hot path
+_LEVEL_LOOKUP: Dict[str, "Level"] = {
+    **{m.value: m for m in Level},
+    **{m.value.lower(): m for m in Level},
+}
 
 
 class NLEvent:
@@ -85,13 +96,31 @@ class NLEvent:
         return format_bp_line(out)
 
     @classmethod
-    def from_bp(cls, line: str) -> "NLEvent":
-        """Parse one BP log line into a typed event."""
-        raw = parse_bp_line(line)
-        ts = parse_ts(raw.pop("ts"))
-        event = raw.pop("event")
+    def from_bp(cls, line: str, fast: bool = True) -> "NLEvent":
+        """Parse one BP log line into a typed event.
+
+        ``fast=False`` forces the strict char-by-char BP scanner (the
+        ``--parse-mode strict`` path); the default uses the C-speed
+        tokenizers with automatic fallback, plus memoized timestamp and
+        level lookups.  Both produce identical events.
+        """
+        raw = parse_bp_line(line, fast=fast)
+        ts_raw = raw.pop("ts")
+        ts = parse_ts_cached(ts_raw) if fast else parse_ts(ts_raw)
+        # event names draw from a small vocabulary; interning collapses
+        # millions of parsed lines onto one string object per name
+        event = sys.intern(raw.pop("event"))
+        if not event:
+            raise ValueError("event name must be non-empty")
         level = Level.parse(raw.pop("level", "Info"))
-        return cls(event=event, ts=ts, attrs=raw, level=level)
+        # parse_ts returns a float and the parsed dict is freshly built
+        # and ours to keep, so skip __init__'s re-validation and copy
+        self = cls.__new__(cls)
+        self.event = event
+        self.ts = ts
+        self.level = level
+        self.attrs = raw
+        return self
 
     def copy(self) -> "NLEvent":
         return NLEvent(self.event, self.ts, dict(self.attrs), self.level)

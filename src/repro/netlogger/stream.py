@@ -20,8 +20,12 @@ __all__ = [
     "read_events",
     "write_events",
     "read_events_with_offsets",
+    "read_lines",
+    "read_lines_with_offsets",
     "tail_events",
     "tail_events_with_offsets",
+    "tail_lines_with_offsets",
+    "tail_raw",
 ]
 
 PathOrFile = Union[str, os.PathLike, TextIO]
@@ -124,6 +128,50 @@ def write_events(target: PathOrFile, events: Iterable[NLEvent]) -> int:
         return writer.write_all(events)
 
 
+def read_lines(source: PathOrFile) -> Iterator[Tuple[str, int]]:
+    """Yield ``(stripped_line, line_number)`` pairs, skipping blanks/comments.
+
+    The raw-line feed for the parallel parse pipeline: filtering happens
+    here on the coordinating thread so workers only ever see real BP
+    payload lines.
+    """
+    close = False
+    if isinstance(source, (str, os.PathLike)):
+        fh: TextIO = open(source, "r", encoding="utf-8")
+        close = True
+    else:
+        fh = source
+    try:
+        for lineno, line in enumerate(fh, start=1):
+            stripped = line.strip()
+            if not stripped or stripped.startswith("#"):
+                continue
+            yield stripped, lineno
+    finally:
+        if close:
+            fh.close()
+
+
+def read_lines_with_offsets(
+    path: Union[str, os.PathLike], start_offset: int = 0
+) -> Iterator[Tuple[str, int]]:
+    """Yield ``(stripped_line, byte_offset_after_its_line)`` pairs.
+
+    The offset-tracking raw feed for a checkpointing parallel load:
+    parsing is elsewhere, but the offsets measured here are exactly what
+    :func:`read_events_with_offsets` reports for the same file.
+    """
+    with open(path, "rb") as fh:
+        fh.seek(start_offset)
+        offset = start_offset
+        for raw in fh:
+            offset += len(raw)
+            stripped = raw.decode("utf-8").strip()
+            if not stripped or stripped.startswith("#"):
+                continue
+            yield stripped, offset
+
+
 def read_events_with_offsets(
     path: Union[str, os.PathLike],
     start_offset: int = 0,
@@ -135,21 +183,14 @@ def read_events_with_offsets(
     file and seeking to the stored offset resumes exactly after the last
     durably-archived event.  ``on_error='skip'`` drops malformed lines.
     """
-    with open(path, "rb") as fh:
-        fh.seek(start_offset)
-        offset = start_offset
-        for raw in fh:
-            offset += len(raw)
-            stripped = raw.decode("utf-8").strip()
-            if not stripped or stripped.startswith("#"):
-                continue
-            try:
-                event = NLEvent.from_bp(stripped)
-            except (BPParseError, ValueError):
-                if on_error == "raise":
-                    raise
-                continue
-            yield event, offset
+    for stripped, offset in read_lines_with_offsets(path, start_offset):
+        try:
+            event = NLEvent.from_bp(stripped)
+        except (BPParseError, ValueError):
+            if on_error == "raise":
+                raise
+            continue
+        yield event, offset
 
 
 def tail_events(
@@ -178,6 +219,36 @@ def tail_events_with_offsets(
     Yields ``(event, byte_offset_after_its_line)``; reading starts at
     ``start_offset`` so a checkpointed follower resumes mid-file.
     """
+    for kind, line, offset in tail_raw(path, poll, start_offset=start_offset):
+        if kind == "line":
+            yield NLEvent.from_bp(line), offset
+
+
+def tail_lines_with_offsets(
+    path: Union[str, os.PathLike],
+    poll: Callable[[], bool],
+    start_offset: int = 0,
+) -> Iterator[Tuple[str, int]]:
+    """Raw-line variant of :func:`tail_events_with_offsets` (no parsing)."""
+    for kind, line, offset in tail_raw(path, poll, start_offset=start_offset):
+        if kind == "line":
+            yield line, offset
+
+
+def tail_raw(
+    path: Union[str, os.PathLike],
+    poll: Callable[[], bool],
+    start_offset: int = 0,
+) -> Iterator[Tuple[str, Optional[str], int]]:
+    """Follow a growing file, yielding ``('line', text, offset)`` items.
+
+    An ``('eof', None, offset)`` marker is emitted every time the reader
+    catches up with the file, *before* ``poll()`` is consulted — a
+    batching consumer (the parallel-parse follower) uses it to drain its
+    buffered lines so progress made so far is visible to whatever state
+    ``poll()`` inspects.  Partial last lines are retained until their
+    newline arrives; on shutdown a non-empty partial line is emitted.
+    """
     with open(path, "rb") as fh:
         fh.seek(start_offset)
         buffer = b""
@@ -191,10 +262,11 @@ def tail_events_with_offsets(
                     stripped = buffer.decode("utf-8").strip()
                     buffer = b""
                     if stripped and not stripped.startswith("#"):
-                        yield NLEvent.from_bp(stripped), offset
+                        yield "line", stripped, offset
                 continue
+            yield "eof", None, offset
             if not poll():
                 if buffer.strip():
                     offset += len(buffer)
-                    yield NLEvent.from_bp(buffer.decode("utf-8").strip()), offset
+                    yield "line", buffer.decode("utf-8").strip(), offset
                 return

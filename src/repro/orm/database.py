@@ -28,10 +28,47 @@ __all__ = ["Database", "SqliteDatabase", "MemoryDatabase", "connect"]
 
 
 class Database:
-    """Abstract backend: DDL, inserts (single + executemany), query, count."""
+    """Abstract backend: DDL, inserts (single + executemany), query, count.
+
+    Backends share a per-connection **max-id cache**: the first
+    :meth:`max_value` call per (table, column) runs the real aggregate
+    (an SQL round-trip, or an O(n) scan on the memory backend) and
+    subsequent calls are O(1) dict hits, kept current by the insert
+    paths.  Without it, every component that seeds a surrogate-key
+    sequence over the same connection (archive sequences, the loader
+    DLQ, checkpoint recovery) re-derives the maximum from scratch.
+    """
 
     #: Exception types a caller may treat as transient and retry.
     TRANSIENT_ERRORS: tuple = ()
+
+    def __init__(self):
+        # (table_name, column_name) -> current max (never None once set)
+        self._max_cache: Dict[tuple, Any] = {}
+
+    # -- max-id cache maintenance -----------------------------------------
+    def _bump_max_cache(self, table: Table, rows: Iterable[Dict[str, Any]]) -> None:
+        """Fold freshly inserted rows into any cached maxima for ``table``."""
+        if not self._max_cache:
+            return
+        for (tname, column), current in list(self._max_cache.items()):
+            if tname != table.name:
+                continue
+            best = current
+            for row in rows:
+                value = row.get(column)
+                if value is not None and (best is None or value > best):
+                    best = value
+            self._max_cache[(tname, column)] = best
+
+    def _drop_max_cache(self, table_name: Optional[str] = None) -> None:
+        """Invalidate cached maxima (all, or one table's) after a rollback
+        or an update that may have touched a cached column."""
+        if table_name is None:
+            self._max_cache.clear()
+        else:
+            for key in [k for k in self._max_cache if k[0] == table_name]:
+                del self._max_cache[key]
 
     def create_tables(self, tables: Sequence[Table]) -> None:
         raise NotImplementedError
@@ -91,6 +128,7 @@ class SqliteDatabase(Database):
     TRANSIENT_ERRORS = (sqlite3.OperationalError,)
 
     def __init__(self, path: str = ":memory:"):
+        super().__init__()
         self.path = path
         # isolation_level=None -> autocommit; transactions are explicit.
         self._conn = sqlite3.connect(
@@ -98,6 +136,10 @@ class SqliteDatabase(Database):
         )
         self._lock = threading.RLock()
         self._txn_depth = 0
+        # SQL text cache: building INSERT/UPDATE strings per call is pure
+        # Python overhead on the hot insert path; statements are keyed by
+        # (kind, table, column names) and reused forever.
+        self._stmt_cache: Dict[tuple, str] = {}
         self._apply_pragmas()
 
     def _apply_pragmas(self) -> None:
@@ -120,6 +162,9 @@ class SqliteDatabase(Database):
             except BaseException:
                 if outermost:
                     self._conn.rollback()
+                    # inserts inside the aborted scope may have bumped
+                    # cached maxima past what is durable
+                    self._drop_max_cache()
                 raise
             else:
                 if outermost:
@@ -135,28 +180,34 @@ class SqliteDatabase(Database):
                 for stmt in table.index_sql():
                     cur.execute(stmt)
 
+    def _insert_sql(self, table: Table, names: Sequence[str]) -> str:
+        key = ("insert", table.name, tuple(names))
+        sql = self._stmt_cache.get(key)
+        if sql is None:
+            sql = self._stmt_cache[key] = (
+                f"INSERT INTO {table.name} ({', '.join(names)}) "
+                f"VALUES ({', '.join('?' for _ in names)})"
+            )
+        return sql
+
     def insert(self, table: Table, row: Dict[str, Any]) -> None:
         coerced = table.coerce_row(row)
         names = list(coerced)
-        sql = (
-            f"INSERT INTO {table.name} ({', '.join(names)}) "
-            f"VALUES ({', '.join('?' for _ in names)})"
-        )
+        sql = self._insert_sql(table, names)
         with self._lock:
             self._conn.execute(sql, [coerced[n] for n in names])
+            self._bump_max_cache(table, (coerced,))
 
     def insert_many(self, table: Table, rows: Iterable[Dict[str, Any]]) -> int:
         coerced = [table.coerce_row(r) for r in rows]
         if not coerced:
             return 0
         names = table.column_names()
-        sql = (
-            f"INSERT INTO {table.name} ({', '.join(names)}) "
-            f"VALUES ({', '.join('?' for _ in names)})"
-        )
+        sql = self._insert_sql(table, names)
         params = [[row.get(n) for n in names] for row in coerced]
         with self._lock:
             self._conn.executemany(sql, params)
+            self._bump_max_cache(table, coerced)
         return len(coerced)
 
     def select(self, query: Query) -> List[Dict[str, Any]]:
@@ -172,20 +223,25 @@ class SqliteDatabase(Database):
             return 0
         set_names = list(values)
         where_names = list(where)
-        sql = (
-            f"UPDATE {table.name} SET "
-            + ", ".join(f"{n} = ?" for n in set_names)
-            + (
-                " WHERE " + " AND ".join(f"{n} = ?" for n in where_names)
-                if where_names
-                else ""
+        key = ("update", table.name, tuple(set_names), tuple(where_names))
+        sql = self._stmt_cache.get(key)
+        if sql is None:
+            sql = self._stmt_cache[key] = (
+                f"UPDATE {table.name} SET "
+                + ", ".join(f"{n} = ?" for n in set_names)
+                + (
+                    " WHERE " + " AND ".join(f"{n} = ?" for n in where_names)
+                    if where_names
+                    else ""
+                )
             )
-        )
         params = [
             table.by_name[n].type.to_storage(values[n]) for n in set_names
         ] + [table.by_name[n].type.to_storage(where[n]) for n in where_names]
         with self._lock:
             cur = self._conn.execute(sql, params)
+            if any((table.name, n) in self._max_cache for n in set_names):
+                self._drop_max_cache(table.name)
             return cur.rowcount
 
     def count(self, table: Table) -> int:
@@ -202,10 +258,15 @@ class SqliteDatabase(Database):
     def max_value(self, table: Table, column: str) -> Optional[Any]:
         if column not in table.by_name:
             raise ValueError(f"no column {column!r} in table {table.name!r}")
+        key = (table.name, column)
         with self._lock:
-            (value,) = self._conn.execute(
-                f"SELECT MAX({column}) FROM {table.name}"
-            ).fetchone()
+            if key in self._max_cache:
+                value = self._max_cache[key]
+            else:
+                (value,) = self._conn.execute(
+                    f"SELECT MAX({column}) FROM {table.name}"
+                ).fetchone()
+                self._max_cache[key] = value
         return None if value is None else table.by_name[column].type.from_storage(value)
 
     def pragma(self, name: str) -> Any:
@@ -228,9 +289,30 @@ class MemoryDatabase(Database):
     """
 
     def __init__(self):
+        super().__init__()
         self._tables: Dict[str, List[Dict[str, Any]]] = {}
         self._meta: Dict[str, Table] = {}
         self._lock = threading.RLock()
+        # primary-key index: table name -> {stored pk value -> row dict}.
+        # update() by exact pk — the loader's dominant write shape — becomes
+        # one dict hit instead of a full-table scan.  Tables where a pk
+        # value repeats (uniqueness is not enforced here) drop to scans.
+        self._pk_index: Dict[str, Dict[Any, Dict[str, Any]]] = {}
+        self._pk_degraded: set = set()
+
+    def _index_row(self, table: Table, row: Dict[str, Any]) -> None:
+        pk = table.primary_key
+        if pk is None or table.name in self._pk_degraded:
+            return
+        value = row.get(pk.name)
+        if value is None:
+            return
+        index = self._pk_index.setdefault(table.name, {})
+        if value in index:
+            self._pk_degraded.add(table.name)
+            del self._pk_index[table.name]
+        else:
+            index[value] = row
 
     @contextmanager
     def transaction(self) -> Iterator["MemoryDatabase"]:
@@ -252,11 +334,16 @@ class MemoryDatabase(Database):
         coerced = table.coerce_row(row)
         with self._lock:
             self._require(table).append(coerced)
+            self._index_row(table, coerced)
+            self._bump_max_cache(table, (coerced,))
 
     def insert_many(self, table: Table, rows: Iterable[Dict[str, Any]]) -> int:
         coerced = [table.coerce_row(r) for r in rows]
         with self._lock:
             self._require(table).extend(coerced)
+            for row in coerced:
+                self._index_row(table, row)
+            self._bump_max_cache(table, coerced)
         return len(coerced)
 
     def select(self, query: Query) -> List[Dict[str, Any]]:
@@ -278,11 +365,35 @@ class MemoryDatabase(Database):
             n: table.by_name[n].type.to_storage(v) for n, v in where.items()
         }
         changed = 0
+        pk = table.primary_key
         with self._lock:
-            for row in self._require(table):
+            rows = self._require(table)
+            target_rows: Iterable[Dict[str, Any]] = rows
+            # exact-pk updates resolve through the index: one dict hit
+            # instead of scanning the table per call.
+            if (
+                pk is not None
+                and len(stored_where) == 1
+                and pk.name in stored_where
+                and stored_where[pk.name] is not None
+                and table.name not in self._pk_degraded
+            ):
+                hit = self._pk_index.get(table.name, {}).get(
+                    stored_where[pk.name]
+                )
+                target_rows = (hit,) if hit is not None else ()
+            for row in target_rows:
                 if all(row.get(n) == v for n, v in stored_where.items()):
+                    if pk is not None and pk.name in stored_values:
+                        # rewriting the key itself invalidates the index
+                        self._pk_degraded.add(table.name)
+                        self._pk_index.pop(table.name, None)
                     row.update(stored_values)
                     changed += 1
+            if changed and any(
+                (table.name, n) in self._max_cache for n in stored_values
+            ):
+                self._drop_max_cache(table.name)
         return changed
 
     def count(self, table: Table) -> int:
@@ -299,10 +410,15 @@ class MemoryDatabase(Database):
     def max_value(self, table: Table, column: str) -> Optional[Any]:
         if column not in table.by_name:
             raise ValueError(f"no column {column!r} in table {table.name!r}")
+        key = (table.name, column)
         with self._lock:
+            if key in self._max_cache:
+                return self._max_cache[key]
             rows = self._require(table)
             values = [r.get(column) for r in rows if r.get(column) is not None]
-        return max(values) if values else None
+            value = max(values) if values else None
+            self._max_cache[key] = value
+        return value
 
 
 def connect(conn_string: str) -> Database:

@@ -3,9 +3,17 @@ from __future__ import annotations
 
 from typing import Any, Dict, List, Optional, Sequence
 
-from repro.orm.columns import Column
+from repro.orm.columns import Column, Integer, Real, Text
 
 __all__ = ["Table"]
+
+#: sentinel distinguishing "column absent from the row" from None values
+_MISSING = object()
+
+#: column types whose to_storage is the identity when the value already
+#: has exactly this Python type (bool is NOT an exact int match, so
+#: Boolean columns and subclass tricks still coerce).
+_PASSTHROUGH = {Integer: int, Real: float, Text: str}
 
 
 class Table:
@@ -26,6 +34,21 @@ class Table:
         self.columns: List[Column] = list(columns)
         self.by_name: Dict[str, Column] = {c.name: c for c in columns}
         self.primary_key: Optional[Column] = pks[0] if pks else None
+        self._names: List[str] = names
+        self._known = set(names)
+        # per-column coercion plan, precomputed once: the insert hot path
+        # loops over plain tuples instead of attribute lookups per row
+        self._coerce_plan = [
+            (
+                c.name,
+                c.type.to_storage,
+                _PASSTHROUGH.get(type(c.type)),
+                c.default,
+                callable(c.default),
+                c.nullable or c.primary_key,
+            )
+            for c in self.columns
+        ]
 
     # -- DDL -------------------------------------------------------------------
     def create_sql(self) -> str:
@@ -43,23 +66,32 @@ class Table:
     # -- row handling ------------------------------------------------------------
     def coerce_row(self, row: Dict[str, Any]) -> Dict[str, Any]:
         """Validate and convert a row dict to storage representation."""
-        unknown = set(row) - set(self.by_name)
-        if unknown:
+        if not self._known.issuperset(row):
+            unknown = set(row) - self._known
             raise ValueError(f"unknown column(s) for {self.name!r}: {sorted(unknown)}")
         out: Dict[str, Any] = {}
-        for col in self.columns:
-            if col.name in row:
-                value = row[col.name]
-            elif callable(col.default):
-                value = col.default()
-            else:
-                value = col.default
-            stored = col.type.to_storage(value)
-            if stored is None and not col.nullable and not col.primary_key:
+        get = row.get
+        missing = _MISSING
+        for (
+            name,
+            to_storage,
+            exact,
+            default,
+            default_callable,
+            nullable,
+        ) in self._coerce_plan:
+            value = get(name, missing)
+            if value is missing:
+                value = default() if default_callable else default
+            if type(value) is exact:
+                out[name] = value
+                continue
+            stored = to_storage(value)
+            if stored is None and not nullable:
                 raise ValueError(
-                    f"column {self.name}.{col.name} is NOT NULL but got None"
+                    f"column {self.name}.{name} is NOT NULL but got None"
                 )
-            out[col.name] = stored
+            out[name] = stored
         return out
 
     def from_storage(self, values: Sequence[Any]) -> Dict[str, Any]:
@@ -70,7 +102,7 @@ class Table:
         }
 
     def column_names(self) -> List[str]:
-        return [c.name for c in self.columns]
+        return self._names
 
     def __repr__(self) -> str:
         return f"Table({self.name!r}, {len(self.columns)} columns)"

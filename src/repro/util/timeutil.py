@@ -10,11 +10,14 @@ from __future__ import annotations
 import math
 import re
 from datetime import datetime, timedelta, timezone
+from functools import lru_cache
+from typing import Optional
 
 __all__ = [
     "format_iso",
     "parse_iso",
     "parse_ts",
+    "parse_ts_cached",
     "format_duration",
     "format_hms",
 ]
@@ -81,8 +84,58 @@ def parse_iso(text: str) -> float:
     return (dt - _EPOCH).total_seconds() - offset + extra
 
 
+@lru_cache(maxsize=1024)
+def _date_epoch_seconds(date_text: str) -> int:
+    """Whole epoch seconds at midnight UTC of ``YYYY-MM-DD``.
+
+    Timestamps in a log stream share a handful of calendar dates, so the
+    datetime construction — the expensive part of ISO parsing — runs once
+    per distinct date instead of once per event.
+    """
+    dt = datetime(
+        int(date_text[:4]),
+        int(date_text[5:7]),
+        int(date_text[8:10]),
+        tzinfo=timezone.utc,
+    )
+    return int((dt - _EPOCH).total_seconds())
+
+
+def _fast_iso(text: str) -> Optional[float]:
+    """Parse the canonical ``YYYY-MM-DDTHH:MM:SS.ffffffZ`` rendering.
+
+    Bit-identical to :func:`parse_iso` (integer-microsecond arithmetic
+    mirrors ``timedelta.total_seconds``); returns None for anything that
+    is not exactly the canonical 27-char shape.
+    """
+    if (
+        len(text) != 27
+        or text[10] != "T"
+        or text[26] != "Z"
+        or text[19] != "."
+        or text[13] != ":"
+        or text[16] != ":"
+    ):
+        return None
+    try:
+        seconds = (
+            _date_epoch_seconds(text[:10])
+            + int(text[11:13]) * 3600
+            + int(text[14:16]) * 60
+            + int(text[17:19])
+        )
+        return (seconds * 10**6 + int(text[20:26])) / 10**6
+    except ValueError:
+        return None
+
+
 def parse_ts(value) -> float:
-    """Parse a BP ``ts`` attribute: ISO8601 string or epoch seconds."""
+    """Parse a BP ``ts`` attribute: ISO8601 string or epoch seconds.
+
+    This is the reference implementation — the oracle the property tests
+    compare the optimized path against — so it deliberately stays on the
+    original regex/datetime code.  Hot paths use :func:`parse_ts_cached`.
+    """
     if isinstance(value, (int, float)):
         return float(value)
     text = str(value).strip()
@@ -90,6 +143,22 @@ def parse_ts(value) -> float:
         return float(text)
     except ValueError:
         return parse_iso(text)
+
+
+@lru_cache(maxsize=8192)
+def parse_ts_cached(text: str) -> float:
+    """Memoized fast-path timestamp parsing, identical to :func:`parse_ts`.
+
+    The ingest hot path sees the same rendered timestamp many times when
+    events burst within one clock tick (and identically-stamped static
+    events); the LRU turns repeats into one dict hit, and cache misses in
+    the canonical ISO shape parse with integer arithmetic instead of the
+    regex + datetime machinery.
+    """
+    fast = _fast_iso(text)
+    if fast is not None:
+        return fast
+    return parse_ts(text)
 
 
 def format_duration(seconds: float) -> str:

@@ -1,0 +1,214 @@
+"""Fast-path BP parser must be observationally identical to the strict
+scanner: same dicts for valid lines, same error class for invalid ones.
+
+The fast path is tiered (str.split, then regex, then the char-by-char
+scanner); when a tier is unsure it returns nothing and the next tier
+runs, so equivalence should hold *by construction* — these tests are the
+evidence.  A seeded 10k-line corpus covers the shapes the tiers
+dispatch on (plain, quoted, escaped, unicode, malformed) and hypothesis
+explores the space around them.
+"""
+import random
+import string
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.netlogger.bp import (
+    BPParseError,
+    format_bp_line,
+    parse_bp_line,
+    quote_value,
+)
+from repro.netlogger.events import NLEvent
+from repro.util.timeutil import format_iso, parse_ts, parse_ts_cached
+
+# ---------------------------------------------------------------------------
+# seeded corpus: 10k lines spanning every parser tier
+# ---------------------------------------------------------------------------
+
+_NAME_ALPHABET = string.ascii_letters + string.digits + "_"
+_PLAIN_ALPHABET = string.ascii_letters + string.digits + "_-./:@+"
+_UNICODE_SAMPLES = "αβγδ中文токен🎯naïve Ω"
+
+
+def _rand_name(rng: random.Random) -> str:
+    parts = []
+    for _ in range(rng.randint(1, 3)):
+        first = rng.choice(string.ascii_letters + "_")
+        rest = "".join(
+            rng.choice(_NAME_ALPHABET) for _ in range(rng.randint(0, 7))
+        )
+        parts.append(first + rest)
+    return ".".join(parts)
+
+
+def _rand_value(rng: random.Random) -> str:
+    kind = rng.randrange(6)
+    if kind == 0:  # plain token (split tier)
+        return "".join(
+            rng.choice(_PLAIN_ALPHABET) for _ in range(rng.randint(0, 12))
+        )
+    if kind == 1:  # spaces force quoting (regex tier)
+        return " ".join(
+            "".join(rng.choice(_PLAIN_ALPHABET) for _ in range(rng.randint(1, 6)))
+            for _ in range(rng.randint(1, 3))
+        )
+    if kind == 2:  # embedded quotes / backslashes (escape handling)
+        return "".join(
+            rng.choice('ab"\\= ') for _ in range(rng.randint(1, 10))
+        )
+    if kind == 3:  # unicode
+        return "".join(
+            rng.choice(_UNICODE_SAMPLES) for _ in range(rng.randint(1, 8))
+        )
+    if kind == 4:  # empty value
+        return ""
+    return str(rng.uniform(-1e6, 1e6))  # numeric-looking
+
+
+def _corpus_line(rng: random.Random) -> str:
+    attrs = {"ts": format_iso(rng.uniform(0, 2_000_000_000)), "event": _rand_name(rng)}
+    for _ in range(rng.randint(0, 6)):
+        attrs[_rand_name(rng)] = _rand_value(rng)
+    line = format_bp_line(attrs)
+    if rng.random() < 0.15:  # surrounding whitespace is stripped upstream
+        line = " " * rng.randint(1, 3) + line + " " * rng.randint(1, 3)
+    return line.strip()
+
+
+def _mangle(line: str, rng: random.Random) -> str:
+    """Break a valid line so at least some corpus entries must error."""
+    kind = rng.randrange(4)
+    if kind == 0:
+        return line.replace("=", "", 1)  # token without '='
+    if kind == 1:
+        return line + ' dangling="unterminated'
+    if kind == 2:
+        return line + " 9bad=value"  # name starting with a digit
+    return line + " =novalue"
+
+
+def _build_corpus(n: int = 10_000, seed: int = 20260806):
+    rng = random.Random(seed)
+    lines = []
+    for i in range(n):
+        line = _corpus_line(rng)
+        if i % 10 == 9:
+            line = _mangle(line, rng)
+        lines.append(line)
+    return lines
+
+
+def test_fast_and_strict_agree_on_10k_corpus():
+    agreed_ok = agreed_err = 0
+    for line in _build_corpus():
+        try:
+            slow = parse_bp_line(line, fast=False)
+            slow_exc = None
+        except BPParseError as exc:
+            slow, slow_exc = None, exc
+        try:
+            fast = parse_bp_line(line, fast=True)
+            fast_exc = None
+        except BPParseError as exc:
+            fast, fast_exc = None, exc
+        if slow_exc is None:
+            assert fast_exc is None, f"fast rejected valid line: {line!r}: {fast_exc}"
+            assert fast == slow, f"disagreement on {line!r}"
+            agreed_ok += 1
+        else:
+            assert fast_exc is not None, f"fast accepted invalid line: {line!r}"
+            agreed_err += 1
+    # the corpus must genuinely exercise both sides
+    assert agreed_ok > 8_000
+    assert agreed_err > 500
+
+
+def test_strict_mode_duplicate_keys_both_paths():
+    line = "ts=1.5 event=dup.test a=1 a=2"
+    assert parse_bp_line(line, fast=True)["a"] == "2"
+    assert parse_bp_line(line, fast=False)["a"] == "2"
+    for fast in (True, False):
+        with pytest.raises(BPParseError):
+            parse_bp_line(line, strict=True, fast=fast)
+
+
+# ---------------------------------------------------------------------------
+# hypothesis: equivalence over generated lines
+# ---------------------------------------------------------------------------
+
+name_part = st.text(
+    alphabet=string.ascii_letters + string.digits + "_",
+    min_size=1,
+    max_size=8,
+).filter(lambda s: s[0].isalpha() or s[0] == "_")
+attr_names = st.builds(
+    lambda parts: ".".join(parts), st.lists(name_part, min_size=1, max_size=3)
+).filter(lambda n: n not in ("ts", "event", "level"))
+attr_values = st.text(
+    alphabet=st.characters(blacklist_categories=("Cs", "Cc")),
+    max_size=40,
+)
+
+
+@given(attrs=st.dictionaries(attr_names, attr_values, max_size=8))
+@settings(max_examples=300)
+def test_fast_matches_strict_on_formatted_lines(attrs):
+    line_attrs = {"ts": "1.5", "event": "prop.test", **attrs}
+    line = format_bp_line(line_attrs)
+    assert parse_bp_line(line, fast=True) == parse_bp_line(line, fast=False)
+
+
+@given(value=attr_values)
+@settings(max_examples=200)
+def test_fast_unquotes_like_strict(value):
+    line = f"ts=1 event=x v={quote_value(value)}"
+    fast = parse_bp_line(line, fast=True)
+    slow = parse_bp_line(line, fast=False)
+    assert fast["v"] == value
+    assert fast == slow
+
+
+# ---------------------------------------------------------------------------
+# timestamp fast path: parse_ts_cached is bit-identical to parse_ts
+# ---------------------------------------------------------------------------
+
+@given(ts=st.floats(min_value=0, max_value=4_000_000_000))
+@settings(max_examples=300)
+def test_parse_ts_cached_matches_reference_on_iso(ts):
+    text = format_iso(ts)
+    assert parse_ts_cached(text) == parse_ts(text)
+
+
+@given(ts=st.floats(min_value=0, max_value=4_000_000_000))
+@settings(max_examples=200)
+def test_parse_ts_cached_matches_reference_on_floats(ts):
+    text = repr(ts)
+    assert parse_ts_cached(text) == parse_ts(text)
+
+
+@pytest.mark.parametrize(
+    "text",
+    [
+        "2012-11-10T09:08:07.123456Z",
+        "2012-11-10T09:08:07Z",
+        "2012-11-10T09:08:07.123456+02:00",
+        "2012-11-10T09:08:07.123456-05:30",
+        "1352538487.123456",
+        "0",
+    ],
+)
+def test_parse_ts_cached_known_shapes(text):
+    assert parse_ts_cached(text) == parse_ts(text)
+
+
+def test_from_bp_fast_and_strict_events_identical():
+    line = 'ts=2012-11-10T09:08:07.123456Z event=job.end level=Info x="a b" u=中文'
+    fast = NLEvent.from_bp(line, fast=True)
+    slow = NLEvent.from_bp(line, fast=False)
+    assert fast.event == slow.event
+    assert fast.ts == slow.ts
+    assert fast.level == slow.level
+    assert fast.attrs == slow.attrs
