@@ -158,6 +158,19 @@ HOST = Table(
     ],
 )
 
+OBS_EVENT = Table(
+    "obs_event",
+    [
+        Column("obs_id", Integer(), primary_key=True),
+        Column("ts", Real(), nullable=False),
+        Column("event", Text(), nullable=False, index=True),
+        Column("name", Text(), index=True),
+        Column("component", Text()),
+        Column("value", Real()),
+        Column("payload", Text()),
+    ],
+)
+
 ALL_TABLES: List[Table] = [
     WORKFLOW,
     WORKFLOWSTATE,
@@ -169,6 +182,7 @@ ALL_TABLES: List[Table] = [
     JOBSTATE,
     INVOCATION,
     HOST,
+    OBS_EVENT,
 ]
 
 TABLES: Dict[str, Table] = {t.name: t for t in ALL_TABLES}

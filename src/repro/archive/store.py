@@ -8,6 +8,8 @@ from __future__ import annotations
 
 import itertools
 import threading
+import time
+from contextlib import contextmanager
 from dataclasses import fields
 from typing import Any, Dict, Iterable, List, Optional, Type, TypeVar
 
@@ -19,6 +21,7 @@ from repro.model.entities import (
     JobInstanceRow,
     JobRow,
     JobStateRow,
+    ObsEventRow,
     TaskEdgeRow,
     TaskRow,
     WorkflowRow,
@@ -41,6 +44,7 @@ _ENTITY_TABLE = {
     JobStateRow: ddl.JOBSTATE,
     InvocationRow: ddl.INVOCATION,
     HostRow: ddl.HOST,
+    ObsEventRow: ddl.OBS_EVENT,
 }
 
 
@@ -52,6 +56,32 @@ class StampedeArchive:
         self.db.create_tables(ddl.ALL_TABLES)
         self._sequences: Dict[str, itertools.count] = {}
         self._seq_lock = threading.Lock()
+        # self-monitoring hooks (repro.obs); None keeps the write path
+        # free of any instrumentation cost
+        self._txn_seconds = None
+        self._txn_total = None
+        self._rows_inserted = None
+
+    def instrument(self, registry) -> "StampedeArchive":
+        """Attach a :class:`repro.obs.metrics.MetricsRegistry`.
+
+        Explicit archive transactions are timed into
+        ``stampede_archive_transaction_seconds`` and batch inserts
+        counted into ``stampede_archive_rows_inserted_total``.
+        """
+        self._txn_seconds = registry.histogram(
+            "stampede_archive_transaction_seconds",
+            "Duration of archive write transactions.",
+        )
+        self._txn_total = registry.counter(
+            "stampede_archive_transactions_total",
+            "Committed archive write transactions.",
+        )
+        self._rows_inserted = registry.counter(
+            "stampede_archive_rows_inserted_total",
+            "Rows written through archive batch inserts.",
+        )
+        return self
 
     @classmethod
     def open(cls, conn_string: str) -> "StampedeArchive":
@@ -92,11 +122,28 @@ class StampedeArchive:
         with self.db.transaction():
             for etype, rows in by_type.items():
                 total += self.db.insert_many(_table_for(etype), rows)
+        if self._rows_inserted is not None:
+            self._rows_inserted.inc(total)
         return total
 
     def transaction(self):
-        """Scope archive writes into one atomic backend transaction."""
-        return self.db.transaction()
+        """Scope archive writes into one atomic backend transaction.
+
+        With an instrumented archive the scope's duration is observed
+        into the transaction histogram (successful commits only — a
+        rolled-back scope raises through and is not counted).
+        """
+        if self._txn_seconds is None:
+            return self.db.transaction()
+        return self._timed_transaction()
+
+    @contextmanager
+    def _timed_transaction(self):
+        start = time.perf_counter()
+        with self.db.transaction():
+            yield self.db
+        self._txn_seconds.observe(time.perf_counter() - start)
+        self._txn_total.inc()
 
     def query(self, entity_type: Type[T]) -> "EntityQuery[T]":
         return EntityQuery(self, entity_type)

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterator, List, Mapping, Optional, Tuple
+from typing import Dict, Iterator, List, Mapping, Optional
 
 from repro.bus.queues import Message, MessageQueue
 from repro.bus.topic import topic_matches, validate_pattern
@@ -155,6 +155,14 @@ class Broker:
     def queue_names(self) -> List[str]:
         with self._lock:
             return list(self._queues)
+
+    def queues(self) -> List[MessageQueue]:
+        with self._lock:
+            return list(self._queues.values())
+
+    def exchanges(self) -> List[Exchange]:
+        with self._lock:
+            return list(self._exchanges.values())
 
     # -- messaging ------------------------------------------------------------
     def publish(

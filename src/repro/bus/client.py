@@ -9,7 +9,8 @@ appenders share.
 from __future__ import annotations
 
 import itertools
-from typing import Iterable, Iterator, List, Optional, Union
+import time
+from typing import Iterable, Iterator, List, Optional
 
 from repro.bus.broker import (
     DEFAULT_EXCHANGE,
@@ -21,6 +22,7 @@ from repro.bus.queues import Message
 from repro.bus.reliable import HEADER_PUBLISHER, HEADER_SEQ
 from repro.netlogger.events import NLEvent
 from repro.netlogger.stream import BPWriter
+from repro.obs.spans import HEADER_PUB_TS, HEADER_TRACE, new_trace_id
 
 __all__ = ["EventPublisher", "EventConsumer", "EventSink", "BusSink", "FileSink", "MultiSink"]
 
@@ -33,8 +35,11 @@ class EventPublisher:
 
     Every message carries ``(publisher id, sequence)`` headers (sequences
     start at 1) so consumers can restore publish order and drop duplicate
-    deliveries end-to-end — see :mod:`repro.bus.reliable`.  Pass
-    ``stamp=False`` for raw fire-and-forget publishing.
+    deliveries end-to-end — see :mod:`repro.bus.reliable`.  Stamped
+    messages additionally carry a correlation id and a publish wall-clock
+    timestamp (:mod:`repro.obs.spans`) so downstream stages can measure
+    end-to-end pipeline latency.  Pass ``stamp=False`` for raw
+    fire-and-forget publishing.
     """
 
     def __init__(
@@ -53,7 +58,12 @@ class EventPublisher:
     def publish(self, event: NLEvent) -> int:
         self.events_published += 1
         headers = (
-            {HEADER_PUBLISHER: self.publisher_id, HEADER_SEQ: self.events_published}
+            {
+                HEADER_PUBLISHER: self.publisher_id,
+                HEADER_SEQ: self.events_published,
+                HEADER_TRACE: new_trace_id(),
+                HEADER_PUB_TS: time.time(),
+            }
             if self._stamp
             else None
         )

@@ -17,8 +17,8 @@ from __future__ import annotations
 import threading
 import time
 from collections import OrderedDict, deque
-from dataclasses import dataclass, field
-from typing import Deque, Dict, Mapping, Optional
+from dataclasses import dataclass
+from typing import Deque, Mapping, Optional
 
 __all__ = ["Message", "QueueStats", "MessageQueue", "QueueFullError"]
 

@@ -11,6 +11,10 @@ Endpoints:
   GET /api/workflows         — all workflow runs with status
   GET /api/workflow/<id>     — summary statistics for one run
   GET /api/workflow/<id>/jobs— jobs.txt rows as JSON
+  GET /metrics               — Prometheus exposition of the process registry
+
+Error contract: an unknown workflow id is 404; a malformed API path
+(e.g. a non-numeric id) is 400.
 """
 from __future__ import annotations
 
@@ -23,6 +27,8 @@ from typing import Optional, Tuple
 
 from repro.archive.store import StampedeArchive
 from repro.core.statistics import workflow_statistics
+from repro.obs.export import PROMETHEUS_CONTENT_TYPE, render_prometheus
+from repro.obs.metrics import MetricsRegistry, get_registry
 from repro.query.api import StampedeQuery
 from repro.schema.stampede import SUCCESS
 
@@ -34,6 +40,13 @@ class DashboardData:
 
     def __init__(self, archive: StampedeArchive):
         self.query = StampedeQuery(archive)
+
+    def _require_workflow(self, wf_id: int) -> int:
+        """Raise ``KeyError`` (HTTP 404) when no such run exists —
+        payload builders otherwise fabricate empty stats for any id."""
+        if self.query.workflow(wf_id) is None:
+            raise KeyError(f"no workflow with wf_id={wf_id}")
+        return wf_id
 
     def workflows_payload(self) -> dict:
         rows = []
@@ -55,7 +68,7 @@ class DashboardData:
         return {"workflows": rows}
 
     def workflow_payload(self, wf_id: int) -> dict:
-        stats = workflow_statistics(self.query, wf_id=wf_id)
+        stats = workflow_statistics(self.query, wf_id=self._require_workflow(wf_id))
         return {
             "wf_id": stats.wf_id,
             "wf_uuid": stats.wf_uuid,
@@ -78,13 +91,14 @@ class DashboardData:
         }
 
     def jobs_payload(self, wf_id: int) -> dict:
+        self._require_workflow(wf_id)
         return {"jobs": [asdict(j) for j in self.query.job_details(wf_id)]}
 
     def progress_payload(self, wf_id: int) -> dict:
         """Fig. 7 data: per-sub-workflow cumulative-runtime step series."""
         from repro.core.timeseries import bundle_progress
 
-        series = bundle_progress(self.query, wf_id)
+        series = bundle_progress(self.query, self._require_workflow(wf_id))
         return {
             "series": [
                 {
@@ -100,6 +114,7 @@ class DashboardData:
         """Per-instance execution spans for a host Gantt view."""
         from repro.core.timeseries import gantt
 
+        self._require_workflow(wf_id)
         return {
             "rows": [
                 {
@@ -118,7 +133,7 @@ class DashboardData:
         """Post-hoc anomaly scan of one workflow (and its descendants)."""
         from repro.core.anomaly import scan_archive
 
-        detector = scan_archive(self.query, wf_id)
+        detector = scan_archive(self.query, self._require_workflow(wf_id))
         return {
             "observations": detector.observations,
             "anomalies": [
@@ -152,12 +167,16 @@ class DashboardData:
 
 class _Handler(BaseHTTPRequestHandler):
     data: DashboardData  # injected by Dashboard
+    metrics: Optional[MetricsRegistry]  # injected by Dashboard
 
     def do_GET(self) -> None:  # noqa: N802 (stdlib naming)
         try:
             body, content_type = self._route(self.path)
         except KeyError:
             self.send_error(404)
+            return
+        except ValueError as exc:
+            self.send_error(400, str(exc))
             return
         except Exception as exc:  # pragma: no cover - defensive
             self.send_error(500, str(exc))
@@ -172,6 +191,9 @@ class _Handler(BaseHTTPRequestHandler):
     def _route(self, path: str) -> Tuple[str, str]:
         if path == "/" or path == "/index.html":
             return self.data.index_html(), "text/html"
+        if path == "/metrics":
+            registry = self.metrics if self.metrics is not None else get_registry()
+            return render_prometheus(registry), PROMETHEUS_CONTENT_TYPE
         if path == "/api/workflows":
             return json.dumps(self.data.workflows_payload()), "application/json"
         m = re.fullmatch(r"/api/workflow/(\d+)", path)
@@ -204,6 +226,10 @@ class _Handler(BaseHTTPRequestHandler):
                 json.dumps(self.data.gantt_payload(int(m.group(1)))),
                 "application/json",
             )
+        if path.startswith("/api/"):
+            # a recognizably-API path that matched no route: the request
+            # itself is malformed (non-numeric id, bogus sub-resource)
+            raise ValueError(f"malformed API path {path!r}")
         raise KeyError(path)
 
     def log_message(self, *args) -> None:  # silence request logging
@@ -211,11 +237,24 @@ class _Handler(BaseHTTPRequestHandler):
 
 
 class Dashboard:
-    """The embedded web server; serves a StampedeArchive on localhost."""
+    """The embedded web server; serves a StampedeArchive on localhost.
 
-    def __init__(self, archive: StampedeArchive, host: str = "127.0.0.1", port: int = 0):
+    ``metrics`` selects the registry behind ``/metrics``; the default
+    (None) resolves the process registry lazily per scrape, so a
+    dashboard started before instrumentation still sees it.
+    """
+
+    def __init__(
+        self,
+        archive: StampedeArchive,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        metrics: Optional[MetricsRegistry] = None,
+    ):
         self.data = DashboardData(archive)
-        handler = type("BoundHandler", (_Handler,), {"data": self.data})
+        handler = type(
+            "BoundHandler", (_Handler,), {"data": self.data, "metrics": metrics}
+        )
         self._server = ThreadingHTTPServer((host, port), handler)
         self._thread: Optional[threading.Thread] = None
 

@@ -5,7 +5,7 @@ the summary block, ``breakdown.txt`` and both ``jobs.txt`` sections.
 """
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List
 
 from repro.core.statistics import HostUsage, TypeBreakdown, WorkflowStatistics
 from repro.query.api import JobInstanceDetail

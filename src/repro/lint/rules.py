@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional
+from typing import Dict, Mapping, Optional
 
 __all__ = ["Severity", "Rule", "Finding", "RULES", "register_rule", "get_rule"]
 

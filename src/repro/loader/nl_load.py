@@ -35,6 +35,9 @@ from repro.loader.pipeline import ParsePool
 from repro.loader.spill import SpillBuffer
 from repro.loader.stampede_loader import LoaderError, LoaderStats, StampedeLoader
 from repro.netlogger.events import NLEvent
+from repro.obs.instrument import bind_broker, bind_faults, bind_loader
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.spans import PipelineClock
 from repro.netlogger.stream import (
     BPReader,
     read_events_with_offsets,
@@ -59,6 +62,7 @@ def make_loader(
     strict: bool = True,
     validate: bool = False,
     checkpoint_source: Optional[str] = None,
+    metrics: Optional[MetricsRegistry] = None,
 ) -> StampedeLoader:
     """Construct a StampedeLoader over a new or existing archive.
 
@@ -66,21 +70,32 @@ def make_loader(
     the archive's checkpoint table and turns on crash-safe checkpointing:
     every flush atomically records the source position alongside the rows
     it made durable, so an interrupted load can :meth:`~StampedeLoader.resume`.
+
+    ``metrics`` attaches a self-monitoring registry: the archive's
+    transactions are timed, the loader's flush latency is observed into
+    a histogram, and every :class:`LoaderStats` counter is exported
+    through a scrape-time collector (see :mod:`repro.obs`).
     """
     if archive is None:
         archive = StampedeArchive.open(conn_string)
+    if metrics is not None:
+        archive.instrument(metrics)
     checkpoint = (
         CheckpointManager(archive, checkpoint_source)
         if checkpoint_source is not None
         else None
     )
-    return StampedeLoader(
+    loader = StampedeLoader(
         archive,
         batch_size=batch_size,
         strict=strict,
         validate=validate,
         checkpoint=checkpoint,
+        metrics=metrics,
     )
+    if metrics is not None:
+        bind_loader(metrics, loader)
+    return loader
 
 
 def load_events(
@@ -255,6 +270,7 @@ def load_from_bus(
     parse_mode: str = "fast",
     worker_mode: str = "thread",
     chunk_size: int = 256,
+    metrics: Optional[MetricsRegistry] = None,
     **loader_kwargs,
 ) -> StampedeLoader:
     """Consume events from a broker queue into the archive.
@@ -299,9 +315,20 @@ def load_from_bus(
       event bodies pass through untouched.  Messages are still
       processed, acked, and dead-lettered one at a time in delivery
       order, so every guarantee above holds for any worker count.
+    * ``metrics`` (a :class:`~repro.obs.metrics.MetricsRegistry`) turns
+      on self-monitoring: broker queue/exchange collectors, the loader's
+      stats collector + flush histogram, and a
+      :class:`~repro.obs.spans.PipelineClock` that converts the
+      publisher's ``x-pub-ts`` stamps into end-to-end deliver/commit
+      latency histograms.
     """
     if loader is None:
-        loader = make_loader(**loader_kwargs)
+        loader = make_loader(metrics=metrics, **loader_kwargs)
+    elif metrics is not None:
+        bind_loader(metrics, loader)
+    clock = PipelineClock(metrics) if metrics is not None else None
+    if metrics is not None:
+        bind_broker(metrics, broker)
     pool = (
         ParsePool(
             workers=workers,
@@ -348,6 +375,8 @@ def load_from_bus(
     def ack_committed(_loader: StampedeLoader) -> None:
         # called by the loader after a successful flush commit: every
         # message whose events are now durable can be settled.
+        if clock is not None:
+            clock.on_committed(in_flight)
         for msg in in_flight:
             ack_quiet(msg)
         in_flight.clear()
@@ -385,12 +414,16 @@ def load_from_bus(
 
     def consume(msg: Message, parsed: Optional[object] = None) -> None:
         if msg.delivery_tag <= skip_to:
+            if clock is not None:
+                clock.on_dropped(msg)
             ack_quiet(msg)  # already archived before the crash
             return
         try:
             if archive_down and spill is not None:
                 spill.append(bp_line(msg))
                 loader.stats.spilled_events += 1
+                if clock is not None:
+                    clock.on_dropped(msg)  # settles outside any batch commit
                 ack_quiet(msg)  # on disk is durable enough to settle
                 return
             in_flight.append(msg)
@@ -418,6 +451,8 @@ def load_from_bus(
                 msg.body, f"{type(exc).__name__}: {exc}", msg.routing_key
             )
             loader.stats.dlq_events += 1
+            if clock is not None:
+                clock.on_dropped(msg)
             ack_quiet(msg)
 
     def consume_all(ready: List[Message]) -> None:
@@ -477,6 +512,8 @@ def load_from_bus(
                 loader.stats.record_queue_depth(consumer.depth())
                 ready: List[Message] = []
                 for m in burst:
+                    if clock is not None:
+                        clock.on_delivered(m)
                     if m.redelivered:
                         loader.stats.redelivered_events += 1
                     released, duplicates = (
@@ -484,6 +521,8 @@ def load_from_bus(
                     )
                     for dup in duplicates:
                         loader.stats.duplicates_skipped += 1
+                        if clock is not None:
+                            clock.on_dropped(dup)
                         ack_quiet(dup)
                     ready.extend(released)
                 consume_all(ready)
@@ -610,6 +649,28 @@ def main(argv: Optional[list] = None) -> int:
         help="fault-injection plan (JSON file, see repro.faults.FaultPlan): "
         "archive faults apply to this load; used to rehearse outage recovery",
     )
+    parser.add_argument(
+        "--metrics-port",
+        type=int,
+        metavar="PORT",
+        help="serve Prometheus metrics on http://127.0.0.1:PORT/metrics "
+        "during (and after, see --metrics-linger) the load; 0 picks an "
+        "ephemeral port — the resolved URL is printed to stderr",
+    )
+    parser.add_argument(
+        "--metrics-linger",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="with --metrics-port: keep serving for this long after the "
+        "load finishes so scrapers can read the final state (default 0)",
+    )
+    parser.add_argument(
+        "--self-log",
+        metavar="PATH",
+        help="after the load, write the metrics registry as "
+        "stampede.obs.* BP events to PATH (loadable by nl-load itself)",
+    )
     parser.add_argument("-v", "--verbose", action="store_true")
     args = parser.parse_args(argv)
 
@@ -630,6 +691,13 @@ def main(argv: Optional[list] = None) -> int:
     params = dict(p.split("=", 1) for p in args.params if "=" in p)
     conn_string = params.get("connString", "sqlite:///:memory:")
 
+    # Self-monitoring: a fresh registry per invocation (the process
+    # default stays untouched), served over HTTP and/or dumped as BP.
+    registry: Optional[MetricsRegistry] = None
+    server = None
+    if args.metrics_port is not None or args.self_log:
+        registry = MetricsRegistry()
+
     # In lint mode the analyzers are the strictness layer: events that would
     # crash a strict loader are quarantined before it sees them, and the
     # loader runs tolerantly so a quarantined event's survivors (e.g. a
@@ -640,6 +708,7 @@ def main(argv: Optional[list] = None) -> int:
         strict=not (args.tolerant or args.lint),
         validate=args.validate,
         checkpoint_source=args.input if args.checkpoint else None,
+        metrics=registry,
     )
     plan = None
     if args.faults:
@@ -647,6 +716,13 @@ def main(argv: Optional[list] = None) -> int:
 
         plan = FaultPlan.from_file(args.faults)
         loader.archive.db = plan.wrap_database(loader.archive.db)
+        if registry is not None:
+            bind_faults(registry, plan.stats)
+    if registry is not None and args.metrics_port is not None:
+        from repro.obs.export import MetricsServer
+
+        server = MetricsServer(registry, port=args.metrics_port).start()
+        print(f"metrics: {server.url}", file=sys.stderr, flush=True)
     source = sys.stdin if args.input == "-" else args.input
 
     if args.lint:
@@ -672,6 +748,7 @@ def main(argv: Optional[list] = None) -> int:
             )
         if args.verbose:
             _print_stats(stats)
+        _finish_obs(registry, server, args)
         return 1 if quarantined else 0
 
     def run_load():
@@ -693,7 +770,32 @@ def main(argv: Optional[list] = None) -> int:
         _print_stats(stats)
         if plan is not None:
             print(f"faults injected  : {plan.stats.total_injected}", file=sys.stderr)
+    _finish_obs(registry, server, args)
     return 0
+
+
+def _finish_obs(registry, server, args) -> None:
+    """Publish the final self-monitoring state, then linger and shut down.
+
+    The ``stampede_obs_load_complete`` gauge flips to 1 only here, so a
+    scraper polling ``/metrics`` can tell "mid-load" from "final"
+    without racing the load itself.
+    """
+    if registry is None:
+        return
+    registry.gauge(
+        "stampede_obs_load_complete",
+        "1 once the load finished and the final metric state is visible.",
+    ).set(1)
+    if args.self_log:
+        from repro.obs.export import BPSelfLogger
+
+        count = BPSelfLogger(registry).write(args.self_log)
+        print(f"self-log: {count} events -> {args.self_log}", file=sys.stderr)
+    if server is not None:
+        if args.metrics_linger > 0:
+            server.wait(args.metrics_linger)
+        server.stop()
 
 
 def _profiled(fn, path: str):
@@ -716,41 +818,47 @@ def _profiled(fn, path: str):
 
 
 def _print_stats(stats: LoaderStats) -> None:
-    pct = stats.latency_percentiles()
-    print(f"events processed : {stats.events_processed}")
-    print(f"rows inserted    : {stats.rows_inserted}")
-    print(f"rows updated     : {stats.rows_updated}")
-    print(f"flushes          : {stats.flushes}")
+    # One atomic snapshot: with a parallel pipeline still settling, field
+    # reads spread over several statements could mix two batches' state.
+    snap = stats.snapshot()
+    pct = snap["latency_percentiles"]
+    print(f"events processed : {snap['events_processed']}")
+    print(f"rows inserted    : {snap['rows_inserted']}")
+    print(f"rows updated     : {snap['rows_updated']}")
+    print(f"flushes          : {snap['flushes']}")
     print(
         "flush latency    : "
         f"p50={pct['p50'] * 1000:.2f}ms "
         f"p95={pct['p95'] * 1000:.2f}ms "
         f"p99={pct['p99'] * 1000:.2f}ms"
     )
-    print(f"retries          : {stats.retries}")
-    print(f"checkpoints      : {stats.checkpoints_written} (resumes: {stats.resumes})")
-    if stats.queue_depth_samples:
+    print(f"retries          : {snap['retries']}")
+    print(
+        "checkpoints      : "
+        f"{snap['checkpoints_written']} (resumes: {snap['resumes']})"
+    )
+    if snap["queue_depth_samples"]:
         print(
             "queue depth      : "
-            f"max={stats.queue_depth_max} avg={stats.queue_depth_avg:.1f}"
+            f"max={snap['queue_depth_max']} avg={snap['queue_depth_avg']:.1f}"
         )
-    if stats.redelivered_events or stats.duplicates_skipped or stats.reconnects:
+    if snap["redelivered_events"] or snap["duplicates_skipped"] or snap["reconnects"]:
         print(
             "redelivery       : "
-            f"redelivered={stats.redelivered_events} "
-            f"duplicates_skipped={stats.duplicates_skipped} "
-            f"reconnects={stats.reconnects}"
+            f"redelivered={snap['redelivered_events']} "
+            f"duplicates_skipped={snap['duplicates_skipped']} "
+            f"reconnects={snap['reconnects']}"
         )
-    if stats.dlq_events:
-        print(f"dead-lettered    : {stats.dlq_events}")
-    if stats.archive_outages:
+    if snap["dlq_events"]:
+        print(f"dead-lettered    : {snap['dlq_events']}")
+    if snap["archive_outages"]:
         print(
             "archive outages  : "
-            f"{stats.archive_outages} "
-            f"(spilled={stats.spilled_events} drains={stats.spill_drains})"
+            f"{snap['archive_outages']} "
+            f"(spilled={snap['spilled_events']} drains={snap['spill_drains']})"
         )
-    print(f"wall seconds     : {stats.wall_seconds:.3f}")
-    print(f"events/second    : {stats.events_per_second:,.0f}")
+    print(f"wall seconds     : {snap['wall_seconds']:.3f}")
+    print(f"events/second    : {snap['events_per_second']:,.0f}")
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -23,6 +23,8 @@ exponential backoff before the batch is abandoned.
 """
 from __future__ import annotations
 
+import json
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
@@ -36,6 +38,7 @@ from repro.model.entities import (
     JobInstanceRow,
     JobRow,
     JobStateRow,
+    ObsEventRow,
     TaskEdgeRow,
     TaskRow,
     WorkflowRow,
@@ -48,12 +51,17 @@ from repro.util.retry import CircuitBreaker, RetryPolicy
 from repro.util.timeutil import parse_ts
 from repro.schema.validator import EventValidator
 
-__all__ = ["LoaderError", "LoaderStats", "StampedeLoader"]
+__all__ = ["LoaderError", "LoaderStats", "StampedeLoader", "OBS_EVENT_PREFIX"]
 
 
 class LoaderError(ValueError):
     """An event could not be normalized into the archive."""
 
+
+#: Event-name prefix of the monitor's own telemetry (``repro.obs``); the
+#: loader archives these generically so the monitoring pipeline can load
+#: its self-describing events without a per-name schema handler.
+OBS_EVENT_PREFIX = "stampede.obs."
 
 #: Cap on retained per-flush latency samples (long-running monitord).
 _MAX_LATENCY_SAMPLES = 8192
@@ -83,6 +91,12 @@ class LoaderStats:
     spilled_events: int = 0  # events parked on disk while the archive was down
     spill_drains: int = 0  # successful spill-buffer drains back into the archive
     archive_outages: int = 0  # times the whole retry ladder was exhausted
+    # guards the latency window and the multi-field snapshot reads; the
+    # parallel pipeline mutates these fields from the loader thread while
+    # verbose reporting / metrics collectors read them from others
+    lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
 
     @property
     def events_per_second(self) -> float:
@@ -97,28 +111,86 @@ class LoaderStats:
         return self.queue_depth_sum / self.queue_depth_samples
 
     def record_flush_latency(self, seconds: float) -> None:
-        self.flush_seconds.append(seconds)
-        if len(self.flush_seconds) > _MAX_LATENCY_SAMPLES:
-            # keep the newest half; percentiles stay representative
-            del self.flush_seconds[: len(self.flush_seconds) // 2]
+        with self.lock:
+            self.flush_seconds.append(seconds)
+            if len(self.flush_seconds) > _MAX_LATENCY_SAMPLES:
+                # keep the newest half; percentiles stay representative
+                del self.flush_seconds[: len(self.flush_seconds) // 2]
 
     def record_queue_depth(self, depth: int) -> None:
-        self.queue_depth_samples += 1
-        self.queue_depth_sum += depth
-        if depth > self.queue_depth_max:
-            self.queue_depth_max = depth
+        with self.lock:
+            self.queue_depth_samples += 1
+            self.queue_depth_sum += depth
+            if depth > self.queue_depth_max:
+                self.queue_depth_max = depth
 
-    def latency_percentiles(self) -> Dict[str, float]:
-        """Per-flush commit latency percentiles, in seconds."""
-        if not self.flush_seconds:
+    @staticmethod
+    def _percentiles(samples: List[float]) -> Dict[str, float]:
+        if not samples:
             return {"p50": 0.0, "p95": 0.0, "p99": 0.0}
-        data = sorted(self.flush_seconds)
+        data = sorted(samples)
         n = len(data)
 
         def pct(q: float) -> float:
             return data[min(n - 1, max(0, int(q * n + 0.5) - 1))]
 
         return {"p50": pct(0.50), "p95": pct(0.95), "p99": pct(0.99)}
+
+    def latency_percentiles(self) -> Dict[str, float]:
+        """Per-flush commit latency percentiles, in seconds.
+
+        Computed over a locked copy of the sample window, so a reader
+        never sees the list mid-append (or mid-halving) under the
+        parallel pipeline.
+        """
+        with self.lock:
+            samples = list(self.flush_seconds)
+        return self._percentiles(samples)
+
+    def snapshot(self) -> Dict[str, Any]:
+        """One atomic, JSON-friendly view of every counter + percentiles.
+
+        Readers (``nl-load -v``, metrics collectors, dashboards) must use
+        this instead of reading fields piecemeal: a half-updated
+        percentile window or a rows/flushes pair from two different
+        batches would otherwise be observable mid-flush.
+        """
+        with self.lock:
+            samples = list(self.flush_seconds)
+            snap: Dict[str, Any] = {
+                "events_processed": self.events_processed,
+                "events_by_type": dict(self.events_by_type),
+                "rows_inserted": self.rows_inserted,
+                "rows_updated": self.rows_updated,
+                "flushes": self.flushes,
+                "validation_failures": self.validation_failures,
+                "wall_seconds": self.wall_seconds,
+                "retries": self.retries,
+                "checkpoints_written": self.checkpoints_written,
+                "resumes": self.resumes,
+                "queue_depth_max": self.queue_depth_max,
+                "queue_depth_sum": self.queue_depth_sum,
+                "queue_depth_samples": self.queue_depth_samples,
+                "redelivered_events": self.redelivered_events,
+                "duplicates_skipped": self.duplicates_skipped,
+                "reconnects": self.reconnects,
+                "dlq_events": self.dlq_events,
+                "spilled_events": self.spilled_events,
+                "spill_drains": self.spill_drains,
+                "archive_outages": self.archive_outages,
+            }
+        snap["queue_depth_avg"] = (
+            snap["queue_depth_sum"] / snap["queue_depth_samples"]
+            if snap["queue_depth_samples"]
+            else 0.0
+        )
+        snap["events_per_second"] = (
+            snap["events_processed"] / snap["wall_seconds"]
+            if snap["wall_seconds"]
+            else 0.0
+        )
+        snap["latency_percentiles"] = self._percentiles(samples)
+        return snap
 
 
 class _WorkflowCache:
@@ -192,6 +264,7 @@ class StampedeLoader:
         retry_delay: float = 0.05,
         retry_policy: Optional[RetryPolicy] = None,
         breaker: Optional[CircuitBreaker] = None,
+        metrics: Optional[Any] = None,
     ):
         if batch_size < 1:
             raise ValueError(f"batch_size must be >= 1, got {batch_size}")
@@ -213,6 +286,21 @@ class StampedeLoader:
         #: optional circuit breaker shared with other archive writers
         self.breaker = breaker
         self.stats = LoaderStats()
+        #: wall-clock time of the last checkpoint commit (for lag gauges)
+        self.last_checkpoint_time: Optional[float] = None
+        # flush-latency histogram when a MetricsRegistry is attached
+        # (repro.obs); everything counter-shaped is exported by the
+        # scrape-time collector in repro.obs.instrument instead, so the
+        # per-event path carries no instrumentation cost.
+        self.metrics = metrics
+        self._flush_hist = (
+            metrics.histogram(
+                "stampede_loader_flush_seconds",
+                "Batch flush commit latency (journal replay + commit).",
+            )
+            if metrics is not None
+            else None
+        )
         #: source position (file byte offset / bus delivery tag) of the
         #: last event handed to :meth:`process`; persisted on flush.
         self.position: int = 0
@@ -273,9 +361,12 @@ class StampedeLoader:
                     raise LoaderError(f"invalid event: {violations[0]}")
         handler = self._handlers.get(event.event)
         if handler is None:
-            if self.strict:
+            if event.event.startswith(OBS_EVENT_PREFIX):
+                handler = self._on_obs
+            elif self.strict:
                 raise LoaderError(f"unknown event type {event.event!r}")
-            return
+            else:
+                return
         handler(event)
         self.stats.events_processed += 1
         self.stats.events_by_type[event.event] = (
@@ -328,7 +419,11 @@ class StampedeLoader:
             self.stats.flushes += 1
         if self.checkpoint is not None:
             self.stats.checkpoints_written += 1
-        self.stats.record_flush_latency(time.perf_counter() - start)
+            self.last_checkpoint_time = time.time()
+        elapsed = time.perf_counter() - start
+        self.stats.record_flush_latency(elapsed)
+        if self._flush_hist is not None:
+            self._flush_hist.observe(elapsed)
         if self.on_flush is not None:
             self.on_flush(self)
 
@@ -804,6 +899,35 @@ class StampedeLoader:
 
     def _on_noop(self, event: NLEvent) -> None:
         self._wf(event)
+
+    def _on_obs(self, event: NLEvent) -> None:
+        """Archive one ``stampede.obs.*`` self-monitoring event.
+
+        Telemetry is workflow-independent (no xwf.id), so it lands in
+        the generic ``obs_event`` table: hot keys become columns, the
+        full attribute map rides along as JSON.
+        """
+        name = event.get("metric") or event.get("span") or ""
+        value = event.get("value")
+        if value is None:
+            value = event.get("dur")
+        try:
+            value_f = None if value is None else float(str(value))
+        except ValueError:
+            value_f = None
+        self._buffer(
+            ObsEventRow(
+                obs_id=self.archive.next_id("obs_event"),
+                ts=event.ts,
+                event=event.event,
+                name=str(name),
+                component=str(event.get("component", "")),
+                value=value_f,
+                payload=json.dumps(
+                    {k: str(v) for k, v in event.attrs.items()}, sort_keys=True
+                ),
+            )
+        )
 
 
 def _opt_str(value: object) -> Optional[str]:

@@ -5,7 +5,7 @@ interface returns them so analysis tools never touch raw dicts.
 """
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 __all__ = [
@@ -19,6 +19,7 @@ __all__ = [
     "JobStateRow",
     "InvocationRow",
     "HostRow",
+    "ObsEventRow",
 ]
 
 
@@ -152,3 +153,23 @@ class HostRow:
     ip: Optional[str] = None
     uname: Optional[str] = None
     total_memory: Optional[int] = None
+
+
+@dataclass
+class ObsEventRow:
+    """One self-monitoring telemetry sample (a ``stampede.obs.*`` event).
+
+    The monitor's own metrics and spans, loaded through the same
+    ``nl_load`` path as workflow events so they are queryable alongside
+    the workflows they describe.  ``payload`` holds the event's full
+    attribute map as JSON; hot keys (metric/span name, value, component)
+    are denormalized into columns for indexed queries.
+    """
+
+    obs_id: int
+    ts: float
+    event: str
+    name: str = ""
+    component: str = ""
+    value: Optional[float] = None
+    payload: str = ""

@@ -1,0 +1,283 @@
+"""Exporters for the self-monitoring registry.
+
+Two ways out, matching the two audiences the ROADMAP names:
+
+* **Prometheus text exposition** (:func:`render_prometheus`,
+  :class:`MetricsServer`) — for scrapers and dashboards.  The format is
+  the v0.0.4 text format: ``# HELP``/``# TYPE`` headers, cumulative
+  ``_bucket{le=...}`` histogram samples, ``_sum``/``_count``.
+* **BP self-logging** (:class:`BPSelfLogger`) — the system monitors
+  *itself* with its own event fabric: every metric becomes a
+  ``stampede.obs.*`` NetLogger event rendered through the strict BP
+  formatter, so the monitor's telemetry round-trips through
+  ``parse_bp_line(strict=True)`` → ``nl_load`` → the archive and is
+  queryable like any workflow's events.
+"""
+from __future__ import annotations
+
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import IO, List, Optional, Tuple, Union
+
+from repro.netlogger.events import NLEvent
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.spans import Tracer
+
+__all__ = [
+    "PROMETHEUS_CONTENT_TYPE",
+    "OBS_PREFIX",
+    "ObsEvents",
+    "render_prometheus",
+    "MetricsServer",
+    "BPSelfLogger",
+]
+
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+#: routing-key prefix of the monitor's own telemetry events
+OBS_PREFIX = "stampede.obs"
+
+
+class ObsEvents:
+    """Canonical self-monitoring event names (the ``stampede.obs.*`` family)."""
+
+    COUNTER = "stampede.obs.counter"
+    GAUGE = "stampede.obs.gauge"
+    HISTOGRAM = "stampede.obs.histogram"
+    SPAN = "stampede.obs.span"
+
+    @classmethod
+    def all(cls) -> List[str]:
+        return [cls.COUNTER, cls.GAUGE, cls.HISTOGRAM, cls.SPAN]
+
+
+# ---------------------------------------------------------------- prometheus --
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _labels_text(labels, extra: Optional[Tuple[str, str]] = None) -> str:
+    items = sorted(labels.items())
+    if extra is not None:
+        items.append(extra)
+    if not items:
+        return ""
+    inner = ",".join(f'{k}="{_escape_label(str(v))}"' for k, v in items)
+    return "{" + inner + "}"
+
+
+def _num(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    if value == float("-inf"):
+        return "-Inf"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def render_prometheus(registry: MetricsRegistry, run_collectors: bool = True) -> str:
+    """Render every instrument in the v0.0.4 text exposition format."""
+    lines: List[str] = []
+    seen_header = set()
+    for metric in registry.collect(run_collectors=run_collectors):
+        if metric.name not in seen_header:
+            seen_header.add(metric.name)
+            if metric.help:
+                lines.append(f"# HELP {metric.name} {_escape_help(metric.help)}")
+            lines.append(f"# TYPE {metric.name} {metric.kind}")
+        if isinstance(metric, Histogram):
+            for bound, cumulative in metric.cumulative_buckets():
+                lines.append(
+                    f"{metric.name}_bucket"
+                    f"{_labels_text(metric.labels, ('le', _num(bound)))}"
+                    f" {cumulative}"
+                )
+            labels = _labels_text(metric.labels)
+            lines.append(f"{metric.name}_sum{labels} {_num(metric.sum)}")
+            lines.append(f"{metric.name}_count{labels} {metric.count}")
+        elif isinstance(metric, (Counter, Gauge)):
+            lines.append(
+                f"{metric.name}{_labels_text(metric.labels)} {_num(metric.value)}"
+            )
+    return "\n".join(lines) + "\n"
+
+
+class _MetricsHandler(BaseHTTPRequestHandler):
+    registry: MetricsRegistry  # injected by MetricsServer
+
+    def do_GET(self) -> None:  # noqa: N802 (stdlib naming)
+        if self.path.split("?", 1)[0] not in ("/metrics", "/"):
+            self.send_error(404)
+            return
+        try:
+            body = render_prometheus(self.registry).encode("utf-8")
+        except Exception as exc:  # pragma: no cover - defensive
+            self.send_error(500, str(exc))
+            return
+        self.send_response(200)
+        self.send_header("Content-Type", PROMETHEUS_CONTENT_TYPE)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, *args) -> None:  # silence request logging
+        pass
+
+
+class MetricsServer:
+    """Standalone ``/metrics`` endpoint over a registry.
+
+    Backs ``nl-load --metrics-port`` (and anything else that wants a
+    scrape target without the full dashboard).  ``port=0`` binds an
+    ephemeral port; read :attr:`url` for the resolved address.
+    """
+
+    def __init__(
+        self,
+        registry: MetricsRegistry,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ):
+        self.registry = registry
+        handler = type("BoundMetricsHandler", (_MetricsHandler,), {"registry": registry})
+        self._server = ThreadingHTTPServer((host, port), handler)
+        self._thread: Optional[threading.Thread] = None
+        self._stop = threading.Event()
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        return self._server.server_address[:2]
+
+    @property
+    def port(self) -> int:
+        return self.address[1]
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return f"http://{host}:{port}/metrics"
+
+    def start(self) -> "MetricsServer":
+        self._thread = threading.Thread(
+            target=self._server.serve_forever, daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def wait(self, timeout: Optional[float] = None) -> None:
+        """Block until :meth:`stop` is called (or ``timeout`` elapses);
+        the linger hook for CLI runs that must stay scrapeable."""
+        self._stop.wait(timeout)
+
+    def stop(self) -> None:
+        self._stop.set()
+        self._server.shutdown()
+        self._server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+
+    def __enter__(self) -> "MetricsServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+
+# ------------------------------------------------------------- BP self-log --
+class BPSelfLogger:
+    """Emit the registry's state as ``stampede.obs.*`` NetLogger events.
+
+    One event per instrument sample: counters and gauges carry their
+    value; histograms carry ``sum``/``count`` plus the cumulative
+    buckets as a compact JSON string; finished spans (when a tracer is
+    attached) carry their trace correlation ids and duration.  Events
+    are rendered through :meth:`NLEvent.to_bp`, i.e. the strict BP
+    formatter — the round-trip guarantee the archive loader relies on.
+    """
+
+    def __init__(
+        self,
+        registry: MetricsRegistry,
+        component: str = "stampede",
+        tracer: Optional[Tracer] = None,
+    ):
+        self.registry = registry
+        self.component = component
+        self.tracer = tracer
+
+    def events(self, now: Optional[float] = None) -> List[NLEvent]:
+        ts = time.time() if now is None else float(now)
+        out: List[NLEvent] = []
+        for metric in self.registry.collect():
+            attrs: dict = {"metric": metric.name, "component": self.component}
+            for key, value in sorted(metric.labels.items()):
+                attrs[f"label.{key}"] = value
+            if isinstance(metric, Histogram):
+                attrs["sum"] = round(metric.sum, 9)
+                attrs["count"] = metric.count
+                attrs["buckets"] = json.dumps(
+                    [
+                        ["inf" if b == float("inf") else b, c]
+                        for b, c in metric.cumulative_buckets()
+                    ],
+                    separators=(",", ":"),
+                )
+                event_name = ObsEvents.HISTOGRAM
+            elif isinstance(metric, Counter):
+                attrs["value"] = metric.value
+                event_name = ObsEvents.COUNTER
+            elif isinstance(metric, Gauge):
+                attrs["value"] = metric.value
+                event_name = ObsEvents.GAUGE
+            else:  # pragma: no cover - no other instrument kinds exist
+                continue
+            out.append(NLEvent(event_name, ts, attrs))
+        if self.tracer is not None:
+            for span in self.tracer.finished_spans():
+                out.append(
+                    NLEvent(
+                        ObsEvents.SPAN,
+                        ts,
+                        {
+                            "component": self.component,
+                            "span": span.name,
+                            "trace.id": span.trace_id,
+                            "span.id": span.span_id,
+                            "parent.id": span.parent_id or "",
+                            "dur": round(span.duration, 9),
+                        },
+                    )
+                )
+        return out
+
+    def lines(self, now: Optional[float] = None) -> List[str]:
+        """The snapshot as strict-formatted BP lines."""
+        return [event.to_bp() for event in self.events(now=now)]
+
+    def write(self, target: Union[str, IO[str]], now: Optional[float] = None) -> int:
+        """Write the snapshot as BP lines to a path or file object;
+        returns the number of events written."""
+        lines = self.lines(now=now)
+        if isinstance(target, str):
+            with open(target, "w", encoding="utf-8") as fh:
+                for line in lines:
+                    fh.write(line + "\n")
+        else:
+            for line in lines:
+                target.write(line + "\n")
+        return len(lines)
+
+    def publish(self, publisher) -> int:
+        """Publish the snapshot onto the bus (an ``EventPublisher``)."""
+        count = 0
+        for event in self.events():
+            publisher.publish(event)
+            count += 1
+        return count

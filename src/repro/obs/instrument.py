@@ -1,0 +1,168 @@
+"""Collector binders: export component stats with zero hot-path cost.
+
+The bus, loader, and fault layers already keep authoritative counters
+(``QueueStats``, ``LoaderStats``, ``FaultStats``) that their hot paths
+update with plain integer arithmetic.  Rather than double-count into
+metric objects on every event, these binders register *collectors* —
+callbacks the :class:`~repro.obs.metrics.MetricsRegistry` runs once per
+scrape — that mirror the authoritative numbers into Prometheus-shaped
+instruments.  Steady-state load therefore pays nothing for exporting
+them; the cost lands on the scraper.
+"""
+from __future__ import annotations
+
+import time
+from typing import TYPE_CHECKING
+
+from repro.obs.metrics import MetricsRegistry
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycles
+    from repro.bus.broker import Broker
+    from repro.faults.plan import FaultStats
+    from repro.loader.stampede_loader import StampedeLoader
+
+__all__ = ["bind_broker", "bind_loader", "bind_faults"]
+
+#: per-queue counter fields mirrored as ``op`` label values
+_QUEUE_OPS = ("published", "delivered", "acked", "requeued", "dropped", "blocked")
+
+#: LoaderStats counter -> metric name (all monotonic totals)
+_LOADER_COUNTERS = {
+    "events_processed": "stampede_loader_events_total",
+    "rows_inserted": "stampede_loader_rows_inserted_total",
+    "rows_updated": "stampede_loader_rows_updated_total",
+    "flushes": "stampede_loader_flushes_total",
+    "validation_failures": "stampede_loader_validation_failures_total",
+    "retries": "stampede_loader_retries_total",
+    "checkpoints_written": "stampede_loader_checkpoints_total",
+    "resumes": "stampede_loader_resumes_total",
+    "redelivered_events": "stampede_loader_redelivered_total",
+    "duplicates_skipped": "stampede_loader_duplicates_skipped_total",
+    "reconnects": "stampede_loader_reconnects_total",
+    "dlq_events": "stampede_loader_dlq_events_total",
+    "spilled_events": "stampede_loader_spilled_events_total",
+    "spill_drains": "stampede_loader_spill_drains_total",
+    "archive_outages": "stampede_loader_archive_outages_total",
+}
+
+
+def bind_broker(registry: MetricsRegistry, broker: "Broker") -> None:
+    """Export the broker's exchange and queue state at scrape time.
+
+    Metrics: ``stampede_bus_published_total`` / ``_unroutable_total``
+    per exchange; ``stampede_bus_queue_depth`` / ``_queue_unacked``
+    gauges and ``stampede_bus_queue_events_total{op=...}`` counters per
+    queue (including the dead-letter queue once it exists).
+    """
+
+    def collect(reg: MetricsRegistry) -> None:
+        for exchange in broker.exchanges():
+            labels = {"exchange": exchange.name}
+            reg.counter(
+                "stampede_bus_published_total",
+                "Messages published through an exchange.",
+                labels,
+            ).set_total(exchange.published)
+            reg.counter(
+                "stampede_bus_unroutable_total",
+                "Publishes no binding matched (dead-lettered).",
+                labels,
+            ).set_total(exchange.unroutable)
+        for queue in broker.queues():
+            labels = {"queue": queue.name}
+            reg.gauge(
+                "stampede_bus_queue_depth",
+                "Messages awaiting delivery.",
+                labels,
+            ).set(len(queue))
+            reg.gauge(
+                "stampede_bus_queue_unacked",
+                "Delivered-but-unacknowledged messages in flight.",
+                labels,
+            ).set(queue.unacked_count)
+            stats = queue.stats
+            for op in _QUEUE_OPS:
+                reg.counter(
+                    "stampede_bus_queue_events_total",
+                    "Per-queue message lifecycle counts.",
+                    {"queue": queue.name, "op": op},
+                ).set_total(getattr(stats, op))
+
+    registry.register_collector(collect)
+
+
+def bind_loader(registry: MetricsRegistry, loader: "StampedeLoader") -> None:
+    """Export :class:`LoaderStats` (and checkpoint lag) at scrape time.
+
+    Reads one atomic :meth:`LoaderStats.snapshot` per scrape, so the
+    mirrored counters always describe the same batch.  Also attaches the
+    registry to the loader (flush-latency histogram) when the loader was
+    built without one.
+    """
+    if loader.metrics is None:
+        loader.metrics = registry
+        loader._flush_hist = registry.histogram(
+            "stampede_loader_flush_seconds",
+            "Batch flush commit latency (journal replay + commit).",
+        )
+
+    def collect(reg: MetricsRegistry) -> None:
+        snap = loader.stats.snapshot()
+        for field, metric_name in _LOADER_COUNTERS.items():
+            reg.counter(
+                metric_name, f"LoaderStats.{field} (authoritative in-process tally)."
+            ).set_total(snap[field])
+        for event_name, count in snap["events_by_type"].items():
+            reg.counter(
+                "stampede_loader_events_by_type_total",
+                "Events normalized, by NetLogger event name.",
+                {"event": event_name},
+            ).set_total(count)
+        reg.gauge(
+            "stampede_loader_queue_depth_max", "High-water consume queue depth."
+        ).set(snap["queue_depth_max"])
+        reg.gauge(
+            "stampede_loader_queue_depth_avg", "Mean sampled consume queue depth."
+        ).set(snap["queue_depth_avg"])
+        reg.gauge(
+            "stampede_loader_events_per_second",
+            "Throughput over accumulated wall time.",
+        ).set(snap["events_per_second"])
+        for quantile, seconds in snap["latency_percentiles"].items():
+            reg.gauge(
+                "stampede_loader_flush_latency_seconds",
+                "Per-flush commit latency percentile over the sample window.",
+                {"quantile": quantile},
+            ).set(seconds)
+        lag = 0.0
+        if loader.last_checkpoint_time is not None:
+            lag = max(0.0, time.time() - loader.last_checkpoint_time)
+        reg.gauge(
+            "stampede_loader_checkpoint_lag_seconds",
+            "Seconds since the last checkpoint commit (0 when none yet).",
+        ).set(lag)
+
+    registry.register_collector(collect)
+
+
+def bind_faults(registry: MetricsRegistry, stats: "FaultStats") -> None:
+    """Export the fault-injection tally at scrape time.
+
+    ``stampede_faults_injected_total{kind=...}`` per fault kind plus the
+    unlabeled grand total.
+    """
+
+    def collect(reg: MetricsRegistry) -> None:
+        tally = stats.to_dict()
+        total = tally.pop("total_injected", 0)
+        for kind, count in tally.items():
+            reg.counter(
+                "stampede_faults_injected_total",
+                "Faults injected, by kind.",
+                {"kind": kind},
+            ).set_total(count)
+        reg.counter(
+            "stampede_faults_total", "All faults injected (grand total)."
+        ).set_total(total)
+
+    registry.register_collector(collect)

@@ -1,0 +1,324 @@
+"""Thread-safe metrics primitives for self-monitoring (``repro.obs``).
+
+The monitoring pipeline of the paper — bus, loader, archive, dashboard —
+needs to be observable *while it runs*.  This module provides the three
+Prometheus-style instrument kinds the rest of the system records into:
+
+* :class:`Counter` — monotonically increasing totals (events processed,
+  rows inserted, faults injected);
+* :class:`Gauge` — point-in-time values (queue depth, checkpoint lag);
+* :class:`Histogram` — fixed-bucket latency/size distributions (flush
+  commit latency, transaction duration, end-to-end pipeline latency).
+
+Design constraints, in order:
+
+1. **Hot-path cheapness.**  An instrument update is one uncontended lock
+   acquire plus integer arithmetic; histograms bisect a small tuple of
+   bucket bounds.  Anything more expensive (per-queue depth, per-type
+   event totals) is exported through *collectors* — callbacks the
+   registry runs at scrape time, so steady-state load pays nothing.
+2. **Thread safety.**  Engines publish while the loader consumes; every
+   instrument carries its own lock and :meth:`MetricsRegistry.snapshot`
+   reads each one atomically.
+3. **No dependencies.**  Pure stdlib; the Prometheus text exposition and
+   the BP self-logging exporter live in :mod:`repro.obs.export`.
+"""
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_registry",
+    "set_registry",
+    "DEFAULT_LATENCY_BUCKETS",
+]
+
+#: Seconds-scale latency buckets, tuned for the loader's flush/commit
+#: range (sub-millisecond sqlite commits up to multi-second outages).
+DEFAULT_LATENCY_BUCKETS: Tuple[float, ...] = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+_NAME_ERR = "metric names use [a-zA-Z_][a-zA-Z0-9_]*, got {!r}"
+
+
+def _check_name(name: str) -> str:
+    first = name[:1]
+    if not (first.isalpha() or first == "_") or not name.replace("_", "a").isalnum():
+        raise ValueError(_NAME_ERR.format(name))
+    return name
+
+
+LabelItems = Tuple[Tuple[str, str], ...]
+
+
+def _label_items(labels: Optional[Mapping[str, str]]) -> LabelItems:
+    if not labels:
+        return ()
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class _Instrument:
+    """Common state: identity, help text, one lock."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str = "", labels: Optional[Mapping[str, str]] = None):
+        self.name = _check_name(name)
+        self.help = help
+        self.labels: Dict[str, str] = dict(_label_items(labels))
+        self._lock = threading.Lock()
+
+    @property
+    def label_items(self) -> LabelItems:
+        return tuple(sorted(self.labels.items()))
+
+
+class Counter(_Instrument):
+    """A monotonically increasing total."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str = "", labels: Optional[Mapping[str, str]] = None):
+        super().__init__(name, help, labels)
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease (inc {amount})")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+    def set_total(self, total: float) -> None:
+        """Collector hook: adopt an externally tracked running total.
+
+        Used when an existing counter (``QueueStats.published``,
+        ``LoaderStats.events_processed``) is authoritative and the metric
+        only mirrors it at scrape time; monotonicity is the source's job.
+        """
+        with self._lock:
+            self._value = float(total)
+
+
+class Gauge(_Instrument):
+    """A value that can go up and down."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str = "", labels: Optional[Mapping[str, str]] = None):
+        super().__init__(name, help, labels)
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.inc(-amount)
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+
+class Histogram(_Instrument):
+    """Fixed-bucket distribution with a running sum and count.
+
+    Buckets are cumulative on export (Prometheus ``le`` semantics); the
+    in-memory representation is per-bucket counts so ``observe`` is one
+    bisect plus one increment.
+    """
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        labels: Optional[Mapping[str, str]] = None,
+        buckets: Iterable[float] = DEFAULT_LATENCY_BUCKETS,
+    ):
+        super().__init__(name, help, labels)
+        bounds = tuple(sorted(float(b) for b in buckets))
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        self.bounds = bounds
+        self._counts = [0] * (len(bounds) + 1)  # +1 for the +Inf bucket
+        self._sum = 0.0
+        self._count = 0
+
+    def observe(self, value: float) -> None:
+        idx = bisect_left(self.bounds, value)
+        with self._lock:
+            self._counts[idx] += 1
+            self._sum += value
+            self._count += 1
+
+    @property
+    def sum(self) -> float:
+        with self._lock:
+            return self._sum
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    def cumulative_buckets(self) -> List[Tuple[float, int]]:
+        """``(le_bound, cumulative_count)`` pairs ending with ``inf``."""
+        with self._lock:
+            counts = list(self._counts)
+        out: List[Tuple[float, int]] = []
+        running = 0
+        for bound, count in zip(self.bounds, counts):
+            running += count
+            out.append((bound, running))
+        out.append((float("inf"), running + counts[-1]))
+        return out
+
+
+class MetricsRegistry:
+    """Creates, deduplicates, and scrapes instruments.
+
+    ``counter`` / ``gauge`` / ``histogram`` are get-or-create: asking for
+    the same (name, labels) twice returns the same instrument, so call
+    sites don't need to coordinate.  Collectors registered with
+    :meth:`register_collector` run once per scrape *before* the
+    instruments are read — the pull-model hook that lets queue depths,
+    stats structs, and fault tallies be exported with zero hot-path cost.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._metrics: Dict[Tuple[str, LabelItems], _Instrument] = {}
+        self._collectors: List[Callable[["MetricsRegistry"], None]] = []
+        self.scrapes = 0
+
+    # -- instrument factories ------------------------------------------------
+    def counter(
+        self, name: str, help: str = "", labels: Optional[Mapping[str, str]] = None
+    ) -> Counter:
+        return self._get_or_create(Counter, name, help, labels)
+
+    def gauge(
+        self, name: str, help: str = "", labels: Optional[Mapping[str, str]] = None
+    ) -> Gauge:
+        return self._get_or_create(Gauge, name, help, labels)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labels: Optional[Mapping[str, str]] = None,
+        buckets: Iterable[float] = DEFAULT_LATENCY_BUCKETS,
+    ) -> Histogram:
+        key = (_check_name(name), _label_items(labels))
+        with self._lock:
+            metric = self._metrics.get(key)
+            if metric is None:
+                metric = Histogram(name, help, labels, buckets=buckets)
+                self._metrics[key] = metric
+            elif not isinstance(metric, Histogram):
+                raise TypeError(
+                    f"metric {name!r} already registered as {metric.kind}"
+                )
+            return metric
+
+    def _get_or_create(self, cls, name, help, labels):
+        key = (_check_name(name), _label_items(labels))
+        with self._lock:
+            metric = self._metrics.get(key)
+            if metric is None:
+                metric = cls(name, help, labels)
+                self._metrics[key] = metric
+            elif type(metric) is not cls:
+                raise TypeError(
+                    f"metric {name!r} already registered as {metric.kind}"
+                )
+            return metric
+
+    # -- collectors ----------------------------------------------------------
+    def register_collector(self, fn: Callable[["MetricsRegistry"], None]) -> None:
+        """Run ``fn(registry)`` at every scrape (before metrics are read)."""
+        with self._lock:
+            self._collectors.append(fn)
+
+    def run_collectors(self) -> None:
+        with self._lock:
+            collectors = list(self._collectors)
+            self.scrapes += 1
+        for fn in collectors:
+            fn(self)
+
+    # -- reading -------------------------------------------------------------
+    def collect(self, run_collectors: bool = True) -> List[_Instrument]:
+        """All instruments, grouped by name (scrape entry point)."""
+        if run_collectors:
+            self.run_collectors()
+        with self._lock:
+            metrics = list(self._metrics.values())
+        return sorted(metrics, key=lambda m: (m.name, m.label_items))
+
+    def get(
+        self, name: str, labels: Optional[Mapping[str, str]] = None
+    ) -> Optional[_Instrument]:
+        with self._lock:
+            return self._metrics.get((name, _label_items(labels)))
+
+    def snapshot(self, run_collectors: bool = True) -> Dict[str, float]:
+        """Flat ``name{labels} -> value`` view (histograms expand to
+        ``_sum`` and ``_count``).  Each instrument is read atomically."""
+        out: Dict[str, float] = {}
+        for metric in self.collect(run_collectors=run_collectors):
+            key = metric.name + _format_labels(metric.labels)
+            if isinstance(metric, Histogram):
+                out[metric.name + "_sum" + _format_labels(metric.labels)] = metric.sum
+                out[metric.name + "_count" + _format_labels(metric.labels)] = float(
+                    metric.count
+                )
+            elif isinstance(metric, (Counter, Gauge)):
+                out[key] = metric.value
+        return out
+
+
+def _format_labels(labels: Mapping[str, str]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(f'{k}="{v}"' for k, v in sorted(labels.items()))
+    return "{" + inner + "}"
+
+
+#: process-wide default registry (dashboards and CLIs share it unless
+#: handed an explicit one — tests should build their own)
+_default_registry = MetricsRegistry()
+_default_lock = threading.Lock()
+
+
+def get_registry() -> MetricsRegistry:
+    return _default_registry
+
+
+def set_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    """Swap the process default (returns the previous one)."""
+    global _default_registry
+    with _default_lock:
+        previous = _default_registry
+        _default_registry = registry
+    return previous

@@ -1,0 +1,242 @@
+"""Trace spans with correlation ids for the monitoring pipeline itself.
+
+The paper's pipeline is publisher → bus → loader → archive; inferring
+its latency from counters alone hides *where* time goes.  This module
+adds the two pieces that make per-event latency measurable:
+
+* :class:`Tracer` — named spans (``loader.flush``, ``archive.commit``,
+  ``parse.chunk``) with trace/parent correlation ids, kept in a bounded
+  ring buffer and mirrored into a ``stampede_span_seconds`` histogram
+  when a registry is attached;
+* message stamps — :func:`stamp_headers` adds a publish-time wall clock
+  and a trace id to every bus message (rides the same headers as the
+  PR 3 publisher sequence stamps), and :class:`PipelineClock` turns the
+  stamps into per-stage latency observations at the two points the
+  loader can measure honestly: *delivery* (message handed to the
+  consumer) and *commit* (the batch containing it became durable).
+
+The stamps survive requeue/redelivery untouched (queue semantics), so a
+redelivered message's commit latency correctly includes the outage that
+delayed it.
+"""
+from __future__ import annotations
+
+import itertools
+import os
+import threading
+import time
+from collections import deque
+from contextlib import contextmanager
+from typing import Deque, Dict, Iterator, List, Optional
+
+from repro.obs.metrics import MetricsRegistry
+
+__all__ = [
+    "HEADER_TRACE",
+    "HEADER_PUB_TS",
+    "Span",
+    "Tracer",
+    "PipelineClock",
+    "new_trace_id",
+    "stamp_headers",
+]
+
+#: message-header keys for cross-hop correlation (joins the PR 3
+#: ``x-publisher``/``x-seq`` stamps)
+HEADER_TRACE = "x-trace"
+HEADER_PUB_TS = "x-pub-ts"
+
+_trace_counter = itertools.count(1)
+
+
+def new_trace_id() -> str:
+    """Process-unique correlation id (pid + monotonic counter)."""
+    return f"{os.getpid():x}-{next(_trace_counter):x}"
+
+
+def stamp_headers(
+    headers: Optional[Dict[str, object]] = None,
+    trace_id: Optional[str] = None,
+    now: Optional[float] = None,
+) -> Dict[str, object]:
+    """Add trace + publish-timestamp stamps to a message header dict."""
+    out: Dict[str, object] = dict(headers or {})
+    out.setdefault(HEADER_TRACE, trace_id or new_trace_id())
+    out.setdefault(HEADER_PUB_TS, time.time() if now is None else now)
+    return out
+
+
+class Span:
+    """One timed operation; ``end()`` (or the context manager) closes it."""
+
+    __slots__ = ("name", "trace_id", "span_id", "parent_id", "start", "stop", "attrs")
+
+    def __init__(
+        self,
+        name: str,
+        trace_id: str,
+        span_id: str,
+        parent_id: Optional[str] = None,
+        attrs: Optional[Dict[str, object]] = None,
+    ):
+        self.name = name
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.start = time.perf_counter()
+        self.stop: Optional[float] = None
+        self.attrs: Dict[str, object] = dict(attrs or {})
+
+    @property
+    def duration(self) -> float:
+        end = self.stop if self.stop is not None else time.perf_counter()
+        return max(0.0, end - self.start)
+
+    @property
+    def finished(self) -> bool:
+        return self.stop is not None
+
+    def __repr__(self) -> str:
+        return (
+            f"Span({self.name!r}, trace={self.trace_id}, "
+            f"dur={self.duration * 1000:.3f}ms)"
+        )
+
+
+class Tracer:
+    """Creates spans, keeps the most recent finished ones, feeds metrics.
+
+    Span nesting is tracked per thread: a span started while another is
+    open on the same thread becomes its child (same trace id, parent
+    span id), which is exactly the shape of the loader's
+    ``flush`` → ``archive.commit`` nesting.
+    """
+
+    def __init__(
+        self,
+        registry: Optional[MetricsRegistry] = None,
+        max_spans: int = 2048,
+        component: str = "",
+    ):
+        self.registry = registry
+        self.component = component
+        self._spans: Deque[Span] = deque(maxlen=max_spans)
+        self._lock = threading.Lock()
+        self._ids = itertools.count(1)
+        self._active = threading.local()
+
+    # -- span lifecycle ------------------------------------------------------
+    def start_span(
+        self,
+        name: str,
+        trace_id: Optional[str] = None,
+        attrs: Optional[Dict[str, object]] = None,
+    ) -> Span:
+        parent: Optional[Span] = getattr(self._active, "span", None)
+        if trace_id is None:
+            trace_id = parent.trace_id if parent is not None else new_trace_id()
+        span = Span(
+            name,
+            trace_id=trace_id,
+            span_id=f"s{next(self._ids):x}",
+            parent_id=parent.span_id if parent is not None else None,
+            attrs=attrs,
+        )
+        return span
+
+    def end_span(self, span: Span) -> Span:
+        span.stop = time.perf_counter()
+        with self._lock:
+            self._spans.append(span)
+        if self.registry is not None:
+            self.registry.histogram(
+                "stampede_span_seconds",
+                "Duration of named pipeline spans.",
+                labels={"span": span.name},
+            ).observe(span.duration)
+        return span
+
+    @contextmanager
+    def span(
+        self,
+        name: str,
+        trace_id: Optional[str] = None,
+        attrs: Optional[Dict[str, object]] = None,
+    ) -> Iterator[Span]:
+        span = self.start_span(name, trace_id=trace_id, attrs=attrs)
+        previous: Optional[Span] = getattr(self._active, "span", None)
+        self._active.span = span
+        try:
+            yield span
+        finally:
+            self._active.span = previous
+            self.end_span(span)
+
+    # -- inspection ----------------------------------------------------------
+    def finished_spans(self, name: Optional[str] = None) -> List[Span]:
+        with self._lock:
+            spans = list(self._spans)
+        if name is not None:
+            spans = [s for s in spans if s.name == name]
+        return spans
+
+    def clear(self) -> None:
+        with self._lock:
+            self._spans.clear()
+
+
+class PipelineClock:
+    """Turns publisher stamps into per-stage latency histograms.
+
+    Stages (all measured against the publisher's ``x-pub-ts`` wall
+    clock, the only clock every hop shares):
+
+    * ``deliver`` — publish → the consumer received the message;
+    * ``commit``  — publish → the batch holding the message committed.
+
+    ``on_delivered`` remembers the message's stamp keyed by delivery
+    tag; ``on_committed`` settles every remembered stamp in the batch.
+    Messages without stamps (``stamp=False`` publishers, file inputs)
+    are ignored.
+    """
+
+    def __init__(self, registry: MetricsRegistry):
+        self.registry = registry
+        self._pending: Dict[int, float] = {}
+        self._lock = threading.Lock()
+        mk = registry.histogram
+        self.deliver = mk(
+            "stampede_pipeline_latency_seconds",
+            "Publish-to-stage latency of bus-delivered events.",
+            labels={"stage": "deliver"},
+        )
+        self.commit = mk(
+            "stampede_pipeline_latency_seconds",
+            "Publish-to-stage latency of bus-delivered events.",
+            labels={"stage": "commit"},
+        )
+
+    def on_delivered(self, message) -> None:
+        pub_ts = message.header(HEADER_PUB_TS)
+        if pub_ts is None:
+            return
+        pub_ts = float(pub_ts)
+        self.deliver.observe(max(0.0, time.time() - pub_ts))
+        with self._lock:
+            self._pending[message.delivery_tag] = pub_ts
+
+    def on_dropped(self, message) -> None:
+        """Forget a message that will never commit (dedupe, DLQ)."""
+        with self._lock:
+            self._pending.pop(message.delivery_tag, None)
+
+    def on_committed(self, messages) -> None:
+        now = time.time()
+        with self._lock:
+            stamps = [
+                self._pending.pop(m.delivery_tag)
+                for m in messages
+                if m.delivery_tag in self._pending
+            ]
+        for pub_ts in stamps:
+            self.commit.observe(max(0.0, now - pub_ts))

@@ -38,6 +38,7 @@ class TestSchema:
             "jobstate",
             "invocation",
             "host",
+            "obs_event",
         }
 
 

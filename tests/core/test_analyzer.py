@@ -2,7 +2,6 @@ import pytest
 
 from repro.core.analyzer import analyze, render_analysis
 from repro.loader import load_events
-from repro.query import StampedeQuery
 from repro.triana.appender import MemoryAppender
 from repro.dart.workflow import run_dart_experiment
 from repro.dart.sweep import sweep_grid
@@ -90,7 +89,6 @@ class TestAnalyzeHierarchy:
     def test_analyzer_cli(self, tmp_path, capsys, dart_archive):
         # exercise main() against a file-backed archive
         from repro.core.analyzer import main
-        from repro.loader import load_events as load2
         from repro.netlogger.stream import write_events
         from repro.triana.appender import MemoryAppender as MA
 

@@ -1,10 +1,13 @@
 import json
+import urllib.error
 import urllib.request
 
 import pytest
 
 from repro.core.dashboard import Dashboard, DashboardData
 from repro.loader import load_events
+from repro.obs.export import PROMETHEUS_CONTENT_TYPE
+from repro.obs.metrics import MetricsRegistry
 
 from tests.helpers import diamond_events
 
@@ -80,3 +83,27 @@ class TestDashboardHttp:
             with pytest.raises(urllib.error.HTTPError) as err:
                 urllib.request.urlopen(dash.url + "/nope", timeout=5)
             assert err.value.code == 404
+
+    def test_unknown_workflow_id_404(self, archive):
+        with Dashboard(archive) as dash:
+            for path in ("/api/workflow/999", "/api/workflow/999/jobs"):
+                with pytest.raises(urllib.error.HTTPError) as err:
+                    urllib.request.urlopen(dash.url + path, timeout=5)
+                assert err.value.code == 404, path
+
+    def test_malformed_api_path_400(self, archive):
+        with Dashboard(archive) as dash:
+            for path in ("/api/workflow/abc", "/api/workflow/1/bogus", "/api/"):
+                with pytest.raises(urllib.error.HTTPError) as err:
+                    urllib.request.urlopen(dash.url + path, timeout=5)
+                assert err.value.code == 400, path
+
+    def test_metrics_endpoint_content_type(self, archive):
+        reg = MetricsRegistry()
+        reg.counter("dash_test_total").inc(3)
+        with Dashboard(archive, metrics=reg) as dash:
+            with urllib.request.urlopen(dash.url + "/metrics", timeout=5) as resp:
+                assert resp.status == 200
+                assert resp.headers["Content-Type"] == PROMETHEUS_CONTENT_TYPE
+                body = resp.read().decode()
+        assert "dash_test_total 3" in body

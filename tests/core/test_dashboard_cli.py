@@ -1,8 +1,6 @@
 import json
 import urllib.request
 
-import pytest
-
 from repro.core.dashboard import Dashboard, main
 from repro.loader import load_events
 from repro.netlogger.stream import write_events

@@ -5,6 +5,7 @@ from repro.bus.broker import Broker
 from repro.bus.client import EventPublisher
 from repro.loader import (
     LoaderError,
+    LoaderStats,
     StampedeLoader,
     load_events,
     load_file,
@@ -250,3 +251,69 @@ class TestFileAndBus:
         assert rc == 0
         archive = StampedeArchive.open(f"sqlite:///{db}")
         assert archive.count(InvocationRow) == 4
+
+
+class TestLoaderStatsSnapshot:
+    def test_snapshot_is_self_consistent(self):
+        stats = LoaderStats()
+        stats.events_processed = 10
+        stats.rows_inserted = 12
+        stats.flushes = 3
+        stats.wall_seconds = 2.0
+        stats.record_flush_latency(0.5)
+        stats.record_queue_depth(4)
+        stats.record_queue_depth(8)
+        snap = stats.snapshot()
+        assert snap["events_processed"] == 10
+        assert snap["events_per_second"] == pytest.approx(5.0)
+        assert snap["queue_depth_max"] == 8
+        assert snap["queue_depth_avg"] == pytest.approx(6.0)
+        assert snap["latency_percentiles"]["p50"] == pytest.approx(0.5)
+        # the snapshot is detached: later mutations don't leak into it
+        stats.events_by_type["x"] = 99
+        assert "x" not in snap["events_by_type"]
+
+    def test_snapshot_atomic_under_concurrent_mutation(self):
+        """snapshot() must never observe a half-updated latency window or
+        a depth sum/samples pair from two different batches while the
+        parallel pipeline mutates the stats from another thread."""
+        import threading
+
+        stats = LoaderStats()
+        rounds = 2000
+        stop = threading.Event()
+        errors = []
+
+        def writer():
+            for i in range(rounds):
+                stats.record_flush_latency(0.001 * (i % 50))
+                stats.record_queue_depth(i % 32)
+                with stats.lock:
+                    stats.flushes += 1
+                    stats.rows_inserted += 3
+            stop.set()
+
+        def reader():
+            while not stop.is_set():
+                snap = stats.snapshot()
+                try:
+                    # rows are only ever added 3-per-flush under the lock,
+                    # so any torn read shows up as a broken ratio
+                    assert snap["rows_inserted"] == snap["flushes"] * 3
+                    pcts = snap["latency_percentiles"]
+                    assert 0.0 <= pcts["p50"] <= pcts["p99"] <= 0.05
+                    if snap["queue_depth_samples"]:
+                        assert 0.0 <= snap["queue_depth_avg"] <= snap["queue_depth_max"]
+                except AssertionError as exc:  # pragma: no cover - failure path
+                    errors.append(exc)
+                    return
+
+        threads = [threading.Thread(target=writer)] + [
+            threading.Thread(target=reader) for _ in range(3)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30)
+        assert not errors
+        assert stats.snapshot()["flushes"] == rounds

@@ -1,0 +1,138 @@
+"""Exporters: Prometheus text exposition, /metrics server, BP self-log.
+
+Includes the acceptance round trip: the BP self-logger's output must
+parse under the strict BP parser, load through ``nl_load`` into the
+``obs_event`` table, and the archived ``stampede.obs.*`` values must
+match the registry snapshot it was taken from.
+"""
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.loader.nl_load import load_file, make_loader
+from repro.model.entities import ObsEventRow
+from repro.netlogger.bp import parse_bp_line
+from repro.obs.export import (
+    PROMETHEUS_CONTENT_TYPE,
+    BPSelfLogger,
+    MetricsServer,
+    ObsEvents,
+    render_prometheus,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.spans import Tracer
+
+
+def seeded_registry() -> MetricsRegistry:
+    reg = MetricsRegistry()
+    reg.counter("events_total", "Events processed.").inc(7)
+    reg.gauge("queue_depth", labels={"queue": "q1"}).set(3)
+    reg.histogram("flush_seconds", buckets=(0.1, 1.0)).observe(0.05)
+    reg.histogram("flush_seconds", buckets=(0.1, 1.0)).observe(0.5)
+    return reg
+
+
+class TestRenderPrometheus:
+    def test_exposition_shape(self):
+        text = render_prometheus(seeded_registry())
+        assert "# TYPE events_total counter" in text
+        assert "events_total 7" in text
+        assert '# TYPE queue_depth gauge' in text
+        assert 'queue_depth{queue="q1"} 3' in text
+        assert "# TYPE flush_seconds histogram" in text
+        assert 'flush_seconds_bucket{le="0.1"} 1' in text
+        assert 'flush_seconds_bucket{le="1"} 2' in text
+        assert 'flush_seconds_bucket{le="+Inf"} 2' in text
+        assert "flush_seconds_count 2" in text
+        assert text.endswith("\n")
+
+    def test_help_escaped_once_per_name(self):
+        text = render_prometheus(seeded_registry())
+        assert text.count("# TYPE events_total") == 1
+
+    def test_label_values_escaped(self):
+        reg = MetricsRegistry()
+        reg.counter("c_total", labels={"path": 'a"b\\c'}).inc()
+        text = render_prometheus(reg)
+        assert 'path="a\\"b\\\\c"' in text
+
+
+class TestMetricsServer:
+    def test_serves_metrics_with_content_type(self):
+        with MetricsServer(seeded_registry()) as server:
+            with urllib.request.urlopen(server.url, timeout=5) as resp:
+                assert resp.status == 200
+                assert resp.headers["Content-Type"] == PROMETHEUS_CONTENT_TYPE
+                body = resp.read().decode()
+        assert "events_total 7" in body
+
+    def test_unknown_path_404(self):
+        with MetricsServer(seeded_registry()) as server:
+            host, port = server.address
+            with pytest.raises(urllib.error.HTTPError) as err:
+                urllib.request.urlopen(f"http://{host}:{port}/nope", timeout=5)
+            assert err.value.code == 404
+
+
+class TestBPSelfLogRoundTrip:
+    def test_lines_strict_parse(self):
+        logger = BPSelfLogger(seeded_registry())
+        lines = logger.lines(now=1000.0)
+        assert lines
+        for line in lines:
+            attrs = parse_bp_line(line, strict=True)
+            assert attrs["event"].startswith("stampede.obs.")
+            assert "ts" in attrs
+
+    def test_roundtrip_into_archive_matches_registry(self, tmp_path):
+        reg = seeded_registry()
+        logger = BPSelfLogger(reg, component="unittest")
+        path = tmp_path / "self.bp"
+        count = logger.write(str(path), now=1000.0)
+        snapshot = reg.snapshot()
+
+        loader = make_loader("sqlite:///:memory:")  # strict by default
+        load_file(str(path), loader)
+        assert loader.archive.count(ObsEventRow) == count
+
+        rows = loader.archive.query(ObsEventRow).all()
+        by_kind = {}
+        for row in rows:
+            by_kind.setdefault(row.event, []).append(row)
+        counters = {r.name: r.value for r in by_kind[ObsEvents.COUNTER]}
+        assert counters["events_total"] == snapshot["events_total"]
+        gauges = by_kind[ObsEvents.GAUGE]
+        assert gauges[0].value == 3.0
+        assert json.loads(gauges[0].payload)["label.queue"] == "q1"
+        hist = by_kind[ObsEvents.HISTOGRAM][0]
+        payload = json.loads(hist.payload)
+        assert float(payload["count"]) == snapshot["flush_seconds_count"]
+        assert float(payload["sum"]) == pytest.approx(
+            snapshot["flush_seconds_sum"]
+        )
+        assert all(r.component == "unittest" for r in rows)
+
+    def test_span_events_carry_correlation_ids(self):
+        reg = MetricsRegistry()
+        tracer = Tracer(registry=reg)
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        events = BPSelfLogger(reg, tracer=tracer).events(now=5.0)
+        spans = [e for e in events if e.event == ObsEvents.SPAN]
+        assert len(spans) == 2
+        by_name = {e.get("span"): e for e in spans}
+        assert by_name["inner"].get("parent.id") == by_name["outer"].get("span.id")
+        assert by_name["inner"].get("trace.id") == by_name["outer"].get("trace.id")
+
+    def test_publish_snapshot_onto_bus(self):
+        from repro.bus.broker import Broker
+        from repro.bus.client import EventPublisher
+
+        broker = Broker()
+        consumer = broker.subscribe("stampede.obs.#")
+        published = BPSelfLogger(seeded_registry()).publish(EventPublisher(broker))
+        assert published > 0
+        assert consumer.depth() == published

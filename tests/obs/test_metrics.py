@@ -1,0 +1,129 @@
+"""Unit tests for the metrics primitives and registry."""
+import threading
+
+import pytest
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    set_registry,
+)
+
+
+class TestCounter:
+    def test_inc_and_value(self):
+        c = Counter("requests_total")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5.0
+
+    def test_cannot_decrease(self):
+        c = Counter("requests_total")
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_set_total_mirrors_external_source(self):
+        c = Counter("mirrored_total")
+        c.set_total(42)
+        assert c.value == 42.0
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = Gauge("depth")
+        g.set(10)
+        g.inc(5)
+        g.dec(3)
+        assert g.value == 12.0
+
+
+class TestHistogram:
+    def test_observe_buckets_cumulative(self):
+        h = Histogram("lat", buckets=(0.1, 1.0))
+        for v in (0.05, 0.5, 0.5, 5.0):
+            h.observe(v)
+        assert h.count == 4
+        assert h.sum == pytest.approx(6.05)
+        assert h.cumulative_buckets() == [(0.1, 1), (1.0, 3), (float("inf"), 4)]
+
+    def test_boundary_value_lands_in_le_bucket(self):
+        h = Histogram("lat", buckets=(1.0,))
+        h.observe(1.0)  # le="1.0" is inclusive
+        assert h.cumulative_buckets()[0] == (1.0, 1)
+
+    def test_needs_buckets(self):
+        with pytest.raises(ValueError):
+            Histogram("lat", buckets=())
+
+
+class TestRegistry:
+    def test_get_or_create_dedupes(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a_total") is reg.counter("a_total")
+        assert reg.counter("a_total", labels={"k": "1"}) is not reg.counter("a_total")
+
+    def test_kind_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(TypeError):
+            reg.gauge("x")
+        with pytest.raises(TypeError):
+            reg.histogram("x")
+
+    def test_invalid_name_rejected(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError):
+            reg.counter("bad-name")
+        with pytest.raises(ValueError):
+            reg.counter("1starts_with_digit")
+
+    def test_collectors_run_per_scrape(self):
+        reg = MetricsRegistry()
+        calls = []
+        reg.register_collector(lambda r: calls.append(1))
+        reg.collect()
+        reg.snapshot()
+        assert len(calls) == 2
+
+    def test_snapshot_expands_histograms(self):
+        reg = MetricsRegistry()
+        reg.counter("c_total").inc(2)
+        reg.histogram("h_seconds", buckets=(1.0,)).observe(0.5)
+        snap = reg.snapshot()
+        assert snap["c_total"] == 2.0
+        assert snap["h_seconds_sum"] == 0.5
+        assert snap["h_seconds_count"] == 1.0
+
+    def test_labeled_snapshot_keys(self):
+        reg = MetricsRegistry()
+        reg.gauge("depth", labels={"queue": "q1"}).set(3)
+        assert reg.snapshot()['depth{queue="q1"}'] == 3.0
+
+    def test_thread_safety_under_contention(self):
+        reg = MetricsRegistry()
+        c = reg.counter("hits_total")
+        h = reg.histogram("lat_seconds", buckets=(0.5,))
+
+        def work():
+            for _ in range(1000):
+                c.inc()
+                h.observe(0.1)
+
+        threads = [threading.Thread(target=work) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert c.value == 8000.0
+        assert h.count == 8000
+
+    def test_default_registry_swap(self):
+        fresh = MetricsRegistry()
+        previous = set_registry(fresh)
+        try:
+            assert get_registry() is fresh
+        finally:
+            set_registry(previous)

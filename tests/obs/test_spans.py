@@ -1,0 +1,161 @@
+"""Trace spans, header stamps, and end-to-end pipeline latency."""
+import time
+
+from repro.bus.broker import Broker
+from repro.bus.client import EventPublisher
+from repro.loader.nl_load import load_from_bus
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.spans import (
+    HEADER_PUB_TS,
+    HEADER_TRACE,
+    PipelineClock,
+    Tracer,
+    new_trace_id,
+    stamp_headers,
+)
+from tests.helpers import diamond_events
+
+
+class TestStamps:
+    def test_new_trace_ids_unique(self):
+        ids = {new_trace_id() for _ in range(100)}
+        assert len(ids) == 100
+
+    def test_stamp_headers_adds_both(self):
+        headers = stamp_headers({"x-seq": 1}, trace_id="t1", now=123.0)
+        assert headers[HEADER_TRACE] == "t1"
+        assert headers[HEADER_PUB_TS] == 123.0
+        assert headers["x-seq"] == 1
+
+    def test_stamp_headers_does_not_overwrite(self):
+        headers = stamp_headers({HEADER_TRACE: "orig", HEADER_PUB_TS: 1.0})
+        assert headers[HEADER_TRACE] == "orig"
+        assert headers[HEADER_PUB_TS] == 1.0
+
+    def test_publisher_stamps_messages(self):
+        broker = Broker()
+        consumer = broker.subscribe("stampede.#")
+        EventPublisher(broker).publish(diamond_events()[0])
+        msg = consumer.get()
+        assert msg.header(HEADER_TRACE)
+        assert msg.header(HEADER_PUB_TS) <= time.time()
+
+    def test_unstamped_publisher_has_no_headers(self):
+        broker = Broker()
+        consumer = broker.subscribe("stampede.#")
+        EventPublisher(broker, stamp=False).publish(diamond_events()[0])
+        assert consumer.get().header(HEADER_PUB_TS) is None
+
+
+class TestTracer:
+    def test_span_context_manager_records(self):
+        tracer = Tracer()
+        with tracer.span("loader.flush"):
+            pass
+        spans = tracer.finished_spans("loader.flush")
+        assert len(spans) == 1
+        assert spans[0].finished
+        assert spans[0].duration >= 0.0
+
+    def test_nested_spans_share_trace(self):
+        tracer = Tracer()
+        with tracer.span("flush") as outer:
+            with tracer.span("archive.commit") as inner:
+                pass
+        assert inner.trace_id == outer.trace_id
+        assert inner.parent_id == outer.span_id
+        assert outer.parent_id is None
+
+    def test_registry_histogram_fed(self):
+        reg = MetricsRegistry()
+        tracer = Tracer(registry=reg)
+        with tracer.span("parse.chunk"):
+            pass
+        hist = reg.get("stampede_span_seconds", {"span": "parse.chunk"})
+        assert hist is not None and hist.count == 1
+
+    def test_ring_buffer_bounded(self):
+        tracer = Tracer(max_spans=4)
+        for i in range(10):
+            with tracer.span(f"s{i}"):
+                pass
+        assert len(tracer.finished_spans()) == 4
+
+
+class TestPipelineClock:
+    def test_deliver_and_commit_observed(self):
+        reg = MetricsRegistry()
+        clock = PipelineClock(reg)
+        broker = Broker()
+        consumer = broker.subscribe("stampede.#")
+        EventPublisher(broker).publish(diamond_events()[0])
+        msg = consumer.get()
+        clock.on_delivered(msg)
+        clock.on_committed([msg])
+        assert clock.deliver.count == 1
+        assert clock.commit.count == 1
+        assert clock.commit.sum >= clock.deliver.sum
+
+    def test_unstamped_messages_ignored(self):
+        reg = MetricsRegistry()
+        clock = PipelineClock(reg)
+        broker = Broker()
+        consumer = broker.subscribe("stampede.#")
+        EventPublisher(broker, stamp=False).publish(diamond_events()[0])
+        msg = consumer.get()
+        clock.on_delivered(msg)
+        clock.on_committed([msg])
+        assert clock.deliver.count == 0
+        assert clock.commit.count == 0
+
+    def test_dropped_messages_never_commit(self):
+        reg = MetricsRegistry()
+        clock = PipelineClock(reg)
+        broker = Broker()
+        consumer = broker.subscribe("stampede.#")
+        EventPublisher(broker).publish(diamond_events()[0])
+        msg = consumer.get()
+        clock.on_delivered(msg)
+        clock.on_dropped(msg)
+        clock.on_committed([msg])
+        assert clock.deliver.count == 1
+        assert clock.commit.count == 0
+
+
+class TestBusLoadInstrumented:
+    def test_load_from_bus_populates_pipeline_metrics(self):
+        reg = MetricsRegistry()
+        broker = Broker()
+        publisher = EventPublisher(broker)
+        events = diamond_events()
+        # declare+bind before publishing so nothing is unroutable
+        broker.declare_queue("loadq")
+        broker.bind_queue("loadq", "stampede.#")
+        for event in events:
+            publisher.publish(event)
+        loader = load_from_bus(
+            broker, queue_name="loadq", metrics=reg, batch_size=100
+        )
+        snap = reg.snapshot()
+        assert loader.stats.events_processed == len(events)
+        # collector-mirrored loader counters
+        assert snap["stampede_loader_events_total"] == float(len(events))
+        assert snap["stampede_loader_rows_inserted_total"] > 0
+        # pipeline latency observed for every archived event
+        assert snap['stampede_pipeline_latency_seconds_count{stage="deliver"}'] == float(
+            len(events)
+        )
+        assert snap['stampede_pipeline_latency_seconds_count{stage="commit"}'] == float(
+            len(events)
+        )
+        # bus collectors see the queue and exchange
+        assert snap['stampede_bus_published_total{exchange="stampede"}'] == float(
+            len(events)
+        )
+        assert (
+            snap['stampede_bus_queue_events_total{op="acked",queue="loadq"}']
+            == float(len(events))
+        )
+        # archive transactions were timed
+        assert snap["stampede_archive_transactions_total"] >= 1.0
+        assert snap["stampede_loader_flush_seconds_count"] >= 1.0
