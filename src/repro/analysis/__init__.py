@@ -1,0 +1,43 @@
+"""repro.analysis — concurrency-correctness tooling for the pipeline's code.
+
+Two prongs:
+
+* **Static** (:mod:`repro.analysis.guards`, :mod:`repro.analysis.rules`,
+  the ``stampede-devlint`` CLI in :mod:`repro.analysis.cli`): an AST pass
+  over ``src/repro`` that infers per-class lock-guard relationships and
+  reports unguarded accesses, blocking calls under locks, manual
+  acquire/release, and project invariants (hot-loop counter increments,
+  wall-clock interval math, bare excepts) — with a committed baseline
+  (:mod:`repro.analysis.baseline`) so existing debt is tracked, not
+  ignored.
+
+* **Runtime** (:mod:`repro.analysis.sanitizer`): instrumented
+  ``Lock``/``RLock``/``Condition`` factories that record per-thread
+  acquisition stacks, maintain a lock-order graph over lock *classes*
+  (allocation sites, à la lockdep), flag cycles (potential ABBA
+  deadlocks) and contention/hold hot spots, and emit a JSON report.
+  Opt-in via ``STAMPEDE_SANITIZE=1`` (the test suite's conftest installs
+  it) — zero overhead when disabled.
+"""
+from repro.analysis.baseline import Baseline, BaselineEntry, split_findings
+from repro.analysis.cli import analyze_path, analyze_source, iter_python_files, main
+from repro.analysis.guards import check_guards
+from repro.analysis.rules import DEV_RULES, DevRule, Finding, Severity, check_invariants
+from repro.analysis.sanitizer import LockSanitizer
+
+__all__ = [
+    "Baseline",
+    "BaselineEntry",
+    "split_findings",
+    "analyze_path",
+    "analyze_source",
+    "iter_python_files",
+    "main",
+    "check_guards",
+    "check_invariants",
+    "DEV_RULES",
+    "DevRule",
+    "Finding",
+    "Severity",
+    "LockSanitizer",
+]

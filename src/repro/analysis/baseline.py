@@ -1,0 +1,126 @@
+"""Baseline (suppression) files for stampede-devlint.
+
+A baseline turns existing debt into a tracked, reviewable artifact
+instead of noise: ``stampede-devlint --write-baseline`` records every
+current finding's fingerprint (rule + file + scope + detail — stable
+across line drift), and subsequent runs with ``--baseline`` fail only on
+*new* findings.  Entries carry a free-form ``justification`` so an
+intentional pattern (a connection lock held across a transaction scope,
+say) documents *why* it is exempt right where it is exempted.
+
+Stale entries — fingerprints no longer produced by the analyzers — are
+reported so the baseline shrinks as debt is paid down, but they never
+fail the run on their own.
+"""
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.analysis.rules import Finding
+
+__all__ = ["Baseline", "BaselineEntry", "split_findings"]
+
+_VERSION = 1
+
+
+@dataclass
+class BaselineEntry:
+    fingerprint: str
+    rule: str = ""
+    file: str = ""
+    scope: str = ""
+    detail: str = ""
+    justification: str = ""
+
+    def to_dict(self) -> Dict[str, str]:
+        out = {
+            "fingerprint": self.fingerprint,
+            "rule": self.rule,
+            "file": self.file,
+            "scope": self.scope,
+            "detail": self.detail,
+        }
+        if self.justification:
+            out["justification"] = self.justification
+        return out
+
+
+@dataclass
+class Baseline:
+    entries: List[BaselineEntry] = field(default_factory=list)
+
+    @property
+    def fingerprints(self) -> Dict[str, BaselineEntry]:
+        return {e.fingerprint: e for e in self.entries}
+
+    @classmethod
+    def load(cls, path: str) -> "Baseline":
+        with open(path, "r", encoding="utf-8") as fh:
+            doc = json.load(fh)
+        if not isinstance(doc, dict) or "suppressions" not in doc:
+            raise ValueError(f"{path}: not a devlint baseline file")
+        entries = [
+            BaselineEntry(
+                fingerprint=str(e["fingerprint"]),
+                rule=str(e.get("rule", "")),
+                file=str(e.get("file", "")),
+                scope=str(e.get("scope", "")),
+                detail=str(e.get("detail", "")),
+                justification=str(e.get("justification", "")),
+            )
+            for e in doc["suppressions"]
+        ]
+        return cls(entries=entries)
+
+    @classmethod
+    def from_findings(cls, findings: Sequence[Finding]) -> "Baseline":
+        seen: Dict[str, BaselineEntry] = {}
+        for f in findings:
+            fp = f.fingerprint()
+            if fp not in seen:
+                seen[fp] = BaselineEntry(
+                    fingerprint=fp,
+                    rule=f.rule_id,
+                    file=f.file,
+                    scope=f.scope,
+                    detail=f.detail,
+                    justification="",
+                )
+        return cls(entries=list(seen.values()))
+
+    def save(self, path: str) -> None:
+        doc = {
+            "version": _VERSION,
+            "tool": "stampede-devlint",
+            "suppressions": [
+                e.to_dict()
+                for e in sorted(self.entries, key=lambda e: (e.file, e.rule, e.scope))
+            ],
+        }
+        tmp = path + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        os.replace(tmp, path)
+
+
+def split_findings(
+    findings: Sequence[Finding], baseline: Baseline
+) -> Tuple[List[Finding], List[Finding], List[BaselineEntry]]:
+    """Partition into (new, suppressed, stale-baseline-entries)."""
+    known = baseline.fingerprints
+    new: List[Finding] = []
+    suppressed: List[Finding] = []
+    seen_fps = set()
+    for f in findings:
+        fp = f.fingerprint()
+        if fp in known:
+            suppressed.append(f)
+            seen_fps.add(fp)
+        else:
+            new.append(f)
+    stale = [e for fp, e in known.items() if fp not in seen_fps]
+    return new, suppressed, stale

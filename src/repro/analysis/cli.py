@@ -1,0 +1,233 @@
+"""stampede-devlint: concurrency/code lint for the pipeline's own source.
+
+Usage::
+
+    stampede-devlint src/repro
+    stampede-devlint --baseline analysis-baseline.json src/repro
+    stampede-devlint --write-baseline analysis-baseline.json src/repro
+    stampede-devlint --format json --select SDL1 src/repro
+    stampede-devlint --list-rules
+
+Exit codes mirror stampede-lint: 0 = no (non-baselined) findings at or
+above ``--fail-on`` (default ``warning``); 1 = findings; 2 = usage
+error.
+"""
+from __future__ import annotations
+
+import argparse
+import ast
+import json
+import os
+import sys
+from typing import Iterator, List, Optional, Sequence
+
+from repro.analysis.baseline import Baseline, split_findings
+from repro.analysis.guards import check_guards
+from repro.analysis.rules import (
+    DEV_RULES,
+    Finding,
+    Severity,
+    apply_suppressions,
+    check_invariants,
+    make_finding,
+)
+
+__all__ = [
+    "analyze_source",
+    "analyze_path",
+    "iter_python_files",
+    "build_parser",
+    "main",
+]
+
+USAGE_ERROR = 2
+
+
+def analyze_source(text: str, path: str) -> List[Finding]:
+    """All devlint findings for one module's source text."""
+    try:
+        tree = ast.parse(text)
+    except SyntaxError as exc:
+        return [make_finding(
+            "SDL001", f"cannot parse: {exc.msg}", path, exc.lineno or 0
+        )]
+    findings = check_guards(tree, path) + check_invariants(tree, path)
+    findings = apply_suppressions(findings, text)
+    findings.sort(key=lambda f: (f.file, f.line, f.rule_id))
+    return findings
+
+
+def analyze_path(path: str) -> List[Finding]:
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            text = fh.read()
+    except OSError as exc:
+        return [make_finding("SDL001", f"cannot read input: {exc}", path, 0)]
+    return analyze_source(text, path)
+
+
+def iter_python_files(root: str) -> Iterator[str]:
+    if os.path.isfile(root):
+        yield root
+        return
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = sorted(d for d in dirnames if not d.startswith((".", "__pycache__")))
+        for name in sorted(filenames):
+            if name.endswith(".py"):
+                yield os.path.join(dirpath, name)
+
+
+def _match_rules(finding: Finding, prefixes: Sequence[str]) -> bool:
+    return any(finding.rule_id.startswith(p) for p in prefixes)
+
+
+def _render_text(
+    new: List[Finding], suppressed: List[Finding], stale: list, verbose: bool
+) -> str:
+    lines = [str(f) for f in new]
+    if new:
+        lines.append(f"{len(new)} finding(s)")
+    else:
+        lines.append("no findings")
+    if suppressed:
+        lines.append(f"{len(suppressed)} baselined finding(s) suppressed")
+    for entry in stale:
+        lines.append(
+            f"stale baseline entry {entry.fingerprint} "
+            f"({entry.rule} {entry.file} {entry.scope}) — remove it"
+        )
+    if verbose and new:
+        lines.append("")
+        for rule_id in sorted({f.rule_id for f in new}):
+            rule = DEV_RULES[rule_id]
+            lines.append(f"  {rule}: {rule.summary}")
+    return "\n".join(lines)
+
+
+def _render_json(new: List[Finding], suppressed: List[Finding], stale: list) -> str:
+    return json.dumps(
+        {
+            "findings": [f.to_dict() for f in new],
+            "suppressed": len(suppressed),
+            "stale_baseline": [e.to_dict() for e in stale],
+            "summary": {
+                "total": len(new),
+                **{
+                    str(sev): sum(1 for f in new if f.severity == sev)
+                    for sev in (Severity.ERROR, Severity.WARNING, Severity.INFO)
+                },
+            },
+        },
+        indent=2,
+        sort_keys=True,
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="stampede-devlint",
+        description=(
+            "Static concurrency-correctness analysis over the monitoring "
+            "pipeline's own Python source: lock-guard inference, blocking-"
+            "under-lock, manual acquire/release, and project invariants."
+        ),
+    )
+    parser.add_argument(
+        "paths", nargs="*", help="files or directories to analyze",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--select", action="append", default=[], metavar="RULES",
+        help="comma-separated rule ids/prefixes to run exclusively",
+    )
+    parser.add_argument(
+        "--ignore", action="append", default=[], metavar="RULES",
+        help="comma-separated rule ids/prefixes to skip",
+    )
+    parser.add_argument(
+        "--fail-on", choices=("error", "warning", "info"), default="warning",
+        help="lowest severity that makes the exit code non-zero",
+    )
+    parser.add_argument(
+        "--baseline", metavar="PATH",
+        help="suppress findings fingerprinted in this baseline file",
+    )
+    parser.add_argument(
+        "--write-baseline", metavar="PATH",
+        help="record current findings as the new baseline and exit 0",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalog and exit",
+    )
+    parser.add_argument("-v", "--verbose", action="store_true")
+    return parser
+
+
+def _split_ids(values: List[str]) -> List[str]:
+    return [part for value in values for part in value.split(",") if part.strip()]
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        print("\n".join(
+            f"{rule.rule_id}  {str(rule.severity):7s}  "
+            f"{rule.name}: {rule.summary}"
+            for rule in DEV_RULES.values()
+        ))
+        return 0
+
+    if not args.paths:
+        parser.print_usage(sys.stderr)
+        print("stampede-devlint: error: no paths given", file=sys.stderr)
+        return USAGE_ERROR
+
+    findings: List[Finding] = []
+    for root in args.paths:
+        if not os.path.exists(root):
+            print(f"stampede-devlint: error: no such path {root!r}", file=sys.stderr)
+            return USAGE_ERROR
+        for path in iter_python_files(root):
+            findings.extend(analyze_path(path))
+
+    select = _split_ids(args.select)
+    ignore = _split_ids(args.ignore)
+    if select:
+        findings = [f for f in findings if _match_rules(f, select)]
+    if ignore:
+        findings = [f for f in findings if not _match_rules(f, ignore)]
+
+    if args.write_baseline:
+        Baseline.from_findings(findings).save(args.write_baseline)
+        print(
+            f"wrote {len({f.fingerprint() for f in findings})} suppression(s) "
+            f"to {args.write_baseline}"
+        )
+        return 0
+
+    if args.baseline:
+        try:
+            baseline = Baseline.load(args.baseline)
+        except (OSError, ValueError, KeyError) as exc:
+            print(f"stampede-devlint: error: {exc}", file=sys.stderr)
+            return USAGE_ERROR
+        new, suppressed, stale = split_findings(findings, baseline)
+    else:
+        new, suppressed, stale = findings, [], []
+
+    print(
+        _render_json(new, suppressed, stale) if args.format == "json"
+        else _render_text(new, suppressed, stale, verbose=args.verbose)
+    )
+    threshold = Severity.parse(args.fail_on)
+    return 1 if any(f.severity >= threshold for f in new) else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,509 @@
+"""Lock-guard inference and concurrency checks over Python source (SDL1xx).
+
+The model, per class:
+
+1. **Lock discovery.**  An attribute is a *lock* when it is assigned a
+   ``threading.Lock()`` / ``threading.RLock()`` (or a dataclass field
+   with one of those as ``default_factory``), when its name suggests one
+   (``lock``/``mutex`` substrings on ``__init__`` assignments), or when
+   it is a ``threading.Condition``: a condition constructed around
+   ``self.X`` *aliases* to lock ``X`` (entering the condition enters the
+   lock — the two-condition/one-lock protocol ``bus.queues`` uses), and
+   an argument-less condition is its own lock.
+
+2. **Guarded regions.**  Statements inside ``with self.<lock>:`` (or an
+   aliased condition) run with the lock held.  Held state propagates two
+   more ways: a private method whose every intra-class call site is
+   inside a guarded region is analyzed as *guarded context* (the
+   ``_require``-style helper pattern), and a method called only from
+   ``__init__``/``__new__``/``__post_init__`` is *construction context*
+   — the instance is not shared yet, so its accesses are exempt.
+
+3. **Inference.**  An attribute is *guarded* when it is accessed under
+   the lock at least :data:`MIN_GUARDED_ACCESSES` times and more often
+   guarded than not (construction context excluded).  Every remaining
+   unguarded access to a guarded attribute is an SDL101 finding — the
+   shape of the LoaderStats torn-read bug PR 5 fixed by hand.
+
+While walking, two more checks ride along: SDL102 (a blocking call —
+``time.sleep``, queue ``get``/``put``, socket ops, bus ``publish``,
+``Database.transaction`` — while any lock is held) and SDL103 (a manual
+``.acquire()`` statement whose very next statement is not a
+``try/finally`` releasing the same lock).  ``Condition.wait`` is *not*
+blocking-under-lock: it releases the lock it waits on.
+
+Module-level locks (``_default_lock = threading.Lock()``) participate in
+held-state tracking for SDL102/103, but guard inference is per-class
+only — cross-object patterns (``loader.stats.x += 1``) are out of scope
+and belong to the runtime sanitizer.
+"""
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, NamedTuple, Optional, Sequence, Set, Tuple
+
+from repro.analysis.rules import Finding, make_finding
+
+__all__ = ["check_guards", "MIN_GUARDED_ACCESSES", "BLOCKING_METHODS"]
+
+#: Minimum locked accesses before an attribute can be inferred guarded.
+MIN_GUARDED_ACCESSES = 2
+
+#: Method names whose invocation blocks (or may block) the caller.
+BLOCKING_METHODS = frozenset({
+    "publish", "transaction", "recv", "send", "sendall", "accept",
+    "connect", "create_connection", "getaddrinfo", "urlopen",
+})
+
+#: Constructor-shaped methods: the instance is not yet shared, so
+#: unguarded accesses there are safe and excluded from inference.
+_CONSTRUCTION_METHODS = frozenset({"__init__", "__new__", "__post_init__"})
+
+_LOCK_FACTORIES = frozenset({"Lock", "RLock"})
+
+
+def _factory_kind(node: ast.AST) -> Optional[str]:
+    """'Lock' / 'RLock' / 'Condition' when node calls a threading factory."""
+    if not isinstance(node, ast.Call):
+        return None
+    func = node.func
+    if (
+        isinstance(func, ast.Attribute)
+        and isinstance(func.value, ast.Name)
+        and func.value.id == "threading"
+    ):
+        name = func.attr
+    elif isinstance(func, ast.Name):
+        name = func.id
+    else:
+        return None
+    return name if name in (_LOCK_FACTORIES | {"Condition"}) else None
+
+
+def _factory_ref_kind(node: ast.AST) -> Optional[str]:
+    """Same, for a bare reference (``default_factory=threading.Lock``)."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "threading"
+        and node.attr in _LOCK_FACTORIES
+    ):
+        return node.attr
+    if isinstance(node, ast.Name) and node.id in _LOCK_FACTORIES:
+        return node.id
+    return None
+
+
+def _is_self_attr(node: ast.AST) -> Optional[str]:
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+def _lockish_name(name: str) -> bool:
+    # token match, not substring: 'seq_lock' and 'mutex' qualify, but
+    # 'clock'/'blocked' must not
+    tokens = name.lower().split("_")
+    return any(t in ("lock", "rlock", "mutex", "mu") for t in tokens)
+
+
+class _Access(NamedTuple):
+    attr: str
+    line: int
+    guarded: bool
+    store: bool
+    method: str
+
+
+class _SelfCall(NamedTuple):
+    callee: str
+    guarded: bool
+    caller: str
+
+
+class _ClassLocks:
+    """Lock attributes of one class, with condition aliasing."""
+
+    def __init__(self) -> None:
+        self.locks: Set[str] = set()
+        self.aliases: Dict[str, str] = {}  # condition attr -> lock attr
+
+    def canonical(self, attr: str) -> Optional[str]:
+        if attr in self.locks:
+            return attr
+        if attr in self.aliases:
+            return self.aliases[attr]
+        if _lockish_name(attr):
+            return attr
+        return None
+
+    def is_lock_attr(self, attr: str) -> bool:
+        return self.canonical(attr) is not None
+
+
+def _discover_locks(cls: ast.ClassDef) -> _ClassLocks:
+    info = _ClassLocks()
+    pending_conditions: List[Tuple[str, Optional[str]]] = []
+    for node in ast.walk(cls):
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+            value = node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets = [node.target]
+            value = node.value
+        else:
+            continue
+        kind = _factory_kind(value)
+        # dataclass field(default_factory=threading.Lock)
+        if (
+            kind is None
+            and isinstance(value, ast.Call)
+            and isinstance(value.func, (ast.Name, ast.Attribute))
+            and (
+                value.func.id if isinstance(value.func, ast.Name)
+                else value.func.attr
+            ) == "field"
+        ):
+            for kw in value.keywords:
+                if kw.arg == "default_factory" and _factory_ref_kind(kw.value):
+                    kind = _factory_ref_kind(kw.value)
+        for target in targets:
+            attr = _is_self_attr(target)
+            if attr is None and isinstance(target, ast.Name):
+                attr = target.id  # class-body assignment / dataclass field
+            if attr is None:
+                continue
+            if kind in _LOCK_FACTORIES:
+                info.locks.add(attr)
+            elif kind == "Condition":
+                arg = None
+                if isinstance(value, ast.Call) and value.args:
+                    arg = _is_self_attr(value.args[0])
+                pending_conditions.append((attr, arg))
+            elif _lockish_name(attr) and attr not in info.locks:
+                # e.g. ``self._lock = lock`` (injected lock)
+                info.locks.add(attr)
+    for cond_attr, lock_attr in pending_conditions:
+        if lock_attr is not None and lock_attr in info.locks:
+            info.aliases[cond_attr] = lock_attr
+        else:
+            info.locks.add(cond_attr)  # argless Condition owns its lock
+    return info
+
+
+class _FuncWalker(ast.NodeVisitor):
+    """Walk one function/method tracking held locks.
+
+    Records self-attribute accesses and intra-class calls (for guard
+    inference) and emits SDL102 findings inline.
+    """
+
+    def __init__(
+        self,
+        path: str,
+        scope: str,
+        method: str,
+        class_locks: Optional[_ClassLocks],
+        module_locks: Set[str],
+        findings: List[Finding],
+    ):
+        self.path = path
+        self.scope = scope
+        self.method = method
+        self.class_locks = class_locks
+        self.module_locks = module_locks
+        self.findings = findings
+        self.held: List[str] = []  # display names, innermost last
+        self.held_class: List[str] = []  # canonical class-lock names
+        self.accesses: List[_Access] = []
+        self.self_calls: List[_SelfCall] = []
+
+    # -- lock resolution -----------------------------------------------
+    def _as_lock(self, expr: ast.AST) -> Optional[Tuple[str, Optional[str]]]:
+        """(display, canonical-class-lock) when expr denotes a lock."""
+        attr = _is_self_attr(expr)
+        if attr is not None and self.class_locks is not None:
+            canon = self.class_locks.canonical(attr)
+            if canon is not None:
+                return (f"self.{attr}", canon)
+            return None
+        if isinstance(expr, ast.Name) and (
+            expr.id in self.module_locks or _lockish_name(expr.id)
+        ):
+            return (expr.id, None)
+        return None
+
+    # -- with / held tracking ------------------------------------------
+    def visit_With(self, node: ast.With) -> None:
+        pushed = 0
+        pushed_class = 0
+        for item in node.items:
+            lock = self._as_lock(item.context_expr)
+            if lock is not None:
+                display, canon = lock
+                self.held.append(display)
+                pushed += 1
+                if canon is not None:
+                    self.held_class.append(canon)
+                    pushed_class += 1
+            else:
+                self.visit(item.context_expr)
+            if item.optional_vars is not None:
+                self.visit(item.optional_vars)
+        for stmt in node.body:
+            self.visit(stmt)
+        if pushed:
+            del self.held[-pushed:]
+        if pushed_class:
+            del self.held_class[-pushed_class:]
+
+    visit_AsyncWith = visit_With  # type: ignore[assignment]
+
+    # -- accesses -------------------------------------------------------
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        attr = _is_self_attr(node)
+        if (
+            attr is not None
+            and self.class_locks is not None
+            and not self.class_locks.is_lock_attr(attr)
+        ):
+            self.accesses.append(_Access(
+                attr=attr,
+                line=node.lineno,
+                guarded=bool(self.held),
+                store=isinstance(node.ctx, (ast.Store, ast.Del)),
+                method=self.method,
+            ))
+        self.generic_visit(node)
+
+    # -- calls ----------------------------------------------------------
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Attribute):
+            receiver = func.value
+            if _is_self_attr(func) is not None:
+                self.self_calls.append(_SelfCall(
+                    callee=func.attr, guarded=bool(self.held), caller=self.method
+                ))
+            if self.held:
+                reason = self._blocking_reason(func, receiver)
+                if reason is not None:
+                    self.findings.append(make_finding(
+                        "SDL102",
+                        f"{reason} while holding {self.held[-1]}; blocking "
+                        "under a lock serializes every other participant",
+                        self.path, node.lineno,
+                        scope=self.scope, detail=reason,
+                    ))
+        self.generic_visit(node)
+
+    @staticmethod
+    def _leaf_name(expr: ast.AST) -> str:
+        if isinstance(expr, ast.Attribute):
+            return expr.attr
+        if isinstance(expr, ast.Name):
+            return expr.id
+        return ""
+
+    def _blocking_reason(
+        self, func: ast.Attribute, receiver: ast.AST
+    ) -> Optional[str]:
+        name = func.attr
+        if name == "sleep" and self._leaf_name(receiver) == "time":
+            return "time.sleep()"
+        if name in BLOCKING_METHODS:
+            return f".{name}()"
+        if name in ("get", "put"):
+            leaf = self._leaf_name(receiver).lower()
+            if "queue" in leaf or leaf == "q" or leaf.endswith("_q"):
+                return f"{self._leaf_name(receiver)}.{name}()"
+        return None
+
+
+# -- SDL103: manual acquire/release ------------------------------------
+
+
+def _iter_bodies(func: ast.AST) -> Sequence[List[ast.stmt]]:
+    bodies: List[List[ast.stmt]] = []
+    for node in ast.walk(func):
+        for field in ("body", "orelse", "finalbody"):
+            block = getattr(node, field, None)
+            if isinstance(block, list) and block and isinstance(block[0], ast.stmt):
+                bodies.append(block)
+    return bodies
+
+
+def _lock_method_call(stmt: ast.stmt, method: str) -> Optional[ast.AST]:
+    """The receiver expr when stmt is ``<recv>.{method}(...)``."""
+    if (
+        isinstance(stmt, ast.Expr)
+        and isinstance(stmt.value, ast.Call)
+        and isinstance(stmt.value.func, ast.Attribute)
+        and stmt.value.func.attr == method
+    ):
+        return stmt.value.func.value
+    return None
+
+
+def _check_manual_acquire(
+    func: ast.AST,
+    path: str,
+    scope: str,
+    class_locks: Optional[_ClassLocks],
+    module_locks: Set[str],
+    findings: List[Finding],
+) -> None:
+    def lock_like(expr: ast.AST) -> bool:
+        attr = _is_self_attr(expr)
+        if attr is not None:
+            return class_locks is not None and class_locks.is_lock_attr(attr)
+        if isinstance(expr, ast.Name):
+            return expr.id in module_locks or _lockish_name(expr.id)
+        if isinstance(expr, ast.Attribute):
+            return _lockish_name(expr.attr)
+        return False
+
+    for body in _iter_bodies(func):
+        for i, stmt in enumerate(body):
+            receiver = _lock_method_call(stmt, "acquire")
+            if receiver is None or not lock_like(receiver):
+                continue
+            nxt = body[i + 1] if i + 1 < len(body) else None
+            released_in_finally = False
+            if isinstance(nxt, ast.Try) and nxt.finalbody:
+                want = ast.dump(receiver)
+                for final_stmt in nxt.finalbody:
+                    for sub in ast.walk(final_stmt):
+                        if (
+                            isinstance(sub, ast.Call)
+                            and isinstance(sub.func, ast.Attribute)
+                            and sub.func.attr == "release"
+                            and ast.dump(sub.func.value) == want
+                        ):
+                            released_in_finally = True
+            if not released_in_finally:
+                display = ast.unparse(receiver) if hasattr(ast, "unparse") else "lock"
+                findings.append(make_finding(
+                    "SDL103",
+                    f"{display}.acquire() without an immediate try/finally "
+                    "release; an exception leaks the lock — use 'with'",
+                    path, stmt.lineno,
+                    scope=scope, detail=display,
+                ))
+
+
+# -- per-class analysis --------------------------------------------------
+
+
+def _analyze_class(
+    cls: ast.ClassDef,
+    path: str,
+    module_locks: Set[str],
+    findings: List[Finding],
+    prefix: str = "",
+) -> None:
+    qualname = f"{prefix}{cls.name}"
+    locks = _discover_locks(cls)
+    methods: Dict[str, _FuncWalker] = {}
+    for node in cls.body:
+        if isinstance(node, ast.ClassDef):
+            _analyze_class(node, path, module_locks, findings, f"{qualname}.")
+            continue
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        scope = f"{qualname}.{node.name}"
+        walker = _FuncWalker(path, scope, node.name, locks, module_locks, findings)
+        for stmt in node.body:
+            walker.visit(stmt)
+        _check_manual_acquire(node, path, scope, locks, module_locks, findings)
+        methods[node.name] = walker
+
+    if not locks.locks:
+        return
+
+    # call sites per callee, for context propagation
+    call_sites: Dict[str, List[_SelfCall]] = {}
+    for walker in methods.values():
+        for call in walker.self_calls:
+            if call.callee in methods:
+                call_sites.setdefault(call.callee, []).append(call)
+
+    guarded_ctx: Set[str] = set()
+    construction_ctx: Set[str] = set()
+    changed = True
+    while changed:
+        changed = False
+        for name in methods:
+            if name in _CONSTRUCTION_METHODS:
+                continue
+            sites = call_sites.get(name)
+            if not sites:
+                continue
+            if name not in guarded_ctx and all(
+                s.guarded or s.caller in guarded_ctx for s in sites
+            ):
+                guarded_ctx.add(name)
+                changed = True
+            if name not in construction_ctx and all(
+                s.caller in _CONSTRUCTION_METHODS or s.caller in construction_ctx
+                for s in sites
+            ):
+                construction_ctx.add(name)
+                changed = True
+
+    # tally accesses per attribute
+    guarded_count: Dict[str, int] = {}
+    unguarded: Dict[str, List[_Access]] = {}
+    for name, walker in methods.items():
+        if name in _CONSTRUCTION_METHODS or name in construction_ctx:
+            continue
+        in_guarded_method = name in guarded_ctx
+        for access in walker.accesses:
+            if access.guarded or in_guarded_method:
+                guarded_count[access.attr] = guarded_count.get(access.attr, 0) + 1
+            else:
+                unguarded.setdefault(access.attr, []).append(access)
+
+    for attr, count in sorted(guarded_count.items()):
+        misses = unguarded.get(attr, [])
+        if count < MIN_GUARDED_ACCESSES or count <= len(misses):
+            continue
+        for access in misses:
+            kind = "write" if access.store else "read"
+            findings.append(make_finding(
+                "SDL101",
+                f"unguarded {kind} of '{attr}' (accessed under the lock in "
+                f"{count} of {count + len(misses)} sites in {qualname})",
+                path, access.line,
+                scope=f"{qualname}.{access.method}", detail=attr,
+            ))
+
+
+def _module_locks(tree: ast.Module) -> Set[str]:
+    locks: Set[str] = set()
+    for node in tree.body:
+        if isinstance(node, ast.Assign) and _factory_kind(node.value):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    locks.add(target.id)
+    return locks
+
+
+def check_guards(tree: ast.Module, path: str) -> List[Finding]:
+    """Run the SDL1xx lock/guard checks over a parsed module."""
+    findings: List[Finding] = []
+    module_locks = _module_locks(tree)
+    for node in tree.body:
+        if isinstance(node, ast.ClassDef):
+            _analyze_class(node, path, module_locks, findings)
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            scope = node.name
+            walker = _FuncWalker(path, scope, node.name, None, module_locks, findings)
+            for stmt in node.body:
+                walker.visit(stmt)
+            _check_manual_acquire(node, path, scope, None, module_locks, findings)
+    return findings

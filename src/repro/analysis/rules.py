@@ -1,0 +1,352 @@
+"""The stampede-devlint rule registry plus module-level invariant checks.
+
+Where ``repro.lint`` (stampede-lint) analyzes workflow *data* — DAX
+definitions and BP event streams — this package analyzes the pipeline's
+own *code*.  Every check carries a stable ``SDL###`` identifier (Stampede
+Dev Lint) so findings are scriptable: baselines reference them, CLI
+``--select``/``--ignore`` filter on them, and docs/analysis.md catalogs
+them.  Concurrency/guard rules live in the ``SDL1xx`` block (see
+:mod:`repro.analysis.guards`), project-invariant rules in ``SDL2xx``
+(this module).
+
+The severity model is shared with stampede-lint
+(:class:`repro.lint.rules.Severity`), so both linters mean the same
+thing by "error" and CI thresholds compose.
+"""
+from __future__ import annotations
+
+import ast
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Set
+
+from repro.lint.rules import Severity
+
+__all__ = [
+    "Severity",
+    "DevRule",
+    "Finding",
+    "DEV_RULES",
+    "register_rule",
+    "get_rule",
+    "check_invariants",
+    "suppressed_lines",
+    "HOT_PATH_SEGMENTS",
+]
+
+
+@dataclass(frozen=True)
+class DevRule:
+    """One named code check with a stable ID and a default severity."""
+
+    rule_id: str
+    name: str
+    severity: Severity
+    summary: str
+
+    def __str__(self) -> str:
+        return f"{self.rule_id} [{self.severity}] {self.name}"
+
+
+DEV_RULES: Dict[str, DevRule] = {}
+
+
+def register_rule(rule_id: str, name: str, severity: Severity, summary: str) -> DevRule:
+    if rule_id in DEV_RULES:
+        raise ValueError(f"duplicate rule id {rule_id!r}")
+    rule = DevRule(rule_id, name, severity, summary)
+    DEV_RULES[rule_id] = rule
+    return rule
+
+
+def get_rule(rule_id: str) -> DevRule:
+    return DEV_RULES[rule_id]
+
+
+@dataclass
+class Finding:
+    """One problem at one location, with a line-drift-stable fingerprint.
+
+    ``scope`` is the enclosing ``Class.method`` (or ``<module>``) and
+    ``detail`` the smallest stable token of the finding (an attribute
+    name, a callee) — together with rule id and file they form the
+    fingerprint baselines suppress on, so findings survive unrelated
+    edits that shift line numbers.
+    """
+
+    rule_id: str
+    severity: Severity
+    message: str
+    file: str = "<input>"
+    line: int = 0
+    scope: str = "<module>"
+    detail: str = ""
+    context: Dict[str, str] = field(default_factory=dict)
+
+    def fingerprint(self) -> str:
+        raw = "\x1f".join((self.rule_id, self.file, self.scope, self.detail))
+        return hashlib.sha1(raw.encode("utf-8")).hexdigest()[:16]
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule_id,
+            "severity": str(self.severity),
+            "message": self.message,
+            "file": self.file,
+            "line": self.line,
+            "scope": self.scope,
+            "detail": self.detail,
+            "fingerprint": self.fingerprint(),
+            **({"context": dict(self.context)} if self.context else {}),
+        }
+
+    def __str__(self) -> str:
+        return (
+            f"{self.file}:{self.line}: {self.rule_id} "
+            f"{self.severity}: {self.message}"
+        )
+
+
+def make_finding(
+    rule_id: str,
+    message: str,
+    file: str,
+    line: int,
+    scope: str = "<module>",
+    detail: str = "",
+    severity: Optional[Severity] = None,
+    **context: str,
+) -> Finding:
+    rule = get_rule(rule_id)
+    return Finding(
+        rule_id=rule_id,
+        severity=rule.severity if severity is None else severity,
+        message=message,
+        file=file,
+        line=line,
+        scope=scope,
+        detail=detail,
+        context=dict(context),
+    )
+
+
+# --------------------------------------------------------------------------
+# rule catalog
+# --------------------------------------------------------------------------
+register_rule(
+    "SDL001", "unparsable-source", Severity.ERROR,
+    "source file cannot be read or parsed",
+)
+register_rule(
+    "SDL101", "unguarded-attribute-access", Severity.ERROR,
+    "attribute consistently accessed under a lock is read/written unguarded",
+)
+register_rule(
+    "SDL102", "blocking-call-under-lock", Severity.WARNING,
+    "blocking operation (sleep, queue/socket I/O, publish, transaction) "
+    "invoked while a lock is held",
+)
+register_rule(
+    "SDL103", "manual-acquire-without-finally", Severity.ERROR,
+    "lock.acquire() not paired with release() in try/finally or 'with'",
+)
+register_rule(
+    "SDL201", "hot-loop-counter-inc", Severity.WARNING,
+    "per-event metric .inc() inside a loop on a hot parse/insert path "
+    "(mirror an authoritative total via set_total at scrape time instead)",
+)
+register_rule(
+    "SDL202", "wall-clock-elapsed", Severity.WARNING,
+    "elapsed time measured with time.time(); use time.monotonic() or "
+    "time.perf_counter() for intervals and deadlines",
+)
+register_rule(
+    "SDL203", "bare-except", Severity.WARNING,
+    "bare 'except:' swallows KeyboardInterrupt/SystemExit; name the "
+    "exceptions (pipeline code must stay interruptible)",
+)
+
+
+# --------------------------------------------------------------------------
+# inline suppression:   some_call()  # devlint: ignore[SDL102]
+# --------------------------------------------------------------------------
+_MARKER = "devlint:"
+
+
+def suppressed_lines(text: str) -> Dict[int, Optional[Set[str]]]:
+    """Map line number -> suppressed rule ids (None = all rules).
+
+    Recognized forms::
+
+        # devlint: ignore
+        # devlint: ignore[SDL101]
+        # devlint: ignore[SDL101,SDL203]
+    """
+    out: Dict[int, Optional[Set[str]]] = {}
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        idx = line.find(_MARKER)
+        if idx < 0 or "#" not in line[:idx]:
+            continue
+        directive = line[idx + len(_MARKER):].strip()
+        if not directive.startswith("ignore"):
+            continue
+        rest = directive[len("ignore"):].strip()
+        if rest.startswith("[") and "]" in rest:
+            ids = {r.strip() for r in rest[1:rest.index("]")].split(",") if r.strip()}
+            out[lineno] = ids or None
+        else:
+            out[lineno] = None
+    return out
+
+
+def apply_suppressions(findings: List[Finding], text: str) -> List[Finding]:
+    marks = suppressed_lines(text)
+    if not marks:
+        return findings
+    kept = []
+    for f in findings:
+        rules = marks.get(f.line, "absent")
+        if rules == "absent" or (rules is not None and f.rule_id not in rules):
+            kept.append(f)
+    return kept
+
+
+# --------------------------------------------------------------------------
+# SDL2xx: project-invariant checks (module-wide walk)
+# --------------------------------------------------------------------------
+
+#: Path fragments marking the modules whose per-event loops are the
+#: ingest hot path; a metric ``.inc()`` there costs a lock round-trip per
+#: event, which is exactly what PR 5's scrape-time ``set_total``
+#: mirroring exists to avoid.
+HOT_PATH_SEGMENTS = ("loader/", "netlogger/", "archive/", "orm/")
+
+
+def _is_hot_path(path: str) -> bool:
+    norm = path.replace("\\", "/")
+    return any(seg in norm for seg in HOT_PATH_SEGMENTS)
+
+
+def _scope_name(stack: Sequence[str]) -> str:
+    return ".".join(stack) if stack else "<module>"
+
+
+def _is_time_time(node: ast.AST) -> bool:
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr == "time"
+        and isinstance(node.func.value, ast.Name)
+        and node.func.value.id == "time"
+    )
+
+
+class _InvariantVisitor(ast.NodeVisitor):
+    """One pass collecting SDL201 / SDL202 / SDL203 findings."""
+
+    def __init__(self, path: str):
+        self.path = path
+        self.hot = _is_hot_path(path)
+        self.findings: List[Finding] = []
+        self._scope: List[str] = []
+        self._loop_depth = 0
+        # names in the current function assigned from time.time()
+        self._wall_names: List[Set[str]] = []
+
+    # -- scopes ---------------------------------------------------------
+    def _visit_scoped(self, node: ast.AST, name: str) -> None:
+        self._scope.append(name)
+        self._wall_names.append(set())
+        self.generic_visit(node)
+        self._wall_names.pop()
+        self._scope.pop()
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._visit_scoped(node, node.name)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._visit_scoped(node, node.name)
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        self._scope.append(node.name)
+        self.generic_visit(node)
+        self._scope.pop()
+
+    # -- SDL201 ---------------------------------------------------------
+    def _visit_loop(self, node: ast.AST) -> None:
+        self._loop_depth += 1
+        self.generic_visit(node)
+        self._loop_depth -= 1
+
+    visit_For = visit_While = visit_AsyncFor = _visit_loop
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if (
+            self.hot
+            and self._loop_depth > 0
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "inc"
+        ):
+            self.findings.append(make_finding(
+                "SDL201",
+                "metric .inc() inside a loop on a hot path; mirror the "
+                "authoritative counter with set_total at scrape time",
+                self.path, node.lineno,
+                scope=_scope_name(self._scope), detail="inc",
+            ))
+        self.generic_visit(node)
+
+    # -- SDL202 ---------------------------------------------------------
+    def visit_Assign(self, node: ast.Assign) -> None:
+        if self._wall_names and _is_time_time(node.value):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    self._wall_names[-1].add(target.id)
+        self.generic_visit(node)
+
+    def _is_wall(self, node: ast.AST) -> bool:
+        if _is_time_time(node):
+            return True
+        return (
+            bool(self._wall_names)
+            and isinstance(node, ast.Name)
+            and node.id in self._wall_names[-1]
+        )
+
+    def visit_BinOp(self, node: ast.BinOp) -> None:
+        if (
+            isinstance(node.op, ast.Sub)
+            and self._is_wall(node.left)
+            and self._is_wall(node.right)
+        ):
+            self.findings.append(make_finding(
+                "SDL202",
+                "interval computed from two local time.time() readings; "
+                "wall clocks step under NTP — use time.monotonic()",
+                self.path, node.lineno,
+                scope=_scope_name(self._scope), detail="time.time",
+            ))
+        self.generic_visit(node)
+
+    # -- SDL203 ---------------------------------------------------------
+    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
+        if node.type is None:
+            self.findings.append(make_finding(
+                "SDL203",
+                "bare 'except:' catches KeyboardInterrupt/SystemExit; "
+                "catch Exception (or narrower) instead",
+                self.path, node.lineno,
+                scope=_scope_name(self._scope), detail="except",
+            ))
+        self.generic_visit(node)
+
+
+def check_invariants(tree: ast.Module, path: str) -> List[Finding]:
+    """Run the SDL2xx module-invariant checks over a parsed module."""
+    visitor = _InvariantVisitor(path)
+    visitor.visit(tree)
+    return visitor.findings
+
+
+def iter_rules() -> Iterator[DevRule]:
+    return iter(DEV_RULES.values())

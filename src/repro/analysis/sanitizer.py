@@ -1,0 +1,551 @@
+"""Runtime lock-order sanitizer: instrumented threading primitives.
+
+The static pass (:mod:`repro.analysis.guards`) sees one class at a time;
+deadlocks live *between* classes.  This module wraps
+``threading.Lock``/``RLock``/``Condition`` with recording versions that:
+
+* group locks into **lock classes** by allocation site (every
+  ``MessageQueue._lock`` is one node — the lockdep model), so ordering
+  facts generalize across instances;
+* keep a per-thread stack of held locks with acquisition backtraces;
+* maintain a global **lock-order graph**: holding A while acquiring B
+  adds edge A→B; a cycle in that graph is a potential deadlock (the
+  ABBA pattern) and is reported with both acquisition stacks even though
+  no thread ever actually blocked;
+* measure **contention** (time spent waiting to acquire) and **hold
+  times** per lock class;
+* detect same-thread re-acquisition of a non-reentrant lock (certain
+  self-deadlock) and raise instead of hanging the test run.
+
+Activation is opt-in: ``LockSanitizer().install()`` monkeypatches the
+``threading`` factories, attributing each creation to the module that
+called the factory — only modules matching the configured prefixes
+(default ``repro``) get sanitized locks, so pytest/stdlib internals stay
+untouched.  ``STAMPEDE_SANITIZE=1`` makes the test suite's conftest
+install one for the whole session and write a JSON report
+(``STAMPEDE_SANITIZE_REPORT``, default ``lock-order-report.json``);
+``python -m repro.analysis.sanitizer --check report.json`` gates CI on a
+cycle-free graph.  When not installed, nothing is patched — the
+disabled-mode overhead is exactly zero.
+
+Known limits (documented in docs/analysis.md): locks created before
+``install()`` are invisible, as are locks whose factory reference was
+captured at import time (``field(default_factory=threading.Lock)``
+stores the original factory), and ordering is only observed, never
+proven absent — an untraveled code path contributes no edges.
+"""
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import threading
+import time
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+__all__ = [
+    "LockSanitizer",
+    "SelfDeadlockError",
+    "ENV_FLAG",
+    "ENV_REPORT",
+    "enabled_from_env",
+    "main",
+]
+
+ENV_FLAG = "STAMPEDE_SANITIZE"
+ENV_REPORT = "STAMPEDE_SANITIZE_REPORT"
+
+#: acquire-wait above this counts as a contended acquisition
+CONTENTION_THRESHOLD = 1e-3
+#: holds above this are tallied as long holds
+LONG_HOLD_THRESHOLD = 0.05
+
+_TRUTHY = ("1", "true", "yes", "on")
+
+#: modules whose frames are "transparent" when attributing lock creation
+_SKIP_MODULES = (__name__, "threading", "dataclasses", "contextlib", "functools")
+
+
+def enabled_from_env() -> bool:
+    return os.environ.get(ENV_FLAG, "").strip().lower() in _TRUTHY
+
+
+class SelfDeadlockError(RuntimeError):
+    """A thread re-acquired a non-reentrant lock it already holds."""
+
+
+class _LockClass:
+    """Aggregate stats for every lock allocated at one source site."""
+
+    __slots__ = (
+        "key", "kind", "created", "acquisitions", "contended",
+        "total_wait", "total_hold", "max_hold", "long_holds",
+    )
+
+    def __init__(self, key: str, kind: str):
+        self.key = key
+        self.kind = kind
+        self.created = 0
+        self.acquisitions = 0
+        self.contended = 0
+        self.total_wait = 0.0
+        self.total_hold = 0.0
+        self.max_hold = 0.0
+        self.long_holds = 0
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "kind": self.kind,
+            "created": self.created,
+            "acquisitions": self.acquisitions,
+            "contended": self.contended,
+            "total_wait_s": round(self.total_wait, 6),
+            "total_hold_s": round(self.total_hold, 6),
+            "max_hold_s": round(self.max_hold, 6),
+            "long_holds": self.long_holds,
+        }
+
+
+class _Edge:
+    """First-observed stacks + tally for one ordered lock-class pair."""
+
+    __slots__ = ("count", "threads", "from_stack", "to_stack")
+
+    def __init__(self, from_stack: List[str], to_stack: List[str]):
+        self.count = 0
+        self.threads: Set[str] = set()
+        self.from_stack = from_stack
+        self.to_stack = to_stack
+
+
+class _Held:
+    """One entry on a thread's held-lock stack."""
+
+    __slots__ = ("lock", "t0", "stack", "count")
+
+    def __init__(self, lock: "_SanitizedLock", t0: float, stack: List[str]):
+        self.lock = lock
+        self.t0 = t0
+        self.stack = stack
+        self.count = 1
+
+
+class _SanitizedLock:
+    """Recording proxy around a real Lock/RLock.
+
+    Implements the full lock protocol plus the private hooks
+    (``_release_save``/``_acquire_restore``/``_is_owned``) that
+    ``threading.Condition`` uses, so a condition built over a sanitized
+    lock keeps the held-state bookkeeping exact across ``wait()``.
+    """
+
+    __slots__ = ("_san", "_real", "_lclass", "_reentrant")
+
+    def __init__(self, san: "LockSanitizer", real, lclass: _LockClass, reentrant: bool):
+        self._san = san
+        self._real = real
+        self._lclass = lclass
+        self._reentrant = reentrant
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        san = self._san
+        if not self._reentrant and blocking and timeout < 0:
+            for held in san._thread_held():
+                if held.lock is self:
+                    san._record_self_deadlock(self, held)
+                    raise SelfDeadlockError(
+                        f"thread {threading.current_thread().name!r} would "
+                        f"deadlock re-acquiring {self._lclass.key}"
+                    )
+        t0 = time.monotonic()
+        ok = self._real.acquire(blocking, timeout)
+        if ok:
+            san._on_acquired(self, time.monotonic() - t0)
+        return ok
+
+    def release(self) -> None:
+        self._san._on_release(self)
+        self._real.release()
+
+    def locked(self) -> bool:
+        real_locked = getattr(self._real, "locked", None)
+        if real_locked is not None:
+            return real_locked()
+        return self._san._held_count(self) > 0  # RLock < 3.12
+
+    def __enter__(self) -> "_SanitizedLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.release()
+        return False
+
+    # -- threading.Condition integration --------------------------------
+    def _release_save(self) -> int:
+        count = self._san._held_count(self)
+        if count <= 0:
+            raise RuntimeError("cannot wait on an un-acquired lock")
+        for _ in range(count):
+            self.release()
+        return count
+
+    def _acquire_restore(self, saved: int) -> None:
+        for _ in range(saved):
+            self.acquire()
+
+    def _is_owned(self) -> bool:
+        return self._san._held_count(self) > 0
+
+    def __repr__(self) -> str:
+        return f"<sanitized {self._lclass.kind} {self._lclass.key}>"
+
+
+class LockSanitizer:
+    """Builds sanitized primitives, tracks ordering, reports violations."""
+
+    _installed: Optional["LockSanitizer"] = None
+
+    def __init__(self, stack_limit: int = 16, prefixes: Sequence[str] = ("repro",)):
+        self.stack_limit = stack_limit
+        self.prefixes = tuple(prefixes)
+        # real factories captured now, in case install() patches later
+        self._real_lock = threading.Lock
+        self._real_rlock = threading.RLock
+        self._real_condition = threading.Condition
+        self._mu = self._real_lock()  # internal; never sanitized
+        self._tls = threading.local()
+        self._classes: Dict[str, _LockClass] = {}
+        self._graph: Dict[str, Dict[str, _Edge]] = {}
+        self._cycles: List[Dict[str, object]] = []
+        self._cycle_sigs: Set[frozenset] = set()
+        self._self_nesting: Dict[str, int] = {}
+        self._self_deadlocks: List[Dict[str, object]] = []
+        self._saved_factories: Optional[Tuple] = None
+
+    # -- public construction (direct use; tests, explicit wiring) --------
+    def lock(self, name: Optional[str] = None) -> _SanitizedLock:
+        return self._new(False, name)
+
+    def rlock(self, name: Optional[str] = None) -> _SanitizedLock:
+        return self._new(True, name)
+
+    def condition(self, lock=None, name: Optional[str] = None):
+        if lock is None:
+            lock = self.rlock(name=name)
+        return self._real_condition(lock)
+
+    def _new(self, reentrant: bool, name: Optional[str]) -> _SanitizedLock:
+        key = name or self._creation_site()
+        kind = "RLock" if reentrant else "Lock"
+        with self._mu:
+            lclass = self._classes.get(key)
+            if lclass is None:
+                lclass = self._classes[key] = _LockClass(key, kind)
+            lclass.created += 1
+        real = self._real_rlock() if reentrant else self._real_lock()
+        return _SanitizedLock(self, real, lclass, reentrant)
+
+    # -- install / uninstall ---------------------------------------------
+    def install(self) -> "LockSanitizer":
+        """Patch the ``threading`` factories (LIFO-nestable)."""
+        if self._saved_factories is not None:
+            raise RuntimeError("sanitizer already installed")
+        self._saved_factories = (
+            threading.Lock, threading.RLock, threading.Condition,
+        )
+        san = self
+
+        def lock_factory():
+            if san._watched_caller():
+                return san._new(False, None)
+            return san._real_lock()
+
+        def rlock_factory():
+            if san._watched_caller():
+                return san._new(True, None)
+            return san._real_rlock()
+
+        def condition_factory(lock=None):
+            if san._watched_caller():
+                if lock is None:
+                    lock = san._new(True, None)
+                return san._real_condition(lock)
+            return san._real_condition(lock)
+
+        threading.Lock = lock_factory  # type: ignore[assignment]
+        threading.RLock = rlock_factory  # type: ignore[assignment]
+        threading.Condition = condition_factory  # type: ignore[assignment]
+        LockSanitizer._installed = self
+        return self
+
+    def uninstall(self) -> None:
+        if self._saved_factories is None:
+            return
+        threading.Lock, threading.RLock, threading.Condition = (  # type: ignore[misc]
+            self._saved_factories
+        )
+        self._saved_factories = None
+        if LockSanitizer._installed is self:
+            LockSanitizer._installed = None
+
+    # -- frame attribution ------------------------------------------------
+    def _walk_frames(self, skip: int = 2):
+        try:
+            frame = sys._getframe(skip)
+        except ValueError:  # pragma: no cover - shallow stack
+            return
+        depth = 0
+        while frame is not None and depth < self.stack_limit + 8:
+            yield frame
+            frame = frame.f_back
+            depth += 1
+
+    def _watched_caller(self) -> bool:
+        for frame in self._walk_frames(skip=2):
+            mod = frame.f_globals.get("__name__", "")
+            if mod in _SKIP_MODULES or not mod:
+                continue
+            return any(
+                mod == p or mod.startswith(p + ".") for p in self.prefixes
+            )
+        return False
+
+    def _creation_site(self) -> str:
+        for frame in self._walk_frames(skip=3):
+            mod = frame.f_globals.get("__name__", "")
+            if mod in _SKIP_MODULES or not mod:
+                continue
+            return f"{_short_path(frame.f_code.co_filename)}:{frame.f_lineno}"
+        return "<unknown>"
+
+    def _capture_stack(self) -> List[str]:
+        frames = []
+        for frame in self._walk_frames(skip=3):
+            mod = frame.f_globals.get("__name__", "")
+            if mod == __name__:
+                continue
+            frames.append(
+                f"{_short_path(frame.f_code.co_filename)}:{frame.f_lineno} "
+                f"in {frame.f_code.co_name}"
+            )
+            if len(frames) >= self.stack_limit:
+                break
+        return frames
+
+    # -- held-state bookkeeping -------------------------------------------
+    def _thread_held(self) -> List[_Held]:
+        held = getattr(self._tls, "held", None)
+        if held is None:
+            held = self._tls.held = []
+        return held
+
+    def _held_count(self, lock: _SanitizedLock) -> int:
+        for held in self._thread_held():
+            if held.lock is lock:
+                return held.count
+        return 0
+
+    def _on_acquired(self, lock: _SanitizedLock, wait: float) -> None:
+        lclass = lock._lclass
+        with self._mu:
+            lclass.acquisitions += 1
+            lclass.total_wait += wait
+            if wait > CONTENTION_THRESHOLD:
+                lclass.contended += 1
+        held = self._thread_held()
+        for entry in held:
+            if entry.lock is lock:  # reentrant re-acquire
+                entry.count += 1
+                return
+        stack = self._capture_stack()
+        for entry in held:
+            if entry.lock._lclass.key == lclass.key:
+                # same class, different instance: ordering between
+                # instances is unknowable from sites alone — reported
+                # separately, not as a cycle
+                with self._mu:
+                    self._self_nesting[lclass.key] = (
+                        self._self_nesting.get(lclass.key, 0) + 1
+                    )
+            else:
+                self._add_edge(entry, lock, stack)
+        held.append(_Held(lock, time.monotonic(), stack))
+
+    def _on_release(self, lock: _SanitizedLock) -> None:
+        held = self._thread_held()
+        for i in range(len(held) - 1, -1, -1):
+            entry = held[i]
+            if entry.lock is lock:
+                if entry.count > 1:
+                    entry.count -= 1
+                    return
+                del held[i]
+                hold = time.monotonic() - entry.t0
+                lclass = lock._lclass
+                with self._mu:
+                    lclass.total_hold += hold
+                    if hold > lclass.max_hold:
+                        lclass.max_hold = hold
+                    if hold > LONG_HOLD_THRESHOLD:
+                        lclass.long_holds += 1
+                return
+        # releasing a lock this thread never acquired: let the real
+        # primitive raise its own error on the outer release() call
+
+    def _add_edge(self, from_held: _Held, to_lock: _SanitizedLock, to_stack: List[str]) -> None:
+        a = from_held.lock._lclass.key
+        b = to_lock._lclass.key
+        thread = threading.current_thread().name
+        with self._mu:
+            edges = self._graph.setdefault(a, {})
+            edge = edges.get(b)
+            is_new = edge is None
+            if edge is None:
+                edge = edges[b] = _Edge(list(from_held.stack), list(to_stack))
+            edge.count += 1
+            edge.threads.add(thread)
+            if is_new:
+                self._check_cycle_locked(a, b)
+
+    def _check_cycle_locked(self, a: str, b: str) -> None:
+        """After adding a→b, search b→…→a; must hold ``self._mu``."""
+        path = self._find_path(b, a)
+        if path is None:
+            return
+        nodes = [a] + path  # a → b → … → a
+        sig = frozenset(nodes)
+        if sig in self._cycle_sigs:
+            return
+        self._cycle_sigs.add(sig)
+        cycle_edges = []
+        hops = [(a, b)] + [(path[i], path[i + 1]) for i in range(len(path) - 1)]
+        for src, dst in hops:
+            edge = self._graph[src][dst]
+            cycle_edges.append({
+                "from": src,
+                "to": dst,
+                "count": edge.count,
+                "threads": sorted(edge.threads),
+                "holding_stack": edge.from_stack,
+                "acquiring_stack": edge.to_stack,
+            })
+        self._cycles.append({"nodes": nodes[:-1], "edges": cycle_edges})
+
+    def _find_path(self, start: str, goal: str) -> Optional[List[str]]:
+        """DFS path start→…→goal through the order graph (inclusive)."""
+        stack = [(start, [start])]
+        seen = {start}
+        while stack:
+            node, path = stack.pop()
+            if node == goal:
+                return path
+            for nxt in self._graph.get(node, {}):
+                if nxt not in seen:
+                    seen.add(nxt)
+                    stack.append((nxt, path + [nxt]))
+        return None
+
+    def _record_self_deadlock(self, lock: _SanitizedLock, held: _Held) -> None:
+        with self._mu:
+            self._self_deadlocks.append({
+                "lock": lock._lclass.key,
+                "thread": threading.current_thread().name,
+                "first_acquired_at": held.stack,
+                "reacquired_at": self._capture_stack(),
+            })
+
+    # -- reporting ---------------------------------------------------------
+    @property
+    def cycles(self) -> List[Dict[str, object]]:
+        with self._mu:
+            return list(self._cycles)
+
+    @property
+    def self_deadlocks(self) -> List[Dict[str, object]]:
+        with self._mu:
+            return list(self._self_deadlocks)
+
+    def report(self) -> Dict[str, object]:
+        with self._mu:
+            return {
+                "tool": "lock-order-sanitizer",
+                "prefixes": list(self.prefixes),
+                "lock_classes": {
+                    key: lclass.to_dict()
+                    for key, lclass in sorted(self._classes.items())
+                },
+                "edges": [
+                    {
+                        "from": a,
+                        "to": b,
+                        "count": edge.count,
+                        "threads": sorted(edge.threads),
+                    }
+                    for a, targets in sorted(self._graph.items())
+                    for b, edge in sorted(targets.items())
+                ],
+                "cycles": list(self._cycles),
+                "self_nesting": dict(sorted(self._self_nesting.items())),
+                "self_deadlocks": list(self._self_deadlocks),
+            }
+
+    def write_report(self, path: str) -> Dict[str, object]:
+        doc = self.report()
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        return doc
+
+
+def _short_path(path: str) -> str:
+    norm = path.replace(os.sep, "/")
+    for anchor in ("/src/", "/tests/"):
+        idx = norm.rfind(anchor)
+        if idx >= 0:
+            return norm[idx + 1:]
+    return "/".join(norm.rsplit("/", 2)[-2:])
+
+
+# --------------------------------------------------------------------------
+# report gate: python -m repro.analysis.sanitizer --check report.json
+# --------------------------------------------------------------------------
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis.sanitizer",
+        description="Inspect/gate a lock-order sanitizer JSON report.",
+    )
+    parser.add_argument("--check", metavar="REPORT", required=True,
+                        help="fail (exit 1) if the report contains lock-order "
+                             "cycles or self-deadlocks")
+    args = parser.parse_args(argv)
+    try:
+        with open(args.check, "r", encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except (OSError, ValueError) as exc:
+        print(f"sanitizer-check: cannot read report: {exc}", file=sys.stderr)
+        return 2
+    classes = doc.get("lock_classes", {})
+    cycles = doc.get("cycles", [])
+    deadlocks = doc.get("self_deadlocks", [])
+    total_acq = sum(c.get("acquisitions", 0) for c in classes.values())
+    print(
+        f"lock classes: {len(classes)}, acquisitions: {total_acq}, "
+        f"order edges: {len(doc.get('edges', []))}, cycles: {len(cycles)}, "
+        f"self-deadlocks: {len(deadlocks)}"
+    )
+    for cycle in cycles:
+        print(f"CYCLE: {' -> '.join(cycle['nodes'])} -> {cycle['nodes'][0]}")
+        for edge in cycle["edges"]:
+            print(f"  {edge['from']} held while acquiring {edge['to']} "
+                  f"(x{edge['count']}, threads: {', '.join(edge['threads'])})")
+            for line in edge["acquiring_stack"][:6]:
+                print(f"    {line}")
+    for dl in deadlocks:
+        print(f"SELF-DEADLOCK: {dl['lock']} re-acquired by {dl['thread']}")
+    return 1 if cycles or deadlocks else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -101,14 +101,19 @@ class LoaderStats:
     @property
     def events_per_second(self) -> float:
         # wall_seconds may be zero/unset mid-stream; report 0 rather than
-        # dividing by zero or inventing an infinite rate.
-        return self.events_processed / self.wall_seconds if self.wall_seconds else 0.0
+        # dividing by zero or inventing an infinite rate.  Both fields are
+        # read under the lock so the ratio never mixes two batches.
+        with self.lock:
+            if not self.wall_seconds:
+                return 0.0
+            return self.events_processed / self.wall_seconds
 
     @property
     def queue_depth_avg(self) -> float:
-        if not self.queue_depth_samples:
-            return 0.0
-        return self.queue_depth_sum / self.queue_depth_samples
+        with self.lock:
+            if not self.queue_depth_samples:
+                return 0.0
+            return self.queue_depth_sum / self.queue_depth_samples
 
     def record_flush_latency(self, seconds: float) -> None:
         with self.lock:

@@ -8,14 +8,13 @@ ancestor/descendant closure and critical-path length.
 """
 from __future__ import annotations
 
-from collections import defaultdict, deque
+from collections import deque
 from typing import (
     Callable,
     Dict,
     Hashable,
     Iterable,
     List,
-    Mapping,
     Sequence,
     Set,
     Tuple,

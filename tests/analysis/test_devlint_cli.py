@@ -1,0 +1,163 @@
+"""stampede-devlint CLI: exit codes, formats, baseline workflow."""
+import json
+import textwrap
+
+import pytest
+
+from repro.analysis.baseline import Baseline, split_findings
+from repro.analysis.cli import analyze_source, iter_python_files, main
+
+BAD = textwrap.dedent("""
+    import threading, time
+
+    class C:
+        def __init__(self):
+            self._lock = threading.Lock()
+
+        def slow(self):
+            with self._lock:
+                time.sleep(1.0)
+""")
+
+CLEAN = textwrap.dedent("""
+    import threading
+
+    class C:
+        def __init__(self):
+            self._lock = threading.Lock()
+            self._v = 0
+
+        def bump(self):
+            with self._lock:
+                self._v += 1
+""")
+
+
+@pytest.fixture
+def tree(tmp_path):
+    pkg = tmp_path / "pkg"
+    sub = pkg / "sub"
+    sub.mkdir(parents=True)
+    (pkg / "bad.py").write_text(BAD)
+    (sub / "clean.py").write_text(CLEAN)
+    (sub / "skipme.txt").write_text("not python")
+    return pkg
+
+
+class TestWalk:
+    def test_iter_python_files(self, tree):
+        files = list(iter_python_files(str(tree)))
+        assert [f.split("/")[-1] for f in files] == ["bad.py", "clean.py"]
+
+    def test_single_file(self, tree):
+        assert list(iter_python_files(str(tree / "bad.py"))) == [str(tree / "bad.py")]
+
+
+class TestExitCodes:
+    def test_findings_exit_1(self, tree, capsys):
+        assert main([str(tree)]) == 1
+        out = capsys.readouterr().out
+        assert "SDL102" in out
+
+    def test_clean_tree_exit_0(self, tree, capsys):
+        assert main([str(tree / "sub")]) == 0
+        assert "no findings" in capsys.readouterr().out
+
+    def test_fail_on_error_ignores_warnings(self, tree):
+        # SDL102 is a warning; raising the threshold passes
+        assert main([str(tree), "--fail-on", "error"]) == 0
+
+    def test_missing_path_usage_error(self, capsys):
+        assert main(["/nonexistent/dir"]) == 2
+
+    def test_no_paths_usage_error(self, capsys):
+        assert main([]) == 2
+
+    def test_list_rules(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        assert "SDL101" in out and "SDL203" in out
+
+
+class TestSelectIgnore:
+    def test_ignore_drops_rule(self, tree):
+        assert main([str(tree), "--ignore", "SDL102"]) == 0
+
+    def test_select_prefix(self, tree, capsys):
+        assert main([str(tree), "--select", "SDL2"]) == 0
+        assert main([str(tree), "--select", "SDL1"]) == 1
+
+
+class TestJsonFormat:
+    def test_json_document(self, tree, capsys):
+        main([str(tree), "--format", "json"])
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["summary"]["total"] == 1
+        assert doc["findings"][0]["rule"] == "SDL102"
+        assert doc["findings"][0]["fingerprint"]
+
+
+class TestBaselineWorkflow:
+    def test_write_then_check_exits_0(self, tree, tmp_path, capsys):
+        base = tmp_path / "analysis-baseline.json"
+        assert main([str(tree), "--write-baseline", str(base)]) == 0
+        doc = json.loads(base.read_text())
+        assert doc["tool"] == "stampede-devlint"
+        assert len(doc["suppressions"]) == 1
+        capsys.readouterr()
+        assert main([str(tree), "--baseline", str(base)]) == 0
+        out = capsys.readouterr().out
+        assert "1 baselined finding(s) suppressed" in out
+
+    def test_new_finding_still_fails(self, tree, tmp_path):
+        base = tmp_path / "b.json"
+        main([str(tree), "--write-baseline", str(base)])
+        (tree / "worse.py").write_text(BAD.replace("class C", "class D"))
+        assert main([str(tree), "--baseline", str(base)]) == 1
+
+    def test_stale_entries_reported_not_fatal(self, tree, tmp_path, capsys):
+        base = tmp_path / "b.json"
+        main([str(tree), "--write-baseline", str(base)])
+        (tree / "bad.py").write_text(CLEAN)
+        capsys.readouterr()
+        assert main([str(tree), "--baseline", str(base)]) == 0
+        assert "stale baseline entry" in capsys.readouterr().out
+
+    def test_corrupt_baseline_usage_error(self, tree, tmp_path):
+        base = tmp_path / "b.json"
+        base.write_text("{}")
+        assert main([str(tree), "--baseline", str(base)]) == 2
+
+    def test_split_findings(self):
+        findings = analyze_source(BAD, "src/repro/bus/x.py")
+        baseline = Baseline.from_findings(findings)
+        new, suppressed, stale = split_findings(findings, baseline)
+        assert new == [] and len(suppressed) == 1 and stale == []
+        other = analyze_source(BAD, "src/repro/bus/y.py")
+        new2, _, stale2 = split_findings(other, baseline)
+        assert len(new2) == 1 and len(stale2) == 1
+
+    def test_roundtrip_preserves_justification(self, tmp_path):
+        findings = analyze_source(BAD, "src/repro/bus/x.py")
+        baseline = Baseline.from_findings(findings)
+        baseline.entries[0].justification = "intentional: see docs"
+        path = tmp_path / "b.json"
+        baseline.save(str(path))
+        loaded = Baseline.load(str(path))
+        assert loaded.entries[0].justification == "intentional: see docs"
+        assert loaded.fingerprints == {
+            e.fingerprint: e for e in loaded.entries
+        }
+
+
+class TestRepoIsClean:
+    def test_devlint_over_src_repro_with_committed_baseline(self, capsys):
+        """The acceptance gate: the shipped tree passes its own linter."""
+        import os
+        root = os.path.join(os.path.dirname(__file__), "..", "..")
+        src = os.path.join(root, "src", "repro")
+        base = os.path.join(root, "analysis-baseline.json")
+        args = [src]
+        if os.path.exists(base):
+            args += ["--baseline", base]
+        assert main(args) == 0

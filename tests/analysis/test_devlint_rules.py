@@ -1,0 +1,198 @@
+"""SDL2xx invariant rules, suppressions, and finding fingerprints."""
+import textwrap
+
+from repro.analysis.cli import analyze_source
+from repro.analysis.rules import DEV_RULES, Severity, suppressed_lines
+
+
+def findings_for(src, path="src/repro/loader/example.py", rule=None):
+    found = analyze_source(textwrap.dedent(src), path)
+    if rule is not None:
+        found = [f for f in found if f.rule_id == rule]
+    return found
+
+
+class TestCatalog:
+    def test_rule_ids_stable(self):
+        assert {"SDL001", "SDL101", "SDL102", "SDL103",
+                "SDL201", "SDL202", "SDL203"} <= set(DEV_RULES)
+
+    def test_severities(self):
+        assert DEV_RULES["SDL101"].severity is Severity.ERROR
+        assert DEV_RULES["SDL103"].severity is Severity.ERROR
+        assert DEV_RULES["SDL201"].severity is Severity.WARNING
+
+
+class TestSyntaxError:
+    def test_unparsable_source_is_sdl001(self):
+        found = analyze_source("def broken(:\n", "src/repro/x.py")
+        assert [f.rule_id for f in found] == ["SDL001"]
+
+
+# ---------------------------------------------------------------- SDL201 --
+class TestHotLoopInc:
+    HOT = """
+    def consume(counter, events):
+        for event in events:
+            handle(event)
+            counter.inc()
+    """
+
+    def test_flags_inc_in_loop_on_hot_path(self):
+        found = findings_for(self.HOT, path="src/repro/loader/nl_load.py",
+                             rule="SDL201")
+        assert len(found) == 1
+        assert found[0].scope == "consume"
+
+    def test_not_flagged_outside_hot_modules(self):
+        assert findings_for(self.HOT, path="src/repro/core/dashboard.py",
+                            rule="SDL201") == []
+
+    def test_inc_outside_loop_is_clean(self):
+        src = """
+        def flush(counter, batch):
+            write(batch)
+            counter.inc(len(batch))
+        """
+        assert findings_for(src, rule="SDL201") == []
+
+
+# ---------------------------------------------------------------- SDL202 --
+class TestWallClockElapsed:
+    def test_flags_time_time_interval(self):
+        src = """
+        import time
+
+        def timed(work):
+            start = time.time()
+            work()
+            return time.time() - start
+        """
+        found = findings_for(src, rule="SDL202")
+        assert len(found) == 1
+
+    def test_monotonic_is_clean(self):
+        src = """
+        import time
+
+        def timed(work):
+            start = time.monotonic()
+            work()
+            return time.monotonic() - start
+        """
+        assert findings_for(src, rule="SDL202") == []
+
+    def test_wall_clock_stamp_alone_is_clean(self):
+        # a single wall-clock reading (message stamp, checkpoint ts) is
+        # legitimate — only *intervals* from two local readings are flagged
+        src = """
+        import time
+
+        def stamp(headers):
+            headers["x-pub-ts"] = time.time()
+            return headers
+        """
+        assert findings_for(src, rule="SDL202") == []
+
+    def test_cross_source_subtraction_is_clean(self):
+        # latency vs a publisher stamp from another process must use the
+        # shared wall clock; not flagged
+        src = """
+        import time
+
+        def deliver_latency(pub_ts):
+            return time.time() - pub_ts
+        """
+        assert findings_for(src, rule="SDL202") == []
+
+
+# ---------------------------------------------------------------- SDL203 --
+class TestBareExcept:
+    def test_flags_bare_except(self):
+        src = """
+        def swallow(op):
+            try:
+                op()
+            except:
+                pass
+        """
+        found = findings_for(src, rule="SDL203")
+        assert len(found) == 1
+
+    def test_named_except_is_clean(self):
+        src = """
+        def tolerate(op):
+            try:
+                op()
+            except Exception:
+                pass
+        """
+        assert findings_for(src, rule="SDL203") == []
+
+
+# ------------------------------------------------------------ suppression --
+class TestInlineSuppression:
+    def test_ignore_specific_rule(self):
+        src = """
+        def swallow(op):
+            try:
+                op()
+            except:  # devlint: ignore[SDL203]
+                pass
+        """
+        assert findings_for(src, rule="SDL203") == []
+
+    def test_ignore_all_rules_on_line(self):
+        src = """
+        def swallow(op):
+            try:
+                op()
+            except:  # devlint: ignore
+                pass
+        """
+        assert findings_for(src) == []
+
+    def test_other_rule_id_does_not_suppress(self):
+        src = """
+        def swallow(op):
+            try:
+                op()
+            except:  # devlint: ignore[SDL101]
+                pass
+        """
+        assert len(findings_for(src, rule="SDL203")) == 1
+
+    def test_suppressed_lines_parser(self):
+        text = "x = 1\ny = 2  # devlint: ignore[SDL101,SDL102]\nz = 3  # devlint: ignore\n"
+        marks = suppressed_lines(text)
+        assert marks[2] == {"SDL101", "SDL102"}
+        assert marks[3] is None
+        assert 1 not in marks
+
+
+# ------------------------------------------------------------- fingerprint --
+class TestFingerprints:
+    SRC = """
+    def swallow(op):
+        try:
+            op()
+        except:
+            pass
+    """
+
+    def test_stable_across_line_drift(self):
+        a = findings_for(self.SRC)[0]
+        b = findings_for("# a new leading comment\n\n" + textwrap.dedent(self.SRC))
+        assert a.fingerprint() == b[0].fingerprint()
+        assert a.line != b[0].line
+
+    def test_differs_across_files(self):
+        a = findings_for(self.SRC, path="src/repro/loader/a.py")[0]
+        b = findings_for(self.SRC, path="src/repro/loader/b.py")[0]
+        assert a.fingerprint() != b.fingerprint()
+
+    def test_to_dict_has_fingerprint(self):
+        f = findings_for(self.SRC)[0]
+        doc = f.to_dict()
+        assert doc["fingerprint"] == f.fingerprint()
+        assert doc["rule"] == "SDL203"

@@ -1,0 +1,189 @@
+"""Stress regression tests for the MessageQueue two-condition protocol.
+
+The queue uses one mutex with two conditions (``_not_empty`` /
+``_not_full``).  The classic failure modes of that protocol — a notify
+on the wrong condition (lost wakeup), a missed notify under overflow, a
+message handed to two consumers — only show up under real contention,
+so these tests run N producers against M consumers per overflow policy
+and check the conservation laws afterwards:
+
+* every published body is delivered exactly once ('block'/'raise');
+* published == acked + dropped + leftover ('drop-oldest');
+* no delivery is duplicated under any policy;
+* all threads join within the deadline (no thread wedged on a
+  condition nobody will ever signal).
+"""
+import random
+import threading
+import time
+
+import pytest
+
+from repro.bus.queues import MessageQueue, QueueFullError
+
+
+def run_stress(
+    policy,
+    producers=4,
+    consumers=3,
+    per_producer=200,
+    max_length=8,
+    retry_on_full=False,
+):
+    """Drive one contended round; return (queue, delivered bodies)."""
+    q = MessageQueue("stress", max_length=max_length, overflow=policy)
+    producers_done = threading.Event()
+    delivered = []
+    delivered_mu = threading.Lock()
+    errors = []
+
+    def produce(pid):
+        try:
+            for i in range(per_producer):
+                body = (pid, i)
+                while True:
+                    try:
+                        q.put("stress.key", body, timeout=10)
+                        break
+                    except QueueFullError:
+                        if not retry_on_full:
+                            raise
+                        time.sleep(0.0005)
+        except Exception as exc:  # pragma: no cover - failure diagnostics
+            errors.append(exc)
+
+    def consume():
+        try:
+            while True:
+                msg = q.get(timeout=0.05)
+                if msg is None:
+                    if producers_done.is_set() and len(q) == 0:
+                        return
+                    continue
+                with delivered_mu:
+                    delivered.append(msg.body)
+                q.ack(msg.delivery_tag)
+        except Exception as exc:  # pragma: no cover - failure diagnostics
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=produce, args=(pid,), name=f"prod-{pid}")
+        for pid in range(producers)
+    ] + [
+        threading.Thread(target=consume, name=f"cons-{cid}")
+        for cid in range(consumers)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads[:producers]:
+        t.join(timeout=30)
+    producers_done.set()
+    for t in threads[producers:]:
+        t.join(timeout=30)
+    wedged = [t.name for t in threads if t.is_alive()]
+    assert not wedged, f"threads wedged on the queue protocol: {wedged}"
+    assert not errors, errors
+    return q, delivered
+
+
+class TestBlockPolicy:
+    def test_no_lost_wakeups_no_duplicates(self):
+        q, delivered = run_stress("block")
+        expected = {(pid, i) for pid in range(4) for i in range(200)}
+        assert len(delivered) == len(set(delivered)), "duplicate delivery"
+        assert set(delivered) == expected, "lost messages"
+        assert q.stats.published == len(expected)
+        assert q.stats.acked == len(expected)
+        assert q.stats.dropped == 0
+        assert q.unacked_count == 0
+
+    def test_backpressure_engages_and_releases(self):
+        # a size-1 queue with a slow consumer forces the producer onto
+        # _not_full; every message still arrives exactly once
+        q, delivered = run_stress(
+            "block", producers=2, consumers=1, per_producer=25, max_length=1
+        )
+        assert sorted(delivered) == sorted(
+            (pid, i) for pid in range(2) for i in range(25)
+        )
+        assert q.stats.blocked > 0, "expected the producers to hit backpressure"
+
+
+class TestRaisePolicy:
+    def test_publisher_retry_conserves_messages(self):
+        q, delivered = run_stress("raise", retry_on_full=True)
+        expected = {(pid, i) for pid in range(4) for i in range(200)}
+        assert len(delivered) == len(set(delivered))
+        assert set(delivered) == expected
+        assert q.stats.dropped == 0
+
+
+class TestDropOldestPolicy:
+    def test_conservation_with_shedding(self):
+        q, delivered = run_stress("drop-oldest", max_length=4)
+        published = 4 * 200
+        assert q.stats.published == published
+        assert len(delivered) == len(set(delivered)), "duplicate delivery"
+        # every message is either delivered (and acked) or shed — never both
+        assert len(delivered) + q.stats.dropped == published
+        assert len(q) == 0
+
+
+class TestRandomPolicyMix:
+    def test_seeded_policy_sweep(self):
+        rng = random.Random(0x5717)
+        for round_no in range(4):
+            policy = rng.choice(["block", "raise", "drop-oldest"])
+            max_length = rng.choice([2, 5, 16])
+            q, delivered = run_stress(
+                policy,
+                producers=rng.randint(2, 4),
+                consumers=rng.randint(1, 3),
+                per_producer=60,
+                max_length=max_length,
+                retry_on_full=(policy == "raise"),
+            )
+            assert len(delivered) == len(set(delivered)), (
+                f"round {round_no} ({policy}, max={max_length}): duplicates"
+            )
+            if policy == "drop-oldest":
+                assert len(delivered) + q.stats.dropped == q.stats.published
+            else:
+                assert len(delivered) == q.stats.published
+
+
+class TestShutdownWithInFlight:
+    def test_requeue_unacked_wakes_waiting_consumer(self):
+        # a consumer dies holding unacked messages; requeue_unacked must
+        # notify_all so a parked consumer picks the redeliveries up
+        q = MessageQueue("shutdown", max_length=16, overflow="block")
+        for i in range(3):
+            q.put("k", i)
+        first = [q.get(timeout=1) for _ in range(3)]
+        assert all(m is not None for m in first)
+        got = []
+
+        def waiter():
+            for _ in range(3):
+                msg = q.get(timeout=5)
+                assert msg is not None
+                got.append((msg.body, msg.redelivered))
+                q.ack(msg.delivery_tag)
+
+        t = threading.Thread(target=waiter)
+        t.start()
+        time.sleep(0.05)  # let the waiter park on _not_empty
+        assert q.requeue_unacked() == 3
+        t.join(timeout=10)
+        assert not t.is_alive()
+        assert sorted(b for b, _ in got) == [0, 1, 2]
+        assert all(redelivered for _, redelivered in got)
+        assert q.unacked_count == 0
+
+
+@pytest.mark.parametrize("policy", ["block", "raise", "drop-oldest"])
+def test_empty_queue_timeout_returns_none(policy):
+    q = MessageQueue("empty", max_length=2, overflow=policy)
+    t0 = time.monotonic()
+    assert q.get(timeout=0.05) is None
+    assert time.monotonic() - t0 < 5

@@ -1,0 +1,40 @@
+"""Suite-wide hooks: opt-in lock-order sanitizer (race-smoke CI job).
+
+With ``STAMPEDE_SANITIZE=1`` in the environment, every
+``threading.Lock``/``RLock``/``Condition`` created by ``repro.*``
+modules during the test session is replaced with a recording wrapper
+(:mod:`repro.analysis.sanitizer`); at session end the lock-order graph,
+contention/hold statistics, and any cycles are written to
+``STAMPEDE_SANITIZE_REPORT`` (default ``lock-order-report.json``), which
+``python -m repro.analysis.sanitizer --check`` turns into a CI gate.
+
+The hook installs during ``pytest_configure`` — before test modules (and
+therefore most ``repro`` modules) are imported — so locks created at
+module import time are captured too.  Without the flag nothing is
+patched and this file is inert.
+"""
+import os
+
+_SANITIZER = None
+
+
+def pytest_configure(config):
+    global _SANITIZER
+    from repro.analysis.sanitizer import enabled_from_env
+
+    if enabled_from_env():
+        from repro.analysis.sanitizer import LockSanitizer
+
+        _SANITIZER = LockSanitizer().install()
+
+
+def pytest_sessionfinish(session, exitstatus):
+    global _SANITIZER
+    if _SANITIZER is None:
+        return
+    from repro.analysis.sanitizer import ENV_REPORT
+
+    path = os.environ.get(ENV_REPORT, "lock-order-report.json")
+    _SANITIZER.uninstall()
+    _SANITIZER.write_report(path)
+    _SANITIZER = None

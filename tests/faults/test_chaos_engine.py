@@ -9,7 +9,7 @@ failure.
 """
 import pytest
 
-from repro.faults import EngineFaultInjector, FaultPlan
+from repro.faults import FaultPlan
 from repro.lint import LintConfig, Severity
 from repro.lint.stream import lint_bp
 from repro.loader import load_events

@@ -6,7 +6,6 @@ from repro.loader import LoaderError, load_events, make_loader
 from repro.model.entities import (
     HostRow,
     JobInstanceRow,
-    JobStateRow,
     WorkflowRow,
 )
 from repro.netlogger.events import NLEvent

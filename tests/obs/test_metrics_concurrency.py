@@ -1,0 +1,168 @@
+"""MetricsRegistry under contention: scrape while 8 threads write.
+
+``render_prometheus`` walks every instrument while engines keep
+recording into them.  These tests race a scraper against writer threads
+and assert the two safety properties the dashboard depends on:
+
+* every scrape parses as well-formed exposition text (no torn lines,
+  no half-registered instruments);
+* counters and histogram counts only ever move forward between scrapes
+  (a torn multi-field histogram read would show sum/count regressing).
+"""
+import re
+import threading
+
+from repro.obs.export import render_prometheus
+from repro.obs.metrics import MetricsRegistry
+
+WRITERS = 8
+ROUNDS = 300
+
+_LINE = re.compile(
+    r"^(?:# (?:HELP|TYPE) [a-zA-Z_][a-zA-Z0-9_]* .+"
+    r"|[a-zA-Z_][a-zA-Z0-9_]*(?:\{[^{}]*\})? (?:[-+]?Inf|-?[0-9][0-9.eE+-]*))$"
+)
+_LE = re.compile(r'le="([^"]+)"')
+
+
+def parse_exposition(text):
+    """Strict-ish parse of the v0.0.4 text format -> {series: float}."""
+    values = {}
+    for line in text.splitlines():
+        if not line:
+            continue
+        assert _LINE.match(line), f"malformed exposition line: {line!r}"
+        if line.startswith("#"):
+            continue
+        series, raw = line.rsplit(" ", 1)
+        values[series] = float(raw.replace("Inf", "inf"))
+    return values
+
+
+def bucket_counts(values, name):
+    """Cumulative histogram bucket counts ordered by their le bound."""
+    out = []
+    for series, value in values.items():
+        if series.startswith(name + "_bucket"):
+            le = _LE.search(series).group(1)
+            out.append((float(le.replace("Inf", "inf")), value))
+    return [count for _, count in sorted(out)]
+
+
+class _Writers:
+    """8 threads hammering one counter/gauge/histogram + a labelled
+    counter each, with a lock-guarded authoritative total mirrored into
+    a separate counter via ``set_total`` from a scrape-time collector —
+    the intended use of that method."""
+
+    def __init__(self, registry):
+        self.registry = registry
+        self.stop = threading.Event()
+        self.counter = registry.counter("mc_events_total", help="events")
+        self.gauge = registry.gauge("mc_depth")
+        self.hist = registry.histogram(
+            "mc_latency_seconds", buckets=(0.01, 0.1, 1.0)
+        )
+        self._source_mu = threading.Lock()
+        self._source = 0
+        mirror = registry.counter("mc_mirror_total")
+        registry.register_collector(
+            lambda reg: mirror.set_total(self.source())
+        )
+        self.threads = [
+            threading.Thread(target=self._writer, args=(wid,))
+            for wid in range(WRITERS)
+        ]
+        for t in self.threads:
+            t.start()
+
+    def source(self):
+        with self._source_mu:
+            return self._source
+
+    def _writer(self, wid):
+        # per-thread labelled counter exercises get-or-create under race
+        mine = self.registry.counter("mc_per_writer_total", labels={"w": str(wid)})
+        n = 0
+        while not self.stop.is_set():
+            self.counter.inc()
+            mine.inc()
+            self.gauge.set(n % 32)
+            self.hist.observe((n % 7) * 0.03)
+            with self._source_mu:
+                self._source += 1
+            n += 1
+
+    def join(self):
+        self.stop.set()
+        for t in self.threads:
+            t.join(timeout=10)
+        assert all(not t.is_alive() for t in self.threads)
+
+
+class TestScrapeUnderContention:
+    def test_output_parseable_and_counters_monotonic(self):
+        registry = MetricsRegistry()
+        writers = _Writers(registry)
+        try:
+            last_events = last_mirror = last_hist_count = -1.0
+            for _ in range(ROUNDS):
+                values = parse_exposition(render_prometheus(registry))
+                events = values.get("mc_events_total", 0.0)
+                mirror = values.get("mc_mirror_total", 0.0)
+                hist_count = values.get("mc_latency_seconds_count", 0.0)
+                assert events >= last_events, "counter went backwards"
+                assert mirror >= last_mirror, "set_total mirror regressed"
+                assert hist_count >= last_hist_count, "histogram count regressed"
+                assert values.get("mc_latency_seconds_sum", 0.0) >= 0
+                counts = bucket_counts(values, "mc_latency_seconds")
+                assert counts == sorted(counts), "non-cumulative buckets"
+                # _count is read under a later lock acquisition than the
+                # buckets, so mid-race it may only run ahead, never behind
+                if counts:
+                    assert counts[-1] <= hist_count
+                last_events, last_mirror, last_hist_count = (
+                    events, mirror, hist_count,
+                )
+        finally:
+            writers.join()
+
+        # quiescent cross-check: final scrape agrees with instrument state
+        final = parse_exposition(render_prometheus(registry))
+        per_writer = [
+            v for k, v in final.items() if k.startswith("mc_per_writer_total{")
+        ]
+        assert len(per_writer) == WRITERS
+        assert final["mc_events_total"] == sum(per_writer)
+        assert final["mc_mirror_total"] == final["mc_events_total"]
+        assert final["mc_latency_seconds_count"] == sum(per_writer)
+
+    def test_concurrent_get_or_create_returns_one_instrument(self):
+        registry = MetricsRegistry()
+        out = []
+        barrier = threading.Barrier(WRITERS)
+
+        def make():
+            barrier.wait()
+            out.append(registry.counter("shared_total"))
+
+        threads = [threading.Thread(target=make) for _ in range(WRITERS)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=10)
+        assert len(out) == WRITERS
+        assert all(c is out[0] for c in out), "get-or-create raced"
+
+    def test_snapshot_races_with_writers(self):
+        registry = MetricsRegistry()
+        writers = _Writers(registry)
+        try:
+            last = -1.0
+            for _ in range(200):
+                snap = registry.snapshot()
+                events = snap.get("mc_events_total", 0.0)
+                assert events >= last
+                last = events
+        finally:
+            writers.join()
