@@ -1,0 +1,191 @@
+"""Canonical (surrogate-free) archive dumps, and merging them.
+
+Two loaders filling two archives from the same event stream produce the
+same *information* but different surrogate ids: ``wf_id``/``job_id``/…
+are per-archive insertion counters.  Comparing archives row-by-row —
+the acceptance check for distributed ingest ("N loaders sharing a
+consumer group must archive exactly what one loader would") — therefore
+needs every foreign key rewritten onto the natural keys the events
+themselves carry:
+
+========================  ==============================================
+surrogate                 natural identity
+========================  ==============================================
+``wf_id``                 ``wf_uuid``
+``job_id``                ``(wf_uuid, exec_job_id)``
+``task_id``               ``(wf_uuid, abs_task_id)``
+``job_instance_id``       ``(wf_uuid, exec_job_id, job_submit_seq)``
+``host_id``               ``(wf_uuid, hostname)``
+========================  ==============================================
+
+:func:`canonical_dump` renders one archive in that form;
+:func:`merge_canonical` unions several dumps (duplicates are *kept*, so
+a double-committed row shows up as a difference instead of being
+silently absorbed).  ``obs_event`` rows are excluded by default: each
+loader's self-monitoring telemetry is legitimately its own.
+"""
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.archive.store import StampedeArchive
+from repro.model.entities import (
+    HostRow,
+    InvocationRow,
+    JobEdgeRow,
+    JobInstanceRow,
+    JobRow,
+    JobStateRow,
+    ObsEventRow,
+    TaskEdgeRow,
+    TaskRow,
+    WorkflowRow,
+    WorkflowStateRow,
+)
+
+__all__ = ["canonical_dump", "merge_canonical", "diff_canonical"]
+
+Row = Tuple[object, ...]
+Dump = Dict[str, List[Row]]
+
+
+def _sorted(rows: List[Row]) -> List[Row]:
+    # rows mix None/str/int, which Python refuses to order directly;
+    # repr gives a total, deterministic order that only needs to be
+    # *consistent*, not meaningful
+    return sorted(rows, key=repr)
+
+
+def canonical_dump(
+    archive: StampedeArchive, include_obs: bool = False
+) -> Dump:
+    """Every Fig. 3 row with surrogate keys rewritten to natural keys."""
+    wf_uuid: Dict[int, str] = {
+        w.wf_id: w.wf_uuid for w in archive.query(WorkflowRow).all()
+    }
+    job_key: Dict[int, Tuple[str, str]] = {
+        j.job_id: (wf_uuid[j.wf_id], j.exec_job_id)
+        for j in archive.query(JobRow).all()
+    }
+    host_key: Dict[int, Tuple[str, str]] = {
+        h.host_id: (wf_uuid[h.wf_id], h.hostname)
+        for h in archive.query(HostRow).all()
+    }
+    ji_key: Dict[int, Tuple[str, str, int]] = {
+        ji.job_instance_id: (*job_key[ji.job_id], ji.job_submit_seq)
+        for ji in archive.query(JobInstanceRow).all()
+    }
+    # task.job_id is the EW job a task mapped to (nullable)
+    job_name: Dict[Optional[int], Optional[str]] = {None: None}
+    for jid, (_u, exec_job_id) in job_key.items():
+        job_name[jid] = exec_job_id
+
+    dump: Dump = {}
+    dump["workflow"] = _sorted([
+        (
+            w.wf_uuid, w.dag_file_name, w.timestamp, w.submit_hostname,
+            w.submit_dir, w.planner_version, w.user, w.grid_dn,
+            w.planner_arguments, w.dax_label, w.dax_version, w.dax_file,
+            wf_uuid.get(w.parent_wf_id) if w.parent_wf_id is not None else None,
+            wf_uuid.get(w.root_wf_id) if w.root_wf_id is not None else None,
+        )
+        for w in archive.query(WorkflowRow).all()
+    ])
+    dump["workflowstate"] = _sorted([
+        (wf_uuid[s.wf_id], s.state, s.timestamp, s.restart_count, s.status)
+        for s in archive.query(WorkflowStateRow).all()
+    ])
+    dump["task"] = _sorted([
+        (
+            wf_uuid[t.wf_id], t.abs_task_id, job_name.get(t.job_id),
+            t.transformation, t.argv, t.type_desc,
+        )
+        for t in archive.query(TaskRow).all()
+    ])
+    dump["task_edge"] = _sorted([
+        (wf_uuid[e.wf_id], e.parent_abs_task_id, e.child_abs_task_id)
+        for e in archive.query(TaskEdgeRow).all()
+    ])
+    dump["job"] = _sorted([
+        (
+            wf_uuid[j.wf_id], j.exec_job_id, j.submit_file, j.type_desc,
+            j.clustered, j.max_retries, j.executable, j.argv, j.task_count,
+        )
+        for j in archive.query(JobRow).all()
+    ])
+    dump["job_edge"] = _sorted([
+        (wf_uuid[e.wf_id], e.parent_exec_job_id, e.child_exec_job_id)
+        for e in archive.query(JobEdgeRow).all()
+    ])
+    dump["job_instance"] = _sorted([
+        (
+            *ji_key[ji.job_instance_id],
+            host_key.get(ji.host_id) if ji.host_id is not None else None,
+            ji.sched_id, ji.site, ji.user, ji.work_dir, ji.local_duration,
+            wf_uuid.get(ji.subwf_id) if ji.subwf_id is not None else None,
+            ji.stdout_file, ji.stdout_text, ji.stderr_file, ji.stderr_text,
+            ji.multiplier_factor, ji.exitcode,
+        )
+        for ji in archive.query(JobInstanceRow).all()
+    ])
+    dump["jobstate"] = _sorted([
+        (
+            *ji_key[s.job_instance_id],
+            s.state, s.timestamp, s.jobstate_submit_seq,
+        )
+        for s in archive.query(JobStateRow).all()
+    ])
+    dump["invocation"] = _sorted([
+        (
+            *ji_key[i.job_instance_id], i.task_submit_seq, i.start_time,
+            i.remote_duration, i.remote_cpu_time, i.exitcode,
+            i.transformation, i.executable, i.argv, i.abs_task_id,
+        )
+        for i in archive.query(InvocationRow).all()
+    ])
+    dump["host"] = _sorted([
+        (
+            wf_uuid[h.wf_id], h.hostname, h.site, h.ip, h.uname,
+            h.total_memory,
+        )
+        for h in archive.query(HostRow).all()
+    ])
+    if include_obs:
+        dump["obs_event"] = _sorted([
+            (o.ts, o.event, o.name, o.component, o.value, o.payload)
+            for o in archive.query(ObsEventRow).all()
+        ])
+    return dump
+
+
+def merge_canonical(*dumps: Dump) -> Dump:
+    """Union several canonical dumps, keeping duplicates.
+
+    Keeping duplicates is the point: a row committed by two group
+    members appears twice in the merge and therefore fails the
+    row-identity comparison against a single-loader baseline, instead
+    of being masked by set semantics.
+    """
+    merged: Dump = {}
+    for dump in dumps:
+        for table, rows in dump.items():
+            merged.setdefault(table, []).extend(rows)
+    return {table: _sorted(rows) for table, rows in merged.items()}
+
+
+def diff_canonical(expected: Dump, actual: Dump) -> List[str]:
+    """Human-readable differences (empty list == row-identical)."""
+    problems: List[str] = []
+    for table in sorted(set(expected) | set(actual)):
+        want = expected.get(table, [])
+        got = actual.get(table, [])
+        if want == got:
+            continue
+        missing = [r for r in want if r not in got]
+        extra = [r for r in got if r not in want]
+        problems.append(
+            f"{table}: {len(want)} expected vs {len(got)} actual rows"
+            + (f"; missing e.g. {missing[0]!r}" if missing else "")
+            + (f"; extra e.g. {extra[0]!r}" if extra else "")
+        )
+    return problems

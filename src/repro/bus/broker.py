@@ -12,6 +12,7 @@ import threading
 from dataclasses import dataclass
 from typing import Dict, Iterator, List, Mapping, Optional
 
+from repro.bus.groups import ConsumerGroup, GroupMember
 from repro.bus.queues import Message, MessageQueue
 from repro.bus.topic import topic_matches, validate_pattern
 
@@ -22,9 +23,20 @@ __all__ = [
     "Consumer",
     "ConnectionLostError",
     "DEAD_LETTER_QUEUE",
+    "DEFAULT_POLL_TIMEOUT",
 ]
 
 DEFAULT_EXCHANGE = "stampede"
+
+#: Default blocking window of :meth:`Consumer.get` — the same poll the
+#: loader's backpressure path uses (``load_from_bus(poll_timeout=...)``).
+#: A short *blocking* wait, not a busy poll: an idle consumer parks on
+#: the queue's condition variable instead of spinning, and a remote
+#: consumer ships this timeout to the broker so the wait happens
+#: server-side rather than as a request-per-poll loop over TCP.  Pass
+#: ``timeout=0`` for a true non-blocking poll, ``timeout=None`` to block
+#: until a message arrives.
+DEFAULT_POLL_TIMEOUT = 0.05
 
 #: Default dead-letter queue: unroutable publishes and poison events land
 #: here instead of disappearing.
@@ -88,6 +100,7 @@ class Broker:
     def __init__(self, dead_letter_queue: Optional[str] = DEAD_LETTER_QUEUE):
         self._exchanges: Dict[str, Exchange] = {}
         self._queues: Dict[str, MessageQueue] = {}
+        self._groups: Dict[str, ConsumerGroup] = {}
         self._lock = threading.RLock()
         self._anon_counter = 0
         #: where unroutable publishes go; None restores the old
@@ -148,6 +161,68 @@ class Broker:
                     if binding.queue_name == queue_name:
                         exchange.unbind(binding.pattern, queue_name)
 
+    def declare_group(
+        self,
+        name: str,
+        pattern: str = "stampede.#",
+        partitions: int = 8,
+        exchange: str = DEFAULT_EXCHANGE,
+    ) -> ConsumerGroup:
+        """Declare (or return) a consumer group over a topic pattern.
+
+        A group competes for matching publishes: each one is routed to
+        exactly one of the group's partition queues (partitioned by root
+        workflow id), and the group's members own disjoint partition
+        subsets — the scale-out complement to fan-out subscriptions.
+        Redeclaring with different parameters is an error, as for queue
+        durability.
+        """
+        with self._lock:
+            group = self._groups.get(name)
+            if group is not None:
+                if (group.pattern, group.partitions, group.exchange) != (
+                    pattern, partitions, exchange
+                ):
+                    raise ValueError(
+                        f"group {name!r} redeclared with "
+                        f"pattern={pattern!r}/partitions={partitions}/"
+                        f"exchange={exchange!r}, existing "
+                        f"pattern={group.pattern!r}/"
+                        f"partitions={group.partitions}/"
+                        f"exchange={group.exchange!r}"
+                    )
+                return group
+            self.declare_exchange(exchange)
+            group = ConsumerGroup(
+                self, name, pattern, partitions=partitions, exchange=exchange
+            )
+            self._groups[name] = group
+            return group
+
+    def join_group(
+        self,
+        name: str,
+        member_id: Optional[str] = None,
+        pattern: str = "stampede.#",
+        partitions: int = 8,
+        exchange: str = DEFAULT_EXCHANGE,
+    ) -> GroupMember:
+        """Declare a group and join it in one step (the common path)."""
+        group = self.declare_group(
+            name, pattern=pattern, partitions=partitions, exchange=exchange
+        )
+        # join() rebalances and may requeue in-flight deliveries; it runs
+        # outside the broker lock by design (lock order: broker > group)
+        return group.join(member_id)
+
+    def group(self, name: str) -> ConsumerGroup:
+        with self._lock:
+            return self._groups[name]
+
+    def groups(self) -> List[ConsumerGroup]:
+        with self._lock:
+            return list(self._groups.values())
+
     def queue(self, name: str) -> MessageQueue:
         with self._lock:
             return self._queues[name]
@@ -187,7 +262,11 @@ class Broker:
             exch.published += 1
             targets = [self._queues[name] for name in exch.route(routing_key)
                        if name in self._queues]
-            if not targets:
+            groups = [
+                g for g in self._groups.values()
+                if g.matches(routing_key, exchange)
+            ]
+            if not targets and not groups:
                 exch.unroutable += 1
                 if self.dead_letter_queue is not None:
                     dead_letter = self.declare_queue(
@@ -204,9 +283,19 @@ class Broker:
                 },
             )
             return 0
+        delivered = len(targets)
         for queue in targets:
             queue.put(routing_key, body, headers=headers)
-        return len(targets)
+        for group in groups:
+            # route() picks the partition + stamps headers under the
+            # group's own lock; the put happens here, outside any lock.
+            # None means the group absorbed a publish-side duplicate.
+            routed = group.route(routing_key, body, headers)
+            if routed is not None:
+                part_queue, group_headers = routed
+                part_queue.put(routing_key, body, headers=group_headers)
+                delivered += 1
+        return delivered
 
     def subscribe(
         self,
@@ -248,7 +337,22 @@ class Consumer:
     def queue_name(self) -> str:
         return self._queue.name
 
-    def get(self, timeout: Optional[float] = 0.0, auto_ack: bool = True) -> Optional[Message]:
+    def get(
+        self,
+        timeout: Optional[float] = DEFAULT_POLL_TIMEOUT,
+        auto_ack: bool = True,
+    ) -> Optional[Message]:
+        """Pop the next message, blocking up to ``timeout`` seconds.
+
+        ``timeout`` semantics (shared by every consumer flavour,
+        including the TCP :class:`~repro.bus.net.RemoteConsumer`):
+
+        * ``None`` — block until a message arrives (AMQP-style consume);
+        * ``0`` — non-blocking poll, return ``None`` immediately;
+        * ``> 0`` — block up to that many seconds (the default is
+          :data:`DEFAULT_POLL_TIMEOUT`, matching the loader's
+          backpressure loop), then return ``None``.
+        """
         self._check_connected()
         msg = self._queue.get(timeout=timeout)
         if msg is not None and auto_ack:
@@ -274,7 +378,7 @@ class Consumer:
     def __iter__(self) -> Iterator[Message]:
         """Iterate over currently-available messages (non-blocking)."""
         while True:
-            msg = self.get()
+            msg = self.get(timeout=0.0)
             if msg is None:
                 return
             yield msg

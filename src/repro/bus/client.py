@@ -14,6 +14,7 @@ from typing import Iterable, Iterator, List, Optional
 
 from repro.bus.broker import (
     DEFAULT_EXCHANGE,
+    DEFAULT_POLL_TIMEOUT,
     Broker,
     ConnectionLostError,
     Consumer,
@@ -22,7 +23,14 @@ from repro.bus.queues import Message
 from repro.bus.reliable import HEADER_PUBLISHER, HEADER_SEQ
 from repro.netlogger.events import NLEvent
 from repro.netlogger.stream import BPWriter
-from repro.obs.spans import HEADER_PUB_TS, HEADER_TRACE, new_trace_id
+from repro.obs.spans import (
+    CLOCK_EPOCH,
+    HEADER_CLOCK_EPOCH,
+    HEADER_PUB_MONO,
+    HEADER_PUB_TS,
+    HEADER_TRACE,
+    new_trace_id,
+)
 
 __all__ = ["EventPublisher", "EventConsumer", "EventSink", "BusSink", "FileSink", "MultiSink"]
 
@@ -62,7 +70,13 @@ class EventPublisher:
                 HEADER_PUBLISHER: self.publisher_id,
                 HEADER_SEQ: self.events_published,
                 HEADER_TRACE: new_trace_id(),
+                # the wall clock is the only clock a *remote* consumer
+                # shares with us; the monotonic stamp (plus the epoch
+                # identifying its base) lets a same-process consumer
+                # measure latency immune to wall-clock adjustment
                 HEADER_PUB_TS: time.time(),
+                HEADER_PUB_MONO: time.monotonic(),
+                HEADER_CLOCK_EPOCH: CLOCK_EPOCH,
             }
             if self._stamp
             else None
@@ -146,7 +160,9 @@ class EventConsumer:
             overflow=self._overflow,
         )
 
-    def get(self, timeout: Optional[float] = 0.0) -> Optional[NLEvent]:
+    def get(
+        self, timeout: Optional[float] = DEFAULT_POLL_TIMEOUT
+    ) -> Optional[NLEvent]:
         try:
             msg = self._consumer.get(timeout=timeout)
         except ConnectionLostError:
@@ -155,11 +171,15 @@ class EventConsumer:
         return None if msg is None else _as_event(msg.body)
 
     def get_message(
-        self, timeout: Optional[float] = 0.0, auto_ack: bool = True
+        self,
+        timeout: Optional[float] = DEFAULT_POLL_TIMEOUT,
+        auto_ack: bool = True,
     ) -> Optional[Message]:
         """Raw message access (delivery tag + body) for at-least-once
         consumers that want to ack only after their batch commits.
 
+        ``timeout`` follows :meth:`repro.bus.broker.Consumer.get`:
+        ``None`` blocks, ``0`` polls, a positive value waits that long.
         Raises :class:`ConnectionLostError` on a dropped connection —
         batch consumers must flush/settle, then :meth:`reconnect`.
         """

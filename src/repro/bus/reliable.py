@@ -21,7 +21,7 @@ straight through, so the gate is transparent where it has no information.
 """
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.bus.queues import Message
 
@@ -58,9 +58,14 @@ class Resequencer:
         self.max_held = max_held
         self._next: Dict[str, int] = {}
         self._held: Dict[str, Dict[int, Message]] = {}
+        #: gap sequences adopted as lost by a force-release; a later
+        #: arrival of one of these was *never delivered*, so counting it
+        #: as a duplicate would misreport data loss as harmless dedupe
+        self._skipped: Dict[str, Set[int]] = {}
         self.duplicates = 0
         self.held_back = 0  # deliveries that arrived ahead of a gap
         self.gaps_skipped = 0  # sequence numbers adopted as lost
+        self.late_arrivals = 0  # skipped gaps that showed up after all
 
     # -- feeding ------------------------------------------------------------
     def offer(self, msg: Message) -> Tuple[List[Message], List[Message]]:
@@ -76,7 +81,16 @@ class Resequencer:
         expected = self._next.setdefault(publisher, 1)
         held = self._held.setdefault(publisher, {})
         if seq < expected or seq in held:
-            self.duplicates += 1
+            skipped = self._skipped.get(publisher)
+            if skipped is not None and seq in skipped:
+                # the gap we force-skipped finally arrived: it was never
+                # delivered, so this is late data loss surfacing — count
+                # it apart from true duplicates, and still drop it (a
+                # late release would reorder the already-released tail)
+                skipped.discard(seq)
+                self.late_arrivals += 1
+            else:
+                self.duplicates += 1
             return [], [msg]
         if seq > expected:
             self.held_back += 1
@@ -112,9 +126,19 @@ class Resequencer:
             return []
         expected = self._next.get(publisher, 1)
         released = [held[seq] for seq in sorted(held)]
-        self.gaps_skipped += sum(
-            1 for seq in range(expected, max(held) + 1) if seq not in held
-        )
+        gaps = [
+            seq for seq in range(expected, max(held) + 1) if seq not in held
+        ]
+        self.gaps_skipped += len(gaps)
+        # remember the skipped sequences (bounded) so a late arrival is
+        # reported as surfaced loss, not mistaken for a duplicate; the
+        # release position advances past the whole evicted window, so a
+        # late arrival can never be delivered a second time nor move
+        # ``expected`` backwards or forwards again
+        skipped = self._skipped.setdefault(publisher, set())
+        skipped.update(gaps)
+        while len(skipped) > self.max_held:
+            skipped.pop()
         self._next[publisher] = max(held) + 1
         self._held[publisher] = {}
         return released
@@ -130,6 +154,32 @@ class Resequencer:
         dropped = sum(len(h) for h in self._held.values())
         self._held = {}
         return dropped
+
+    def seed(self, publisher: str, next_seq: int) -> None:
+        """Declare ``next_seq`` as the next expected sequence for a
+        publisher this resequencer has not seen yet.
+
+        Used when a consumer inherits a stream mid-flight with a known
+        committed position (e.g. a consumer-group partition handover):
+        without a seed the resequencer would hold everything from
+        ``next_seq`` forever, waiting for sequences a previous owner
+        already released.  Seeding an already-known publisher is only
+        allowed forwards (to a higher position); moving backwards would
+        re-open already-released sequences for double delivery.
+        """
+        if next_seq < 1:
+            raise ValueError("next_seq must be >= 1")
+        current = self._next.get(publisher)
+        if current is not None and next_seq < current:
+            raise ValueError(
+                f"cannot seed {publisher!r} backwards "
+                f"(released up to {current}, asked for {next_seq})"
+            )
+        self._next[publisher] = next_seq
+        held = self._held.get(publisher)
+        if held:
+            for seq in [s for s in held if s < next_seq]:
+                del held[seq]
 
     # -- introspection -------------------------------------------------------
     @property

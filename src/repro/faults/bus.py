@@ -30,6 +30,7 @@ from typing import List, Optional, Tuple
 from repro.bus.broker import (
     DEAD_LETTER_QUEUE,
     DEFAULT_EXCHANGE,
+    DEFAULT_POLL_TIMEOUT,
     Broker,
     ConnectionLostError,
     Consumer,
@@ -131,7 +132,9 @@ class ChaosConsumer(Consumer):
         self._injector = injector
 
     def get(
-        self, timeout: Optional[float] = 0.0, auto_ack: bool = True
+        self,
+        timeout: Optional[float] = DEFAULT_POLL_TIMEOUT,
+        auto_ack: bool = True,
     ) -> Optional[Message]:
         inj = self._injector
         while True:
@@ -196,3 +199,16 @@ class ChaosBroker(Broker):
         return ChaosConsumer(
             self, self.queue(consumer.queue_name), self._injector
         )
+
+    def join_group(self, *args, **kwargs):
+        """Group members share the same injector, so drops/reorders/
+        scripted disconnects hit partitioned deliveries too.
+
+        Note that publish-side *duplicates* are absorbed by the group
+        router's per-publisher high-water mark before they reach a
+        partition queue — that dedupe is part of the contract under
+        test, not a gap in the chaos.
+        """
+        member = super().join_group(*args, **kwargs)
+        member.fault_injector = self._injector
+        return member

@@ -18,11 +18,13 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
 from typing import Callable, Iterable, List, Optional, TextIO, Tuple, Union
 
 from repro.archive.store import StampedeArchive
 from repro.bus.broker import Broker, ConnectionLostError
 from repro.bus.client import EventConsumer
+from repro.bus.groups import GroupConsumer
 from repro.bus.queues import Message
 from repro.bus.reliable import Resequencer
 from repro.lint.config import LintConfig
@@ -253,7 +255,7 @@ def load_file_linted(
 
 
 def load_from_bus(
-    broker: Broker,
+    broker: Union[Broker, str],
     pattern: str = "stampede.#",
     queue_name: Optional[str] = None,
     loader: Optional[StampedeLoader] = None,
@@ -271,6 +273,9 @@ def load_from_bus(
     worker_mode: str = "thread",
     chunk_size: int = 256,
     metrics: Optional[MetricsRegistry] = None,
+    group: Optional[str] = None,
+    member_id: Optional[str] = None,
+    partitions: int = 8,
     **loader_kwargs,
 ) -> StampedeLoader:
     """Consume events from a broker queue into the archive.
@@ -321,13 +326,37 @@ def load_from_bus(
       :class:`~repro.obs.spans.PipelineClock` that converts the
       publisher's ``x-pub-ts`` stamps into end-to-end deliver/commit
       latency histograms.
+    * ``broker`` may be a ``tcp://host:port`` url instead of an
+      in-process :class:`Broker` — consumption then runs over the
+      :mod:`repro.bus.net` transport against a remote
+      :class:`~repro.bus.net.BrokerServer`: same loop, same guarantees
+      (the remote consumer raises the same :class:`ConnectionLostError`
+      and reconnects the same way).
+    * ``group`` joins a consumer group instead of binding a private
+      queue: N concurrent loaders sharing a group name split the stream
+      by root workflow id without double-committing — see
+      :mod:`repro.bus.groups`.  ``member_id`` pins this loader's member
+      identity (a reconnect under the same id resumes the same
+      partition streams, which is what keeps it exactly-once);
+      ``partitions`` sizes a group created on first join.
     """
+    remote = isinstance(broker, str)
+    if resume and (remote or group is not None):
+        # delivery tags are member-local for groups and
+        # subscription-local over TCP, so a checkpointed tag from an
+        # earlier run cannot be compared against them; group commit
+        # floors / redelivery dedupe already cover crash-restart
+        raise ValueError(
+            "resume=True is only supported for in-process private-queue "
+            "consumers (group/tcp consumers get exactly-once from "
+            "commit floors and the resequencer instead)"
+        )
     if loader is None:
         loader = make_loader(metrics=metrics, **loader_kwargs)
     elif metrics is not None:
         bind_loader(metrics, loader)
     clock = PipelineClock(metrics) if metrics is not None else None
-    if metrics is not None:
+    if metrics is not None and isinstance(broker, Broker):
         bind_broker(metrics, broker)
     pool = (
         ParsePool(
@@ -340,17 +369,43 @@ def load_from_bus(
         else None
     )
     burst_limit = max(1, chunk_size) * max(1, workers)
-    consumer = EventConsumer(
-        broker,
-        pattern=pattern,
-        queue_name=queue_name,
-        durable=durable,
-        max_length=max_length,
-        overflow=overflow,
-    )
+    consumer: Union[EventConsumer, GroupConsumer, "RemoteConsumer"]
+    if remote:
+        from repro.bus.net import RemoteConsumer
+
+        consumer = RemoteConsumer(
+            broker,  # type: ignore[arg-type]
+            pattern=pattern,
+            queue_name=queue_name,
+            durable=durable,
+            group=group,
+            member_id=member_id,
+            partitions=partitions,
+        )
+    elif group is not None:
+        consumer = GroupConsumer(
+            broker,  # type: ignore[arg-type]
+            group,
+            pattern=pattern,
+            partitions=partitions,
+            member_id=member_id,
+        )
+    else:
+        consumer = EventConsumer(
+            broker,  # type: ignore[arg-type]
+            pattern=pattern,
+            queue_name=queue_name,
+            durable=durable,
+            max_length=max_length,
+            overflow=overflow,
+        )
     if dead_letter is True:
         dead_letter = DeadLetterQueue(
-            loader.archive, source=consumer.queue_name, broker=broker
+            loader.archive,
+            source=consumer.queue_name,
+            # republishing quarantined events onto the bus needs a local
+            # broker handle; remote loaders keep the archive-table side
+            broker=broker if isinstance(broker, Broker) else None,
         )
     elif dead_letter is False:
         dead_letter = None
@@ -487,6 +542,10 @@ def load_from_bus(
 
     previous_on_flush = loader.on_flush
     loader.on_flush = ack_committed
+    # depth() is free in-process but a full round trip over TCP, so a
+    # remote loader samples it sparsely instead of once per burst
+    depth_stride = 64 if remote else 1
+    bursts = 0
     try:
         while True:
             try:
@@ -509,7 +568,9 @@ def load_from_bus(
                         if extra is None:
                             break
                         burst.append(extra)
-                loader.stats.record_queue_depth(consumer.depth())
+                bursts += 1
+                if bursts % depth_stride == 0:
+                    loader.stats.record_queue_depth(consumer.depth())
                 ready: List[Message] = []
                 for m in burst:
                     if clock is not None:
@@ -565,7 +626,12 @@ def main(argv: Optional[list] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="nl-load", description="Load NetLogger BP logs into a Stampede archive."
     )
-    parser.add_argument("input", help="BP log file to load ('-' for stdin)")
+    parser.add_argument(
+        "input",
+        nargs="?",
+        default=None,
+        help="BP log file to load ('-' for stdin); omit with --bus",
+    )
     parser.add_argument(
         "module",
         nargs="?",
@@ -671,11 +737,81 @@ def main(argv: Optional[list] = None) -> int:
         help="after the load, write the metrics registry as "
         "stampede.obs.* BP events to PATH (loadable by nl-load itself)",
     )
+    parser.add_argument(
+        "--bus",
+        metavar="URL",
+        help="consume from a running stampede-bus server (tcp://host:port) "
+        "instead of a file; see also --group/--idle-exit",
+    )
+    parser.add_argument(
+        "--pattern",
+        default="stampede.#",
+        help="with --bus: topic pattern to subscribe (default: stampede.#)",
+    )
+    parser.add_argument(
+        "--queue",
+        metavar="NAME",
+        help="with --bus: bind a named durable queue instead of an "
+        "anonymous one (ignored with --group)",
+    )
+    parser.add_argument(
+        "--group",
+        metavar="NAME",
+        help="with --bus: join this consumer group — concurrent nl-load "
+        "processes sharing the name split the stream by root workflow "
+        "id, each committing its partitions exactly once",
+    )
+    parser.add_argument(
+        "--member-id",
+        metavar="ID",
+        help="with --group: fix this loader's member identity so a "
+        "restart resumes the same partitions",
+    )
+    parser.add_argument(
+        "--partitions",
+        type=int,
+        default=8,
+        help="with --group: partition count if this join creates the "
+        "group (default: 8)",
+    )
+    parser.add_argument(
+        "--idle-exit",
+        type=float,
+        default=10.0,
+        metavar="SECONDS",
+        help="with --bus: exit after this long with no new events "
+        "(default 10; 0 = drain what is queued and exit immediately)",
+    )
     parser.add_argument("-v", "--verbose", action="store_true")
     args = parser.parse_args(argv)
 
-    if args.module != "stampede_loader":
-        parser.error(f"unknown loader module {args.module!r}")
+    # Positional normalization: with --bus the file argument is omitted,
+    # so what argparse parsed into the `input` slot may really be the
+    # module name.  Sort the positionals by shape instead — module
+    # parameters always carry '=' — then validate what remains.
+    positionals = [p for p in (args.input, args.module, *args.params) if p is not None]
+    param_args = [p for p in positionals if "=" in p]
+    names = [p for p in positionals if "=" not in p]
+    if args.bus is not None:
+        args.input = None
+        if args.checkpoint or args.resume:
+            parser.error(
+                "--checkpoint/--resume apply to file loads; bus consumers "
+                "get crash-safety from redelivery + dedupe instead"
+            )
+        if args.lint:
+            parser.error("--lint is not supported with --bus")
+    else:
+        if args.group or args.member_id:
+            parser.error("--group/--member-id require --bus")
+        if not names:
+            parser.error("need an input file or --bus URL")
+        args.input = names.pop(0)
+    module = names.pop(0) if names else "stampede_loader"
+    if names:
+        parser.error(f"unexpected arguments: {names!r}")
+    if module != "stampede_loader":
+        parser.error(f"unknown loader module {module!r}")
     if args.quarantine and not args.lint:
         parser.error("--quarantine requires --lint")
     if args.resume:
@@ -688,7 +824,7 @@ def main(argv: Optional[list] = None) -> int:
         parser.error("--workers cannot be combined with --lint (lint is streaming)")
     if args.workers < 0:
         parser.error("--workers must be >= 0")
-    params = dict(p.split("=", 1) for p in args.params if "=" in p)
+    params = dict(p.split("=", 1) for p in param_args)
     conn_string = params.get("connString", "sqlite:///:memory:")
 
     # Self-monitoring: a fresh registry per invocation (the process
@@ -724,6 +860,52 @@ def main(argv: Optional[list] = None) -> int:
         server = MetricsServer(registry, port=args.metrics_port).start()
         print(f"metrics: {server.url}", file=sys.stderr, flush=True)
     source = sys.stdin if args.input == "-" else args.input
+
+    if args.bus:
+        until: Optional[Callable[[StampedeLoader], bool]] = None
+        if args.idle_exit > 0:
+            last = {"count": -1.0, "changed": time.monotonic()}
+
+            def idle_until(ldr: StampedeLoader) -> bool:
+                # consulted only on idle ticks: stop once nothing new has
+                # arrived for idle_exit seconds (a live follower's stop
+                # condition; the publisher side decides when a run ends)
+                n = float(ldr.stats.events_processed)
+                now = time.monotonic()
+                if n != last["count"]:
+                    last["count"] = n
+                    last["changed"] = now
+                    return False
+                return now - last["changed"] >= args.idle_exit
+
+            until = idle_until
+
+        def run_bus():
+            return load_from_bus(
+                args.bus,
+                pattern=args.pattern,
+                queue_name=args.queue,
+                durable=bool(args.queue),
+                group=args.group,
+                member_id=args.member_id,
+                partitions=args.partitions,
+                loader=loader,
+                until=until,
+                dead_letter=True,
+                workers=args.workers,
+                parse_mode=args.parse_mode,
+                worker_mode=args.worker_mode,
+                chunk_size=args.chunk_size,
+                metrics=registry,
+            )
+
+        stats = (
+            _profiled(run_bus, args.profile) if args.profile else run_bus()
+        ).stats
+        if args.verbose:
+            _print_stats(stats)
+        _finish_obs(registry, server, args)
+        return 0
 
     if args.lint:
         # BP permits engine-specific extras, so unknown attrs stay quiet;

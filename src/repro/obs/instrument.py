@@ -18,10 +18,11 @@ from repro.obs.metrics import MetricsRegistry
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycles
     from repro.bus.broker import Broker
+    from repro.bus.net import BrokerServer
     from repro.faults.plan import FaultStats
     from repro.loader.stampede_loader import StampedeLoader
 
-__all__ = ["bind_broker", "bind_loader", "bind_faults"]
+__all__ = ["bind_broker", "bind_loader", "bind_faults", "bind_server"]
 
 #: per-queue counter fields mirrored as ``op`` label values
 _QUEUE_OPS = ("published", "delivered", "acked", "requeued", "dropped", "blocked")
@@ -87,6 +88,58 @@ def bind_broker(registry: MetricsRegistry, broker: "Broker") -> None:
                     "Per-queue message lifecycle counts.",
                     {"queue": queue.name, "op": op},
                 ).set_total(getattr(stats, op))
+        for group in broker.groups():
+            glabels = {"group": group.name}
+            reg.counter(
+                "stampede_bus_group_routed_total",
+                "Messages a consumer group routed to a partition.",
+                glabels,
+            ).set_total(group.routed)
+            reg.counter(
+                "stampede_bus_group_publish_duplicates_total",
+                "Publish-side duplicates the group router absorbed.",
+                glabels,
+            ).set_total(group.publish_duplicates)
+            reg.gauge(
+                "stampede_bus_group_members",
+                "Members currently joined to a consumer group.",
+                glabels,
+            ).set(len(group.members()))
+            for part in range(group.partitions):
+                plabels = {"group": group.name, "part": str(part)}
+                reg.counter(
+                    "stampede_bus_group_partition_published_total",
+                    "Per-partition sequence high-water mark.",
+                    plabels,
+                ).set_total(group.published_seq(part))
+                reg.counter(
+                    "stampede_bus_group_partition_committed_total",
+                    "Per-partition committed (acked) floor.",
+                    plabels,
+                ).set_total(group.committed(part))
+
+    registry.register_collector(collect)
+
+
+def bind_server(registry: MetricsRegistry, server: "BrokerServer") -> None:
+    """Export a :class:`~repro.bus.net.BrokerServer`'s transport counters
+    (connections, relayed publishes, protocol errors) alongside the
+    broker-level collectors from :func:`bind_broker`."""
+    bind_broker(registry, server.broker)
+
+    def collect(reg: MetricsRegistry) -> None:
+        reg.counter(
+            "stampede_bus_server_connections_total",
+            "TCP connections accepted by the bus server.",
+        ).set_total(server.connections_total)
+        reg.counter(
+            "stampede_bus_server_publishes_total",
+            "Publish frames relayed to the broker.",
+        ).set_total(server.publishes)
+        reg.counter(
+            "stampede_bus_server_protocol_errors_total",
+            "Connections dropped over undecodable frames.",
+        ).set_total(server.protocol_errors)
 
     registry.register_collector(collect)
 

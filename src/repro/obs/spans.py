@@ -27,13 +27,16 @@ import threading
 import time
 from collections import deque
 from contextlib import contextmanager
-from typing import Deque, Dict, Iterator, List, Optional
+from typing import Deque, Dict, Iterator, List, Optional, Tuple
 
 from repro.obs.metrics import MetricsRegistry
 
 __all__ = [
     "HEADER_TRACE",
     "HEADER_PUB_TS",
+    "HEADER_PUB_MONO",
+    "HEADER_CLOCK_EPOCH",
+    "CLOCK_EPOCH",
     "Span",
     "Tracer",
     "PipelineClock",
@@ -45,6 +48,18 @@ __all__ = [
 #: ``x-publisher``/``x-seq`` stamps)
 HEADER_TRACE = "x-trace"
 HEADER_PUB_TS = "x-pub-ts"
+#: publish timestamp on the *monotonic* clock, immune to wall-clock
+#: adjustment — only meaningful to a consumer sharing the same clock base
+HEADER_PUB_MONO = "x-pub-mono"
+#: identifies the monotonic clock base the ``x-pub-mono`` stamp was read
+#: from; every process gets a fresh epoch, so a consumer can tell "same
+#: process, monotonic deltas are exact" from "cross-process, fall back
+#: to the wall clock and distrust negative intervals"
+HEADER_CLOCK_EPOCH = "x-clock-epoch"
+
+#: this process's monotonic-clock identity (pid + random token: a pid
+#: alone can be recycled across restarts, which would alias two bases)
+CLOCK_EPOCH = f"{os.getpid():x}-{os.urandom(4).hex()}"
 
 _trace_counter = itertools.count(1)
 
@@ -59,10 +74,20 @@ def stamp_headers(
     trace_id: Optional[str] = None,
     now: Optional[float] = None,
 ) -> Dict[str, object]:
-    """Add trace + publish-timestamp stamps to a message header dict."""
+    """Add trace + publish-timestamp stamps to a message header dict.
+
+    Two timestamps ride along: the wall clock (``x-pub-ts``, the only
+    clock different hosts share at all) and the monotonic clock
+    (``x-pub-mono`` + its ``x-clock-epoch`` identity).  A consumer in
+    the same process measures intervals on the monotonic stamp, which a
+    wall-clock adjustment (NTP step, DST, operator ``date``) cannot turn
+    negative; cross-process consumers fall back to the wall clock.
+    """
     out: Dict[str, object] = dict(headers or {})
     out.setdefault(HEADER_TRACE, trace_id or new_trace_id())
     out.setdefault(HEADER_PUB_TS, time.time() if now is None else now)
+    out.setdefault(HEADER_PUB_MONO, time.monotonic())
+    out.setdefault(HEADER_CLOCK_EPOCH, CLOCK_EPOCH)
     return out
 
 
@@ -188,11 +213,20 @@ class Tracer:
 class PipelineClock:
     """Turns publisher stamps into per-stage latency histograms.
 
-    Stages (all measured against the publisher's ``x-pub-ts`` wall
-    clock, the only clock every hop shares):
+    Stages:
 
     * ``deliver`` — publish → the consumer received the message;
     * ``commit``  — publish → the batch holding the message committed.
+
+    Each sample prefers the publisher's *monotonic* stamp
+    (``x-pub-mono``) when its ``x-clock-epoch`` matches this process —
+    monotonic deltas cannot go negative when the wall clock is stepped
+    mid-run.  Cross-process stamps (a remote publisher over the TCP
+    transport) only share the wall clock, so those samples use
+    ``x-pub-ts`` and any *negative* interval — evidence the two hosts'
+    clocks disagree — is skipped and counted in ``skipped_negative``
+    instead of polluting the histogram as a fake 0.  Cross-process
+    samples are tallied in ``cross_process`` either way.
 
     ``on_delivered`` remembers the message's stamp keyed by delivery
     tag; ``on_committed`` settles every remembered stamp in the batch.
@@ -202,8 +236,11 @@ class PipelineClock:
 
     def __init__(self, registry: MetricsRegistry):
         self.registry = registry
-        self._pending: Dict[int, float] = {}
+        #: delivery tag -> (monotonic base?, publish stamp on that clock)
+        self._pending: Dict[int, Tuple[bool, float]] = {}
         self._lock = threading.Lock()
+        self.cross_process = 0  # samples measured on the wall clock
+        self.skipped_negative = 0  # wall-clock samples dropped as negative
         mk = registry.histogram
         self.deliver = mk(
             "stampede_pipeline_latency_seconds",
@@ -216,14 +253,36 @@ class PipelineClock:
             labels={"stage": "commit"},
         )
 
-    def on_delivered(self, message) -> None:
+    def _stamp(self, message) -> Optional[Tuple[bool, float]]:
+        """``(monotonic?, publish timestamp on that clock)`` or None."""
+        mono = message.header(HEADER_PUB_MONO)
+        if mono is not None and message.header(HEADER_CLOCK_EPOCH) == CLOCK_EPOCH:
+            return True, float(mono)
         pub_ts = message.header(HEADER_PUB_TS)
         if pub_ts is None:
+            return None
+        return False, float(pub_ts)
+
+    def _observe(self, histogram, monotonic_base: bool, pub: float) -> None:
+        if monotonic_base:
+            histogram.observe(max(0.0, time.monotonic() - pub))
             return
-        pub_ts = float(pub_ts)
-        self.deliver.observe(max(0.0, time.time() - pub_ts))
+        self.cross_process += 1
+        # wall clocks on two hosts: the only shared clock, but also the
+        # only one an adjustment can drive negative — skip those samples
+        elapsed = time.time() - pub  # devlint: ignore[SDL202] - cross-host fallback, negative samples skipped below
+        if elapsed < 0:
+            self.skipped_negative += 1
+            return
+        histogram.observe(elapsed)
+
+    def on_delivered(self, message) -> None:
+        stamp = self._stamp(message)
+        if stamp is None:
+            return
+        self._observe(self.deliver, *stamp)
         with self._lock:
-            self._pending[message.delivery_tag] = pub_ts
+            self._pending[message.delivery_tag] = stamp
 
     def on_dropped(self, message) -> None:
         """Forget a message that will never commit (dedupe, DLQ)."""
@@ -231,12 +290,11 @@ class PipelineClock:
             self._pending.pop(message.delivery_tag, None)
 
     def on_committed(self, messages) -> None:
-        now = time.time()
         with self._lock:
             stamps = [
                 self._pending.pop(m.delivery_tag)
                 for m in messages
                 if m.delivery_tag in self._pending
             ]
-        for pub_ts in stamps:
-            self.commit.observe(max(0.0, now - pub_ts))
+        for monotonic_base, pub in stamps:
+            self._observe(self.commit, monotonic_base, pub)

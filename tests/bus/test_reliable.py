@@ -144,3 +144,111 @@ class TestReset:
         released, _ = reseq.offer(msg(3))
         assert bodies(released) == ["pub:3"]
         assert reseq.gaps_skipped == 0
+
+
+class TestSeed:
+    def test_seed_unblocks_mid_stream_inheritance(self):
+        """A consumer that inherits a stream at a known committed
+        position (consumer-group partition handover) must not hold
+        everything forever waiting for sequences a previous owner
+        already released."""
+        reseq = Resequencer()
+        reseq.seed("pub", 4)
+        released, _ = reseq.offer(msg(4))
+        assert bodies(released) == ["pub:4"]
+        # everything below the seed is a duplicate of released history
+        released, dups = reseq.offer(msg(2))
+        assert released == [] and len(dups) == 1
+
+    def test_seed_backwards_refused(self):
+        reseq = Resequencer()
+        reseq.offer(msg(1))
+        reseq.offer(msg(2))
+        with pytest.raises(ValueError):
+            reseq.seed("pub", 1)
+        reseq.seed("pub", 3)  # forwards (no-op here) is fine
+
+    def test_seed_validates_floor(self):
+        with pytest.raises(ValueError):
+            Resequencer().seed("pub", 0)
+
+    def test_seed_discards_stale_held(self):
+        reseq = Resequencer()
+        reseq.offer(msg(2))  # held, waiting for 1
+        reseq.seed("pub", 3)
+        assert reseq.pending_count == 0  # seq 2 is below the new floor
+        released, _ = reseq.offer(msg(3))
+        assert bodies(released) == ["pub:3"]
+
+
+class TestLateArrivals:
+    def test_force_skipped_gap_arriving_late_counts_as_loss_not_dup(self):
+        """A gap adopted as lost by a force-release was never delivered;
+        if it shows up afterwards that is data loss surfacing late, and
+        reporting it as a harmless duplicate would hide it."""
+        reseq = Resequencer(max_held=2)
+        reseq.offer(msg(2))
+        reseq.offer(msg(3))
+        reseq.offer(msg(4))  # overflows max_held: force-release, skip 1
+        assert reseq.gaps_skipped == 1
+        released, dups = reseq.offer(msg(1))  # the skipped gap arrives
+        assert released == [] and len(dups) == 1  # still not re-released
+        assert reseq.late_arrivals == 1
+        assert reseq.duplicates == 0  # NOT misfiled as a dedupe
+        # a real duplicate is still a duplicate
+        released, dups = reseq.offer(msg(2))
+        assert reseq.duplicates == 1 and reseq.late_arrivals == 1
+
+    def test_drain_skips_count_late_arrivals_too(self):
+        reseq = Resequencer()
+        reseq.offer(msg(3))
+        reseq.release_pending()  # adopts 1 and 2 as lost
+        reseq.offer(msg(1))
+        reseq.offer(msg(2))
+        assert reseq.late_arrivals == 2
+        assert reseq.duplicates == 0
+
+
+class TestExactlyOnceProperty:
+    """Seeded-random chaos: any mix of drops (with eventual redelivery),
+    duplicates, and bounded reordering must release every sequence
+    exactly once, in order."""
+
+    def _chaos_stream(self, rng, n):
+        stream = []
+        for seq in range(1, n + 1):
+            stream.append(seq)
+            if rng.random() < 0.2:  # duplicate delivery
+                stream.append(seq)
+        # bounded reorder: random exchanges within a window
+        for _ in range(n):
+            i = rng.randrange(len(stream) - 1)
+            j = min(i + rng.randrange(1, 4), len(stream) - 1)
+            stream[i], stream[j] = stream[j], stream[i]
+        # drops with redelivery: drop some first occurrences, append them
+        # at the end (the broker redelivers unacked messages eventually)
+        for seq in list(range(1, n + 1)):
+            if rng.random() < 0.1:
+                stream.remove(seq)
+                stream.append(seq)
+        return stream
+
+    @pytest.mark.parametrize("seed", [7, 42, 1234, 99991])
+    def test_random_chaos_releases_each_seq_once_in_order(self, seed):
+        import random
+
+        rng = random.Random(seed)
+        n = 200
+        reseq = Resequencer(max_held=n)  # window large enough: no skips
+        released_seqs = []
+        dup_count = 0
+        for seq in self._chaos_stream(rng, n):
+            released, dups = reseq.offer(msg(seq))
+            released_seqs.extend(m.header(HEADER_SEQ) for m in released)
+            dup_count += len(dups)
+        released_seqs.extend(
+            m.header(HEADER_SEQ) for m in reseq.release_pending()
+        )
+        assert released_seqs == list(range(1, n + 1))
+        assert dup_count == reseq.duplicates
+        assert reseq.gaps_skipped == 0 and reseq.late_arrivals == 0

@@ -5,7 +5,11 @@ from repro.bus.broker import Broker
 from repro.bus.client import EventPublisher
 from repro.loader.nl_load import load_from_bus
 from repro.obs.metrics import MetricsRegistry
+from repro.bus.queues import Message
 from repro.obs.spans import (
+    CLOCK_EPOCH,
+    HEADER_CLOCK_EPOCH,
+    HEADER_PUB_MONO,
     HEADER_PUB_TS,
     HEADER_TRACE,
     PipelineClock,
@@ -159,3 +163,76 @@ class TestBusLoadInstrumented:
         # archive transactions were timed
         assert snap["stampede_archive_transactions_total"] >= 1.0
         assert snap["stampede_loader_flush_seconds_count"] >= 1.0
+
+
+class TestClockEpoch:
+    """The wall-clock-step bugfix: latency samples prefer the monotonic
+    stamp when the publisher shares this process's clock epoch, and
+    cross-process wall-clock samples can never go negative into the
+    histogram."""
+
+    def _msg(self, tag=1, **headers):
+        return Message("stampede.x", "body", delivery_tag=tag, headers=headers)
+
+    def test_same_epoch_uses_monotonic_clock(self):
+        clock = PipelineClock(MetricsRegistry())
+        broker = Broker()
+        consumer = broker.subscribe("stampede.#")
+        EventPublisher(broker).publish(diamond_events()[0])
+        msg = consumer.get()
+        assert msg.header(HEADER_CLOCK_EPOCH) == CLOCK_EPOCH
+        # poison the wall stamp: if the monotonic path is taken (it must
+        # be — same epoch), this absurd value is never consulted
+        msg.headers[HEADER_PUB_TS] = time.time() + 10_000
+        clock.on_delivered(msg)
+        assert clock.deliver.count == 1
+        assert clock.cross_process == 0
+        assert clock.skipped_negative == 0
+
+    def test_foreign_epoch_falls_back_to_wall_clock(self):
+        clock = PipelineClock(MetricsRegistry())
+        msg = self._msg(
+            **{
+                HEADER_PUB_MONO: time.monotonic() - 5.0,
+                HEADER_CLOCK_EPOCH: "other-process",
+                HEADER_PUB_TS: time.time() - 0.25,
+            }
+        )
+        clock.on_delivered(msg)
+        assert clock.cross_process == 1
+        assert clock.deliver.count == 1
+        assert clock.deliver.sum >= 0.2  # the wall delta, not the mono one
+
+    def test_foreign_monotonic_stamp_never_misread(self):
+        """The original bug: a remote publisher's monotonic stamp read
+        against the local monotonic clock yields a garbage (often huge
+        or negative) latency.  A foreign epoch must force the wall
+        path even when x-pub-mono is present."""
+        clock = PipelineClock(MetricsRegistry())
+        msg = self._msg(
+            **{
+                # an implausible mono base from "another machine"
+                HEADER_PUB_MONO: time.monotonic() - 1e6,
+                HEADER_CLOCK_EPOCH: "other-process",
+                HEADER_PUB_TS: time.time(),
+            }
+        )
+        clock.on_delivered(msg)
+        assert clock.deliver.count == 1
+        assert clock.deliver.sum < 60.0  # nowhere near the 1e6 mono delta
+
+    def test_negative_wall_sample_skipped_not_zeroed(self):
+        clock = PipelineClock(MetricsRegistry())
+        msg = self._msg(
+            **{
+                HEADER_PUB_MONO: time.monotonic(),
+                HEADER_CLOCK_EPOCH: "other-process",
+                HEADER_PUB_TS: time.time() + 30.0,  # peer clock ahead
+            }
+        )
+        clock.on_delivered(msg)
+        clock.on_committed([msg])
+        assert clock.skipped_negative >= 1
+        assert clock.deliver.count == 0
+        assert clock.commit.count == 0
+        assert clock.cross_process == 2  # tallied as cross-process anyway
