@@ -59,22 +59,44 @@ def _sorted(rows: List[Row]) -> List[Row]:
 def canonical_dump(
     archive: StampedeArchive, include_obs: bool = False
 ) -> Dump:
-    """Every Fig. 3 row with surrogate keys rewritten to natural keys."""
+    """Every Fig. 3 row with surrogate keys rewritten to natural keys.
+
+    A partially-loaded archive (a snapshot taken mid-kill, a loader that
+    never saw the plan events) can hold rows whose parents are absent.
+    Those rewrite to deterministic ``<missing …>`` sentinel keys instead
+    of raising, so :func:`diff_canonical` reports them as row
+    differences — the useful answer for a partial archive — rather than
+    the dump crashing before the comparison starts.
+    """
     wf_uuid: Dict[int, str] = {
         w.wf_id: w.wf_uuid for w in archive.query(WorkflowRow).all()
     }
+
+    def wf_of(wf_id: int) -> str:
+        return wf_uuid.get(wf_id, f"<missing wf_id={wf_id}>")
+
     job_key: Dict[int, Tuple[str, str]] = {
-        j.job_id: (wf_uuid[j.wf_id], j.exec_job_id)
+        j.job_id: (wf_of(j.wf_id), j.exec_job_id)
         for j in archive.query(JobRow).all()
     }
+
+    def job_of(job_id: int) -> Tuple[str, str]:
+        return job_key.get(job_id, (f"<missing job_id={job_id}>", "?"))
+
     host_key: Dict[int, Tuple[str, str]] = {
-        h.host_id: (wf_uuid[h.wf_id], h.hostname)
+        h.host_id: (wf_of(h.wf_id), h.hostname)
         for h in archive.query(HostRow).all()
     }
     ji_key: Dict[int, Tuple[str, str, int]] = {
-        ji.job_instance_id: (*job_key[ji.job_id], ji.job_submit_seq)
+        ji.job_instance_id: (*job_of(ji.job_id), ji.job_submit_seq)
         for ji in archive.query(JobInstanceRow).all()
     }
+
+    def ji_of(job_instance_id: int) -> Tuple[str, str, int]:
+        return ji_key.get(
+            job_instance_id,
+            (f"<missing job_instance_id={job_instance_id}>", "?", -1),
+        )
     # task.job_id is the EW job a task mapped to (nullable)
     job_name: Dict[Optional[int], Optional[str]] = {None: None}
     for jid, (_u, exec_job_id) in job_key.items():
@@ -92,34 +114,34 @@ def canonical_dump(
         for w in archive.query(WorkflowRow).all()
     ])
     dump["workflowstate"] = _sorted([
-        (wf_uuid[s.wf_id], s.state, s.timestamp, s.restart_count, s.status)
+        (wf_of(s.wf_id), s.state, s.timestamp, s.restart_count, s.status)
         for s in archive.query(WorkflowStateRow).all()
     ])
     dump["task"] = _sorted([
         (
-            wf_uuid[t.wf_id], t.abs_task_id, job_name.get(t.job_id),
+            wf_of(t.wf_id), t.abs_task_id, job_name.get(t.job_id),
             t.transformation, t.argv, t.type_desc,
         )
         for t in archive.query(TaskRow).all()
     ])
     dump["task_edge"] = _sorted([
-        (wf_uuid[e.wf_id], e.parent_abs_task_id, e.child_abs_task_id)
+        (wf_of(e.wf_id), e.parent_abs_task_id, e.child_abs_task_id)
         for e in archive.query(TaskEdgeRow).all()
     ])
     dump["job"] = _sorted([
         (
-            wf_uuid[j.wf_id], j.exec_job_id, j.submit_file, j.type_desc,
+            wf_of(j.wf_id), j.exec_job_id, j.submit_file, j.type_desc,
             j.clustered, j.max_retries, j.executable, j.argv, j.task_count,
         )
         for j in archive.query(JobRow).all()
     ])
     dump["job_edge"] = _sorted([
-        (wf_uuid[e.wf_id], e.parent_exec_job_id, e.child_exec_job_id)
+        (wf_of(e.wf_id), e.parent_exec_job_id, e.child_exec_job_id)
         for e in archive.query(JobEdgeRow).all()
     ])
     dump["job_instance"] = _sorted([
         (
-            *ji_key[ji.job_instance_id],
+            *ji_of(ji.job_instance_id),
             host_key.get(ji.host_id) if ji.host_id is not None else None,
             ji.sched_id, ji.site, ji.user, ji.work_dir, ji.local_duration,
             wf_uuid.get(ji.subwf_id) if ji.subwf_id is not None else None,
@@ -130,14 +152,14 @@ def canonical_dump(
     ])
     dump["jobstate"] = _sorted([
         (
-            *ji_key[s.job_instance_id],
+            *ji_of(s.job_instance_id),
             s.state, s.timestamp, s.jobstate_submit_seq,
         )
         for s in archive.query(JobStateRow).all()
     ])
     dump["invocation"] = _sorted([
         (
-            *ji_key[i.job_instance_id], i.task_submit_seq, i.start_time,
+            *ji_of(i.job_instance_id), i.task_submit_seq, i.start_time,
             i.remote_duration, i.remote_cpu_time, i.exitcode,
             i.transformation, i.executable, i.argv, i.abs_task_id,
         )
@@ -145,7 +167,7 @@ def canonical_dump(
     ])
     dump["host"] = _sorted([
         (
-            wf_uuid[h.wf_id], h.hostname, h.site, h.ip, h.uname,
+            wf_of(h.wf_id), h.hostname, h.site, h.ip, h.uname,
             h.total_memory,
         )
         for h in archive.query(HostRow).all()

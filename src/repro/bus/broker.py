@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Mapping, Optional
+from typing import Callable, Dict, Iterator, List, Mapping, Optional
 
 from repro.bus.groups import ConsumerGroup, GroupMember
 from repro.bus.queues import Message, MessageQueue
@@ -103,6 +103,7 @@ class Broker:
         self._groups: Dict[str, ConsumerGroup] = {}
         self._lock = threading.RLock()
         self._anon_counter = 0
+        self._taps: List[Callable[[str, object, Optional[Mapping[str, object]]], None]] = []
         #: where unroutable publishes go; None restores the old
         #: drop-and-count behavior.  Declared lazily on first use so the
         #: queue only exists once something actually dead-letters.
@@ -239,6 +240,30 @@ class Broker:
         with self._lock:
             return list(self._exchanges.values())
 
+    # -- taps ----------------------------------------------------------------
+    def add_tap(
+        self, tap: Callable[[str, object, Optional[Mapping[str, object]]], None]
+    ) -> None:
+        """Register an observer called once per publish.
+
+        Taps see ``(routing_key, body, headers)`` for every message
+        offered to this broker — matching or not — *before* routing, so
+        a recorder captures the stream exactly as published (including
+        what would dead-letter).  Taps run on the publisher's thread,
+        outside the broker lock; a slow tap slows publishers the way a
+        slow wire would, but can never deadlock routing.
+        """
+        with self._lock:
+            if tap not in self._taps:
+                self._taps.append(tap)
+
+    def remove_tap(
+        self, tap: Callable[[str, object, Optional[Mapping[str, object]]], None]
+    ) -> None:
+        with self._lock:
+            if tap in self._taps:
+                self._taps.remove(tap)
+
     # -- messaging ------------------------------------------------------------
     def publish(
         self,
@@ -256,6 +281,12 @@ class Broker:
         annotated with the exchange it failed to route through, so it
         stays recoverable instead of vanishing.
         """
+        if self._taps:  # devlint: ignore[SDL101] - benign lock-free fast path; real read is snapshotted below
+            # snapshot under the lock, call outside it (see add_tap)
+            with self._lock:
+                taps = list(self._taps)
+            for tap in taps:
+                tap(routing_key, body, headers)
         dead_letter = None
         with self._lock:
             exch = self.declare_exchange(exchange)

@@ -54,7 +54,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
 
 def _cmd_publish(args: argparse.Namespace) -> int:
+    from repro.replay.shape import ConstantRate, Pacer
+
     publisher = RemotePublisher(args.bus, publisher_id=args.publisher_id)
+    shape = ConstantRate(args.rate) if args.rate else None
+    pacer = Pacer()
     published = 0
     start = time.monotonic()
     try:
@@ -63,13 +67,12 @@ def _cmd_publish(args: argparse.Namespace) -> int:
                 line = line.strip()
                 if not line:
                     continue
+                if shape is not None:
+                    # drift-free sleep-until: each event has an absolute
+                    # deadline, so scheduling jitter never accumulates
+                    pacer.wait_until(shape.offset(published, 0.0))
                 publisher.publish(NLEvent.from_bp(line))
                 published += 1
-                if args.rate and published % args.rate == 0:
-                    # crude shaping: never get more than 1s ahead
-                    ahead = published / args.rate - (time.monotonic() - start)
-                    if ahead > 0:
-                        time.sleep(ahead)
         publisher.flush()
     finally:
         publisher.close()

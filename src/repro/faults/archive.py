@@ -18,7 +18,7 @@ from __future__ import annotations
 import random
 import sqlite3
 from contextlib import contextmanager
-from typing import Iterator
+from typing import Callable, Iterator, Optional
 
 from repro.faults.plan import ArchiveFaultSpec, FaultStats
 
@@ -28,14 +28,25 @@ __all__ = ["ArchiveFaultInjector", "ChaosDatabase"]
 class ArchiveFaultInjector:
     """Counts outermost write-transaction attempts and fails the chosen ones."""
 
-    def __init__(self, spec: ArchiveFaultSpec, rng: random.Random, stats: FaultStats):
+    def __init__(
+        self,
+        spec: ArchiveFaultSpec,
+        rng: random.Random,
+        stats: FaultStats,
+        gate: Optional[Callable[[], bool]] = None,
+    ):
         self.spec = spec
         self.rng = rng
         self.stats = stats
+        #: plan arm switch; attempts count even while disarmed (see
+        #: BusFaultInjector.gate)
+        self.gate = gate
         self.attempts = 0
 
     def on_transaction(self) -> None:
         self.attempts += 1
+        if self.gate is not None and not self.gate():
+            return
         fail = self.attempts in self.spec.fail_transactions
         if not fail and self.spec.error_rate:
             fail = self.rng.random() < self.spec.error_rate

@@ -25,7 +25,7 @@ exact same chaos.
 from __future__ import annotations
 
 import random
-from typing import List, Optional, Tuple
+from typing import Callable, List, Optional, Tuple
 
 from repro.bus.broker import (
     DEAD_LETTER_QUEUE,
@@ -50,19 +50,35 @@ class BusFaultInjector:
     the broker hands out, so state survives reconnects.
     """
 
-    def __init__(self, spec: BusFaultSpec, rng: random.Random, stats: FaultStats):
+    def __init__(
+        self,
+        spec: BusFaultSpec,
+        rng: random.Random,
+        stats: FaultStats,
+        gate: Optional[Callable[[], bool]] = None,
+    ):
         self.spec = spec
         self.rng = rng
         self.stats = stats
+        #: when set, faults only fire while gate() is true (the plan's
+        #: arm switch); counters keep running either way so ordinal
+        #: schedules stay anchored to the start of the run
+        self.gate = gate
         self.polls = 0
         self.deliveries = 0
         self._disconnects_due = sorted(spec.disconnect_after)
         # (release-at-poll, message) for held-back deliveries
         self._holdback: List[Tuple[int, Message]] = []
 
+    @property
+    def armed(self) -> bool:
+        return self.gate is None or self.gate()
+
     # -- publish side ---------------------------------------------------------
     def should_duplicate(self) -> bool:
-        if not self.spec.duplicate or self.rng.random() >= self.spec.duplicate:
+        if not self.spec.duplicate or not self.armed:
+            return False
+        if self.rng.random() >= self.spec.duplicate:
             return False
         self.stats.messages_duplicated += 1
         return True
@@ -73,7 +89,8 @@ class BusFaultInjector:
 
     def due_disconnect(self) -> bool:
         if not (
-            self._disconnects_due
+            self.armed
+            and self._disconnects_due
             and self.deliveries >= self._disconnects_due[0]
         ):
             return False
@@ -84,6 +101,8 @@ class BusFaultInjector:
     def classify(self, msg: Message) -> str:
         """Roll this delivery's fate: 'deliver', 'drop', or 'hold'."""
         self.deliveries += 1
+        if not self.armed:
+            return "deliver"
         spec, rng = self.spec, self.rng
         # a redelivery is never dropped again: the first drop already
         # proved the loss path, and re-rolling forever would turn a high

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
+from typing import Callable, Optional
 
 from repro.faults.plan import EngineFaultSpec, FaultStats
 
@@ -48,15 +49,25 @@ _NO_FAULT = FaultDecision()
 class EngineFaultInjector:
     """Decides, per attempt, whether an engine task crashes or hangs."""
 
-    def __init__(self, spec: EngineFaultSpec, rng: random.Random, stats: FaultStats):
+    def __init__(
+        self,
+        spec: EngineFaultSpec,
+        rng: random.Random,
+        stats: FaultStats,
+        gate: Optional[Callable[[], bool]] = None,
+    ):
         self.spec = spec
         self.rng = rng
         self.stats = stats
+        #: plan arm switch (see BusFaultInjector.gate)
+        self.gate = gate
 
     def attempt(self, name: str, attempt: int) -> FaultDecision:
         """Fault decision for attempt ``attempt`` (1-based) of ``name``."""
         spec = self.spec
         if not spec.active:
+            return _NO_FAULT
+        if self.gate is not None and not self.gate():
             return _NO_FAULT
         crash = attempt in spec.crash.get(name, ())
         hang = attempt in spec.hang.get(name, ())

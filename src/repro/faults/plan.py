@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import json
 import random
+import threading
 import zlib
 from dataclasses import asdict, dataclass, field
 from typing import Any, Dict, Mapping, Optional, Tuple
@@ -200,6 +201,7 @@ class FaultPlan:
         bus: Optional[BusFaultSpec] = None,
         archive: Optional[ArchiveFaultSpec] = None,
         engine: Optional[EngineFaultSpec] = None,
+        armed: bool = True,
     ):
         self.seed = int(seed)
         self.bus = bus or BusFaultSpec()
@@ -208,12 +210,37 @@ class FaultPlan:
         self.stats = FaultStats()
         self._rngs: Dict[str, random.Random] = {}
         self._injectors: Dict[str, Any] = {}
+        # plans arm at construction by default (existing behavior); a
+        # disarmed plan's injectors pass traffic through untouched until
+        # arm() flips the gate — how the replay harness switches chaos
+        # on mid-storm, from another thread, without re-wiring the bus
+        self._armed = threading.Event()
+        if armed:
+            self._armed.set()
+
+    # -- arming ---------------------------------------------------------------
+    @property
+    def armed(self) -> bool:
+        return self._armed.is_set()
+
+    def arm(self) -> None:
+        """Start injecting faults (idempotent; safe from any thread).
+
+        Ordinal-scheduled faults (``disconnect_after``,
+        ``fail_transactions``) count deliveries/attempts from the start
+        of the run even while disarmed, so an ordinal already passed at
+        arm time fires on the next opportunity.
+        """
+        self._armed.set()
+
+    def disarm(self) -> None:
+        self._armed.clear()
 
     # -- construction --------------------------------------------------------
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "FaultPlan":
         """Build a plan from a YAML-shaped mapping (see module docstring)."""
-        known = {"seed", "bus", "archive", "engine"}
+        known = {"seed", "bus", "archive", "engine", "armed"}
         unknown = set(data) - known
         if unknown:
             raise FaultPlanError(
@@ -233,6 +260,7 @@ class FaultPlan:
                 bus=BusFaultSpec(**bus),
                 archive=ArchiveFaultSpec(**archive),
                 engine=EngineFaultSpec(**engine),
+                armed=bool(data.get("armed", True)),
             )
         except TypeError as exc:  # unknown field name inside a section
             raise FaultPlanError(str(exc)) from None
@@ -271,7 +299,7 @@ class FaultPlan:
             from repro.faults.bus import BusFaultInjector
 
             self._injectors["bus"] = BusFaultInjector(
-                self.bus, self.rng("bus"), self.stats
+                self.bus, self.rng("bus"), self.stats, gate=self._armed.is_set
             )
         return self._injectors["bus"]
 
@@ -280,7 +308,7 @@ class FaultPlan:
             from repro.faults.archive import ArchiveFaultInjector
 
             self._injectors["archive"] = ArchiveFaultInjector(
-                self.archive, self.rng("archive"), self.stats
+                self.archive, self.rng("archive"), self.stats, gate=self._armed.is_set
             )
         return self._injectors["archive"]
 
@@ -289,7 +317,7 @@ class FaultPlan:
             from repro.faults.engine import EngineFaultInjector
 
             self._injectors["engine"] = EngineFaultInjector(
-                self.engine, self.rng("engine"), self.stats
+                self.engine, self.rng("engine"), self.stats, gate=self._armed.is_set
             )
         return self._injectors["engine"]
 

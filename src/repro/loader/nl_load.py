@@ -19,14 +19,14 @@ from __future__ import annotations
 import argparse
 import sys
 import time
-from typing import Callable, Iterable, List, Optional, TextIO, Tuple, Union
+from typing import Callable, Dict, Iterable, List, Optional, TextIO, Tuple, Union
 
 from repro.archive.store import StampedeArchive
 from repro.bus.broker import Broker, ConnectionLostError
 from repro.bus.client import EventConsumer
 from repro.bus.groups import GroupConsumer
 from repro.bus.queues import Message
-from repro.bus.reliable import Resequencer
+from repro.bus.reliable import HEADER_PUBLISHER, HEADER_SEQ, Resequencer
 from repro.lint.config import LintConfig
 from repro.lint.report import render_text
 from repro.lint.rules import Finding, Severity
@@ -418,6 +418,31 @@ def load_from_bus(
         skip_to = loader.resume()
     in_flight: List[Message] = []
     archive_down = False
+    # Persist resequencer dedupe floors with every checkpoint, and seed
+    # them back on resume: a fresh resequencer starting mid-stream would
+    # otherwise hold every delivery behind sequences committed before the
+    # crash, and a chaos redelivery racing a force-release could be
+    # misread as a duplicate — losing a row.  The floor folds in the
+    # in-flight messages at export time, which flush makes durable in the
+    # very transaction that writes the checkpoint.
+    reseq_floor: Dict[str, int] = dict(loader.resumed_reseq)
+    previous_reseq_state = loader.reseq_state
+    if reseq is not None and loader.checkpoint is not None:
+        def export_reseq_floor() -> Dict[str, int]:
+            for m in in_flight:
+                hdrs = m.headers or {}
+                pub = hdrs.get(HEADER_PUBLISHER)
+                seq = hdrs.get(HEADER_SEQ)
+                if pub is not None and seq is not None:
+                    nxt = int(seq) + 1
+                    if nxt > reseq_floor.get(str(pub), 1):
+                        reseq_floor[str(pub)] = nxt
+            return dict(reseq_floor)
+
+        loader.reseq_state = export_reseq_floor
+        for pub, nxt in loader.resumed_reseq.items():
+            if nxt > 1:
+                reseq.seed(pub, nxt)
 
     def ack_quiet(msg: Message) -> None:
         # after a disconnect the tag is stale (the broker requeued the
@@ -610,6 +635,7 @@ def load_from_bus(
         loader.flush()
     finally:
         loader.on_flush = previous_on_flush
+        loader.reseq_state = previous_reseq_state
         if pool is not None:
             pool.close()
         consumer.cancel()  # requeues anything not acked (crash semantics)

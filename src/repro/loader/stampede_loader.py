@@ -311,6 +311,14 @@ class StampedeLoader:
         self.position: int = 0
         #: called after every successful flush commit (bus path acks here)
         self.on_flush: Optional[Callable[["StampedeLoader"], None]] = None
+        #: optional provider of per-publisher "next expected sequence"
+        #: positions, persisted with each checkpoint (the bus path sets
+        #: it so resequencer dedupe state survives a kill/resume — an
+        #: exactly-once guarantee needs its dedupe floor to be as
+        #: durable as the rows it protects)
+        self.reseq_state: Optional[Callable[[], Dict[str, int]]] = None
+        #: per-publisher positions restored by :meth:`resume`
+        self.resumed_reseq: Dict[str, int] = {}
         self._validator = (
             EventValidator(STAMPEDE_SCHEMA, allow_unknown_attrs=True)
             if validate
@@ -473,7 +481,7 @@ class StampedeLoader:
         """Minimal resolver state a fresh process needs to continue."""
         if deferred is None:
             deferred = self._deferred_subwf
-        return {
+        state: Dict[str, Any] = {
             "version": 1,
             "workflows": {
                 uuid: cache.to_state() for uuid, cache in self._workflows.items()
@@ -486,6 +494,9 @@ class StampedeLoader:
                 "flushes": self.stats.flushes,
             },
         }
+        if self.reseq_state is not None:
+            state["reseq_next"] = self.reseq_state()
+        return state
 
     def restore_state(self, state: Dict[str, Any]) -> None:
         """Rebuild resolver caches from a checkpoint's state blob."""
@@ -497,6 +508,10 @@ class StampedeLoader:
             (str(u), str(j), int(s), int(w))
             for u, j, s, w in state.get("deferred_subwf", [])
         ]
+        self.resumed_reseq = {
+            str(pub): int(nxt)
+            for pub, nxt in state.get("reseq_next", {}).items()
+        }
         counters = state.get("stats", {})
         self.stats.events_processed = int(counters.get("events_processed", 0))
         self.stats.rows_inserted = int(counters.get("rows_inserted", 0))

@@ -193,6 +193,36 @@ class Histogram(_Instrument):
         out.append((float("inf"), running + counts[-1]))
         return out
 
+    def quantile(self, q: float) -> float:
+        """Estimated q-quantile (Prometheus ``histogram_quantile`` style).
+
+        Linear interpolation inside the bucket the target rank falls in,
+        assuming a uniform spread between bucket bounds — the fidelity
+        the fixed buckets afford.  An empty histogram reports 0; ranks
+        landing in the +Inf bucket report the highest finite bound (the
+        same saturation Prometheus applies), so gates stay meaningful
+        rather than infinite.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        cumulative = self.cumulative_buckets()
+        total = cumulative[-1][1]
+        if total == 0:
+            return 0.0
+        rank = q * total
+        prev_bound, prev_cum = 0.0, 0
+        for bound, cum in cumulative:
+            if cum >= rank:
+                if bound == float("inf"):
+                    return self.bounds[-1]
+                in_bucket = cum - prev_cum
+                if in_bucket <= 0:
+                    return bound
+                frac = (rank - prev_cum) / in_bucket
+                return prev_bound + (bound - prev_bound) * frac
+            prev_bound, prev_cum = bound, cum
+        return self.bounds[-1]
+
 
 class MetricsRegistry:
     """Creates, deduplicates, and scrapes instruments.

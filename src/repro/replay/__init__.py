@@ -1,0 +1,71 @@
+"""Production traffic harness: trace record/replay, storms, and soak.
+
+``repro.replay`` turns bus traffic into a portable artifact and back:
+
+* :mod:`repro.replay.trace` — the JSONL trace format, workflow-id
+  remapping, and trace composition (mixed workloads, storm multiplication);
+* :mod:`repro.replay.recorder` — capture an in-process broker (publish
+  tap) or a ``tcp://`` stream to a trace;
+* :mod:`repro.replay.shape` — pacing schedules (trace ×N, constant,
+  burst train, diurnal) and the drift-free monotonic pacer;
+* :mod:`repro.replay.replayer` — republish a trace as live traffic with
+  fresh end-to-end stamps;
+* :mod:`repro.replay.soak` — the storm driver: shaped replay through a
+  real loader with mid-replay chaos and kill/resume, gated on
+  throughput, latency, leakage, memory, and row identity;
+* :mod:`repro.replay.cli` — the ``stampede-replay`` command.
+"""
+from repro.replay.recorder import BusRecorder, record_remote
+from repro.replay.replayer import Replayer, ReplayStats, replay
+from repro.replay.soak import GateCheck, SoakReport, mixed_trace, run_soak, storm_stream
+from repro.replay.shape import (
+    BurstTrain,
+    ConstantRate,
+    Diurnal,
+    Pacer,
+    Shape,
+    TraceTiming,
+    parse_shape,
+)
+from repro.replay.trace import (
+    TraceError,
+    TraceRecord,
+    TraceWriter,
+    compose_traces,
+    read_trace,
+    remap_workflow_ids,
+    repeat_trace,
+    trace_from_events,
+    trace_meta,
+    write_trace,
+)
+
+__all__ = [
+    "BusRecorder",
+    "record_remote",
+    "Replayer",
+    "ReplayStats",
+    "replay",
+    "GateCheck",
+    "SoakReport",
+    "mixed_trace",
+    "run_soak",
+    "storm_stream",
+    "BurstTrain",
+    "ConstantRate",
+    "Diurnal",
+    "Pacer",
+    "Shape",
+    "TraceTiming",
+    "parse_shape",
+    "TraceError",
+    "TraceRecord",
+    "TraceWriter",
+    "compose_traces",
+    "read_trace",
+    "remap_workflow_ids",
+    "repeat_trace",
+    "trace_from_events",
+    "trace_meta",
+    "write_trace",
+]

@@ -1,0 +1,140 @@
+"""Recording bus traffic to portable traces.
+
+Two capture points, one trace format:
+
+* :class:`BusRecorder` — wiretap on an in-process broker.  Registers a
+  publish tap (:meth:`repro.bus.broker.Broker.add_tap`), so it sees the
+  stream exactly as published — before routing, fan-out, chaos, or
+  consumer-group partitioning — with every publisher header intact.
+* :func:`record_remote` — subscribes to a ``tcp://`` broker like any
+  other consumer and writes what it receives; the capture point is the
+  wire, so the recorded inter-arrival spacing includes transport
+  delivery timing.
+
+Both record arrival times relative to the first message, which is the
+timeline :class:`repro.replay.shape.TraceTiming` scales on replay.
+"""
+from __future__ import annotations
+
+import threading
+import time
+from typing import Dict, Mapping, Optional
+
+from repro.bus.broker import Broker, ConnectionLostError
+from repro.bus.net import RemoteConsumer
+from repro.replay.trace import PathOrFile, TraceRecord, TraceWriter
+
+__all__ = ["BusRecorder", "record_remote"]
+
+
+class BusRecorder:
+    """Tap an in-process broker and write everything published to a trace.
+
+    Use as a context manager around the traffic to capture::
+
+        with BusRecorder(broker, "run.trace"):
+            run_pegasus_workflow(...)
+
+    The tap runs on publisher threads; a lock serializes writes so
+    concurrent publishers interleave into one well-ordered timeline.
+    """
+
+    def __init__(
+        self,
+        broker: Broker,
+        target: PathOrFile,
+        meta: Optional[Mapping[str, object]] = None,
+    ):
+        self._broker = broker
+        trace_meta: Dict[str, object] = {"source": "bus-tap"}
+        trace_meta.update(meta or {})
+        self._writer = TraceWriter(target, meta=trace_meta)
+        self._lock = threading.Lock()
+        self._origin: Optional[float] = None
+        self._started = False
+        self.records = 0
+
+    def start(self) -> "BusRecorder":
+        if not self._started:
+            self._started = True
+            self._broker.add_tap(self._tap)
+        return self
+
+    def stop(self) -> int:
+        """Detach the tap and close the trace; returns records written."""
+        if self._started:
+            self._started = False
+            self._broker.remove_tap(self._tap)
+        self._writer.close()
+        return self.records
+
+    def _tap(
+        self, routing_key: str, body: object, headers: Optional[Mapping[str, object]]
+    ) -> None:
+        now = time.monotonic()
+        with self._lock:
+            if self._origin is None:
+                self._origin = now
+            self._writer.write(
+                TraceRecord(now - self._origin, routing_key, body, dict(headers or {}))
+            )
+            self.records += 1
+
+    def __enter__(self) -> "BusRecorder":
+        return self.start()
+
+    def __exit__(self, *exc: object) -> None:
+        self.stop()
+
+
+def record_remote(
+    url: str,
+    target: PathOrFile,
+    pattern: str = "stampede.#",
+    count: Optional[int] = None,
+    duration: Optional[float] = None,
+    idle_timeout: float = 5.0,
+    meta: Optional[Mapping[str, object]] = None,
+) -> int:
+    """Record a ``tcp://`` bus stream until a stop condition is met.
+
+    Stops after ``count`` messages, after ``duration`` seconds of
+    recording, or once the stream has been silent for ``idle_timeout``
+    seconds — whichever comes first.  Returns the number of records
+    written.
+    """
+    trace_meta: Dict[str, object] = {"source": url, "pattern": pattern}
+    trace_meta.update(meta or {})
+    consumer = RemoteConsumer(url, pattern=pattern)
+    written = 0
+    origin: Optional[float] = None
+    started = time.monotonic()
+    last_seen = started
+    try:
+        with TraceWriter(target, meta=trace_meta) as writer:
+            while True:
+                if count is not None and written >= count:
+                    break
+                now = time.monotonic()
+                if duration is not None and now - started >= duration:
+                    break
+                if now - last_seen >= idle_timeout:
+                    break
+                try:
+                    msg = consumer.get_message(timeout=0.1, auto_ack=True)
+                except ConnectionLostError:
+                    break
+                if msg is None:
+                    continue
+                now = time.monotonic()
+                last_seen = now
+                if origin is None:
+                    origin = now
+                writer.write_message(msg, now - origin)
+                written += 1
+    finally:
+        try:
+            consumer.cancel()
+        except (ConnectionLostError, OSError):
+            pass
+    return written

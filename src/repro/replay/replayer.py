@@ -1,0 +1,196 @@
+"""Republishing traces onto a live bus at speed, with shaping.
+
+The replayer walks a trace in order and publishes each record with
+**fresh** end-to-end stamps — its own publisher identity, a gapless
+1..N sequence, new trace ids, and publish clocks taken *now* — because
+a replayed stream must be indistinguishable from live traffic to the
+reliability layer (resequencer, latency clocks, consumer groups).  The
+recorded headers stay in the trace for provenance; they are not
+resent.
+
+Partition keys are the one client-side stamp that needs event content:
+bodies travel as opaque BP strings, so the replayer extracts
+``xwf.id``/``root.xwf.id`` with a light scan (no full parse on the hot
+path) and runs the same root-learning keyer remote publishers use.
+
+Timing comes from a :class:`repro.replay.shape.Shape` driven through a
+:class:`~repro.replay.shape.Pacer` — recorded spacing at ×N, constant
+rate, burst trains, or a diurnal curve.  ``marks`` fire callbacks at
+trace-fraction thresholds, which is how the soak driver arms a chaos
+plan and triggers the loader kill mid-storm.
+"""
+from __future__ import annotations
+
+import re
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.bus.broker import DEFAULT_EXCHANGE, Broker
+from repro.bus.groups import HEADER_PART_KEY, PartitionKeyer
+from repro.bus.net import RemotePublisher
+from repro.bus.reliable import HEADER_PUBLISHER, HEADER_SEQ
+from repro.obs.spans import (
+    CLOCK_EPOCH,
+    HEADER_CLOCK_EPOCH,
+    HEADER_PUB_MONO,
+    HEADER_PUB_TS,
+    HEADER_TRACE,
+    new_trace_id,
+)
+from repro.replay.shape import Pacer, Shape, TraceTiming
+from repro.replay.trace import TraceRecord
+
+__all__ = ["ReplayStats", "Replayer", "replay"]
+
+_XWF_RE = re.compile(r"(?:^|\s)xwf\.id=(\S+)")
+_ROOT_RE = re.compile(r"(?:^|\s)root\.xwf\.id=(\S+)")
+
+
+@dataclass
+class ReplayStats:
+    """What a replay run actually did, against what it was asked."""
+
+    records: int = 0
+    duration: float = 0.0
+    max_behind: float = 0.0
+    shape: str = ""
+    marks_fired: List[float] = field(default_factory=list)
+
+    @property
+    def rate(self) -> float:
+        return self.records / self.duration if self.duration > 0 else 0.0
+
+
+class Replayer:
+    """Publishes trace records onto an in-process or ``tcp://`` bus.
+
+    ``marks`` is a sequence of ``(fraction, callback)`` pairs; each
+    callback fires exactly once, on the replay thread, when
+    ``published / total`` first reaches its fraction.  Callbacks see the
+    number of records published so far.
+    """
+
+    def __init__(
+        self,
+        target: Union[Broker, str],
+        exchange: str = DEFAULT_EXCHANGE,
+        publisher_id: Optional[str] = None,
+        stamp: bool = True,
+    ):
+        self._exchange = exchange
+        self._stamp = stamp
+        self.publisher_id = publisher_id or f"replay-{new_trace_id()}"
+        self._keyer = PartitionKeyer()
+        self._broker: Optional[Broker] = None
+        self._remote: Optional[RemotePublisher] = None
+        if isinstance(target, Broker):
+            self._broker = target
+        else:
+            self._remote = RemotePublisher(
+                target,
+                exchange=exchange,
+                publisher_id=self.publisher_id,
+                stamp=stamp,
+            )
+        self.events_published = 0
+
+    # -- stamping -------------------------------------------------------------
+    def _part_key(self, record: TraceRecord) -> str:
+        line = record.bp_line()
+        if line is None:
+            return self.publisher_id
+        xwf = _XWF_RE.search(line)
+        root = _ROOT_RE.search(line)
+        attrs: Dict[str, object] = {}
+        if xwf:
+            attrs["xwf.id"] = xwf.group(1)
+        if root:
+            attrs["root.xwf.id"] = root.group(1)
+        return self._keyer.key_for(attrs, default=self.publisher_id)
+
+    def _publish(self, record: TraceRecord) -> None:
+        self.events_published += 1
+        if self._remote is not None:
+            self._remote.publish(record.as_event())
+            return
+        headers: Optional[Dict[str, object]] = None
+        if self._stamp:
+            headers = {
+                HEADER_PUBLISHER: self.publisher_id,
+                HEADER_SEQ: self.events_published,
+                HEADER_TRACE: new_trace_id(),
+                HEADER_PUB_TS: time.time(),
+                HEADER_PUB_MONO: time.monotonic(),
+                HEADER_CLOCK_EPOCH: CLOCK_EPOCH,
+                HEADER_PART_KEY: self._part_key(record),
+            }
+        assert self._broker is not None
+        self._broker.publish(
+            record.routing_key, record.body, exchange=self._exchange, headers=headers
+        )
+
+    # -- the run --------------------------------------------------------------
+    def run(
+        self,
+        records: Iterable[TraceRecord],
+        shape: Optional[Shape] = None,
+        marks: Sequence[Tuple[float, Callable[[int], None]]] = (),
+        total: Optional[int] = None,
+    ) -> ReplayStats:
+        """Replay ``records`` through ``shape`` (default: unshaped).
+
+        ``total`` sizes the mark fractions; when omitted, ``records`` is
+        materialized to count it (pass it for streaming replay of huge
+        traces).
+        """
+        shape = shape or TraceTiming(0.0)
+        if total is None:
+            records = list(records)
+            total = len(records)
+        pending = sorted(marks, key=lambda m: m[0])
+        stats = ReplayStats(shape=shape.describe())
+        pacer = Pacer()
+        for index, record in enumerate(records):
+            offset = shape.offset(index, record.t)
+            pacer.wait_until(offset)
+            stats.max_behind = max(stats.max_behind, pacer.behind(offset))
+            self._publish(record)
+            stats.records += 1
+            while pending and total and stats.records / total >= pending[0][0]:
+                fraction, callback = pending.pop(0)
+                stats.marks_fired.append(fraction)
+                callback(stats.records)
+        # anything the stream never reached still owes its callback a
+        # final chance at end-of-trace (e.g. a 0.99 mark on a short run)
+        for fraction, callback in pending:
+            if total and stats.records / total >= fraction:
+                stats.marks_fired.append(fraction)
+                callback(stats.records)
+        self.flush()
+        stats.duration = pacer.elapsed()
+        return stats
+
+    def flush(self) -> None:
+        if self._remote is not None:
+            self._remote.flush()
+
+    def close(self) -> None:
+        if self._remote is not None:
+            self._remote.close()
+
+
+def replay(
+    records: Iterable[TraceRecord],
+    target: Union[Broker, str],
+    shape: Optional[Shape] = None,
+    exchange: str = DEFAULT_EXCHANGE,
+    marks: Sequence[Tuple[float, Callable[[int], None]]] = (),
+    total: Optional[int] = None,
+) -> ReplayStats:
+    """One-shot replay of a trace onto a bus target."""
+    replayer = Replayer(target, exchange=exchange)
+    try:
+        return replayer.run(records, shape=shape, marks=marks, total=total)
+    finally:
+        replayer.close()

@@ -1,0 +1,235 @@
+"""Traffic shaping for trace replay: pacing schedules + the pacer.
+
+A *shape* decides **when** each event of a replay should be published,
+as an offset in seconds from the start of the replay; the
+:class:`Pacer` then sleeps toward each offset on the monotonic clock.
+
+The pacer is deliberately drift-free: every deadline is computed from
+one fixed origin (``sleep until origin + offset``), never from "now plus
+a delta", so per-event scheduling jitter — a late wakeup, a slow
+publish — never accumulates into rate error.  This is the helper
+``stampede-bus publish --rate`` shares (the fix for its old
+fixed-sleep-per-chunk shaping, which lost time on every sleep and
+undershot the requested rate at high ×N).
+
+Shapes:
+
+* :class:`TraceTiming` — honor the recorded inter-arrival spacing,
+  scaled by ``speed`` (×N replay);
+* :class:`ConstantRate` — a flat events/second schedule;
+* :class:`BurstTrain` — alternate a quiet base rate with periodic
+  bursts (the storm pattern that stresses queue bounds and flush
+  batching);
+* :class:`Diurnal` — a sinusoidal day-curve compressed to ``period``
+  seconds (the dashboard-traffic pattern).
+
+:func:`parse_shape` turns CLI specs (``constant:5000``,
+``burst:500,20000,2,0.25``, ``diurnal:2000,60,0.8``, ``trace``) into
+shape objects.
+"""
+from __future__ import annotations
+
+import math
+import time
+from typing import Optional
+
+__all__ = [
+    "Pacer",
+    "Shape",
+    "TraceTiming",
+    "ConstantRate",
+    "BurstTrain",
+    "Diurnal",
+    "parse_shape",
+]
+
+
+class Pacer:
+    """Monotonic sleep-until scheduler anchored at a fixed origin.
+
+    ``wait_until(offset)`` sleeps until ``origin + offset`` on the
+    monotonic clock and returns immediately when that deadline is
+    already past (the caller is behind schedule and should catch up
+    without sleeping — lateness is never compounded).
+    """
+
+    def __init__(self, origin: Optional[float] = None):
+        self.origin = time.monotonic() if origin is None else origin
+
+    def elapsed(self) -> float:
+        return time.monotonic() - self.origin
+
+    def behind(self, offset: float) -> float:
+        """Seconds the schedule is late for ``offset`` (<= 0 when early)."""
+        return self.elapsed() - offset
+
+    def wait_until(self, offset: float) -> None:
+        deadline = self.origin + offset
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                return
+            # one sleep suffices in CPython (no spurious wakeups), but
+            # clamping re-checks the clock after very long sleeps so a
+            # suspended VM resumes close to schedule
+            time.sleep(min(remaining, 1.0))
+
+
+class Shape:
+    """Maps an event's position in the replay to its publish offset."""
+
+    def offset(self, index: int, rel_t: float) -> float:
+        """Seconds from replay start at which event ``index`` (recorded
+        at trace-relative time ``rel_t``) should be published."""
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        raise NotImplementedError
+
+
+class TraceTiming(Shape):
+    """Replay the recorded spacing at ``speed``× (2.0 = twice as fast).
+
+    ``speed=0`` disables pacing entirely (publish as fast as possible) —
+    the *unshaped* mode baselines are built with.
+    """
+
+    def __init__(self, speed: float = 1.0):
+        if speed < 0:
+            raise ValueError("speed must be >= 0")
+        self.speed = float(speed)
+
+    def offset(self, index: int, rel_t: float) -> float:
+        if not self.speed:
+            return 0.0
+        return rel_t / self.speed
+
+    def describe(self) -> str:
+        return "unshaped" if not self.speed else f"trace x{self.speed:g}"
+
+
+class ConstantRate(Shape):
+    """A flat schedule: event ``i`` goes out at ``i / rate`` seconds."""
+
+    def __init__(self, rate: float):
+        if rate <= 0:
+            raise ValueError("rate must be > 0")
+        self.rate = float(rate)
+
+    def offset(self, index: int, rel_t: float) -> float:
+        return index / self.rate
+
+    def describe(self) -> str:
+        return f"constant {self.rate:g} ev/s"
+
+
+class BurstTrain(Shape):
+    """Alternating base/burst rates: quiet floor, periodic storm crest.
+
+    Each ``period`` seconds of the schedule spends ``burst_fraction`` of
+    the period at ``burst_rate`` and the rest at ``base_rate``.  Offsets
+    are integrated incrementally (1/rate per event on the *schedule*
+    clock), so the shape is exact regardless of how long publishing
+    actually takes.
+    """
+
+    def __init__(
+        self,
+        base_rate: float,
+        burst_rate: float,
+        period: float = 2.0,
+        burst_fraction: float = 0.25,
+    ):
+        if base_rate <= 0 or burst_rate <= 0:
+            raise ValueError("rates must be > 0")
+        if period <= 0 or not 0.0 < burst_fraction < 1.0:
+            raise ValueError("period > 0 and 0 < burst_fraction < 1 required")
+        self.base_rate = float(base_rate)
+        self.burst_rate = float(burst_rate)
+        self.period = float(period)
+        self.burst_fraction = float(burst_fraction)
+        self._next = 0.0
+        self._last_index = -1
+
+    def _rate_at(self, t: float) -> float:
+        phase = math.fmod(t, self.period) / self.period
+        return self.burst_rate if phase < self.burst_fraction else self.base_rate
+
+    def offset(self, index: int, rel_t: float) -> float:
+        if index <= self._last_index:  # replayed from the top (new pass)
+            self._next = 0.0
+        self._last_index = index
+        current = self._next
+        self._next = current + 1.0 / self._rate_at(current)
+        return current
+
+    def describe(self) -> str:
+        return (
+            f"burst {self.base_rate:g}/{self.burst_rate:g} ev/s "
+            f"(period {self.period:g}s, {self.burst_fraction:.0%} burst)"
+        )
+
+
+class Diurnal(Shape):
+    """A day's sinusoidal load curve compressed into ``period`` seconds.
+
+    Instantaneous rate is ``mean_rate * (1 + amplitude * sin(2πt/period))``;
+    ``amplitude < 1`` keeps the trough above zero.
+    """
+
+    def __init__(self, mean_rate: float, period: float = 60.0, amplitude: float = 0.8):
+        if mean_rate <= 0 or period <= 0:
+            raise ValueError("mean_rate and period must be > 0")
+        if not 0.0 <= amplitude < 1.0:
+            raise ValueError("amplitude must be in [0, 1)")
+        self.mean_rate = float(mean_rate)
+        self.period = float(period)
+        self.amplitude = float(amplitude)
+        self._next = 0.0
+        self._last_index = -1
+
+    def _rate_at(self, t: float) -> float:
+        return self.mean_rate * (
+            1.0 + self.amplitude * math.sin(2.0 * math.pi * t / self.period)
+        )
+
+    def offset(self, index: int, rel_t: float) -> float:
+        if index <= self._last_index:
+            self._next = 0.0
+        self._last_index = index
+        current = self._next
+        self._next = current + 1.0 / self._rate_at(current)
+        return current
+
+    def describe(self) -> str:
+        return (
+            f"diurnal {self.mean_rate:g} ev/s "
+            f"(period {self.period:g}s, amplitude {self.amplitude:g})"
+        )
+
+
+def parse_shape(spec: str, speed: float = 1.0) -> Shape:
+    """CLI shape spec -> shape object.
+
+    * ``trace`` — recorded spacing at ``speed``× (also the default);
+    * ``constant:RATE``;
+    * ``burst:BASE,BURST[,PERIOD[,FRACTION]]``;
+    * ``diurnal:MEAN[,PERIOD[,AMPLITUDE]]``.
+    """
+    kind, _, rest = spec.partition(":")
+    kind = kind.strip().lower()
+    args = [float(a) for a in rest.split(",") if a.strip()] if rest else []
+    try:
+        if kind in ("trace", ""):
+            return TraceTiming(args[0] if args else speed)
+        if kind == "constant":
+            return ConstantRate(*args)
+        if kind == "burst":
+            return BurstTrain(*args)
+        if kind == "diurnal":
+            return Diurnal(*args)
+    except TypeError as exc:
+        raise ValueError(f"bad shape spec {spec!r}: {exc}") from None
+    raise ValueError(
+        f"unknown shape {kind!r} (expected trace|constant|burst|diurnal)"
+    )

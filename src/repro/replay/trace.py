@@ -1,0 +1,346 @@
+"""Portable JSONL traces of bus traffic.
+
+A *trace* is the durable form of a bus stream: one JSON object per line,
+each carrying the routing key, the message body (the same tagged union
+the TCP transport uses, so BP text is stored verbatim), every message
+header the publisher stamped (``x-publisher``/``x-seq``/``x-trace``/
+``x-pub-ts``/``x-pub-mono``/``x-clock-epoch``/``x-part-key``), and the
+message's arrival time *relative to the start of the recording* — the
+inter-arrival spacing is what the replayer's ``×N`` pacing scales.
+
+The first line is a meta record (``{"stampede_trace": 1, ...}``) so a
+reader can reject foreign files and future versions cheaply; everything
+after it is event records ordered by ``t``.
+
+Traces compose: :func:`remap_workflow_ids` rewrites every workflow uuid
+in a trace onto a derived-but-distinct identity, and
+:func:`compose_traces` interleaves several (remapped) traces into one
+mixed-workload timeline — CyberShake + Montage + Epigenomics + LIGO +
+DART as a single stream whose root workflow ids never collide.
+:func:`repeat_trace` multiplies one trace into a storm the same way.
+"""
+from __future__ import annotations
+
+import json
+import os
+import re
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, TextIO, Union
+
+from repro.bus.net import decode_body, encode_body
+from repro.bus.queues import Message
+from repro.netlogger.events import NLEvent
+from repro.util.uuidgen import derive_uuid
+
+__all__ = [
+    "TRACE_VERSION",
+    "TraceError",
+    "TraceRecord",
+    "TraceWriter",
+    "read_trace",
+    "write_trace",
+    "trace_meta",
+    "trace_from_events",
+    "remap_workflow_ids",
+    "compose_traces",
+    "repeat_trace",
+]
+
+TRACE_VERSION = 1
+
+#: attr keys whose values are workflow uuids (the identities that must
+#: be rewritten when traces are composed so hierarchies never collide)
+WORKFLOW_ID_ATTRS = ("xwf.id", "parent.xwf.id", "root.xwf.id", "subwf.id")
+
+#: message-header keys whose values are workflow uuids
+_UUID_HEADERS = ("x-part-key",)
+
+_UUID_RE = re.compile(
+    r"\b[0-9a-f]{8}-[0-9a-f]{4}-[0-9a-f]{4}-[0-9a-f]{4}-[0-9a-f]{12}\b"
+)
+
+PathOrFile = Union[str, os.PathLike, TextIO]
+
+
+class TraceError(ValueError):
+    """The file is not a readable stampede trace."""
+
+
+@dataclass
+class TraceRecord:
+    """One recorded message: relative arrival time + the message itself."""
+
+    t: float
+    routing_key: str
+    body: object
+    headers: Dict[str, object] = field(default_factory=dict)
+
+    def as_event(self) -> NLEvent:
+        """Materialize the body as a typed event (parsing BP text once)."""
+        if isinstance(self.body, NLEvent):
+            return self.body
+        if isinstance(self.body, str):
+            return NLEvent.from_bp(self.body)
+        raise TraceError(f"body is not an event: {type(self.body)!r}")
+
+    def bp_line(self) -> Optional[str]:
+        """The body's BP text form, or None for non-event bodies."""
+        if isinstance(self.body, NLEvent):
+            return self.body.to_bp()
+        if isinstance(self.body, str):
+            return self.body
+        return None
+
+    def to_json_obj(self) -> Dict[str, object]:
+        return {
+            "t": round(self.t, 6),
+            "key": self.routing_key,
+            "body": encode_body(self.body),
+            "headers": dict(self.headers),
+        }
+
+    @classmethod
+    def from_json_obj(cls, obj: Mapping[str, object]) -> "TraceRecord":
+        try:
+            return cls(
+                t=float(obj["t"]),  # type: ignore[arg-type]
+                routing_key=str(obj["key"]),
+                body=decode_body(obj["body"]),  # type: ignore[arg-type]
+                headers=dict(obj.get("headers") or {}),  # type: ignore[arg-type]
+            )
+        except (KeyError, TypeError) as exc:
+            raise TraceError(f"malformed trace record: {exc}") from None
+
+
+class TraceWriter:
+    """Appends records to a trace file, meta line first."""
+
+    def __init__(self, target: PathOrFile, meta: Optional[Mapping[str, object]] = None):
+        if isinstance(target, (str, os.PathLike)):
+            self._fh: TextIO = open(target, "w", encoding="utf-8")
+            self._close = True
+        else:
+            self._fh = target
+            self._close = False
+        self.records_written = 0
+        header: Dict[str, object] = {"stampede_trace": TRACE_VERSION}
+        header.update(meta or {})
+        self._fh.write(json.dumps(header, separators=(",", ":")) + "\n")
+
+    def write(self, record: TraceRecord) -> None:
+        self._fh.write(
+            json.dumps(record.to_json_obj(), separators=(",", ":")) + "\n"
+        )
+        self.records_written += 1
+
+    def write_message(self, msg: Message, t: float) -> None:
+        self.write(TraceRecord(t, msg.routing_key, msg.body, dict(msg.headers or {})))
+
+    def flush(self) -> None:
+        self._fh.flush()
+
+    def close(self) -> None:
+        self._fh.flush()
+        if self._close:
+            self._fh.close()
+
+    def __enter__(self) -> "TraceWriter":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+
+def write_trace(
+    target: PathOrFile,
+    records: Iterable[TraceRecord],
+    meta: Optional[Mapping[str, object]] = None,
+) -> int:
+    with TraceWriter(target, meta=meta) as writer:
+        for record in records:
+            writer.write(record)
+        return writer.records_written
+
+
+def _open_reader(source: PathOrFile) -> Iterator[str]:
+    if isinstance(source, (str, os.PathLike)):
+        with open(source, "r", encoding="utf-8") as fh:
+            for line in fh:
+                yield line
+    else:
+        for line in source:
+            yield line
+
+
+def trace_meta(source: PathOrFile) -> Dict[str, object]:
+    """The meta record of a trace file (validates the version stamp)."""
+    for line in _open_reader(source):
+        try:
+            obj = json.loads(line)
+        except ValueError as exc:
+            raise TraceError(f"trace meta line is not JSON: {exc}") from None
+        if not isinstance(obj, dict) or obj.get("stampede_trace") != TRACE_VERSION:
+            raise TraceError(
+                f"not a stampede trace (version {TRACE_VERSION}): {line[:80]!r}"
+            )
+        return obj
+    raise TraceError("empty trace file")
+
+
+def read_trace(source: PathOrFile) -> Iterator[TraceRecord]:
+    """Iterate a trace's records (meta line validated and skipped)."""
+    lines = _open_reader(source)
+    first = True
+    for line in lines:
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            obj = json.loads(line)
+        except ValueError as exc:
+            raise TraceError(f"undecodable trace line: {exc}") from None
+        if first:
+            first = False
+            if not isinstance(obj, dict) or obj.get("stampede_trace") != TRACE_VERSION:
+                raise TraceError(
+                    f"not a stampede trace (version {TRACE_VERSION})"
+                )
+            continue
+        yield TraceRecord.from_json_obj(obj)
+
+
+def trace_from_events(
+    events: Iterable[NLEvent],
+    compress: float = 0.0,
+    headers: bool = False,
+) -> List[TraceRecord]:
+    """Build a trace directly from simulated engine events.
+
+    The engines emit events on *simulated* time (a CyberShake run spans
+    hours of ``ts``); ``compress`` maps that span onto replay seconds:
+    ``rel_t = (ts - ts0) * compress``.  The default ``compress=0`` packs
+    everything at ``t=0`` (timing supplied entirely by the replay shape).
+    Emission order is preserved even where simulated timestamps tie or
+    regress.  Bodies are stored as BP text — exactly what a recorded
+    live stream holds.
+    """
+    records: List[TraceRecord] = []
+    ts0: Optional[float] = None
+    last_t = 0.0
+    for event in events:
+        if ts0 is None:
+            ts0 = event.ts
+        rel = max(0.0, (event.ts - ts0) * compress) if compress else 0.0
+        # a trace timeline never goes backwards, whatever the sim did
+        last_t = max(last_t, rel)
+        records.append(TraceRecord(last_t, event.event, event.to_bp(), {}))
+    return records
+
+
+# -- composition --------------------------------------------------------------
+
+def _collect_uuid_map(records: Sequence[TraceRecord], salt: str) -> Dict[str, str]:
+    """Old uuid -> derived uuid for every workflow id seen in the trace."""
+    mapping: Dict[str, str] = {}
+    for record in records:
+        line = record.bp_line()
+        if line is None:
+            continue
+        for match in _UUID_RE.findall(line):
+            if match not in mapping:
+                mapping[match] = derive_uuid(match, salt)
+    return mapping
+
+
+def remap_workflow_ids(
+    records: Iterable[TraceRecord], salt: str
+) -> List[TraceRecord]:
+    """Rewrite every workflow uuid in a trace onto a salted derivative.
+
+    Rewrites are total and consistent: every occurrence of a uuid — in
+    BP bodies (``xwf.id``, ``parent.xwf.id``, ``root.xwf.id``,
+    ``subwf.id``) and in uuid-valued headers (``x-part-key``) — maps to
+    ``derive_uuid(old, salt)``, so the hierarchy structure is preserved
+    while the identities are globally fresh.  Two different salts can
+    never collide (uuid5-style derivation), which is what lets one trace
+    be replayed N times into one archive as N distinct workflow trees.
+    """
+    materialized = list(records)
+    mapping = _collect_uuid_map(materialized, salt)
+    if not mapping:
+        return [
+            TraceRecord(r.t, r.routing_key, r.body, dict(r.headers))
+            for r in materialized
+        ]
+    pattern = re.compile("|".join(re.escape(old) for old in mapping))
+
+    def sub(text: str) -> str:
+        return pattern.sub(lambda m: mapping[m.group(0)], text)
+
+    out: List[TraceRecord] = []
+    for record in materialized:
+        line = record.bp_line()
+        body = sub(line) if line is not None else record.body
+        headers = dict(record.headers)
+        for key in _UUID_HEADERS:
+            value = headers.get(key)
+            if isinstance(value, str) and value in mapping:
+                headers[key] = mapping[value]
+        out.append(TraceRecord(record.t, record.routing_key, body, headers))
+    return out
+
+
+def compose_traces(
+    *traces: Sequence[TraceRecord],
+    remap: bool = True,
+    salt: str = "compose",
+) -> List[TraceRecord]:
+    """Interleave several traces into one timeline.
+
+    Each input keeps its own relative timing; records are merged by
+    ``t`` (ties broken by input order, stably).  With ``remap=True``
+    (the default) every input is first passed through
+    :func:`remap_workflow_ids` with a per-input salt, so workflows from
+    different traces — or two copies of the same trace — never share a
+    root workflow id in the merged stream.
+    """
+    streams: List[List[TraceRecord]] = []
+    for i, trace in enumerate(traces):
+        records = list(trace)
+        if remap:
+            records = remap_workflow_ids(records, f"{salt}/{i}")
+        streams.append(records)
+    merged: List[TraceRecord] = []
+    for stream in streams:
+        merged.extend(stream)
+    # stable sort: equal-t records keep input order (stream 0 first)
+    merged.sort(key=lambda r: r.t)
+    return merged
+
+
+def repeat_trace(
+    records: Sequence[TraceRecord],
+    times: int,
+    stagger: float = 0.0,
+    salt: str = "repeat",
+) -> List[TraceRecord]:
+    """Multiply one trace into a storm of ``times`` remapped copies.
+
+    Copy ``k`` is shifted by ``k * stagger`` seconds (``stagger=0``
+    overlays all copies on the same timeline, multiplying instantaneous
+    rate — the burst-storm shape) and remapped with its own salt so the
+    copies are distinct workflow trees.
+    """
+    if times < 1:
+        raise ValueError("times must be >= 1")
+    copies: List[Sequence[TraceRecord]] = []
+    for k in range(times):
+        copy = remap_workflow_ids(records, f"{salt}/{k}")
+        if stagger:
+            offset = k * stagger
+            copy = [
+                TraceRecord(r.t + offset, r.routing_key, r.body, r.headers)
+                for r in copy
+            ]
+        copies.append(copy)
+    return compose_traces(*copies, remap=False)

@@ -3,6 +3,7 @@ import json
 
 import pytest
 
+from repro.bus.queues import Message
 from repro.faults import (
     ArchiveFaultSpec,
     BusFaultSpec,
@@ -132,3 +133,62 @@ class TestStats:
         plan = FaultPlan.from_dict({"seed": 1, "bus": {"drop": 0.1}})
         assert "bus" in repr(plan)
         assert "archive" not in repr(plan)
+
+
+class TestArmDisarm:
+    """Mid-run fault activation: injectors exist from the start (so
+    ordinal schedules count from run start) but fire only while armed."""
+
+    def test_armed_by_default(self):
+        assert FaultPlan(seed=1).armed
+        assert not FaultPlan(seed=1, armed=False).armed
+
+    def test_from_dict_accepts_armed(self):
+        plan = FaultPlan.from_dict({"seed": 1, "armed": False})
+        assert not plan.armed
+        plan.arm()
+        assert plan.armed
+        plan.disarm()
+        assert not plan.armed
+
+    def test_disarmed_bus_injector_delivers_cleanly(self):
+        spec = {"seed": 7, "bus": {"drop": 0.9, "duplicate": 0.9}}
+        plan = FaultPlan.from_dict({**spec, "armed": False})
+        injector = plan.bus_injector()
+        msg = Message("stampede.x", "e")
+        assert all(injector.classify(msg) == "deliver" for _ in range(20))
+        assert not any(injector.should_duplicate() for _ in range(20))
+        assert plan.stats.total_injected == 0
+        assert injector.deliveries == 20  # counters still advance
+
+    def test_arming_mid_stream_switches_faults_on(self):
+        plan = FaultPlan.from_dict(
+            {"seed": 7, "bus": {"drop": 0.9}, "armed": False}
+        )
+        injector = plan.bus_injector()
+        msg = Message("stampede.x", "e")
+        assert all(injector.classify(msg) == "deliver" for _ in range(20))
+        plan.arm()
+        fates = [injector.classify(msg) for _ in range(20)]
+        assert "drop" in fates
+        plan.disarm()
+        assert all(injector.classify(msg) == "deliver" for _ in range(20))
+
+    def test_disarmed_archive_and_engine_injectors_are_inert(self):
+        plan = FaultPlan.from_dict(
+            {
+                "seed": 7,
+                "archive": {"error_rate": 0.9},
+                "engine": {"crash_rate": 0.9},
+                "armed": False,
+            }
+        )
+        for _ in range(20):
+            plan.archive_injector().on_transaction()  # would raise when armed
+        assert all(
+            plan.engine_injector().attempt("job", i).clean for i in range(20)
+        )
+        plan.arm()
+        assert any(
+            not plan.engine_injector().attempt("job", i).clean for i in range(20)
+        )

@@ -1,0 +1,104 @@
+"""Pacing schedules and the drift-free pacer."""
+import time
+
+import pytest
+
+from repro.replay.shape import (
+    BurstTrain,
+    ConstantRate,
+    Diurnal,
+    Pacer,
+    TraceTiming,
+    parse_shape,
+)
+
+
+class TestPacer:
+    def test_wait_until_hits_absolute_deadline(self):
+        pacer = Pacer()
+        pacer.wait_until(0.05)
+        assert pacer.elapsed() >= 0.05
+
+    def test_past_deadlines_do_not_sleep(self):
+        pacer = Pacer()
+        start = time.monotonic()
+        for _ in range(100):
+            pacer.wait_until(0.0)
+        assert time.monotonic() - start < 0.05
+
+    def test_behind_measures_lag(self):
+        pacer = Pacer()
+        time.sleep(0.02)
+        assert pacer.behind(0.0) >= 0.02
+        assert pacer.behind(100.0) < 0.0  # early, not behind
+
+
+class TestShapes:
+    def test_trace_timing_scales_recorded_time(self):
+        assert TraceTiming(1.0).offset(5, 3.0) == 3.0
+        assert TraceTiming(2.0).offset(5, 3.0) == 1.5  # x2 speed halves waits
+
+    def test_trace_timing_zero_is_flat_out(self):
+        shape = TraceTiming(0.0)
+        assert shape.offset(999, 123.0) == 0.0
+
+    def test_constant_rate(self):
+        shape = ConstantRate(10.0)
+        assert shape.offset(0, 99.0) == 0.0
+        assert shape.offset(5, 99.0) == pytest.approx(0.5)
+
+    def test_burst_train_monotonic_and_faster_in_bursts(self):
+        shape = BurstTrain(base_rate=10.0, burst_rate=100.0, period=1.0,
+                           burst_fraction=0.5)
+        offsets = [shape.offset(i, 0.0) for i in range(200)]
+        assert offsets == sorted(offsets)
+        # mean rate is between base and burst: 200 events take less time
+        # than pure base rate, more than pure burst rate
+        assert 200 / 100.0 < offsets[-1] < 200 / 10.0
+
+    def test_burst_train_restarts_cleanly(self):
+        shape = BurstTrain(base_rate=10.0, burst_rate=100.0)
+        first = [shape.offset(i, 0.0) for i in range(10)]
+        again = [shape.offset(i, 0.0) for i in range(10)]  # index reset
+        assert again == first
+
+    def test_diurnal_monotonic(self):
+        shape = Diurnal(mean_rate=50.0, period=2.0, amplitude=0.8)
+        offsets = [shape.offset(i, 0.0) for i in range(300)]
+        assert offsets == sorted(offsets)
+
+    def test_rates_must_be_positive(self):
+        with pytest.raises(ValueError):
+            ConstantRate(0.0)
+        with pytest.raises(ValueError):
+            BurstTrain(base_rate=-1.0, burst_rate=10.0)
+
+
+class TestParseShape:
+    def test_trace_spec_uses_speed(self):
+        shape = parse_shape("trace", speed=4.0)
+        assert isinstance(shape, TraceTiming)
+        assert shape.offset(0, 8.0) == 2.0
+
+    def test_constant_spec(self):
+        shape = parse_shape("constant:250")
+        assert isinstance(shape, ConstantRate)
+        assert shape.offset(250, 0.0) == pytest.approx(1.0)
+
+    def test_burst_spec_with_defaults(self):
+        shape = parse_shape("burst:100,1000")
+        assert isinstance(shape, BurstTrain)
+
+    def test_diurnal_spec(self):
+        shape = parse_shape("diurnal:500,30,0.5")
+        assert isinstance(shape, Diurnal)
+
+    def test_empty_spec_defaults_to_trace(self):
+        assert isinstance(parse_shape("", speed=1.0), TraceTiming)
+
+    @pytest.mark.parametrize(
+        "spec", ["unknown", "constant:", "constant:abc", "burst:5"]
+    )
+    def test_rejects_malformed_specs(self, spec):
+        with pytest.raises(ValueError):
+            parse_shape(spec)

@@ -1,0 +1,152 @@
+"""The JSONL trace format: roundtrip, identity remapping, composition."""
+import io
+
+import pytest
+
+from repro.replay.trace import (
+    TRACE_VERSION,
+    TraceError,
+    TraceRecord,
+    compose_traces,
+    read_trace,
+    remap_workflow_ids,
+    repeat_trace,
+    trace_from_events,
+    trace_meta,
+    write_trace,
+)
+
+from tests.helpers import XWF, diamond_events
+
+
+def diamond_trace(compress: float = 0.0):
+    return trace_from_events(diamond_events(), compress=compress)
+
+
+class TestRoundTrip:
+    def test_write_read_identity(self, tmp_path):
+        records = diamond_trace()
+        path = str(tmp_path / "trace.jsonl")
+        assert write_trace(path, records) == len(records)
+        back = list(read_trace(path))
+        assert [(r.t, r.routing_key, r.body, r.headers) for r in back] == [
+            (r.t, r.routing_key, r.body, r.headers) for r in records
+        ]
+
+    def test_meta_line_first_and_preserved(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        write_trace(path, diamond_trace(), meta={"source": "test", "n": 3})
+        meta = trace_meta(path)
+        assert meta["stampede_trace"] == TRACE_VERSION
+        assert meta["source"] == "test"
+        assert meta["n"] == 3
+
+    def test_headers_survive(self):
+        buf = io.StringIO()
+        record = TraceRecord(
+            0.5,
+            "stampede.job.mainjob.start",
+            diamond_events()[0].to_bp(),
+            {"x-publisher": "p1", "x-seq": 7, "x-part-key": XWF},
+        )
+        write_trace(buf, [record])
+        buf.seek(0)
+        (back,) = list(read_trace(buf))
+        assert back.headers == {"x-publisher": "p1", "x-seq": 7, "x-part-key": XWF}
+        assert back.t == 0.5
+
+    def test_bodies_parse_back_to_events(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        write_trace(path, diamond_trace())
+        events = [r.as_event() for r in read_trace(path)]
+        assert [e.to_bp() for e in events] == [
+            e.to_bp() for e in diamond_events()
+        ]
+
+    def test_rejects_foreign_files(self, tmp_path):
+        path = tmp_path / "not_a_trace.jsonl"
+        path.write_text('{"something": "else"}\n', encoding="utf-8")
+        with pytest.raises(TraceError):
+            trace_meta(str(path))
+        with pytest.raises(TraceError):
+            list(read_trace(str(path)))
+
+    def test_rejects_empty_file(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("", encoding="utf-8")
+        with pytest.raises(TraceError):
+            trace_meta(str(path))
+
+
+class TestTraceFromEvents:
+    def test_compress_zero_packs_at_origin(self):
+        records = diamond_trace()
+        assert all(r.t == 0.0 for r in records)
+
+    def test_compress_scales_and_never_regresses(self):
+        records = diamond_trace(compress=0.01)
+        assert records[0].t == 0.0
+        times = [r.t for r in records]
+        assert times == sorted(times)
+        assert times[-1] > 0.0
+
+    def test_preserves_emission_order(self):
+        records = diamond_trace(compress=0.01)
+        assert [r.as_event().to_bp() for r in records] == [
+            e.to_bp() for e in diamond_events()
+        ]
+
+
+class TestRemap:
+    def test_total_and_consistent(self):
+        remapped = remap_workflow_ids(diamond_trace(), "salt-a")
+        ids = {r.as_event().attrs.get("xwf.id") for r in remapped}
+        assert ids == {next(iter(ids))}  # still one workflow
+        assert XWF not in ids
+
+    def test_deterministic_per_salt(self):
+        a1 = remap_workflow_ids(diamond_trace(), "salt-a")
+        a2 = remap_workflow_ids(diamond_trace(), "salt-a")
+        b = remap_workflow_ids(diamond_trace(), "salt-b")
+        assert [r.body for r in a1] == [r.body for r in a2]
+        assert [r.body for r in a1] != [r.body for r in b]
+
+    def test_rewrites_uuid_headers(self):
+        record = TraceRecord(
+            0.0,
+            "stampede.xwf.start",
+            diamond_events()[0].to_bp(),
+            {"x-part-key": XWF, "x-publisher": "p1"},
+        )
+        (out,) = remap_workflow_ids([record], "salt")
+        assert out.headers["x-part-key"] != XWF
+        assert out.headers["x-publisher"] == "p1"  # non-uuid headers untouched
+
+
+class TestCompose:
+    def test_interleaves_by_time(self):
+        a = [TraceRecord(t, "k.a", "e", {}) for t in (0.0, 1.0, 2.0)]
+        b = [TraceRecord(t, "k.b", "e", {}) for t in (0.5, 1.5)]
+        merged = compose_traces(a, b, remap=False)
+        assert [r.routing_key for r in merged] == ["k.a", "k.b", "k.a", "k.b", "k.a"]
+
+    def test_remap_keeps_inputs_distinct(self):
+        merged = compose_traces(diamond_trace(), diamond_trace())
+        ids = {r.as_event().attrs.get("xwf.id") for r in merged}
+        assert len(ids) == 2  # two copies, two distinct workflow trees
+
+    def test_repeat_multiplies_identities(self):
+        storm = repeat_trace(diamond_trace(), times=3)
+        ids = {r.as_event().attrs.get("xwf.id") for r in storm}
+        assert len(ids) == 3
+        assert len(storm) == 3 * len(diamond_trace())
+
+    def test_repeat_stagger_shifts_timelines(self):
+        storm = repeat_trace(diamond_trace(compress=0.01), times=2, stagger=10.0)
+        times = [r.t for r in storm]
+        assert times == sorted(times)
+        assert max(times) >= 10.0
+
+    def test_repeat_rejects_zero(self):
+        with pytest.raises(ValueError):
+            repeat_trace(diamond_trace(), times=0)
