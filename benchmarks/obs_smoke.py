@@ -15,7 +15,12 @@ CI driver for the self-monitoring layer (repro.obs).  The script
 5. gates on the BP self-log round trip: every emitted line must parse
    under the strict BP parser, load through ``nl_load`` into the
    ``obs_event`` table, and the archived counter values must match the
-   scrape.
+   scrape;
+6. gates on the per-shard instruments in-process: a 2-shard
+   ``ShardedLoader`` with ``bind_shards`` attached must expose
+   ``stampede_shard_queue_depth`` / ``stampede_shard_flush_seconds``
+   (and the per-shard counters) with ``shard`` labels and non-zero
+   flush activity.
 
 Exit status 0 only if every gate holds; details land in obs-smoke.json.
 
@@ -268,6 +273,83 @@ def check_roundtrip(selflog_path: Path, metrics: dict, result: dict) -> list:
     return failures
 
 
+def check_shard_metrics(scale: int, seed: int) -> dict:
+    """In-process gate for the per-shard instruments (``bind_shards``).
+
+    Loads a small workload through a 2-shard memory ``ShardedLoader``
+    with the shard binder attached, then asserts the per-shard series
+    exist with ``shard`` labels and carry non-zero flush activity.
+    """
+    from repro.archive.shard import ShardSet, ShardedLoader, partition_events
+    from repro.obs.instrument import bind_shards
+    from repro.obs.metrics import MetricsRegistry
+
+    catalog = SiteCatalog(
+        [Site("pool", slots=64, mean_queue_delay=2.0, hosts_per_site=16)]
+    )
+    # root uuids are seed-derived; add roots until both shards get events
+    events = []
+    for offset in range(8):
+        sink = MemoryAppender()
+        run_pegasus_workflow(
+            cybershake(n_ruptures=scale),
+            sink,
+            catalog=catalog,
+            planner_config=PlannerConfig(cluster_size=8),
+            seed=seed + offset,
+        )
+        events.extend(sink.events)
+        if all(partition_events(events, 2)):
+            break
+
+    failures = []
+    registry = MetricsRegistry()
+    shard_set = ShardSet.create(None, 2, backend="memory")
+    sharded = ShardedLoader(shard_set, batch_size=200)
+    bind_shards(registry, sharded)
+    sharded.process_all(events)
+    snapshot = registry.snapshot()
+    sharded.close()
+    final = registry.snapshot()
+    shard_set.close()
+
+    if snapshot.get("stampede_shard_count") != 2.0:
+        failures.append(
+            f"stampede_shard_count {snapshot.get('stampede_shard_count')} != 2"
+        )
+    for shard in ("0", "1"):
+        label = '{shard="%s"}' % shard
+        for name in (
+            "stampede_shard_queue_depth",
+            "stampede_shard_routed_total",
+            "stampede_shard_events_total",
+            "stampede_shard_flush_seconds_sum",
+            "stampede_shard_flush_seconds_count",
+        ):
+            if name + label not in snapshot:
+                failures.append(f"missing per-shard series {name}{label}")
+        if final.get("stampede_shard_flushes_total" + label, 0.0) <= 0.0:
+            failures.append(f"shard {shard} never flushed a batch")
+        if final.get("stampede_shard_flush_seconds_count" + label, 0.0) <= 0.0:
+            failures.append(f"shard {shard} flush histogram never observed")
+    routed = sum(
+        final.get('stampede_shard_routed_total{shard="%s"}' % s, 0.0)
+        for s in ("0", "1")
+    )
+    if routed != float(len(events)):
+        failures.append(
+            f"routed totals {routed:.0f} != workload size {len(events)}"
+        )
+    return {
+        "workload_events": len(events),
+        "shards": 2,
+        "metrics_sampled": {
+            k: v for k, v in final.items() if k.startswith("stampede_shard")
+        },
+        "failures": failures,
+    }
+
+
 def _labels_suffix(payload: dict) -> str:
     labels = sorted(
         (k[len("label."):], v) for k, v in payload.items() if k.startswith("label.")
@@ -302,6 +384,11 @@ def main(argv=None) -> int:
                 Path("obs-smoke.txt").write_text(
                     scrape_file.read_text(encoding="utf-8"), encoding="utf-8"
                 )
+    shard_result = check_shard_metrics(max(5, args.scale // 4), args.seed)
+    result["shard_phase"] = shard_result
+    result["failures"].extend(
+        f"shard phase: {f}" for f in shard_result.pop("failures")
+    )
     result["ok"] = not result["failures"]
     Path(args.output).write_text(json.dumps(result, indent=2), encoding="utf-8")
     print(json.dumps(result, indent=2))

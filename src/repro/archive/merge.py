@@ -49,11 +49,28 @@ Row = Tuple[object, ...]
 Dump = Dict[str, List[Row]]
 
 
+def _cell_key(value: object) -> tuple:
+    # Rows mix None/str/numbers/tuples, which Python refuses to order
+    # directly.  Sorting by repr() would do, except it is not stable
+    # across archives: numerically equal cells can render differently
+    # (``4`` vs ``4.0`` depending on the backend's storage affinity), so
+    # two shards holding the same information could order rows
+    # differently and a shard-set dump would not be byte-stable against
+    # a single-db dump.  A type-ranked natural key keeps numeric
+    # equality numeric and nests through tuple-valued cells.
+    if value is None:
+        return (0, "")
+    if isinstance(value, (bool, int, float)):
+        return (1, float(value))
+    if isinstance(value, tuple):
+        return (3, tuple(_cell_key(v) for v in value))
+    return (2, str(value))
+
+
 def _sorted(rows: List[Row]) -> List[Row]:
-    # rows mix None/str/int, which Python refuses to order directly;
-    # repr gives a total, deterministic order that only needs to be
-    # *consistent*, not meaningful
-    return sorted(rows, key=repr)
+    # natural-key primary order, repr tiebreak for intra-dump
+    # determinism between rows whose natural keys compare equal
+    return sorted(rows, key=lambda r: (tuple(_cell_key(c) for c in r), repr(r)))
 
 
 def canonical_dump(
@@ -68,12 +85,18 @@ def canonical_dump(
     differences — the useful answer for a partial archive — rather than
     the dump crashing before the comparison starts.
     """
+    # Sentinels must not embed the dangling surrogate id: surrogates are
+    # per-archive insertion counters, so the same torn row would render
+    # differently depending on which shard it landed in.  The natural
+    # key that *would* disambiguate is exactly what a missing parent
+    # fails to provide, so all dangling references to one table share a
+    # sentinel — deterministic and shard-independent.
     wf_uuid: Dict[int, str] = {
         w.wf_id: w.wf_uuid for w in archive.query(WorkflowRow).all()
     }
 
     def wf_of(wf_id: int) -> str:
-        return wf_uuid.get(wf_id, f"<missing wf_id={wf_id}>")
+        return wf_uuid.get(wf_id, "<missing workflow>")
 
     job_key: Dict[int, Tuple[str, str]] = {
         j.job_id: (wf_of(j.wf_id), j.exec_job_id)
@@ -81,7 +104,7 @@ def canonical_dump(
     }
 
     def job_of(job_id: int) -> Tuple[str, str]:
-        return job_key.get(job_id, (f"<missing job_id={job_id}>", "?"))
+        return job_key.get(job_id, ("<missing job>", "?"))
 
     host_key: Dict[int, Tuple[str, str]] = {
         h.host_id: (wf_of(h.wf_id), h.hostname)
@@ -94,8 +117,7 @@ def canonical_dump(
 
     def ji_of(job_instance_id: int) -> Tuple[str, str, int]:
         return ji_key.get(
-            job_instance_id,
-            (f"<missing job_instance_id={job_instance_id}>", "?", -1),
+            job_instance_id, ("<missing job-instance>", "?", -1)
         )
     # task.job_id is the EW job a task mapped to (nullable)
     job_name: Dict[Optional[int], Optional[str]] = {None: None}

@@ -156,6 +156,10 @@ class StampedeArchive:
     ) -> int:
         return self.db.update(_table_for(entity_type), values, where)
 
+    def delete(self, entity_type: type, where: Dict[str, Any]) -> int:
+        """Delete rows matching ``where``; list values mean SQL ``IN``."""
+        return self.db.delete(_table_for(entity_type), where)
+
     def close(self) -> None:
         self.db.close()
 

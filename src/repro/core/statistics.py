@@ -19,7 +19,6 @@ import sys
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-from repro.archive.store import StampedeArchive
 from repro.query.api import JobInstanceDetail, StampedeQuery, WorkflowSummaryCounts
 
 __all__ = [
@@ -202,7 +201,13 @@ def main(argv: Optional[list] = None) -> int:
         prog="stampede-statistics",
         description="Workflow and job statistics from a Stampede archive.",
     )
-    parser.add_argument("connString", help="e.g. sqlite:///run.db")
+    parser.add_argument(
+        "connString",
+        help="archive to read: a connection string (sqlite:///run.db), a "
+        "plain sqlite path, a shard directory (shards.json inside), or a "
+        "glob of shard files ('shards/*.db') — shard sets are queried "
+        "through the federated layer transparently",
+    )
     parser.add_argument("--wf-uuid", help="workflow to report (defaults to the root)")
     parser.add_argument(
         "--no-descendants",
@@ -214,7 +219,9 @@ def main(argv: Optional[list] = None) -> int:
         help="also write summary.txt / breakdown.txt / jobs.txt / hosts.txt here",
     )
     args = parser.parse_args(argv)
-    archive = StampedeArchive.open(args.connString)
+    from repro.archive.shard import open_archive
+
+    archive = open_archive(args.connString)
     stats = workflow_statistics(
         archive,
         wf_uuid=args.wf_uuid,

@@ -51,6 +51,7 @@ __all__ = [
     "load_events",
     "load_file",
     "load_file_linted",
+    "load_file_sharded",
     "load_from_bus",
     "make_loader",
     "main",
@@ -191,6 +192,37 @@ def _load_file_pipelined(
         event for event, _lineno in pool.events(read_lines(path), on_error=on_error)
     )
     return load_events(events, loader, **loader_kwargs)
+
+
+def load_file_sharded(
+    path,
+    sharded,
+    on_error: str = "raise",
+    resume: bool = False,
+):
+    """Load a BP file through a :class:`repro.archive.shard.ShardedLoader`.
+
+    Mirrors :func:`load_file`'s checkpoint semantics per shard: each
+    shard checkpoints the file offset of *its* last committed event, and
+    ``resume=True`` re-reads from the minimum shard floor while writers
+    skip what they already committed.
+    """
+    start = time.perf_counter()
+    if sharded.checkpoint_source is not None:
+        floor = sharded.resume() if resume else 0
+        for event, offset in read_events_with_offsets(
+            path, start_offset=floor, on_error=on_error
+        ):
+            sharded.position = offset
+            sharded.process(event)
+        sharded.flush()
+        sharded.wall_seconds += time.perf_counter() - start
+        return sharded
+    if resume:
+        raise ValueError(
+            "resume=True requires a ShardedLoader with a checkpoint_source"
+        )
+    return sharded.process_all(BPReader(path, on_error=on_error))
 
 
 def load_file_linted(
@@ -742,6 +774,27 @@ def main(argv: Optional[list] = None) -> int:
         "archive faults apply to this load; used to rehearse outage recovery",
     )
     parser.add_argument(
+        "--shard-dir",
+        metavar="DIR",
+        help="load into a sharded archive in DIR (shard-NNN.db files + "
+        "shards.json manifest) instead of a single connString database; "
+        "events route by root workflow id — crc32, the bus partitioner",
+    )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        metavar="N",
+        help="with --shard-dir: shard count when creating a new set "
+        "(opening an existing set with a different N fails loudly)",
+    )
+    parser.add_argument(
+        "--tier-finished",
+        action="store_true",
+        help="with --shard-dir: after the load, move finished root "
+        "workflows from the hot shards into the append-only long-term "
+        "store under DIR/longterm/",
+    )
+    parser.add_argument(
         "--metrics-port",
         type=int,
         metavar="PORT",
@@ -852,6 +905,27 @@ def main(argv: Optional[list] = None) -> int:
         parser.error("--workers must be >= 0")
     params = dict(p.split("=", 1) for p in param_args)
     conn_string = params.get("connString", "sqlite:///:memory:")
+    if args.shards is not None and args.shard_dir is None:
+        parser.error("--shards requires --shard-dir")
+    if args.tier_finished and args.shard_dir is None:
+        parser.error("--tier-finished requires --shard-dir")
+    if args.shard_dir is not None:
+        if args.bus:
+            parser.error(
+                "--shard-dir applies to file loads; bus consumers shard "
+                "via --group partitions (same crc32 router) instead"
+            )
+        if args.lint:
+            parser.error("--lint is not supported with --shard-dir")
+        if args.workers:
+            parser.error("--workers is not supported with --shard-dir")
+        if args.faults:
+            parser.error("--faults is not supported with --shard-dir")
+        if "connString" in params:
+            parser.error(
+                "connString conflicts with --shard-dir (shards own their "
+                "database files)"
+            )
 
     # Self-monitoring: a fresh registry per invocation (the process
     # default stays untouched), served over HTTP and/or dumped as BP.
@@ -859,6 +933,55 @@ def main(argv: Optional[list] = None) -> int:
     server = None
     if args.metrics_port is not None or args.self_log:
         registry = MetricsRegistry()
+
+    if args.shard_dir is not None:
+        # import lazily: repro.archive.shard imports from this package
+        from repro.archive.shard import ShardedLoader, ShardSet
+        from repro.archive.tier import tier_finished
+        from repro.obs.instrument import bind_shards
+
+        shard_set = (
+            ShardSet.create(args.shard_dir, args.shards)
+            if args.shards is not None
+            else ShardSet.open(args.shard_dir)
+        )
+        sharded = ShardedLoader(
+            shard_set,
+            batch_size=args.batch_size,
+            strict=not args.tolerant,
+            validate=args.validate,
+            checkpoint_source=args.input if args.checkpoint else None,
+        )
+        if registry is not None:
+            bind_shards(registry, sharded)
+            if args.metrics_port is not None:
+                from repro.obs.export import MetricsServer
+
+                server = MetricsServer(registry, port=args.metrics_port).start()
+                print(f"metrics: {server.url}", file=sys.stderr, flush=True)
+        shard_source = sys.stdin if args.input == "-" else args.input
+
+        def run_sharded():
+            return load_file_sharded(shard_source, sharded, resume=args.resume)
+
+        if args.profile:
+            _profiled(run_sharded, args.profile)
+        else:
+            run_sharded()
+        sharded.close()
+        if args.tier_finished:
+            report = tier_finished(shard_set)
+            print(
+                f"tiered {report.tiered_roots} finished root workflow(s) "
+                f"({report.rows_moved} rows) into the long-term store; "
+                f"{report.skipped_roots} still running",
+                file=sys.stderr,
+            )
+        if args.verbose:
+            _print_shard_stats(sharded.stats())
+        _finish_obs(registry, server, args)
+        shard_set.close()
+        return 0
 
     # In lint mode the analyzers are the strictness layer: events that would
     # crash a strict loader are quarantined before it sees them, and the
@@ -1023,6 +1146,23 @@ def _profiled(fn, path: str):
         stats.sort_stats("cumulative").print_stats(20)
         print(f"profile written to {path}", file=sys.stderr)
     return result
+
+
+def _print_shard_stats(snap: Dict[str, object]) -> None:
+    print(f"shards           : {snap['shards']}")
+    print(f"events processed : {snap['events_processed']}")
+    print(f"rows inserted    : {snap['rows_inserted']}")
+    print(f"flushes          : {snap['flushes']}")
+    print(f"retries          : {snap['retries']}")
+    for shard in snap["per_shard"]:  # type: ignore[attr-defined]
+        print(
+            f"  shard {shard['shard']} : routed={shard['routed']} "
+            f"rows={shard['rows_inserted']} flushes={shard['flushes']}"
+        )
+    wall = float(snap["wall_seconds"])  # type: ignore[arg-type]
+    events = int(snap["events_processed"])  # type: ignore[arg-type]
+    print(f"wall seconds     : {wall:.3f}")
+    print(f"events/second    : {(events / wall if wall else 0.0):,.0f}")
 
 
 def _print_stats(stats: LoaderStats) -> None:

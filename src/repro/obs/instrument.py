@@ -17,12 +17,19 @@ from typing import TYPE_CHECKING
 from repro.obs.metrics import MetricsRegistry
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycles
+    from repro.archive.shard import ShardedLoader
     from repro.bus.broker import Broker
     from repro.bus.net import BrokerServer
     from repro.faults.plan import FaultStats
     from repro.loader.stampede_loader import StampedeLoader
 
-__all__ = ["bind_broker", "bind_loader", "bind_faults", "bind_server"]
+__all__ = [
+    "bind_broker",
+    "bind_loader",
+    "bind_faults",
+    "bind_server",
+    "bind_shards",
+]
 
 #: per-queue counter fields mirrored as ``op`` label values
 _QUEUE_OPS = ("published", "delivered", "acked", "requeued", "dropped", "blocked")
@@ -194,6 +201,78 @@ def bind_loader(registry: MetricsRegistry, loader: "StampedeLoader") -> None:
             "stampede_loader_checkpoint_lag_seconds",
             "Seconds since the last checkpoint commit (0 when none yet).",
         ).set(lag)
+
+    registry.register_collector(collect)
+
+
+def bind_shards(registry: MetricsRegistry, sharded: "ShardedLoader") -> None:
+    """Export a :class:`~repro.archive.shard.ShardedLoader`'s per-shard
+    telemetry.
+
+    Hot-path instruments (attached eagerly, observed by the writer
+    threads):
+
+    * ``stampede_shard_flush_seconds{shard=...}`` — per-shard batch
+      flush commit latency histogram (each shard loader's flush
+      histogram, labeled by shard index).
+
+    Scrape-time collectors (same zero-hot-path-cost convention as the
+    other binders — they mirror the authoritative per-shard
+    ``LoaderStats`` once per scrape):
+
+    * ``stampede_shard_queue_depth{shard=...}`` — routed-event chunks
+      waiting in a shard writer's queue;
+    * ``stampede_shard_events_total`` / ``_rows_inserted_total`` /
+      ``_flushes_total`` / ``_retries_total`` / ``_routed_total``
+      per shard, and the ``stampede_shard_count`` gauge.
+    """
+    for writer in sharded.writers:
+        loader = writer.loader
+        if loader.metrics is None:
+            loader.metrics = registry
+        loader._flush_hist = registry.histogram(
+            "stampede_shard_flush_seconds",
+            "Per-shard batch flush commit latency.",
+            {"shard": str(writer.index)},
+        )
+
+    def collect(reg: MetricsRegistry) -> None:
+        reg.gauge(
+            "stampede_shard_count", "Shards in the active shard set."
+        ).set(len(sharded.writers))
+        for writer in sharded.writers:
+            labels = {"shard": str(writer.index)}
+            reg.gauge(
+                "stampede_shard_queue_depth",
+                "Routed-event chunks waiting in a shard writer's queue.",
+                labels,
+            ).set(writer.queue.qsize())
+            reg.counter(
+                "stampede_shard_routed_total",
+                "Events the router assigned to a shard.",
+                labels,
+            ).set_total(sharded.routed[writer.index])
+            snap = writer.loader.stats.snapshot()
+            reg.counter(
+                "stampede_shard_events_total",
+                "Events a shard's writer normalized.",
+                labels,
+            ).set_total(snap["events_processed"])
+            reg.counter(
+                "stampede_shard_rows_inserted_total",
+                "Rows a shard's writer inserted.",
+                labels,
+            ).set_total(snap["rows_inserted"])
+            reg.counter(
+                "stampede_shard_flushes_total",
+                "Batch flushes a shard's writer committed.",
+                labels,
+            ).set_total(snap["flushes"])
+            reg.counter(
+                "stampede_shard_retries_total",
+                "Transient-error flush retries on a shard.",
+                labels,
+            ).set_total(snap["retries"])
 
     registry.register_collector(collect)
 

@@ -90,6 +90,16 @@ class Database:
     ) -> int:
         raise NotImplementedError
 
+    def delete(self, table: Table, where: Dict[str, Any]) -> int:
+        """Delete rows matching ``where`` (a list/tuple/set value means IN).
+
+        Returns the number of rows removed.  The tiering migration is the
+        intended caller: it moves finished workflows out of a hot shard,
+        so deletes are whole-tree, cold-path operations — no statement
+        cache, and cached maxima for the table are simply dropped.
+        """
+        raise NotImplementedError
+
     def count(self, table: Table) -> int:
         raise NotImplementedError
 
@@ -244,6 +254,31 @@ class SqliteDatabase(Database):
                 self._drop_max_cache(table.name)
             return cur.rowcount
 
+    def delete(self, table: Table, where: Dict[str, Any]) -> int:
+        clauses: List[str] = []
+        params: List[Any] = []
+        for name, value in where.items():
+            column = table.by_name[name]
+            if isinstance(value, (list, tuple, set, frozenset)):
+                stored = [column.type.to_storage(v) for v in value]
+                if not stored:
+                    return 0  # IN () matches nothing
+                clauses.append(
+                    f"{name} IN ({', '.join('?' for _ in stored)})"
+                )
+                params.extend(stored)
+            else:
+                clauses.append(f"{name} = ?")
+                params.append(column.type.to_storage(value))
+        sql = f"DELETE FROM {table.name}" + (
+            " WHERE " + " AND ".join(clauses) if clauses else ""
+        )
+        with self._lock:
+            cur = self._conn.execute(sql, params)
+            if cur.rowcount:
+                self._drop_max_cache(table.name)
+            return cur.rowcount
+
     def count(self, table: Table) -> int:
         with self._lock:
             (n,) = self._conn.execute(f"SELECT COUNT(*) FROM {table.name}").fetchone()
@@ -395,6 +430,41 @@ class MemoryDatabase(Database):
             ):
                 self._drop_max_cache(table.name)
         return changed
+
+    def delete(self, table: Table, where: Dict[str, Any]) -> int:
+        stored: Dict[str, Any] = {}
+        for name, value in where.items():
+            column = table.by_name[name]
+            if isinstance(value, (list, tuple, set, frozenset)):
+                stored[name] = frozenset(
+                    column.type.to_storage(v) for v in value
+                )
+            else:
+                stored[name] = column.type.to_storage(value)
+
+        def matches(row: Dict[str, Any]) -> bool:
+            for name, value in stored.items():
+                if isinstance(value, frozenset):
+                    if row.get(name) not in value:
+                        return False
+                elif row.get(name) != value:
+                    return False
+            return True
+
+        with self._lock:
+            rows = self._require(table)
+            keep = [r for r in rows if not matches(r)]
+            removed = len(rows) - len(keep)
+            if removed:
+                self._tables[table.name] = keep
+                # rebuild the pk index: a delete may clear the duplicate
+                # that degraded it, so start clean and re-derive
+                self._pk_index.pop(table.name, None)
+                self._pk_degraded.discard(table.name)
+                for row in keep:
+                    self._index_row(table, row)
+                self._drop_max_cache(table.name)
+        return removed
 
     def count(self, table: Table) -> int:
         with self._lock:
