@@ -5,6 +5,16 @@ run is a ``workflow`` row; the abstract workflow lives in ``task`` /
 ``task_edge``; the executable workflow in ``job`` / ``job_edge``; execution
 attempts in ``job_instance`` with their time-stamped ``jobstate`` rows; and
 remote executions in ``invocation``, which link back to ``task``.
+
+Beyond Fig. 3, the archive carries the **rollup tables** maintained by
+:mod:`repro.core.rollup`: materialized per-workflow counters
+(``rollup_workflow``), per-transformation runtime breakdowns
+(``rollup_type``), per-host usage (``rollup_host``) and downsampled
+per-host time-series buckets (``rollup_host_bucket``), plus the
+``rollup_meta`` commit-sequence row that read caches invalidate on.
+Rollup rows are written *inside* the loader's flush transaction, so they
+are exactly as durable and exactly as current as the event rows they
+summarize.
 """
 from __future__ import annotations
 
@@ -38,7 +48,8 @@ WORKFLOW = Table(
 
 WORKFLOWSTATE = Table(
     "workflowstate",
-    [
+    indexes=[("wf_id", "timestamp")],
+    columns=[
         Column("wf_id", Integer(), nullable=False, index=True),
         Column("state", Text(), nullable=False),
         Column("timestamp", Real(), nullable=False),
@@ -49,7 +60,8 @@ WORKFLOWSTATE = Table(
 
 TASK = Table(
     "task",
-    [
+    indexes=[("wf_id", "abs_task_id")],
+    columns=[
         Column("task_id", Integer(), primary_key=True),
         Column("wf_id", Integer(), nullable=False, index=True),
         Column("abs_task_id", Text(), nullable=False, index=True),
@@ -97,7 +109,8 @@ JOB_EDGE = Table(
 
 JOB_INSTANCE = Table(
     "job_instance",
-    [
+    indexes=[("job_id", "job_submit_seq")],
+    columns=[
         Column("job_instance_id", Integer(), primary_key=True),
         Column("job_id", Integer(), nullable=False, index=True),
         Column("job_submit_seq", Integer(), nullable=False),
@@ -119,7 +132,8 @@ JOB_INSTANCE = Table(
 
 JOBSTATE = Table(
     "jobstate",
-    [
+    indexes=[("job_instance_id", "jobstate_submit_seq")],
+    columns=[
         Column("job_instance_id", Integer(), nullable=False, index=True),
         Column("state", Text(), nullable=False),
         Column("timestamp", Real(), nullable=False),
@@ -129,7 +143,8 @@ JOBSTATE = Table(
 
 INVOCATION = Table(
     "invocation",
-    [
+    indexes=[("job_instance_id", "task_submit_seq"), ("wf_id", "invocation_id")],
+    columns=[
         Column("invocation_id", Integer(), primary_key=True),
         Column("job_instance_id", Integer(), nullable=False, index=True),
         Column("wf_id", Integer(), nullable=False, index=True),
@@ -171,6 +186,86 @@ OBS_EVENT = Table(
     ],
 )
 
+# -- rollup tables (repro.core.rollup) --------------------------------------
+# Materialized aggregates maintained incrementally in the loader's flush
+# transaction.  Counters are additive; ``started``/``ended``/``min``/``max``
+# are monotone merges, so re-applying a delta bundle after a transaction
+# retry converges to the same row.
+
+ROLLUP_WORKFLOW = Table(
+    "rollup_workflow",
+    [
+        Column("wf_id", Integer(), primary_key=True),
+        Column("wf_uuid", Text(), nullable=False, index=True),
+        Column("parent_wf_id", Integer(), index=True),
+        Column("root_wf_id", Integer(), index=True),
+        Column("events", Integer(), default=0),
+        Column("tasks_total", Integer(), default=0),
+        Column("tasks_succeeded", Integer(), default=0),
+        Column("tasks_failed", Integer(), default=0),
+        Column("jobs_total", Integer(), default=0),
+        Column("jobs_succeeded", Integer(), default=0),
+        Column("jobs_failed", Integer(), default=0),
+        Column("jobs_retries", Integer(), default=0),
+        Column("job_instances", Integer(), default=0),
+        Column("invocations", Integer(), default=0),
+        Column("invocation_wall", Real(), default=0.0),
+        Column("started", Real()),
+        Column("ended", Real()),
+        Column("status", Integer()),
+        Column("restarts", Integer(), default=0),
+        Column("updated_seq", Integer(), default=0),
+    ],
+)
+
+ROLLUP_TYPE = Table(
+    "rollup_type",
+    indexes=[("wf_id", "transformation")],
+    columns=[
+        Column("wf_id", Integer(), nullable=False, index=True),
+        Column("transformation", Text(), nullable=False),
+        Column("count", Integer(), default=0),
+        Column("succeeded", Integer(), default=0),
+        Column("failed", Integer(), default=0),
+        Column("min_runtime", Real(), default=0.0),
+        Column("max_runtime", Real(), default=0.0),
+        Column("total_runtime", Real(), default=0.0),
+    ],
+)
+
+ROLLUP_HOST = Table(
+    "rollup_host",
+    indexes=[("wf_id", "hostname")],
+    columns=[
+        Column("wf_id", Integer(), nullable=False, index=True),
+        Column("hostname", Text(), nullable=False),
+        Column("jobs", Integer(), default=0),
+        Column("runtime", Real(), default=0.0),
+    ],
+)
+
+ROLLUP_HOST_BUCKET = Table(
+    "rollup_host_bucket",
+    indexes=[("wf_id", "hostname", "tier", "bucket")],
+    columns=[
+        Column("wf_id", Integer(), nullable=False, index=True),
+        Column("hostname", Text(), nullable=False),
+        # bucket width in seconds (the downsampling tier) and the
+        # epoch-aligned bucket index floor(ts / tier)
+        Column("tier", Integer(), nullable=False),
+        Column("bucket", Integer(), nullable=False),
+        Column("runtime", Real(), default=0.0),
+    ],
+)
+
+ROLLUP_META = Table(
+    "rollup_meta",
+    [
+        Column("key", Text(), primary_key=True),
+        Column("value", Real(), default=0.0),
+    ],
+)
+
 ALL_TABLES: List[Table] = [
     WORKFLOW,
     WORKFLOWSTATE,
@@ -183,6 +278,11 @@ ALL_TABLES: List[Table] = [
     INVOCATION,
     HOST,
     OBS_EVENT,
+    ROLLUP_WORKFLOW,
+    ROLLUP_TYPE,
+    ROLLUP_HOST,
+    ROLLUP_HOST_BUCKET,
+    ROLLUP_META,
 ]
 
 TABLES: Dict[str, Table] = {t.name: t for t in ALL_TABLES}

@@ -40,6 +40,11 @@ from repro.model.entities import (
     JobRow,
     JobStateRow,
     ObsEventRow,
+    RollupHostBucketRow,
+    RollupHostRow,
+    RollupMetaRow,
+    RollupTypeRow,
+    RollupWorkflowRow,
     TaskEdgeRow,
     TaskRow,
     WorkflowRow,
@@ -65,6 +70,11 @@ _ID_COLUMNS: Dict[type, Tuple[str, ...]] = {
     InvocationRow: ("invocation_id", "job_instance_id", "wf_id"),
     HostRow: ("host_id", "wf_id"),
     ObsEventRow: ("obs_id",),
+    RollupWorkflowRow: ("wf_id", "parent_wf_id", "root_wf_id"),
+    RollupTypeRow: ("wf_id",),
+    RollupHostRow: ("wf_id",),
+    RollupHostBucketRow: ("wf_id",),
+    RollupMetaRow: (),
 }
 
 

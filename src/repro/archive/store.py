@@ -22,6 +22,11 @@ from repro.model.entities import (
     JobRow,
     JobStateRow,
     ObsEventRow,
+    RollupHostBucketRow,
+    RollupHostRow,
+    RollupMetaRow,
+    RollupTypeRow,
+    RollupWorkflowRow,
     TaskEdgeRow,
     TaskRow,
     WorkflowRow,
@@ -45,6 +50,11 @@ _ENTITY_TABLE = {
     InvocationRow: ddl.INVOCATION,
     HostRow: ddl.HOST,
     ObsEventRow: ddl.OBS_EVENT,
+    RollupWorkflowRow: ddl.ROLLUP_WORKFLOW,
+    RollupTypeRow: ddl.ROLLUP_TYPE,
+    RollupHostRow: ddl.ROLLUP_HOST,
+    RollupHostBucketRow: ddl.ROLLUP_HOST_BUCKET,
+    RollupMetaRow: ddl.ROLLUP_META,
 }
 
 

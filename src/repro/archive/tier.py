@@ -279,8 +279,18 @@ def _delete_tree(
     tables: Dict[str, List[Dict[str, Any]]],
 ) -> int:
     """Remove one hierarchy's rows, children first, in one transaction."""
+    from repro.core.rollup import drop_rollups
+
     deleted = 0
     with archive.transaction():
+        # the hierarchy's materialized rollups leave with it (and the
+        # rollup commit sequence bumps, so read caches notice)
+        wf_ids = [
+            r["wf_id"]
+            for r in tables.get("workflow", [])
+            if r.get("wf_id") is not None
+        ]
+        drop_rollups(archive, wf_ids)
         for table_name in reversed(_TABLE_ORDER):
             rows = tables.get(table_name, [])
             if not rows:

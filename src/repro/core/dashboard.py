@@ -11,7 +11,18 @@ Endpoints:
   GET /api/workflows         — all workflow runs with status
   GET /api/workflow/<id>     — summary statistics for one run
   GET /api/workflow/<id>/jobs— jobs.txt rows as JSON
+  GET /api/stream            — SSE progress stream for the whole archive
+  GET /api/workflow/<id>/stream — SSE progress stream for one run
+  GET /api/workflow/<id>/poll   — long-poll: ?since=<seq>&timeout=<s>
   GET /metrics               — Prometheus exposition of the process registry
+
+Every JSON payload is served through a :class:`repro.core.live.ReadCache`
+invalidated by the rollup commit sequence: N concurrent viewers of the
+same endpoint cost one computation per archive commit, not N per
+request.  The SSE endpoints accept ``?limit=N`` (close after N progress
+frames) and ``?timeout=S`` (idle-close after S seconds without a
+commit) so streaming clients are testable and abandoned viewers cannot
+pin server threads.
 
 Error contract: an unknown workflow id is 404; a malformed API path
 (e.g. a non-numeric id) is 400.
@@ -24,8 +35,10 @@ import threading
 from dataclasses import asdict
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Optional, Tuple
+from urllib.parse import parse_qsl
 
 from repro.archive.store import StampedeArchive
+from repro.core.live import LiveFeed, ReadCache, bind_live
 from repro.core.statistics import workflow_statistics
 from repro.obs.export import PROMETHEUS_CONTENT_TYPE, render_prometheus
 from repro.obs.metrics import MetricsRegistry, get_registry
@@ -34,12 +47,23 @@ from repro.schema.stampede import SUCCESS
 
 __all__ = ["DashboardData", "Dashboard"]
 
+#: long-poll/SSE waits are capped so a bogus ?timeout can't pin a thread
+_MAX_WAIT_SECONDS = 120.0
+
 
 class DashboardData:
-    """The dashboard's data layer — also usable without HTTP (tests, CLIs)."""
+    """The dashboard's data layer — also usable without HTTP (tests, CLIs).
+
+    All payload builders run through ``self.cache``; identical requests
+    between two rollup commits share one computation (single-flight),
+    and the cache invalidates the moment the loader commits — no TTL.
+    """
 
     def __init__(self, archive: StampedeArchive):
+        self.archive = archive
         self.query = StampedeQuery(archive)
+        self.cache = ReadCache(archive)
+        self.feed = LiveFeed(archive)
 
     def _require_workflow(self, wf_id: int) -> int:
         """Raise ``KeyError`` (HTTP 404) when no such run exists —
@@ -49,6 +73,9 @@ class DashboardData:
         return wf_id
 
     def workflows_payload(self) -> dict:
+        return self.cache.get("workflows", self._workflows_uncached)
+
+    def _workflows_uncached(self) -> dict:
         rows = []
         for wf in self.query.workflows():
             status = self.query.workflow_status(wf.wf_id)
@@ -68,7 +95,16 @@ class DashboardData:
         return {"workflows": rows}
 
     def workflow_payload(self, wf_id: int) -> dict:
-        stats = workflow_statistics(self.query, wf_id=self._require_workflow(wf_id))
+        return self.cache.get(
+            ("workflow", wf_id), lambda: self._workflow_uncached(wf_id)
+        )
+
+    def _workflow_uncached(self, wf_id: int) -> dict:
+        # the summary payload renders no per-job rows: include_jobs=False
+        # keeps this a pure rollup point read on covered archives
+        stats = workflow_statistics(
+            self.query, wf_id=self._require_workflow(wf_id), include_jobs=False
+        )
         return {
             "wf_id": stats.wf_id,
             "wf_uuid": stats.wf_uuid,
@@ -91,11 +127,26 @@ class DashboardData:
         }
 
     def jobs_payload(self, wf_id: int) -> dict:
+        return self.cache.get(("jobs", wf_id), lambda: self._jobs_uncached(wf_id))
+
+    def _jobs_uncached(self, wf_id: int) -> dict:
         self._require_workflow(wf_id)
         return {"jobs": [asdict(j) for j in self.query.job_details(wf_id)]}
 
+    def poll_payload(self, wf_id: Optional[int], since: int, timeout: float) -> dict:
+        """Long-poll: block until the commit sequence moves past ``since``
+        (or ``timeout`` elapses), then return the current progress
+        snapshot.  ``since=-1`` returns immediately."""
+        self.feed.wait_for_change(since, min(timeout, _MAX_WAIT_SECONDS))
+        return self.feed.snapshot(wf_id)
+
     def progress_payload(self, wf_id: int) -> dict:
         """Fig. 7 data: per-sub-workflow cumulative-runtime step series."""
+        return self.cache.get(
+            ("progress", wf_id), lambda: self._progress_uncached(wf_id)
+        )
+
+    def _progress_uncached(self, wf_id: int) -> dict:
         from repro.core.timeseries import bundle_progress
 
         series = bundle_progress(self.query, self._require_workflow(wf_id))
@@ -112,6 +163,9 @@ class DashboardData:
 
     def gantt_payload(self, wf_id: int) -> dict:
         """Per-instance execution spans for a host Gantt view."""
+        return self.cache.get(("gantt", wf_id), lambda: self._gantt_uncached(wf_id))
+
+    def _gantt_uncached(self, wf_id: int) -> dict:
         from repro.core.timeseries import gantt
 
         self._require_workflow(wf_id)
@@ -131,6 +185,11 @@ class DashboardData:
 
     def anomalies_payload(self, wf_id: int) -> dict:
         """Post-hoc anomaly scan of one workflow (and its descendants)."""
+        return self.cache.get(
+            ("anomalies", wf_id), lambda: self._anomalies_uncached(wf_id)
+        )
+
+    def _anomalies_uncached(self, wf_id: int) -> dict:
         from repro.core.anomaly import scan_archive
 
         detector = scan_archive(self.query, self._require_workflow(wf_id))
@@ -170,8 +229,16 @@ class _Handler(BaseHTTPRequestHandler):
     metrics: Optional[MetricsRegistry]  # injected by Dashboard
 
     def do_GET(self) -> None:  # noqa: N802 (stdlib naming)
+        path, _, raw_query = self.path.partition("?")
         try:
-            body, content_type = self._route(self.path)
+            params = dict(parse_qsl(raw_query))
+        except Exception:  # pragma: no cover - parse_qsl is lenient
+            params = {}
+        if path == "/api/stream" or re.fullmatch(r"/api/workflow/(\d+)/stream", path):
+            self._serve_stream(path, params)
+            return
+        try:
+            body, content_type = self._route(path, params)
         except KeyError:
             self.send_error(404)
             return
@@ -188,7 +255,43 @@ class _Handler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(encoded)
 
-    def _route(self, path: str) -> Tuple[str, str]:
+    def _serve_stream(self, path: str, params: dict) -> None:
+        """Serve ``text/event-stream`` — headers after the first frame is
+        known, so an unknown workflow is still a clean 404."""
+        m = re.fullmatch(r"/api/workflow/(\d+)/stream", path)
+        wf_id = int(m.group(1)) if m else None
+        try:
+            limit = int(params["limit"]) if "limit" in params else None
+            timeout = min(float(params.get("timeout", 30.0)), _MAX_WAIT_SECONDS)
+            frames = self.data.feed.sse_events(wf_id=wf_id, limit=limit, timeout=timeout)
+            first = next(frames)
+        except KeyError:
+            self.send_error(404)
+            return
+        except ValueError as exc:
+            self.send_error(400, str(exc))
+            return
+        except StopIteration:  # pragma: no cover - limit=0
+            first = b""
+            frames = iter(())
+        self.send_response(200)
+        self.send_header("Content-Type", "text/event-stream")
+        self.send_header("Cache-Control", "no-cache")
+        self.send_header("Connection", "close")
+        self.end_headers()
+        try:
+            self.wfile.write(first)
+            self.wfile.flush()
+            for frame in frames:
+                self.wfile.write(frame)
+                self.wfile.flush()
+        except (BrokenPipeError, ConnectionResetError):
+            # the viewer closed its end mid-stream: a normal disconnect,
+            # not a server error
+            pass
+
+    def _route(self, path: str, params: Optional[dict] = None) -> Tuple[str, str]:
+        params = params or {}
         if path == "/" or path == "/index.html":
             return self.data.index_html(), "text/html"
         if path == "/metrics":
@@ -226,6 +329,17 @@ class _Handler(BaseHTTPRequestHandler):
                 json.dumps(self.data.gantt_payload(int(m.group(1)))),
                 "application/json",
             )
+        m = re.fullmatch(r"/api/poll", path) or re.fullmatch(
+            r"/api/workflow/(\d+)/poll", path
+        )
+        if m:
+            wf_id = int(m.group(1)) if m.groups() else None
+            since = int(params.get("since", -1))
+            timeout = float(params.get("timeout", 25.0))
+            return (
+                json.dumps(self.data.poll_payload(wf_id, since, timeout)),
+                "application/json",
+            )
         if path.startswith("/api/"):
             # a recognizably-API path that matched no route: the request
             # itself is malformed (non-numeric id, bogus sub-resource)
@@ -252,6 +366,10 @@ class Dashboard:
         metrics: Optional[MetricsRegistry] = None,
     ):
         self.data = DashboardData(archive)
+        if metrics is not None:
+            bind_live(
+                metrics, cache=self.data.cache, feed=self.data.feed, archive=archive
+            )
         handler = type(
             "BoundHandler", (_Handler,), {"data": self.data, "metrics": metrics}
         )

@@ -155,13 +155,35 @@ def workflow_statistics(
     wf_id: Optional[int] = None,
     wf_uuid: Optional[str] = None,
     include_descendants: bool = True,
+    include_jobs: bool = True,
+    prefer_rollup: bool = True,
 ) -> WorkflowStatistics:
-    """Compute the full statistics bundle for one workflow run."""
+    """Compute the full statistics bundle for one workflow run.
+
+    When the archive carries materialized rollups (``repro.core.rollup``)
+    the aggregates are served from them — O(descendants) point lookups
+    instead of full-table scans — falling back to the scan for archives
+    without coverage.  ``include_jobs=False`` skips the per-job-instance
+    detail rows (the dashboard summary path does not render them, and
+    they are the one remaining per-instance query).
+    """
     query = (
         archive_or_query
         if isinstance(archive_or_query, StampedeQuery)
         else StampedeQuery(archive_or_query)
     )
+    if prefer_rollup:
+        from repro.core.rollup import rollup_statistics
+
+        stats = rollup_statistics(
+            query,
+            wf_id=wf_id,
+            wf_uuid=wf_uuid,
+            include_descendants=include_descendants,
+            include_jobs=include_jobs,
+        )
+        if stats is not None:
+            return stats
     if wf_id is None:
         if wf_uuid is not None:
             wf = query.workflow_by_uuid(wf_uuid)
@@ -188,7 +210,7 @@ def workflow_statistics(
         ),
         counts=query.summary_counts(wf_id, include_descendants),
         breakdown=job_type_breakdown(query, wf_id, include_descendants),
-        jobs=job_rows(query, wf_id),
+        jobs=job_rows(query, wf_id) if include_jobs else [],
         hosts=host_breakdown(query, wf_id, include_descendants),
     )
 

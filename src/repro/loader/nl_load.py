@@ -66,6 +66,7 @@ def make_loader(
     validate: bool = False,
     checkpoint_source: Optional[str] = None,
     metrics: Optional[MetricsRegistry] = None,
+    rollup: bool = True,
 ) -> StampedeLoader:
     """Construct a StampedeLoader over a new or existing archive.
 
@@ -95,6 +96,7 @@ def make_loader(
         validate=validate,
         checkpoint=checkpoint,
         metrics=metrics,
+        rollup=rollup,
     )
     if metrics is not None:
         bind_loader(metrics, loader)
@@ -861,6 +863,13 @@ def main(argv: Optional[list] = None) -> int:
         help="with --bus: exit after this long with no new events "
         "(default 10; 0 = drain what is queued and exit immediately)",
     )
+    parser.add_argument(
+        "--no-rollup",
+        action="store_true",
+        help="skip maintaining the materialized query rollups "
+        "(repro.core.rollup); dashboards fall back to full scans until "
+        "'stampede-rollup rebuild' backfills them",
+    )
     parser.add_argument("-v", "--verbose", action="store_true")
     args = parser.parse_args(argv)
 
@@ -951,6 +960,7 @@ def main(argv: Optional[list] = None) -> int:
             strict=not args.tolerant,
             validate=args.validate,
             checkpoint_source=args.input if args.checkpoint else None,
+            rollup=not args.no_rollup,
         )
         if registry is not None:
             bind_shards(registry, sharded)
@@ -994,6 +1004,7 @@ def main(argv: Optional[list] = None) -> int:
         validate=args.validate,
         checkpoint_source=args.input if args.checkpoint else None,
         metrics=registry,
+        rollup=not args.no_rollup,
     )
     plan = None
     if args.faults:

@@ -270,6 +270,7 @@ class StampedeLoader:
         retry_policy: Optional[RetryPolicy] = None,
         breaker: Optional[CircuitBreaker] = None,
         metrics: Optional[Any] = None,
+        rollup: bool = True,
     ):
         if batch_size < 1:
             raise ValueError(f"batch_size must be >= 1, got {batch_size}")
@@ -319,6 +320,16 @@ class StampedeLoader:
         self.reseq_state: Optional[Callable[[], Dict[str, int]]] = None
         #: per-publisher positions restored by :meth:`resume`
         self.resumed_reseq: Dict[str, int] = {}
+        # incremental rollup maintenance (repro.core.rollup): observes the
+        # journal as it is buffered and applies its deltas inside the same
+        # flush transaction, so rollup rows share the batch's exactly-once
+        # boundary.  Off (None) only for benchmarking the bare write path.
+        if rollup:
+            from repro.core.rollup import RollupMaintainer
+
+            self.rollup: Optional[RollupMaintainer] = RollupMaintainer(archive)
+        else:
+            self.rollup = None
         self._validator = (
             EventValidator(STAMPEDE_SCHEMA, allow_unknown_attrs=True)
             if validate
@@ -413,6 +424,11 @@ class StampedeLoader:
             if self.on_flush is not None:
                 self.on_flush(self)
             return
+        if self.rollup is not None:
+            # deferred subwf maps resolve at flush time, not buffer time;
+            # the maintainer dedupes re-resolution after a failed flush
+            for values, where in resolved:
+                self.rollup.observe_update(JobInstanceRow, values, where)
         start = time.perf_counter()
 
         def record_retry(attempt: int, exc: BaseException) -> None:
@@ -426,6 +442,8 @@ class StampedeLoader:
         )
         self._pending = []
         self._deferred_subwf = still_deferred
+        if self.rollup is not None:
+            self.rollup.commit()  # deltas are durable; drop the bundle
         self.stats.rows_inserted += inserted
         self.stats.rows_updated += updated
         if ops:
@@ -462,6 +480,13 @@ class StampedeLoader:
                 inserted += self.archive.insert_many(run)
             for values, where in resolved:
                 updated += self.archive.update(JobInstanceRow, values, where)
+            if self.rollup is not None:
+                # rollup deltas land inside this same transaction: the
+                # materialized counters are exactly as durable as the
+                # rows (and the checkpoint) they summarize
+                rollup_ins, rollup_upd = self.rollup.apply(self.archive)
+                inserted += rollup_ins
+                updated += rollup_upd
             if self.checkpoint is not None:
                 # the stats counters are only bumped after the commit
                 # succeeds, so fold this batch's contribution in here —
@@ -496,6 +521,11 @@ class StampedeLoader:
         }
         if self.reseq_state is not None:
             state["reseq_next"] = self.reseq_state()
+        if self.rollup is not None:
+            # tracking maps only — pending deltas commit in the same
+            # transaction as this checkpoint, so a resume re-derives any
+            # unflushed bundle from the re-read events
+            state["rollup"] = self.rollup.to_state()
         return state
 
     def restore_state(self, state: Dict[str, Any]) -> None:
@@ -512,6 +542,8 @@ class StampedeLoader:
             str(pub): int(nxt)
             for pub, nxt in state.get("reseq_next", {}).items()
         }
+        if self.rollup is not None and "rollup" in state:
+            self.rollup.restore_state(state["rollup"])
         counters = state.get("stats", {})
         self.stats.events_processed = int(counters.get("events_processed", 0))
         self.stats.rows_inserted = int(counters.get("rows_inserted", 0))
@@ -536,11 +568,15 @@ class StampedeLoader:
     # ------------------------------------------------------------- helpers --
     def _buffer(self, entity: Any) -> None:
         self._pending.append(("insert", entity))
+        if self.rollup is not None:
+            self.rollup.observe_insert(entity)
 
     def _buffer_update(
         self, entity_type: type, values: Dict[str, Any], where: Dict[str, Any]
     ) -> None:
         self._pending.append(("update", entity_type, values, where))
+        if self.rollup is not None:
+            self.rollup.observe_update(entity_type, values, where)
 
     def _wf(self, event: NLEvent) -> _WorkflowCache:
         uuid = str(event.get("xwf.id", ""))

@@ -20,6 +20,11 @@ __all__ = [
     "InvocationRow",
     "HostRow",
     "ObsEventRow",
+    "RollupWorkflowRow",
+    "RollupTypeRow",
+    "RollupHostRow",
+    "RollupHostBucketRow",
+    "RollupMetaRow",
 ]
 
 
@@ -173,3 +178,81 @@ class ObsEventRow:
     component: str = ""
     value: Optional[float] = None
     payload: str = ""
+
+
+@dataclass
+class RollupWorkflowRow:
+    """Materialized per-workflow counters (``rollup_workflow``).
+
+    Maintained incrementally by :class:`repro.core.rollup.RollupMaintainer`
+    inside the loader's flush transaction; every field is either an
+    additive counter or a monotone merge (``started``/``ended``/``status``).
+    """
+
+    wf_id: int
+    wf_uuid: str
+    parent_wf_id: Optional[int] = None
+    root_wf_id: Optional[int] = None
+    events: int = 0
+    tasks_total: int = 0
+    tasks_succeeded: int = 0
+    tasks_failed: int = 0
+    jobs_total: int = 0
+    jobs_succeeded: int = 0
+    jobs_failed: int = 0
+    jobs_retries: int = 0
+    job_instances: int = 0
+    invocations: int = 0
+    invocation_wall: float = 0.0
+    started: Optional[float] = None
+    ended: Optional[float] = None
+    status: Optional[int] = None
+    restarts: int = 0
+    updated_seq: int = 0
+
+
+@dataclass
+class RollupTypeRow:
+    """Per-transformation runtime breakdown (``rollup_type``)."""
+
+    wf_id: int
+    transformation: str
+    count: int = 0
+    succeeded: int = 0
+    failed: int = 0
+    min_runtime: float = 0.0
+    max_runtime: float = 0.0
+    total_runtime: float = 0.0
+
+
+@dataclass
+class RollupHostRow:
+    """Per-host job/runtime totals (``rollup_host``)."""
+
+    wf_id: int
+    hostname: str
+    jobs: int = 0
+    runtime: float = 0.0
+
+
+@dataclass
+class RollupHostBucketRow:
+    """Downsampled per-host time series (``rollup_host_bucket``).
+
+    ``tier`` is the bucket width in seconds; ``bucket`` is the
+    epoch-aligned index ``floor(start_time / tier)``.
+    """
+
+    wf_id: int
+    hostname: str
+    tier: int
+    bucket: int
+    runtime: float = 0.0
+
+
+@dataclass
+class RollupMetaRow:
+    """Rollup bookkeeping (``rollup_meta``): commit sequence etc."""
+
+    key: str
+    value: float = 0.0

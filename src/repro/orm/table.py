@@ -17,9 +17,18 @@ _PASSTHROUGH = {Integer: int, Real: float, Text: str}
 
 
 class Table:
-    """Schema metadata for one table."""
+    """Schema metadata for one table.
 
-    def __init__(self, name: str, columns: Sequence[Column]):
+    ``indexes`` declares composite (covering) indexes as column-name
+    tuples; single-column indexes keep using ``Column(index=True)``.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        columns: Sequence[Column],
+        indexes: Sequence[Sequence[str]] = (),
+    ):
         if not name.isidentifier():
             raise ValueError(f"invalid table name {name!r}")
         if not columns:
@@ -30,6 +39,14 @@ class Table:
         pks = [c for c in columns if c.primary_key]
         if len(pks) > 1:
             raise ValueError(f"table {name!r} declares multiple primary keys")
+        self.indexes: List[tuple] = [tuple(ix) for ix in indexes]
+        for ix in self.indexes:
+            unknown = [c for c in ix if c not in names]
+            if unknown:
+                raise ValueError(
+                    f"index {ix} on table {name!r} names unknown column(s) "
+                    f"{unknown}"
+                )
         self.name = name
         self.columns: List[Column] = list(columns)
         self.by_name: Dict[str, Column] = {c.name: c for c in columns}
@@ -56,12 +73,18 @@ class Table:
         return f"CREATE TABLE IF NOT EXISTS {self.name} ({cols})"
 
     def index_sql(self) -> List[str]:
-        return [
+        single = [
             f"CREATE INDEX IF NOT EXISTS ix_{self.name}_{c.name} "
             f"ON {self.name} ({c.name})"
             for c in self.columns
             if c.index and not c.primary_key
         ]
+        composite = [
+            f"CREATE INDEX IF NOT EXISTS ix_{self.name}_{'_'.join(ix)} "
+            f"ON {self.name} ({', '.join(ix)})"
+            for ix in self.indexes
+        ]
+        return single + composite
 
     # -- row handling ------------------------------------------------------------
     def coerce_row(self, row: Dict[str, Any]) -> Dict[str, Any]:

@@ -27,7 +27,7 @@ def archive(request):
 class TestSchema:
     def test_fig3_tables_present(self):
         names = {t.name for t in ALL_TABLES}
-        assert names == {
+        fig3 = {
             "workflow",
             "workflowstate",
             "task",
@@ -40,6 +40,14 @@ class TestSchema:
             "host",
             "obs_event",
         }
+        rollups = {
+            "rollup_workflow",
+            "rollup_type",
+            "rollup_host",
+            "rollup_host_bucket",
+            "rollup_meta",
+        }
+        assert names == fig3 | rollups
 
 
 class TestStore:
